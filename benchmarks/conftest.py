@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Macro-benchmarks (whole closed-loop experiments) run once per session —
+they are deterministic, so repeated timing rounds only add wall-clock.
+The ``macro`` helper wraps ``benchmark.pedantic`` accordingly.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def macro(benchmark):
+    """Run a deterministic macro-experiment exactly once, timed."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,27 @@
+"""Full 24-hour day: every policy, daily bill / peak / ramp."""
+
+from repro.experiments import full_day
+
+
+def test_bench_full_day(macro, capsys):
+    data = macro(full_day.run)
+    rows = {r["policy"]: r for r in data["rows"]}
+
+    # the optimal policy is the daily cost floor
+    floor = rows["optimal"]["cost_usd"]
+    for name, r in rows.items():
+        assert r["cost_usd"] >= floor - 1e-6, name
+    # the MPC stays within a few percent of it over the whole day...
+    assert rows["mpc"]["cost_usd"] <= floor * 1.05
+    # ...with a smaller worst ramp than the step-reallocating policies
+    assert rows["mpc"]["worst_ramp_mw"] < rows["optimal"]["worst_ramp_mw"]
+    assert rows["mpc"]["worst_ramp_mw"] < rows["greedy"]["worst_ramp_mw"]
+    # price-oblivious splits pay the most
+    assert rows["uniform"]["cost_usd"] > rows["mpc"]["cost_usd"]
+    # everyone serves the same energy-consuming workload without overloads
+    for r in rows.values():
+        assert r["qos_violations"] == 0
+
+    with capsys.disabled():
+        print()
+        print(full_day.report())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Delay-tolerant workloads: defer batch work into cheap hours.
+
+MapReduce-style analytics need not run the moment requests arrive.  The
+`DeferralPolicy` wrapper queues a configurable batch share of the
+workload and drains it when electricity is cheap (or when deadlines
+force it), on top of any allocation policy.  This example runs the
+overnight hours of the paper's trace — Wisconsin's price dips *negative*
+at 3:00 — and shows the energy shifting into that hour.
+
+Run:  python examples/delay_tolerant.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_chart, render_table
+from repro.baselines import OptimalInstantaneousPolicy
+from repro.core import DeferralConfig, DeferralPolicy
+from repro.sim import paper_scenario, run_simulation
+
+
+def main() -> None:
+    # Hours 2..4 of the embedded trace: Wisconsin goes 2.70 -> -18.05
+    sc_plain = paper_scenario(dt=60.0, duration=7200.0, start_hour=2.0)
+    plain = run_simulation(sc_plain,
+                           OptimalInstantaneousPolicy(sc_plain.cluster))
+
+    sc_defer = paper_scenario(dt=60.0, duration=7200.0, start_hour=2.0)
+    cfg = DeferralConfig(batch_fraction=0.4, deadline_seconds=5400.0,
+                         price_threshold=0.0, dt=60.0)
+    defer = run_simulation(sc_defer, DeferralPolicy(
+        OptimalInstantaneousPolicy(sc_defer.cluster), cfg))
+
+    print(render_table(
+        ["run", "cost_usd", "peak_total_mw", "deadline_misses_req_s"],
+        [
+            ["serve immediately", round(plain.total_cost_usd, 2),
+             round(plain.powers_watts.sum(axis=1).max() / 1e6, 2), 0],
+            ["40% deferred", round(defer.total_cost_usd, 2),
+             round(defer.powers_watts.sum(axis=1).max() / 1e6, 2),
+             round(sum(d["deferral_deadline_missed_req_s"]
+                       for d in defer.diagnostics), 1)],
+        ],
+        title="Deferral through the 3:00 negative-price hour"))
+
+    print()
+    print("Total served workload (kreq/s): work piles up in hour 2 and")
+    print("drains during the negative-price hour 3:")
+    print(ascii_chart({
+        "immediate": plain.workloads.sum(axis=1) / 1e3,
+        "deferred": defer.workloads.sum(axis=1) / 1e3,
+    }, height=10))
+
+    backlog = np.array([d["deferral_backlog_req_s"]
+                        for d in defer.diagnostics]) / 1e6
+    print()
+    print("Deferral queue backlog (Mreq·s):")
+    print(ascii_chart({"backlog": backlog}, height=8))
+    print("Note: on this market the *bill* changes little — geographic")
+    print("balancing already absorbs most of the spread. The deferral")
+    print("benchmark (benchmarks/test_bench_ablation_deferral.py) shows a")
+    print("39% saving on a market with a genuine temporal price drop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Peak shaving: keep every IDC under its subscribed power budget.
+
+The Sec. V-C experiment: the three IDCs get budgets 5.13 / 10.26 /
+4.275 MW.  The optimal allocation policy exceeds two of them after the
+7:00 price adjustment; the MPC tracks the binding IDCs *at* their
+budgets and routes the displaced load to the IDC with slack.
+
+Run:  python examples/peak_shaving.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_chart, budget_stats, render_table
+from repro.baselines import OptimalInstantaneousPolicy
+from repro.core import CostMPCPolicy, MPCPolicyConfig
+from repro.sim import PAPER_BUDGETS_WATTS, price_step_scenario, run_simulation
+
+
+def main() -> None:
+    budgets_mw = PAPER_BUDGETS_WATTS / 1e6
+
+    scenario = price_step_scenario(dt=30.0, duration=600.0)
+    optimal = run_simulation(scenario,
+                             OptimalInstantaneousPolicy(scenario.cluster))
+
+    scenario_b = price_step_scenario(dt=30.0, duration=600.0,
+                                     with_budgets=True)
+    mpc = run_simulation(scenario_b, CostMPCPolicy(
+        scenario_b.cluster,
+        MPCPolicyConfig(dt=30.0, budgets_watts=PAPER_BUDGETS_WATTS)))
+
+    rows = []
+    for j, name in enumerate(optimal.idc_names):
+        s_opt = budget_stats(optimal.powers_watts[:, j],
+                             PAPER_BUDGETS_WATTS[j], 30.0)
+        s_mpc = budget_stats(mpc.powers_watts[:, j],
+                             PAPER_BUDGETS_WATTS[j], 30.0)
+        rows.append([
+            name, budgets_mw[j],
+            round(optimal.powers_mw[-1, j], 3),
+            round(mpc.powers_mw[-1, j], 3),
+            f"{s_opt.periods_violated}/{s_opt.total_periods}",
+            f"{s_mpc.periods_violated}/{s_mpc.total_periods}",
+        ])
+    print(render_table(
+        ["idc", "budget_mw", "optimal_final_mw", "mpc_final_mw",
+         "optimal_violations", "mpc_violations"],
+        rows, title="Peak shaving against the Sec. V-C budgets"))
+
+    print()
+    for j, name in enumerate(optimal.idc_names):
+        print(f"{name} (budget {budgets_mw[j]} MW):")
+        print(ascii_chart({
+            "optimal": optimal.powers_mw[:, j],
+            "mpc": mpc.powers_mw[:, j],
+            "budget": np.full(optimal.n_periods, budgets_mw[j]),
+        }, height=8))
+        print()
+
+    total_excess = sum(
+        budget_stats(optimal.powers_watts[:, j], PAPER_BUDGETS_WATTS[j],
+                     30.0).excess_energy_joules
+        for j in range(3))
+    print(f"Optimal policy's total energy above budget: "
+          f"{total_excess / 3.6e9:.4f} MWh — the exposure a peak-power "
+          f"penalty clause would bill. The MPC's is zero at steady state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Cross-policy comparison reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import summarize_run
+from .tables import render_table
+
+__all__ = ["comparison_table", "comparison_rows", "volatility_reduction"]
+
+
+def comparison_rows(comparison, budgets_watts=None) -> list[list]:
+    """One row of headline metrics per policy."""
+    rows = []
+    for name, run in comparison.runs.items():
+        s = summarize_run(run, budgets_watts)
+        rows.append([
+            name,
+            round(s.total_cost_usd, 2),
+            round(s.total_peak_watts / 1e6, 4),
+            round(s.mean_volatility_watts / 1e3, 3),
+            s.total_budget_violations,
+            s.qos_violations,
+        ])
+    return rows
+
+
+def comparison_table(comparison, budgets_watts=None) -> str:
+    """Formatted policy-comparison table (the `results.summary()` text)."""
+    headers = ["policy", "cost_usd", "peak_mw", "volatility_kw_per_step",
+               "budget_violations", "qos_violations"]
+    return render_table(headers, comparison_rows(comparison, budgets_watts),
+                        title="Policy comparison")
+
+
+def volatility_reduction(comparison, baseline: str, candidate: str) -> float:
+    """Factor by which ``candidate`` reduces mean power volatility.
+
+    Returns ``baseline_volatility / candidate_volatility`` (> 1 means the
+    candidate is smoother).  This is the headline smoothing claim of the
+    paper's Fig. 4.
+    """
+    base = summarize_run(comparison[baseline]).mean_volatility_watts
+    cand = summarize_run(comparison[candidate]).mean_volatility_watts
+    if cand == 0.0:
+        return np.inf if base > 0 else 1.0
+    return float(base / cand)

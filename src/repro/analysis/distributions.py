@@ -1,0 +1,83 @@
+"""Distributional statistics and text rendering for recorded series.
+
+Means hide tails; these helpers summarize the full distribution of a
+recorded power or latency series — percentiles, histogram, an ASCII CDF
+— for the robustness discussions in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["SeriesDistribution", "describe_series", "ascii_histogram"]
+
+
+@dataclass
+class SeriesDistribution:
+    """Percentile summary of one series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_row(self) -> list:
+        """Values in the order :func:`distribution_headers` lists."""
+        return [self.count, round(self.mean, 4), round(self.std, 4),
+                round(self.minimum, 4), round(self.p25, 4),
+                round(self.median, 4), round(self.p75, 4),
+                round(self.p95, 4), round(self.p99, 4),
+                round(self.maximum, 4)]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return ["n", "mean", "std", "min", "p25", "p50", "p75",
+                "p95", "p99", "max"]
+
+
+def describe_series(values: np.ndarray) -> SeriesDistribution:
+    """Compute the percentile summary of a series (NaN/inf dropped)."""
+    values = np.asarray(values, dtype=float).ravel()
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ModelError("series has no finite values")
+    q = np.percentile(finite, [25, 50, 75, 95, 99])
+    return SeriesDistribution(
+        count=int(finite.size),
+        mean=float(np.mean(finite)),
+        std=float(np.std(finite)),
+        minimum=float(np.min(finite)),
+        p25=float(q[0]), median=float(q[1]), p75=float(q[2]),
+        p95=float(q[3]), p99=float(q[4]),
+        maximum=float(np.max(finite)),
+    )
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 10,
+                    width: int = 40) -> str:
+    """Horizontal bar histogram rendered with block characters."""
+    values = np.asarray(values, dtype=float).ravel()
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ModelError("series has no finite values")
+    if bins < 1 or width < 1:
+        raise ModelError("bins and width must be >= 1")
+    counts, edges = np.histogram(finite, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for k in range(bins):
+        bar = "█" * max(int(round(counts[k] / peak * width)),
+                        1 if counts[k] else 0)
+        lines.append(f"{edges[k]:12.4g} … {edges[k + 1]:12.4g} │"
+                     f"{bar:<{width}s} {counts[k]}")
+    return "\n".join(lines)

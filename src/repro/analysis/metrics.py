@@ -1,0 +1,148 @@
+"""Metrics of the paper's three goals: cost, volatility, peaks.
+
+The paper defines power-demand *volatility* as the rate of change of
+power demand and the *power peak* as the maximum demand over the run;
+electricity cost is the price-weighted energy integral.  These functions
+compute all three (plus budget-violation accounting) from recorded
+simulation series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.peak_shaving import normalize_budgets
+from ..exceptions import ModelError
+
+__all__ = [
+    "power_volatility",
+    "power_volatility_per_second",
+    "peak_power",
+    "ramp_max",
+    "BudgetStats",
+    "budget_stats",
+    "RunSummary",
+    "summarize_run",
+]
+
+
+def power_volatility(series: np.ndarray) -> float:
+    """Mean absolute per-step change of a power series (W per step)."""
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(series))))
+
+
+def power_volatility_per_second(series: np.ndarray, dt: float) -> float:
+    """Volatility normalized by the sampling period (W/s)."""
+    if dt <= 0:
+        raise ModelError("dt must be positive")
+    return power_volatility(series) / dt
+
+
+def peak_power(series: np.ndarray) -> float:
+    """Maximum of a power series."""
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size == 0:
+        raise ModelError("empty power series")
+    return float(np.max(series))
+
+
+def ramp_max(series: np.ndarray) -> float:
+    """Largest single-step change (the worst 'power demand jump')."""
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size < 2:
+        return 0.0
+    return float(np.max(np.abs(np.diff(series))))
+
+
+@dataclass(frozen=True)
+class BudgetStats:
+    """Violation accounting for one IDC against its budget."""
+
+    periods_violated: int
+    total_periods: int
+    max_excess_watts: float
+    excess_energy_joules: float
+
+    @property
+    def violation_fraction(self) -> float:
+        return (self.periods_violated / self.total_periods
+                if self.total_periods else 0.0)
+
+
+def budget_stats(series_watts: np.ndarray, budget_watts: float,
+                 dt: float) -> BudgetStats:
+    """How badly (if at all) a power series violates a budget."""
+    series = np.asarray(series_watts, dtype=float).ravel()
+    if series.size == 0:
+        raise ModelError("empty power series")
+    if not np.isfinite(budget_watts):
+        return BudgetStats(0, series.size, 0.0, 0.0)
+    excess = np.maximum(series - budget_watts, 0.0)
+    # relative tolerance: tracking *at* the budget is not a violation
+    violated = int(np.count_nonzero(excess > abs(budget_watts) * 1e-6))
+    return BudgetStats(
+        periods_violated=violated,
+        total_periods=series.size,
+        max_excess_watts=float(excess.max()),
+        excess_energy_joules=float(excess.sum() * dt),
+    )
+
+
+@dataclass
+class RunSummary:
+    """Headline metrics of one simulation run.
+
+    Per-IDC arrays are in the run's IDC order.
+    """
+
+    policy_name: str
+    total_cost_usd: float
+    paper_cost: float
+    peak_power_watts: np.ndarray
+    volatility_watts: np.ndarray
+    max_ramp_watts: np.ndarray
+    budget: list[BudgetStats]
+    mean_latency: np.ndarray
+    qos_violations: int
+
+    @property
+    def total_peak_watts(self) -> float:
+        return float(self.peak_power_watts.max())
+
+    @property
+    def mean_volatility_watts(self) -> float:
+        return float(self.volatility_watts.mean())
+
+    @property
+    def total_budget_violations(self) -> int:
+        return sum(b.periods_violated for b in self.budget)
+
+
+def summarize_run(result, budgets_watts=None) -> RunSummary:
+    """Compute a :class:`RunSummary` from a :class:`SimulationResult`."""
+    powers = result.powers_watts
+    n = powers.shape[1]
+    budgets = normalize_budgets(budgets_watts, n)
+    latencies = result.latencies
+    finite = np.where(np.isfinite(latencies), latencies, np.nan)
+    # QoS violations: overloaded periods report unbounded latency.
+    qos_violations = int(np.count_nonzero(~np.isfinite(latencies)))
+    return RunSummary(
+        policy_name=result.policy_name,
+        total_cost_usd=result.total_cost_usd,
+        paper_cost=float(np.sum(result.paper_cost)),
+        peak_power_watts=np.array([peak_power(powers[:, j])
+                                   for j in range(n)]),
+        volatility_watts=np.array([power_volatility(powers[:, j])
+                                   for j in range(n)]),
+        max_ramp_watts=np.array([ramp_max(powers[:, j]) for j in range(n)]),
+        budget=[budget_stats(powers[:, j], budgets[j], result.dt)
+                for j in range(n)],
+        mean_latency=np.nanmean(finite, axis=0),
+        qos_violations=qos_violations,
+    )

@@ -1,0 +1,106 @@
+"""Terminal-friendly series rendering (no plotting dependencies).
+
+The benchmark harness prints the same series the paper's figures plot;
+these helpers make them legible in a terminal: unicode sparklines, a
+block-character line chart, and CSV dumps for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["sparkline", "ascii_chart", "series_csv"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """One-line unicode sparkline of a series."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ModelError("empty series")
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return "?" * values.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in values:
+        if not np.isfinite(v):
+            out.append("?")
+            continue
+        idx = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def ascii_chart(series: Mapping[str, np.ndarray], height: int = 12,
+                width: int | None = None) -> str:
+    """Multi-series ASCII line chart with a shared y-axis.
+
+    Each series gets its own marker character; values are resampled to
+    ``width`` columns when longer.
+    """
+    if not series:
+        raise ModelError("need at least one series")
+    if height < 2:
+        raise ModelError("height must be >= 2")
+    markers = "*o+x#@%&"
+    arrays = {k: np.asarray(v, dtype=float).ravel()
+              for k, v in series.items()}
+    n = max(a.size for a in arrays.values())
+    if n == 0:
+        raise ModelError("empty series")
+    width = width or min(n, 72)
+
+    def resample(a):
+        if a.size == width:
+            return a
+        idx = np.linspace(0, a.size - 1, width)
+        return np.interp(idx, np.arange(a.size), a)
+
+    sampled = {k: resample(a) for k, a in arrays.items()}
+    allv = np.concatenate(list(sampled.values()))
+    allv = allv[np.isfinite(allv)]
+    if allv.size == 0:
+        raise ModelError("all values non-finite")
+    lo, hi = float(allv.min()), float(allv.max())
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, a), marker in zip(sampled.items(), markers):
+        for col, v in enumerate(a):
+            if not np.isfinite(v):
+                continue
+            row = height - 1 - int((v - lo) / span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{hi:12.4g} ┤" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 12 + " │" + "".join(grid[r]))
+    lines.append(f"{lo:12.4g} ┤" + "".join(grid[-1]))
+    legend = "   ".join(f"{m}={k}" for (k, _), m in
+                        zip(sampled.items(), markers))
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def series_csv(times: np.ndarray, series: Mapping[str, np.ndarray]) -> str:
+    """CSV text with a time column plus one column per series."""
+    times = np.asarray(times, dtype=float).ravel()
+    buf = io.StringIO()
+    names = list(series)
+    buf.write(",".join(["time"] + names) + "\n")
+    cols = [np.asarray(series[n], dtype=float).ravel() for n in names]
+    for c in cols:
+        if c.size != times.size:
+            raise ModelError("all series must match the time axis length")
+    for i, t in enumerate(times):
+        row = [f"{t:.6g}"] + [f"{c[i]:.8g}" for c in cols]
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()

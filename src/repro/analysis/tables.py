@@ -1,0 +1,60 @@
+"""Minimal dependency-free ASCII table rendering for reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_quantity"]
+
+
+def format_quantity(value, digits: int = 3) -> str:
+    """Human-friendly numeric formatting (SI-ish, fixed width)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if v != v:  # NaN
+        return "nan"
+    if abs(v) >= 1e6 or (abs(v) < 1e-3 and v != 0.0):
+        return f"{v:.{digits}e}"
+    if float(v).is_integer() and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.{digits}f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as a boxed ASCII table.
+
+    Cells are formatted with :func:`format_quantity`; column widths are
+    sized to content.
+    """
+    headers = [str(h) for h in headers]
+    formatted = [[format_quantity(cell) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return "| " + " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in formatted)
+    lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Baseline allocation policies the paper's controller is compared with.
+
+* :class:`OptimalInstantaneousPolicy` — the paper's "optimal method"
+  (Rao et al. INFOCOM 2010): per-step LP re-optimization.
+* :class:`StaticProportionalPolicy` / :class:`UniformPolicy` —
+  price-oblivious fixed splits.
+* :class:`GreedyPricePolicy` — naive cheapest-region-first chasing.
+"""
+
+from .greedy_price import GreedyPricePolicy, marginal_cost_per_request
+from .optimal import OptimalInstantaneousPolicy
+from .static import (
+    StaticProportionalPolicy,
+    UniformPolicy,
+    feasible_totals,
+    split_by_totals,
+)
+
+__all__ = [
+    "OptimalInstantaneousPolicy",
+    "StaticProportionalPolicy",
+    "UniformPolicy",
+    "GreedyPricePolicy",
+    "marginal_cost_per_request",
+    "feasible_totals",
+    "split_by_totals",
+]

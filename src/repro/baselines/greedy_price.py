@@ -1,0 +1,72 @@
+"""Greedy cheapest-region-first allocation.
+
+Ranks IDCs by marginal cost per request — ``Pr_j · (b1_j + b0_j/μ_j)``,
+the electricity price times the energy a request costs including its
+share of an extra server — and fills them in that order up to the
+latency-bounded capacity.  This is what naive price-chasing looks like
+without an LP; it coincides with the LP optimum whenever the LP solution
+is a greedy-fillable vertex, and it is the policy that most violently
+feeds the demand→price "vicious cycle" of Section I, which is exactly
+why the feedback ablation uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import CapacityError
+from ..sim.policy import AllocationDecision, PolicyObservation
+from .static import split_by_totals
+
+__all__ = ["GreedyPricePolicy", "marginal_cost_per_request"]
+
+
+def marginal_cost_per_request(cluster: IDCCluster,
+                              prices: np.ndarray) -> np.ndarray:
+    """$/MWh-weighted watts needed to serve one more request/second.
+
+    Serving one extra req/s costs ``b1`` watts directly plus ``b0/μ``
+    watts of idle power for the extra fractional server eq. 35 demands.
+    """
+    prices = np.asarray(prices, dtype=float).ravel()
+    return np.array([
+        prices[j] * (idc.config.power_model.b1
+                     + idc.config.power_model.b0 / idc.config.service_rate)
+        for j, idc in enumerate(cluster.idcs)
+    ])
+
+
+class GreedyPricePolicy:
+    """Fill IDCs cheapest-first to capacity."""
+
+    def __init__(self, cluster: IDCCluster) -> None:
+        self.cluster = cluster
+        self.name = "greedy"
+
+    def decide(self, obs: PolicyObservation) -> AllocationDecision:
+        total = float(np.sum(obs.loads))
+        order = np.argsort(marginal_cost_per_request(self.cluster,
+                                                     obs.prices))
+        totals = np.zeros(self.cluster.n_idcs)
+        remaining = total
+        for j in order:
+            cap = self.cluster.idcs[j].available_capacity
+            take = min(cap, remaining)
+            totals[j] = take
+            remaining -= take
+            if remaining <= 1e-9:
+                break
+        if remaining > 1e-9:
+            raise CapacityError(
+                f"greedy policy cannot place {remaining:.1f} req/s: "
+                "aggregate capacity exceeded")
+        u = split_by_totals(self.cluster, obs.loads, totals)
+        servers = np.array([
+            idc.servers_for(t)
+            for idc, t in zip(self.cluster.idcs, totals)
+        ])
+        return AllocationDecision(u=u, servers=servers)
+
+    def reset(self) -> None:
+        """Stateless: nothing to clear."""

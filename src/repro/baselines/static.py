@@ -1,0 +1,95 @@
+"""Price-oblivious static allocation baselines.
+
+These policies split every portal's workload by a *fixed* weight vector
+— proportional to IDC capacity by default — regardless of prices.  They
+bracket the problem from the other side of the optimal policy: perfectly
+smooth power (weights never change), maximal electricity cost inertia.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import CapacityError, ConfigurationError
+from ..optim import project_capped_simplex
+from ..sim.policy import AllocationDecision, PolicyObservation
+
+__all__ = ["StaticProportionalPolicy", "feasible_totals",
+           "split_by_totals"]
+
+
+def feasible_totals(cluster: IDCCluster, target_totals: np.ndarray,
+                    total_load: float) -> np.ndarray:
+    """Repair per-IDC target totals against latency-bounded capacities.
+
+    Projects the targets onto ``{t : 0 ≤ t_j ≤ λ̄_j, Σ t_j = total}`` so
+    any weight-based policy yields a feasible allocation whenever one
+    exists.
+    """
+    caps = np.array([idc.available_capacity for idc in cluster.idcs])
+    try:
+        return project_capped_simplex(np.asarray(target_totals, dtype=float),
+                                      caps, total_load)
+    except ValueError as exc:
+        raise CapacityError(
+            f"offered workload {total_load:.1f} req/s exceeds the aggregate "
+            f"available capacity {caps.sum():.1f} req/s") from exc
+
+
+def split_by_totals(cluster: IDCCluster, loads: np.ndarray,
+                    totals: np.ndarray) -> np.ndarray:
+    """Flat allocation vector sending each portal the same IDC mix.
+
+    With per-IDC totals ``t_j`` summing to the total load, every portal
+    splits proportionally: ``λ_ij = L_i · t_j / Σt``.  Conservation and
+    capacity both hold by construction.
+    """
+    loads = np.asarray(loads, dtype=float).ravel()
+    totals = np.asarray(totals, dtype=float).ravel()
+    total = float(totals.sum())
+    if total <= 0:
+        mat = np.zeros((cluster.n_portals, cluster.n_idcs))
+    else:
+        mat = np.outer(loads, totals / total)
+    return cluster.matrix_to_vector(mat)
+
+
+class StaticProportionalPolicy:
+    """Fixed-weight split, capacity-proportional by default."""
+
+    def __init__(self, cluster: IDCCluster,
+                 weights: np.ndarray | None = None) -> None:
+        self.cluster = cluster
+        if weights is None:
+            weights = np.array([idc.config.max_capacity
+                                for idc in cluster.idcs])
+        weights = np.asarray(weights, dtype=float).ravel()
+        if weights.size != cluster.n_idcs:
+            raise ConfigurationError(
+                f"need {cluster.n_idcs} weights, got {weights.size}")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ConfigurationError("weights must be nonnegative, not all 0")
+        self.weights = weights / weights.sum()
+        self.name = "static"
+
+    def decide(self, obs: PolicyObservation) -> AllocationDecision:
+        total = float(np.sum(obs.loads))
+        totals = feasible_totals(self.cluster, self.weights * total, total)
+        u = split_by_totals(self.cluster, obs.loads, totals)
+        servers = np.array([
+            idc.servers_for(t)
+            for idc, t in zip(self.cluster.idcs, totals)
+        ])
+        return AllocationDecision(u=u, servers=servers)
+
+    def reset(self) -> None:
+        """Stateless: nothing to clear."""
+
+
+class UniformPolicy(StaticProportionalPolicy):
+    """Round-robin special case: equal weight per IDC."""
+
+    def __init__(self, cluster: IDCCluster) -> None:
+        super().__init__(cluster, weights=np.ones(cluster.n_idcs))
+        self.name = "uniform"

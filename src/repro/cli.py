@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``              print Tables I–III
+``fig2`` … ``fig7``     regenerate one figure's series and claims
+``ablations``           run all ablation studies
+``simulate``            run one policy on the paper scenario
+``compare``             run several policies and print the comparison
+
+The CLI is a thin layer over :mod:`repro.experiments` and
+:mod:`repro.sim`; everything it prints is produced by the same functions
+the benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import io as repro_io
+from .analysis import comparison_table
+from .baselines import (
+    GreedyPricePolicy,
+    OptimalInstantaneousPolicy,
+    StaticProportionalPolicy,
+    UniformPolicy,
+)
+from .core import CostMPCPolicy, MPCPolicyConfig
+from .sim import (
+    PAPER_BUDGETS_WATTS,
+    paper_scenario,
+    price_step_scenario,
+    run_simulation,
+    simulate_policies,
+)
+
+__all__ = ["main", "build_parser"]
+
+_POLICIES = ("optimal", "mpc", "static", "uniform", "greedy")
+
+
+def _make_policy(name: str, cluster, args) -> object:
+    budgets = PAPER_BUDGETS_WATTS if args.budgets else None
+    if name == "optimal":
+        return OptimalInstantaneousPolicy(cluster)
+    if name == "mpc":
+        return CostMPCPolicy(cluster, MPCPolicyConfig(
+            dt=args.dt, r_weight=args.r_weight, budgets_watts=budgets,
+            hard_budget_constraints=args.hard_budgets))
+    if name == "static":
+        return StaticProportionalPolicy(cluster)
+    if name == "uniform":
+        return UniformPolicy(cluster)
+    if name == "greedy":
+        return GreedyPricePolicy(cluster)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _make_scenario(args):
+    if args.price_step:
+        return price_step_scenario(dt=args.dt, duration=args.duration,
+                                   with_budgets=args.budgets,
+                                   demand_sensitivity=args.feedback)
+    return paper_scenario(dt=args.dt, duration=args.duration,
+                          start_hour=args.start_hour,
+                          with_budgets=args.budgets,
+                          demand_sensitivity=args.feedback)
+
+
+def _add_scenario_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dt", type=float, default=30.0,
+                   help="control period in seconds (default 30)")
+    p.add_argument("--duration", type=float, default=600.0,
+                   help="simulated span in seconds (default 600)")
+    p.add_argument("--start-hour", type=float, default=6.0,
+                   help="trace hour the run starts at (default 6.0)")
+    p.add_argument("--price-step", action="store_true",
+                   help="start just before the 7:00 price adjustment")
+    p.add_argument("--budgets", action="store_true",
+                   help="attach the Sec. V-C power budgets")
+    p.add_argument("--hard-budgets", action="store_true",
+                   help="enforce budgets as hard MPC constraints")
+    p.add_argument("--feedback", type=float, default=0.0,
+                   help="demand→price sensitivity γ (default 0)")
+    p.add_argument("--r-weight", type=float, default=0.01,
+                   help="MPC input-move penalty (default 0.01)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICDCS'12 electricity-cost MPC reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I-III")
+    for fig in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7"):
+        sub.add_parser(fig, help=f"regenerate {fig} of the paper")
+    sub.add_parser("ablations", help="run all ablation studies")
+    report_p = sub.add_parser(
+        "report", help="regenerate every table and figure as one report")
+    report_p.add_argument("--output", metavar="PATH",
+                          help="write the report to a file")
+
+    sim = sub.add_parser("simulate", help="run one policy")
+    sim.add_argument("--policy", choices=_POLICIES, default="mpc")
+    sim.add_argument("--save", metavar="PATH",
+                     help="write the result as JSON")
+    sim.add_argument("--csv", metavar="PATH",
+                     help="write the plotted series as CSV")
+    _add_scenario_args(sim)
+
+    cmp_p = sub.add_parser("compare", help="run several policies")
+    cmp_p.add_argument("--policies", nargs="+", choices=_POLICIES,
+                       default=["optimal", "mpc"])
+    _add_scenario_args(cmp_p)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "tables":
+        from .experiments import tables
+        print(tables.report())
+        return 0
+    if args.command in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7"):
+        from .experiments import (
+            fig2_prices, fig3_prediction, fig4_smoothing_power,
+            fig5_smoothing_servers, fig6_shaving_power,
+            fig7_shaving_servers,
+        )
+        module = {
+            "fig2": fig2_prices,
+            "fig3": fig3_prediction,
+            "fig4": fig4_smoothing_power,
+            "fig5": fig5_smoothing_servers,
+            "fig6": fig6_shaving_power,
+            "fig7": fig7_shaving_servers,
+        }[args.command]
+        print(module.report())
+        return 0
+    if args.command == "ablations":
+        from .experiments.ablations import report_all
+        print(report_all())
+        return 0
+    if args.command == "report":
+        from .experiments import full_report
+        text = full_report()
+        if args.output:
+            from pathlib import Path
+            Path(args.output).write_text(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "simulate":
+        scenario = _make_scenario(args)
+        policy = _make_policy(args.policy, scenario.cluster, args)
+        result = run_simulation(scenario, policy)
+        print(f"policy {result.policy_name}: "
+              f"{result.n_periods} periods of {result.dt:.0f}s, "
+              f"cost {result.total_cost_usd:.2f} USD")
+        for j, name in enumerate(result.idc_names):
+            series = result.powers_mw[:, j]
+            print(f"  {name:>12s}: power {series[0]:.3f} -> "
+                  f"{series[-1]:.3f} MW (peak {series.max():.3f})")
+        if args.save:
+            path = repro_io.save_result(result, args.save)
+            print(f"saved JSON to {path}")
+        if args.csv:
+            from pathlib import Path
+            Path(args.csv).write_text(repro_io.result_to_csv(result))
+            print(f"saved CSV to {args.csv}")
+        return 0
+
+    if args.command == "compare":
+        scenario = _make_scenario(args)
+        policies = [_make_policy(name, scenario.cluster, args)
+                    for name in dict.fromkeys(args.policies)]
+        results = simulate_policies(scenario, policies)
+        budgets = PAPER_BUDGETS_WATTS if args.budgets else None
+        print(comparison_table(results, budgets_watts=budgets))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

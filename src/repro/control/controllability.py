@@ -1,0 +1,76 @@
+"""Controllability and observability tests for linear systems.
+
+Sec. IV-C of the paper verifies the *workload loop controllability
+condition*: ``rank [B, AB, …, A^M B] = M + 1`` (full state dimension),
+which holds whenever every electricity price ``Pr_j > 0`` and the power
+slope ``b1 > 0``.  These helpers implement the generic Kalman rank tests
+used by that verification and by the model tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "controllability_matrix",
+    "is_controllable",
+    "observability_matrix",
+    "is_observable",
+    "uncontrollable_modes",
+]
+
+_DEFAULT_RTOL = 1e-10
+
+
+def controllability_matrix(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Kalman controllability matrix ``[B, AB, …, A^{n-1}B]``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    n = A.shape[0]
+    blocks = [B]
+    for _ in range(n - 1):
+        blocks.append(A @ blocks[-1])
+    return np.hstack(blocks)
+
+
+def is_controllable(A, B, rtol: float = _DEFAULT_RTOL) -> bool:
+    """Whether ``(A, B)`` is completely controllable (Kalman rank test)."""
+    C = controllability_matrix(A, B)
+    n = np.atleast_2d(np.asarray(A)).shape[0]
+    return int(np.linalg.matrix_rank(C, tol=rtol * max(1.0, np.abs(C).max()))) == n
+
+
+def observability_matrix(A: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Kalman observability matrix ``[C; CA; …; CA^{n-1}]``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    C = np.atleast_2d(np.asarray(C, dtype=float))
+    n = A.shape[0]
+    blocks = [C]
+    for _ in range(n - 1):
+        blocks.append(blocks[-1] @ A)
+    return np.vstack(blocks)
+
+
+def is_observable(A, C, rtol: float = _DEFAULT_RTOL) -> bool:
+    """Whether ``(A, C)`` is completely observable."""
+    O = observability_matrix(A, C)
+    n = np.atleast_2d(np.asarray(A)).shape[0]
+    return int(np.linalg.matrix_rank(O, tol=rtol * max(1.0, np.abs(O).max()))) == n
+
+
+def uncontrollable_modes(A, B, tol: float = 1e-8) -> list[complex]:
+    """Eigenvalues of ``A`` that fail the PBH controllability test.
+
+    A mode ``s`` is uncontrollable when ``rank [sI - A, B] < n``.  Useful
+    diagnostics when the cost model is built with a zero price (which makes
+    the corresponding energy state uncontrollable from the cost output).
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    n = A.shape[0]
+    bad = []
+    for s in np.linalg.eigvals(A):
+        M = np.hstack([s * np.eye(n) - A, B])
+        if np.linalg.matrix_rank(M, tol=tol) < n:
+            bad.append(complex(s))
+    return bad

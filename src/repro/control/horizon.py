@@ -1,0 +1,118 @@
+"""Prediction-horizon stacking for condensed MPC.
+
+Turns the recursion ``x⁺ = Φx + Gu + w`` with the move parameterization
+``u(k+i) = u(k-1) + Σ_{t≤min(i, β₂-1)} Δu(k+t)`` into one affine map::
+
+    Y = F_x x(k) + F_u u(k-1) + f_w + Θ ΔU
+
+where ``Y`` stacks the predicted outputs ``y(k+1) … y(k+β₁)`` and ``ΔU``
+stacks the ``β₂`` input increments.  This is the matrix algebra of
+eqs. (39)–(41) in the paper, written for a general output matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .statespace import DiscreteStateSpace
+
+__all__ = ["HorizonMatrices", "build_horizon", "move_selector"]
+
+
+@dataclass
+class HorizonMatrices:
+    """Stacked prediction operators for a given (β₁, β₂) horizon pair.
+
+    Attributes
+    ----------
+    F_x, F_u, f_w, Theta:
+        ``Y = F_x @ x + F_u @ u_prev + f_w + Theta @ dU``.
+    horizon_pred, horizon_ctrl:
+        β₁ and β₂.
+    n_outputs, n_inputs:
+        Per-step dimensions (the stacked dimensions are these times the
+        respective horizons).
+    """
+
+    F_x: np.ndarray
+    F_u: np.ndarray
+    f_w: np.ndarray
+    Theta: np.ndarray
+    horizon_pred: int
+    horizon_ctrl: int
+    n_outputs: int
+    n_inputs: int
+
+    def predict(self, x, u_prev, dU) -> np.ndarray:
+        """Stacked output prediction, reshaped to ``(β₁, ny)``."""
+        x = np.asarray(x, dtype=float).ravel()
+        u_prev = np.asarray(u_prev, dtype=float).ravel()
+        dU = np.asarray(dU, dtype=float).ravel()
+        y = self.F_x @ x + self.F_u @ u_prev + self.f_w + self.Theta @ dU
+        return y.reshape(self.horizon_pred, self.n_outputs)
+
+    def free_response(self, x, u_prev) -> np.ndarray:
+        """Prediction with all input increments frozen at zero."""
+        x = np.asarray(x, dtype=float).ravel()
+        u_prev = np.asarray(u_prev, dtype=float).ravel()
+        return self.F_x @ x + self.F_u @ u_prev + self.f_w
+
+
+def move_selector(n_inputs: int, horizon_ctrl: int, step: int) -> np.ndarray:
+    """Matrix ``T_i`` with ``u(k+i) = u_prev + T_i @ dU``.
+
+    ``T_i`` is ``[I, I, …, I, 0, …, 0]`` with ``min(step, β₂-1)+1``
+    identity blocks — the block row of the paper's Ī matrix.
+    """
+    if step < 0:
+        raise ModelError("step must be nonnegative")
+    blocks = min(step, horizon_ctrl - 1) + 1
+    T = np.zeros((n_inputs, n_inputs * horizon_ctrl))
+    for b in range(blocks):
+        T[:, b * n_inputs:(b + 1) * n_inputs] = np.eye(n_inputs)
+    return T
+
+
+def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
+                  horizon_ctrl: int) -> HorizonMatrices:
+    """Precompute the stacked prediction operators for ``model``.
+
+    Complexity is O(β₁) matrix products of the state dimension — cheap for
+    the (N+1)-dimensional cost model of the paper — and the result is
+    reusable across MPC steps as long as the model matrices are unchanged.
+    """
+    if horizon_pred < 1:
+        raise ModelError("prediction horizon must be >= 1")
+    if not 1 <= horizon_ctrl <= horizon_pred:
+        raise ModelError(
+            f"control horizon must be in [1, {horizon_pred}], got {horizon_ctrl}")
+    Phi, G, C, w = model.Phi, model.G, model.C, model.w
+    n = model.n_states
+    nu = model.n_inputs
+    ny = model.n_outputs
+
+    # powers[s] = Φ^s ; psums[s] = Σ_{i=0}^{s-1} Φ^i  (psums[0] = 0)
+    powers = [np.eye(n)]
+    for _ in range(horizon_pred):
+        powers.append(Phi @ powers[-1])
+    psums = [np.zeros((n, n))]
+    for s in range(1, horizon_pred + 1):
+        psums.append(psums[-1] + powers[s - 1])
+
+    F_x = np.vstack([C @ powers[s] for s in range(1, horizon_pred + 1)])
+    F_u = np.vstack([C @ psums[s] @ G for s in range(1, horizon_pred + 1)])
+    f_w = np.concatenate([C @ psums[s] @ w for s in range(1, horizon_pred + 1)])
+
+    Theta = np.zeros((horizon_pred * ny, horizon_ctrl * nu))
+    for s in range(1, horizon_pred + 1):
+        for t in range(min(s, horizon_ctrl)):
+            block = C @ psums[s - t] @ G
+            Theta[(s - 1) * ny:s * ny, t * nu:(t + 1) * nu] = block
+    return HorizonMatrices(
+        F_x=F_x, F_u=F_u, f_w=f_w, Theta=Theta,
+        horizon_pred=horizon_pred, horizon_ctrl=horizon_ctrl,
+        n_outputs=ny, n_inputs=nu,
+    )

@@ -1,0 +1,131 @@
+"""Discrete-time Kalman filtering.
+
+The paper assumes the controller reads its states exactly; in practice
+workload and power telemetry is noisy.  This module provides the
+standard linear Kalman filter for the library's
+:class:`~repro.control.statespace.DiscreteStateSpace` models, plus the
+local-level-and-trend structural model behind the alternative workload
+predictor in :mod:`repro.workload.predictor_kalman`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["KalmanFilter", "local_linear_trend_model"]
+
+
+class KalmanFilter:
+    """Linear Kalman filter for ``x⁺ = Φx + Gu + w_k``, ``z = Hx + v_k``.
+
+    Parameters
+    ----------
+    Phi, G, H:
+        Transition, input and measurement matrices (``G`` may be ``None``
+        for autonomous models).
+    Q, R:
+        Process and measurement noise covariances.
+    x0, P0:
+        Initial state estimate and covariance.
+    """
+
+    def __init__(self, Phi, H, Q, R, G=None, x0=None, P0=None) -> None:
+        self.Phi = np.atleast_2d(np.asarray(Phi, dtype=float))
+        n = self.Phi.shape[0]
+        if self.Phi.shape != (n, n):
+            raise ModelError("Phi must be square")
+        self.H = np.atleast_2d(np.asarray(H, dtype=float))
+        if self.H.shape[1] != n:
+            raise ModelError("H column count must match the state size")
+        m = self.H.shape[0]
+        self.Q = self._check_cov(Q, n, "Q")
+        self.R = self._check_cov(R, m, "R")
+        if G is None:
+            self.G = np.zeros((n, 0))
+        else:
+            self.G = np.atleast_2d(np.asarray(G, dtype=float))
+            if self.G.shape[0] != n:
+                raise ModelError("G row count must match the state size")
+        self.x = np.zeros(n) if x0 is None \
+            else np.asarray(x0, dtype=float).ravel().copy()
+        if self.x.size != n:
+            raise ModelError("x0 has wrong dimension")
+        self.P = 1e3 * np.eye(n) if P0 is None \
+            else np.atleast_2d(np.asarray(P0, dtype=float)).copy()
+        self.n_updates = 0
+
+    @staticmethod
+    def _check_cov(M, size: int, name: str) -> np.ndarray:
+        M = np.asarray(M, dtype=float)
+        if M.ndim == 0:
+            M = float(M) * np.eye(size)
+        elif M.ndim == 1:
+            M = np.diag(M)
+        if M.shape != (size, size):
+            raise ModelError(f"{name} must be {size}x{size}")
+        return 0.5 * (M + M.T)
+
+    def predict(self, u=None) -> np.ndarray:
+        """Time update; returns the predicted state."""
+        if self.G.shape[1] == 0:
+            self.x = self.Phi @ self.x
+        else:
+            u = np.asarray(u, dtype=float).ravel()
+            if u.size != self.G.shape[1]:
+                raise ModelError("input dimension mismatch")
+            self.x = self.Phi @ self.x + self.G @ u
+        self.P = self.Phi @ self.P @ self.Phi.T + self.Q
+        return self.x.copy()
+
+    def update(self, z) -> np.ndarray:
+        """Measurement update; returns the filtered state."""
+        z = np.atleast_1d(np.asarray(z, dtype=float))
+        if z.size != self.H.shape[0]:
+            raise ModelError("measurement dimension mismatch")
+        S = self.H @ self.P @ self.H.T + self.R
+        K = np.linalg.solve(S.T, (self.P @ self.H.T).T).T
+        innovation = z - self.H @ self.x
+        self.x = self.x + K @ innovation
+        I_KH = np.eye(self.x.size) - K @ self.H
+        # Joseph form keeps P symmetric positive semidefinite.
+        self.P = I_KH @ self.P @ I_KH.T + K @ self.R @ K.T
+        self.n_updates += 1
+        return self.x.copy()
+
+    def step(self, z, u=None) -> np.ndarray:
+        """Predict then update with one measurement."""
+        self.predict(u)
+        return self.update(z)
+
+    def forecast(self, steps: int, u_seq=None) -> np.ndarray:
+        """Open-loop state forecast without mutating the filter."""
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        x = self.x.copy()
+        out = np.empty((steps, x.size))
+        for s in range(steps):
+            if self.G.shape[1] and u_seq is not None:
+                x = self.Phi @ x + self.G @ np.asarray(u_seq[s], dtype=float)
+            else:
+                x = self.Phi @ x
+            out[s] = x
+        return out
+
+
+def local_linear_trend_model(level_var: float, trend_var: float,
+                             obs_var: float) -> KalmanFilter:
+    """A local-linear-trend structural model: state = [level, slope].
+
+    ``level⁺ = level + slope + e_l``, ``slope⁺ = slope + e_s``,
+    observation = level + noise — the classic structural time-series
+    model for a drifting signal like diurnal workload.
+    """
+    if min(level_var, trend_var, obs_var) < 0:
+        raise ModelError("variances must be nonnegative")
+    Phi = np.array([[1.0, 1.0], [0.0, 1.0]])
+    H = np.array([[1.0, 0.0]])
+    Q = np.diag([level_var, trend_var])
+    R = np.array([[obs_var]])
+    return KalmanFilter(Phi=Phi, H=H, Q=Q, R=R)

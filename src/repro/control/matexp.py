@@ -1,0 +1,52 @@
+"""Matrix exponential via Padé scaling-and-squaring.
+
+The control substrate needs ``expm`` for zero-order-hold discretization
+(eqs. 23–25 of the paper).  We implement the classic [6/6] Padé
+approximation with scaling and squaring from scratch; the test suite
+cross-validates against :func:`scipy.linalg.expm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expm", "expm_pade"]
+
+# Coefficients of the [6/6] Padé approximant to exp(x).
+_PADE6 = (1.0, 1 / 2, 5 / 44, 1 / 66, 1 / 792, 1 / 15840, 1 / 665280)
+
+
+def expm_pade(A: np.ndarray) -> np.ndarray:
+    """[6/6] Padé approximant of ``exp(A)`` without scaling.
+
+    Accurate for ``||A|| <~ 0.5``; use :func:`expm` for general matrices.
+    """
+    A = np.asarray(A, dtype=float)
+    n = A.shape[0]
+    A2 = A @ A
+    A4 = A2 @ A2
+    A6 = A4 @ A2
+    U_even = _PADE6[0] * np.eye(n) + _PADE6[2] * A2 + _PADE6[4] * A4 + _PADE6[6] * A6
+    U_odd = A @ (_PADE6[1] * np.eye(n) + _PADE6[3] * A2 + _PADE6[5] * A4)
+    P = U_even + U_odd
+    Q = U_even - U_odd
+    return np.linalg.solve(Q, P)
+
+
+def expm(A: np.ndarray) -> np.ndarray:
+    """Matrix exponential ``exp(A)`` by scaling and squaring.
+
+    Scales ``A`` by ``2**-s`` until its 1-norm is below 0.5, applies the
+    [6/6] Padé approximant, then squares the result ``s`` times.
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"expm needs a square matrix, got {A.shape}")
+    norm = np.linalg.norm(A, 1)
+    if not np.isfinite(norm):
+        raise ValueError("matrix contains non-finite entries")
+    s = max(0, int(np.ceil(np.log2(norm / 0.5))) if norm > 0.5 else 0)
+    E = expm_pade(A / (2.0 ** s))
+    for _ in range(s):
+        E = E @ E
+    return E

@@ -1,0 +1,354 @@
+"""Generic condensed model predictive controller.
+
+This is the control-theoretic core behind the paper's Sec. IV-C: at every
+sampling instant, minimize
+
+    Σ_{s=1}^{β₁} ||y(k+s|k) − r(k+s|k)||²_Q  +  Σ_{t=0}^{β₂-1} ||Δu(k+t|k)||²_R
+
+over the stacked input increments ΔU subject to per-step linear input
+constraints, then apply only the first move (receding horizon).  The
+``R`` term is exactly the paper's *power demand smoothing through
+penalizing inputs*; the reference trajectory carries the peak-shaving
+budget clamp.
+
+The quadratic program is solved by the package's own active-set solver
+(exact) or the ADMM solver, selectable per controller.  When the
+constraint set turns out infeasible — which happens in closed loop when a
+workload surge makes the latency bound and conservation constraint clash
+— the controller *softens* the inequalities with heavily penalized slack
+variables rather than failing, which is the standard industrial MPC
+recourse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, InfeasibleProblemError, ModelError
+from ..optim import solve_qp, solve_qp_admm, boxed_constraints, weighted_lsq_to_qp
+from .horizon import HorizonMatrices, build_horizon, move_selector
+from .statespace import DiscreteStateSpace
+
+__all__ = ["InputConstraintSet", "MPCSolution", "ModelPredictiveController"]
+
+Backend = Literal["active_set", "admm"]
+
+
+@dataclass
+class InputConstraintSet:
+    """Per-step linear constraints on the input vector ``u``.
+
+    Every constraint is enforced at each of the β₂ steps of the control
+    horizon.  Right-hand sides may be a single vector (time invariant) or
+    a ``(β₂, m)`` array for known time-varying limits — the paper's
+    portal-workload equality ``H U = h`` uses the time-varying form when a
+    workload forecast is available.
+
+    Attributes
+    ----------
+    A_eq, b_eq:
+        Equality constraints ``A_eq @ u == b_eq`` (workload conservation).
+    A_ineq, b_ineq:
+        Inequalities ``A_ineq @ u <= b_ineq`` (latency/capacity, eq. 31).
+    lower, upper:
+        Optional element-wise bounds on ``u`` (eq. 34 uses ``lower = 0``).
+    du_limit:
+        Optional element-wise bound on the *increments*:
+        ``|Δu| <= du_limit`` per step.  This is the hard-rate-limit
+        alternative to smoothing via the ``R`` penalty.
+    """
+
+    A_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    A_ineq: np.ndarray | None = None
+    b_ineq: np.ndarray | None = None
+    lower: np.ndarray | float | None = None
+    upper: np.ndarray | float | None = None
+    du_limit: np.ndarray | float | None = None
+
+    def rhs_at(self, b, step: int) -> np.ndarray:
+        """Right-hand side for a given horizon step (handles 1-D/2-D)."""
+        b = np.asarray(b, dtype=float)
+        if b.ndim == 1:
+            return b
+        return b[min(step, b.shape[0] - 1)]
+
+
+@dataclass
+class MPCSolution:
+    """Result of one MPC step.
+
+    Attributes
+    ----------
+    u:
+        Input to apply now (first move), length ``n_inputs``.
+    du_sequence:
+        Planned increments, shape ``(β₂, n_inputs)``.
+    u_sequence:
+        Planned absolute inputs over the control horizon.
+    predicted_outputs:
+        Model-predicted outputs under the plan, shape ``(β₁, n_outputs)``.
+    cost:
+        Optimal objective value (least-squares scale).
+    status:
+        Solver status string.
+    softened:
+        True when inequality constraints had to be relaxed with slacks.
+    solver_iterations:
+        Iterations used by the QP backend.
+    """
+
+    u: np.ndarray
+    du_sequence: np.ndarray
+    u_sequence: np.ndarray
+    predicted_outputs: np.ndarray
+    cost: float
+    status: str
+    softened: bool = False
+    solver_iterations: int = 0
+
+
+class ModelPredictiveController:
+    """Receding-horizon tracking controller for affine discrete systems.
+
+    Parameters
+    ----------
+    model:
+        The prediction model (``Φ, G, C, w``).  Use
+        :meth:`update_model` when the slow loop changes the offset.
+    horizon_pred, horizon_ctrl:
+        β₁ and β₂ of the paper (β₂ ≤ β₁).
+    q_weight:
+        Output tracking weight: scalar, per-output vector, or matrix.
+    r_weight:
+        Input-increment penalty (the smoothing knob): scalar, per-input
+        vector, or matrix.  Must be positive definite for a strictly
+        convex QP.
+    constraints:
+        Optional :class:`InputConstraintSet`.
+    backend:
+        ``"active_set"`` (default) or ``"admm"``.
+    soften_infeasible:
+        Retry with slack-relaxed inequalities when the QP is infeasible.
+    slack_penalty:
+        Quadratic penalty on constraint slacks in the softened problem,
+        *relative* to the largest Hessian entry (keeps the softened QP
+        well scaled regardless of the tracking weights).
+    """
+
+    def __init__(self, model: DiscreteStateSpace, horizon_pred: int,
+                 horizon_ctrl: int, q_weight=1.0, r_weight=1.0,
+                 constraints: InputConstraintSet | None = None,
+                 backend: Backend = "active_set",
+                 soften_infeasible: bool = True,
+                 slack_penalty: float = 1e4) -> None:
+        self.model = model
+        self.horizon_pred = int(horizon_pred)
+        self.horizon_ctrl = int(horizon_ctrl)
+        self.constraints = constraints
+        self.backend = backend
+        self.soften_infeasible = bool(soften_infeasible)
+        self.slack_penalty = float(slack_penalty)
+        self._Q = self._expand_weight(q_weight, model.n_outputs, "q_weight")
+        self._R = self._expand_weight(r_weight, model.n_inputs, "r_weight")
+        if np.any(np.linalg.eigvalsh(self._R) <= 0):
+            raise ModelError("r_weight must be positive definite")
+        self._horizon: HorizonMatrices = build_horizon(
+            model, self.horizon_pred, self.horizon_ctrl)
+        self._selectors = [
+            move_selector(model.n_inputs, self.horizon_ctrl, i)
+            for i in range(self.horizon_ctrl)
+        ]
+
+    @staticmethod
+    def _expand_weight(w, size: int, name: str) -> np.ndarray:
+        w = np.asarray(w, dtype=float)
+        if w.ndim == 0:
+            return float(w) * np.eye(size)
+        if w.ndim == 1:
+            if w.size != size:
+                raise ModelError(f"{name} vector must have {size} entries")
+            return np.diag(w)
+        if w.shape != (size, size):
+            raise ModelError(f"{name} matrix must be {size}x{size}")
+        return 0.5 * (w + w.T)
+
+    def update_model(self, model: DiscreteStateSpace) -> None:
+        """Swap the prediction model (e.g. new server counts ⇒ new offset)."""
+        if (model.n_inputs != self.model.n_inputs
+                or model.n_outputs != self.model.n_outputs
+                or model.n_states != self.model.n_states):
+            raise ModelError("replacement model changes dimensions")
+        self.model = model
+        self._horizon = build_horizon(model, self.horizon_pred,
+                                      self.horizon_ctrl)
+
+    # ------------------------------------------------------------------
+    # Constraint stacking
+    # ------------------------------------------------------------------
+    def _stack_constraints(self, u_prev: np.ndarray):
+        """Translate per-step input constraints into ΔU-space matrices."""
+        cs = self.constraints
+        nu = self.model.n_inputs
+        ndu = nu * self.horizon_ctrl
+        A_eq_rows, b_eq_rows = [], []
+        A_in_rows, b_in_rows = [], []
+        if cs is None:
+            return None, None, None, None
+        for i, T in enumerate(self._selectors):
+            if cs.A_eq is not None:
+                A = np.atleast_2d(np.asarray(cs.A_eq, dtype=float))
+                b = cs.rhs_at(cs.b_eq, i)
+                A_eq_rows.append(A @ T)
+                b_eq_rows.append(b - A @ u_prev)
+            if cs.A_ineq is not None:
+                A = np.atleast_2d(np.asarray(cs.A_ineq, dtype=float))
+                b = cs.rhs_at(cs.b_ineq, i)
+                A_in_rows.append(A @ T)
+                b_in_rows.append(b - A @ u_prev)
+            if cs.lower is not None:
+                lo = np.broadcast_to(np.asarray(cs.lower, dtype=float), (nu,))
+                A_in_rows.append(-T)
+                b_in_rows.append(u_prev - lo)
+            if cs.upper is not None:
+                hi = np.broadcast_to(np.asarray(cs.upper, dtype=float), (nu,))
+                A_in_rows.append(T)
+                b_in_rows.append(hi - u_prev)
+            if cs.du_limit is not None:
+                lim = np.broadcast_to(
+                    np.asarray(cs.du_limit, dtype=float), (nu,))
+                if np.any(lim <= 0):
+                    raise ModelError("du_limit must be positive")
+                # select this step's increment block directly
+                E = np.zeros((nu, nu * self.horizon_ctrl))
+                E[:, i * nu:(i + 1) * nu] = np.eye(nu)
+                A_in_rows.append(E)
+                b_in_rows.append(lim.copy())
+                A_in_rows.append(-E)
+                b_in_rows.append(lim.copy())
+        A_eq = np.vstack(A_eq_rows) if A_eq_rows else None
+        b_eq = np.concatenate(b_eq_rows) if b_eq_rows else None
+        A_in = np.vstack(A_in_rows) if A_in_rows else None
+        b_in = np.concatenate(b_in_rows) if b_in_rows else None
+        _ = ndu  # stacked widths already encoded in the selectors
+        return A_eq, b_eq, A_in, b_in
+
+    # ------------------------------------------------------------------
+    # QP assembly and solve
+    # ------------------------------------------------------------------
+    def _solve(self, P, q, A_eq, b_eq, A_in, b_in, max_iter: int = 500):
+        if self.backend == "active_set":
+            return solve_qp(P, q, A_eq=A_eq, b_eq=b_eq,
+                            A_ineq=A_in, b_ineq=b_in, max_iter=max_iter)
+        A, low, high = boxed_constraints(q.size, A_eq, b_eq, A_in, b_in)
+        return solve_qp_admm(P, q, A, low, high)
+
+    def _solve_softened(self, P, q, A_eq, b_eq, A_in, b_in):
+        """Relax inequalities with quadratically penalized slacks ≥ 0."""
+        n = q.size
+        m = 0 if A_in is None else A_in.shape[0]
+        if m == 0:
+            raise InfeasibleProblemError(
+                "equality constraints alone are infeasible; cannot soften")
+        # Scale the slack penalty to the Hessian so the softened problem
+        # stays numerically solvable: an absolute penalty 6+ orders of
+        # magnitude above the tracking curvature makes both QP backends
+        # grind.  'slack_penalty' is therefore a *relative* factor.
+        penalty = self.slack_penalty * max(float(np.abs(P).max()), 1e-12)
+        P_big = np.zeros((n + m, n + m))
+        P_big[:n, :n] = P
+        P_big[n:, n:] = 2.0 * penalty * np.eye(m)
+        q_big = np.concatenate([q, np.zeros(m)])
+        A_eq_big = None if A_eq is None else np.hstack(
+            [A_eq, np.zeros((A_eq.shape[0], m))])
+        # A_in x − s <= b_in  and  −s <= 0
+        A_in_big = np.vstack([
+            np.hstack([A_in, -np.eye(m)]),
+            np.hstack([np.zeros((m, n)), -np.eye(m)]),
+        ])
+        b_in_big = np.concatenate([b_in, np.zeros(m)])
+        # The softened problem is much larger (one slack per inequality
+        # row) and highly degenerate.  Try the configured backend with a
+        # proportionally larger budget; if the active-set method still
+        # cycles on a degenerate vertex, fall back to ADMM with a stiff
+        # step size, which handles this regime reliably.
+        try:
+            res = self._solve(P_big, q_big, A_eq_big, b_eq,
+                              A_in_big, b_in_big,
+                              max_iter=max(2000, 20 * (n + m)))
+        except ConvergenceError:
+            A, low, high = boxed_constraints(n + m, A_eq_big, b_eq,
+                                             A_in_big, b_in_big)
+            res = solve_qp_admm(P_big, q_big, A, low, high,
+                                rho=10.0, max_iter=50_000)
+        res.x = res.x[:n]
+        return res
+
+    def control(self, x, u_prev, reference) -> MPCSolution:
+        """Compute the next input for state ``x`` and reference trajectory.
+
+        Parameters
+        ----------
+        x:
+            Current state estimate.
+        u_prev:
+            Input applied at the previous step (ΔU is measured from it).
+        reference:
+            Target outputs over the prediction horizon: shape
+            ``(β₁, n_outputs)``, or a single output vector to hold
+            constant, or a scalar for single-output models.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        u_prev = np.asarray(u_prev, dtype=float).ravel()
+        ny = self.model.n_outputs
+        ref = np.asarray(reference, dtype=float)
+        if ref.ndim == 0:
+            ref = np.full((self.horizon_pred, ny), float(ref))
+        elif ref.ndim == 1:
+            if ref.size == ny:
+                ref = np.tile(ref, (self.horizon_pred, 1))
+            elif ref.size == self.horizon_pred and ny == 1:
+                ref = ref.reshape(-1, 1)
+            else:
+                raise ModelError("reference vector has incompatible size")
+        if ref.shape != (self.horizon_pred, ny):
+            raise ModelError(
+                f"reference must have shape ({self.horizon_pred}, {ny})")
+
+        H = self._horizon
+        free = H.free_response(x, u_prev)
+        target = ref.ravel() - free
+
+        Q_stack = np.kron(np.eye(self.horizon_pred), self._Q)
+        R_stack = np.kron(np.eye(self.horizon_ctrl), self._R)
+        P, q, c0 = weighted_lsq_to_qp(H.Theta, target, Q=Q_stack, reg=R_stack)
+
+        A_eq, b_eq, A_in, b_in = self._stack_constraints(u_prev)
+        softened = False
+        try:
+            res = self._solve(P, q, A_eq, b_eq, A_in, b_in)
+        except InfeasibleProblemError:
+            if not self.soften_infeasible:
+                raise
+            res = self._solve_softened(P, q, A_eq, b_eq, A_in, b_in)
+            softened = True
+        except ConvergenceError:
+            # Degenerate vertex made the active set cycle: fall back to
+            # ADMM, which trades exactness for unconditional progress.
+            A, low, high = boxed_constraints(q.size, A_eq, b_eq,
+                                             A_in, b_in)
+            res = solve_qp_admm(P, q, A, low, high, rho=10.0,
+                                max_iter=50_000)
+
+        dU = res.x.reshape(self.horizon_ctrl, self.model.n_inputs)
+        u_seq = u_prev + np.cumsum(dU, axis=0)
+        predicted = H.predict(x, u_prev, res.x)
+        return MPCSolution(
+            u=u_seq[0].copy(), du_sequence=dU, u_sequence=u_seq,
+            predicted_outputs=predicted, cost=float(res.fun + c0),
+            status=res.status, softened=softened,
+            solver_iterations=res.iterations,
+        )

@@ -1,0 +1,87 @@
+"""Reference-trajectory builders for tracking MPC.
+
+The paper's controller tracks references produced by the per-step optimal
+LP (Sec. IV-D) and *clamps* them at the power budget for peak shaving.
+These helpers build and transform such trajectories; the IDC-specific
+budget logic lives in :mod:`repro.core.peak_shaving`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "constant_reference",
+    "ramp_reference",
+    "clamp_reference",
+    "integrate_rates",
+    "first_order_approach",
+]
+
+
+def constant_reference(value, horizon: int) -> np.ndarray:
+    """Hold an output target constant over the horizon, shape ``(β₁, ny)``."""
+    value = np.atleast_1d(np.asarray(value, dtype=float))
+    if horizon < 1:
+        raise ModelError("horizon must be >= 1")
+    return np.tile(value, (horizon, 1))
+
+
+def ramp_reference(start, end, horizon: int) -> np.ndarray:
+    """Linear ramp from ``start`` to ``end`` over ``horizon`` steps."""
+    start = np.atleast_1d(np.asarray(start, dtype=float))
+    end = np.atleast_1d(np.asarray(end, dtype=float))
+    if start.shape != end.shape:
+        raise ModelError("start and end must have the same shape")
+    if horizon < 1:
+        raise ModelError("horizon must be >= 1")
+    alphas = np.linspace(1.0 / horizon, 1.0, horizon).reshape(-1, 1)
+    return start + alphas * (end - start)
+
+
+def clamp_reference(reference: np.ndarray, upper) -> np.ndarray:
+    """Clamp a reference trajectory from above (the peak-shaving rule).
+
+    ``upper`` may be a scalar, a per-output vector, or a full ``(β₁, ny)``
+    array of time-varying budgets.
+    """
+    reference = np.asarray(reference, dtype=float)
+    return np.minimum(reference, upper)
+
+
+def integrate_rates(initial, rates, dt: float) -> np.ndarray:
+    """Turn per-step *rate* targets into cumulative-state targets.
+
+    The paper's state vector holds cumulative energies/cost while the
+    physically meaningful targets are powers/cost-rates.  Given the
+    current cumulative value ``initial`` and rate targets ``rates`` of
+    shape ``(β₁, ny)``, returns the cumulative reference
+    ``initial + dt * cumsum(rates)``.
+    """
+    rates = np.atleast_2d(np.asarray(rates, dtype=float))
+    initial = np.asarray(initial, dtype=float).ravel()
+    if initial.size != rates.shape[1]:
+        raise ModelError("initial and rates dimension mismatch")
+    if dt <= 0:
+        raise ModelError("dt must be positive")
+    return initial + dt * np.cumsum(rates, axis=0)
+
+
+def first_order_approach(current, target, horizon: int,
+                         smoothing: float = 0.5) -> np.ndarray:
+    """Exponential approach from ``current`` toward ``target``.
+
+    A common MPC reference-shaping filter: ``r(s) = target + α^s (current −
+    target)`` with ``α = smoothing`` in [0, 1).  ``smoothing = 0``
+    reproduces a constant reference at the target.
+    """
+    if not 0.0 <= smoothing < 1.0:
+        raise ModelError("smoothing must be in [0, 1)")
+    current = np.atleast_1d(np.asarray(current, dtype=float))
+    target = np.atleast_1d(np.asarray(target, dtype=float))
+    if current.shape != target.shape:
+        raise ModelError("current and target must have the same shape")
+    steps = np.arange(1, horizon + 1).reshape(-1, 1)
+    return target + (smoothing ** steps) * (current - target)

@@ -1,0 +1,103 @@
+"""Recursive least squares with exponential forgetting.
+
+Sec. III-D of the paper identifies the AR(p) workload model online with
+RLS; this is the estimator.  It is generic (estimates ``theta`` in
+``y = phi @ theta + noise``) so it also serves the price-model fitting in
+:mod:`repro.pricing`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["RecursiveLeastSquares"]
+
+
+class RecursiveLeastSquares:
+    """Online estimator of ``theta`` in ``y(k) = phi(k) @ theta + e(k)``.
+
+    Parameters
+    ----------
+    n_params:
+        Dimension of the parameter vector.
+    forgetting:
+        Exponential forgetting factor ``λ`` in (0, 1].  ``1.0`` weighs all
+        history equally; the paper-style workload tracker uses ~0.98 so the
+        AR coefficients adapt to diurnal nonstationarity.
+    initial_covariance:
+        Scale of the initial covariance ``P₀ = c·I``.  Large values make the
+        first few updates behave like ordinary least squares.
+    theta0:
+        Optional initial parameter guess (defaults to zeros).
+
+    Notes
+    -----
+    The update is the standard covariance form::
+
+        K = P φ / (λ + φ' P φ)
+        θ ← θ + K (y − φ'θ)
+        P ← (P − K φ' P) / λ
+
+    and keeps ``P`` symmetrized each step for numerical health.
+    """
+
+    def __init__(self, n_params: int, forgetting: float = 0.98,
+                 initial_covariance: float = 1e4,
+                 theta0: np.ndarray | None = None) -> None:
+        if n_params < 1:
+            raise ModelError("n_params must be >= 1")
+        if not 0.0 < forgetting <= 1.0:
+            raise ModelError(f"forgetting must be in (0, 1], got {forgetting}")
+        if initial_covariance <= 0:
+            raise ModelError("initial_covariance must be positive")
+        self.n_params = int(n_params)
+        self.forgetting = float(forgetting)
+        self.P = np.eye(self.n_params) * float(initial_covariance)
+        if theta0 is None:
+            self.theta = np.zeros(self.n_params)
+        else:
+            self.theta = np.asarray(theta0, dtype=float).ravel().copy()
+            if self.theta.size != self.n_params:
+                raise ModelError("theta0 has wrong dimension")
+        self.n_updates = 0
+
+    def predict(self, phi: np.ndarray) -> float:
+        """Model output ``phi @ theta`` for a regressor vector."""
+        phi = np.asarray(phi, dtype=float).ravel()
+        if phi.size != self.n_params:
+            raise ModelError(
+                f"regressor must have {self.n_params} entries, got {phi.size}")
+        return float(phi @ self.theta)
+
+    def update(self, phi: np.ndarray, y: float) -> float:
+        """Incorporate one observation; returns the a-priori residual."""
+        phi = np.asarray(phi, dtype=float).ravel()
+        if phi.size != self.n_params:
+            raise ModelError(
+                f"regressor must have {self.n_params} entries, got {phi.size}")
+        y = float(y)
+        err = y - float(phi @ self.theta)
+        Pphi = self.P @ phi
+        denom = self.forgetting + float(phi @ Pphi)
+        K = Pphi / denom
+        self.theta = self.theta + K * err
+        self.P = (self.P - np.outer(K, Pphi)) / self.forgetting
+        self.P = 0.5 * (self.P + self.P.T)
+        self.n_updates += 1
+        return err
+
+    def batch_fit(self, Phi: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Run :meth:`update` over rows of ``Phi``; returns residuals."""
+        Phi = np.atleast_2d(np.asarray(Phi, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if Phi.shape[0] != y.size:
+            raise ModelError("Phi and y length mismatch")
+        return np.array([self.update(row, yi) for row, yi in zip(Phi, y)])
+
+    def reset(self, initial_covariance: float = 1e4) -> None:
+        """Forget everything: zero parameters, reset covariance."""
+        self.theta = np.zeros(self.n_params)
+        self.P = np.eye(self.n_params) * float(initial_covariance)
+        self.n_updates = 0

@@ -1,0 +1,97 @@
+"""Stability diagnostics for the MPC closed loop.
+
+Sec. IV-E of the paper appeals to Mayne et al. (2000) for the stability
+of constrained MPC.  A full terminal-set certificate is overkill for the
+paper's short-horizon tracking problem; what practitioners actually
+check — and what we implement — is:
+
+* Schur stability (spectral radius < 1) of the *unconstrained* MPC
+  closed-loop matrix on the augmented state ``[x; u_prev]``.  While
+  constraints are inactive the closed loop evolves exactly by this
+  matrix, so its spectral radius is both a necessary condition and the
+  certificate that applies in steady tracking.
+* A contraction estimate of the tracking error over a simulated run
+  (:func:`estimate_contraction`), which covers the constrained phase
+  empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .horizon import build_horizon
+from .statespace import DiscreteStateSpace
+
+__all__ = [
+    "spectral_radius",
+    "is_schur_stable",
+    "unconstrained_closed_loop",
+    "estimate_contraction",
+]
+
+
+def spectral_radius(M: np.ndarray) -> float:
+    """Largest absolute eigenvalue of a square matrix."""
+    M = np.atleast_2d(np.asarray(M, dtype=float))
+    return float(np.max(np.abs(np.linalg.eigvals(M))))
+
+
+def is_schur_stable(M: np.ndarray, margin: float = 0.0) -> bool:
+    """Whether all eigenvalues lie strictly inside the unit circle."""
+    return spectral_radius(M) < 1.0 - margin
+
+
+def unconstrained_closed_loop(model: DiscreteStateSpace, horizon_pred: int,
+                              horizon_ctrl: int, q_weight, r_weight
+                              ) -> np.ndarray:
+    """Closed-loop matrix of the unconstrained MPC on ``z = [x; u_prev]``.
+
+    With no active constraints the optimal stacked increment is the
+    linear map ``ΔU* = M (ref_stack − F_x x − F_u u − f_w)`` where
+    ``M = (Θ'QΘ + R)⁻¹ Θ'Q``.  Taking the first move and substituting
+    into the plant gives an affine autonomous system in ``z`` whose
+    linear part this function returns.  Its spectral radius < 1 is the
+    practical stability certificate for the tracking loop.
+    """
+    H = build_horizon(model, horizon_pred, horizon_ctrl)
+    ny, nu = model.n_outputs, model.n_inputs
+    Q = np.kron(np.eye(horizon_pred), _expand(q_weight, ny))
+    R = np.kron(np.eye(horizon_ctrl), _expand(r_weight, nu))
+    Theta = H.Theta
+    M = np.linalg.solve(Theta.T @ Q @ Theta + R, Theta.T @ Q)
+    E0 = np.zeros((nu, nu * horizon_ctrl))
+    E0[:, :nu] = np.eye(nu)
+    K = E0 @ M  # du0 = K (ref_stack − F_x x − F_u u − f_w)
+    Kx = K @ H.F_x
+    Ku = K @ H.F_u
+    Phi, G = model.Phi, model.G
+    return np.block(
+        [[Phi - G @ Kx, G @ (np.eye(nu) - Ku)],
+         [-Kx, np.eye(nu) - Ku]])
+
+
+def _expand(w, size: int) -> np.ndarray:
+    w = np.asarray(w, dtype=float)
+    if w.ndim == 0:
+        return float(w) * np.eye(size)
+    if w.ndim == 1:
+        return np.diag(w)
+    return 0.5 * (w + w.T)
+
+
+def estimate_contraction(errors: np.ndarray) -> float:
+    """Empirical per-step contraction factor of a tracking-error sequence.
+
+    Fits ``|e(k+1)| ≈ ρ |e(k)|`` in least squares over a recorded run and
+    returns ρ.  Values below 1 indicate the constrained closed loop
+    contracted toward its reference during the run.  Zero-error steps are
+    skipped.
+    """
+    errors = np.asarray(errors, dtype=float).ravel()
+    mags = np.abs(errors)
+    prev = mags[:-1]
+    nxt = mags[1:]
+    mask = prev > 1e-12
+    if not np.any(mask):
+        return 0.0
+    return float(np.sum(nxt[mask] * prev[mask]) / np.sum(prev[mask] ** 2))

@@ -1,0 +1,188 @@
+"""Continuous- and discrete-time linear state-space models.
+
+The paper's electricity-cost model (Sec. IV-A) is the affine system::
+
+    dX/dt = A X + B U + F V          Y = W X
+
+with state ``X = [C̄, E₁, …, E_N]``, input ``U = vec(λ_ij)`` and the
+server-count vector ``V = [m₁, …, m_N]`` entering through ``F``.  These
+classes carry the matrices, validate shapes, and simulate trajectories;
+discretization lives in :mod:`repro.control.discretize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["ContinuousStateSpace", "DiscreteStateSpace"]
+
+
+def _as_2d(M, name: str) -> np.ndarray:
+    M = np.atleast_2d(np.asarray(M, dtype=float))
+    if M.ndim != 2:
+        raise ModelError(f"{name} must be a matrix, got ndim={M.ndim}")
+    return M
+
+
+@dataclass
+class ContinuousStateSpace:
+    """Affine continuous-time model ``dx/dt = A x + B u + w``, ``y = C x``.
+
+    ``w`` is a constant offset vector — in the paper it is ``F V`` with the
+    server counts ``V`` held by the slow loop between its updates.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray | None = None
+    w: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.A = _as_2d(self.A, "A")
+        n = self.A.shape[0]
+        if self.A.shape != (n, n):
+            raise ModelError(f"A must be square, got {self.A.shape}")
+        self.B = _as_2d(self.B, "B")
+        if self.B.shape[0] != n:
+            raise ModelError(
+                f"B must have {n} rows to match A, got {self.B.shape}")
+        if self.C is None:
+            self.C = np.eye(n)
+        else:
+            self.C = _as_2d(self.C, "C")
+            if self.C.shape[1] != n:
+                raise ModelError(
+                    f"C must have {n} columns to match A, got {self.C.shape}")
+        if self.w is None:
+            self.w = np.zeros(n)
+        else:
+            self.w = np.asarray(self.w, dtype=float).ravel()
+            if self.w.size != n:
+                raise ModelError(f"w must have {n} entries, got {self.w.size}")
+
+    @property
+    def n_states(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.C.shape[0]
+
+    def derivative(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Evaluate ``dx/dt`` at state ``x`` under input ``u``."""
+        x = np.asarray(x, dtype=float).ravel()
+        u = np.asarray(u, dtype=float).ravel()
+        return self.A @ x + self.B @ u + self.w
+
+    def output(self, x: np.ndarray) -> np.ndarray:
+        return self.C @ np.asarray(x, dtype=float).ravel()
+
+    def simulate(self, x0, u_of_t, t_grid) -> np.ndarray:
+        """Integrate the model with RK4 over ``t_grid``.
+
+        ``u_of_t`` is a callable ``t -> u`` (piecewise-constant inputs are
+        fine).  Returns the state trajectory, shape ``(len(t_grid), n)``.
+        """
+        t_grid = np.asarray(t_grid, dtype=float)
+        x = np.asarray(x0, dtype=float).ravel().copy()
+        if x.size != self.n_states:
+            raise ModelError("x0 has wrong dimension")
+        out = np.empty((t_grid.size, self.n_states))
+        out[0] = x
+        for k in range(1, t_grid.size):
+            t0, t1 = t_grid[k - 1], t_grid[k]
+            h = t1 - t0
+            u = np.asarray(u_of_t(t0), dtype=float).ravel()
+            k1 = self.derivative(x, u)
+            k2 = self.derivative(x + 0.5 * h * k1, u)
+            k3 = self.derivative(x + 0.5 * h * k2, u)
+            k4 = self.derivative(x + h * k3, u)
+            x = x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            out[k] = x
+        return out
+
+
+@dataclass
+class DiscreteStateSpace:
+    """Affine discrete-time model ``x⁺ = Φ x + G u + w``, ``y = C x``.
+
+    ``dt`` records the sampling period the model was discretized with
+    (``Ts`` in the paper); purely informational for simulation.
+    """
+
+    Phi: np.ndarray
+    G: np.ndarray
+    C: np.ndarray | None = None
+    w: np.ndarray | None = None
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.Phi = _as_2d(self.Phi, "Phi")
+        n = self.Phi.shape[0]
+        if self.Phi.shape != (n, n):
+            raise ModelError(f"Phi must be square, got {self.Phi.shape}")
+        self.G = _as_2d(self.G, "G")
+        if self.G.shape[0] != n:
+            raise ModelError(f"G must have {n} rows, got {self.G.shape}")
+        if self.C is None:
+            self.C = np.eye(n)
+        else:
+            self.C = _as_2d(self.C, "C")
+            if self.C.shape[1] != n:
+                raise ModelError(f"C must have {n} columns, got {self.C.shape}")
+        if self.w is None:
+            self.w = np.zeros(n)
+        else:
+            self.w = np.asarray(self.w, dtype=float).ravel()
+            if self.w.size != n:
+                raise ModelError(f"w must have {n} entries, got {self.w.size}")
+        if self.dt <= 0:
+            raise ModelError(f"dt must be positive, got {self.dt}")
+
+    @property
+    def n_states(self) -> int:
+        return self.Phi.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.G.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.C.shape[0]
+
+    def step(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Advance the state one sampling period."""
+        x = np.asarray(x, dtype=float).ravel()
+        u = np.asarray(u, dtype=float).ravel()
+        return self.Phi @ x + self.G @ u + self.w
+
+    def output(self, x: np.ndarray) -> np.ndarray:
+        return self.C @ np.asarray(x, dtype=float).ravel()
+
+    def simulate(self, x0, u_seq) -> np.ndarray:
+        """Iterate the map over an input sequence, shape ``(T, n_inputs)``.
+
+        Returns states of shape ``(T + 1, n_states)`` including ``x0``.
+        """
+        u_seq = np.atleast_2d(np.asarray(u_seq, dtype=float))
+        x = np.asarray(x0, dtype=float).ravel()
+        out = np.empty((u_seq.shape[0] + 1, self.n_states))
+        out[0] = x
+        for k, u in enumerate(u_seq):
+            x = self.step(x, u)
+            out[k + 1] = x
+        return out
+
+    def with_offset(self, w: np.ndarray) -> "DiscreteStateSpace":
+        """Return a copy with a different constant offset vector."""
+        return DiscreteStateSpace(Phi=self.Phi, G=self.G, C=self.C,
+                                  w=np.asarray(w, dtype=float), dt=self.dt)

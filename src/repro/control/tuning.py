@@ -1,0 +1,103 @@
+"""Automated tuning of the MPC smoothing weight.
+
+The ``r_weight`` knob trades electricity cost for power-demand
+smoothness (eq. 37's Q/R compromise).  Operators think in ramp limits
+("never move more than X MW per period"), not penalty weights; this
+module bridges the two: :func:`tune_r_weight` bisects the weight until
+the closed-loop worst ramp meets a target, using the fact that the
+maximum ramp is monotonically nonincreasing in R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ConvergenceError
+
+__all__ = ["TuningResult", "tune_r_weight"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of an :func:`tune_r_weight` search."""
+
+    r_weight: float
+    achieved_ramp: float
+    target_ramp: float
+    evaluations: int
+    history: list[tuple[float, float]]
+
+    @property
+    def met_target(self) -> bool:
+        return self.achieved_ramp <= self.target_ramp * (1 + 1e-6)
+
+
+def tune_r_weight(evaluate: Callable[[float], float], target_ramp: float,
+                  r_low: float = 1e-5, r_high: float = 10.0,
+                  max_evaluations: int = 20,
+                  tolerance: float = 0.05) -> TuningResult:
+    """Find the smallest ``r_weight`` whose worst ramp meets the target.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable mapping an ``r_weight`` to the closed-loop worst power
+        ramp (same units as ``target_ramp``).  Typically a closure that
+        builds a scenario, runs :func:`repro.sim.run_simulation` with a
+        :class:`~repro.core.controller.CostMPCPolicy` and returns
+        ``max_j ramp_max(powers[:, j])``.
+    target_ramp:
+        The ramp the operator will accept.
+    r_low, r_high:
+        Bisection bracket (the ramp at ``r_low`` should exceed the
+        target, the ramp at ``r_high`` should meet it).
+    max_evaluations:
+        Evaluation budget (each evaluation is one closed-loop run).
+    tolerance:
+        Relative bracket width at which the search stops.
+
+    Returns the smallest feasible weight found; raises
+    :class:`ConvergenceError` when even ``r_high`` cannot meet the
+    target.
+    """
+    if target_ramp <= 0:
+        raise ConfigurationError("target_ramp must be positive")
+    if not 0 < r_low < r_high:
+        raise ConfigurationError("need 0 < r_low < r_high")
+
+    history: list[tuple[float, float]] = []
+
+    def run(r: float) -> float:
+        ramp = float(evaluate(r))
+        history.append((r, ramp))
+        return ramp
+
+    ramp_low = run(r_low)
+    if ramp_low <= target_ramp:
+        return TuningResult(r_weight=r_low, achieved_ramp=ramp_low,
+                            target_ramp=target_ramp,
+                            evaluations=len(history), history=history)
+    ramp_high = run(r_high)
+    if ramp_high > target_ramp:
+        raise ConvergenceError(
+            f"even r_weight={r_high} gives ramp {ramp_high:.4g} > "
+            f"target {target_ramp:.4g}; widen the bracket")
+
+    lo, hi = r_low, r_high
+    best_r, best_ramp = r_high, ramp_high
+    while len(history) < max_evaluations:
+        if hi / lo < 1 + tolerance:
+            break
+        mid = float(np.sqrt(lo * hi))  # geometric bisection (R spans decades)
+        ramp = run(mid)
+        if ramp <= target_ramp:
+            best_r, best_ramp = mid, ramp
+            hi = mid
+        else:
+            lo = mid
+    return TuningResult(r_weight=best_r, achieved_ramp=best_ramp,
+                        target_ramp=target_ramp,
+                        evaluations=len(history), history=history)

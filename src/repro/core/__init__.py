@@ -1,0 +1,49 @@
+"""The paper's primary contribution.
+
+Dynamic control of electricity cost for distributed IDCs: the Sec. IV-A
+state-space cost model, the eqs. 26–34 constraint builders, the Sec. IV-D
+optimal reference LP with the peak-shaving budget clamp, and the
+two-time-scale MPC policy that ties them together.
+"""
+
+from .constraints import (
+    build_constraints,
+    capacity_matrix,
+    capacity_rhs,
+    conservation_matrix,
+)
+from .controller import CostMPCPolicy, MPCPolicyConfig
+from .deferral import BatchQueue, DeferralConfig, DeferralPolicy
+from .green import GreenAllocation, GreenOptimalPolicy, solve_green_allocation
+from .model import POWER_SCALE, CostModelBuilder, OutputMode
+from .peak_shaving import (
+    BudgetViolation,
+    budget_violations,
+    clamp_powers,
+    normalize_budgets,
+)
+from .reference_opt import OptimalAllocation, solve_optimal_allocation
+
+__all__ = [
+    "CostModelBuilder",
+    "OutputMode",
+    "POWER_SCALE",
+    "conservation_matrix",
+    "capacity_matrix",
+    "capacity_rhs",
+    "build_constraints",
+    "solve_optimal_allocation",
+    "OptimalAllocation",
+    "clamp_powers",
+    "normalize_budgets",
+    "budget_violations",
+    "BudgetViolation",
+    "CostMPCPolicy",
+    "MPCPolicyConfig",
+    "DeferralPolicy",
+    "DeferralConfig",
+    "BatchQueue",
+    "GreenOptimalPolicy",
+    "GreenAllocation",
+    "solve_green_allocation",
+]

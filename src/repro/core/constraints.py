@@ -1,0 +1,109 @@
+"""Input-constraint builders (eqs. 26–34 of the paper).
+
+Three families of constraints restrict the allocation vector ``U``:
+
+* **workload conservation** (eqs. 26–29): each portal's workload must be
+  fully distributed, ``H U = h`` with ``h = [L₁, …, L_C]``;
+* **latency capacity** (eqs. 30–33): each IDC's total assignment must
+  respect the QoS bound, ``Ψ U ≤ φ`` with
+  ``φ_j = μ_j (m_j − 1/(μ_j D_j)) = m_j μ_j − 1/D_j``;
+* **nonnegativity** (eq. 34): ``U ≥ 0``.
+
+The builders produce the per-step matrices; horizon stacking is handled
+generically by :class:`repro.control.mpc.InputConstraintSet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.mpc import InputConstraintSet
+from ..datacenter.cluster import IDCCluster
+from ..datacenter.queueing import latency_capacity
+from ..exceptions import ModelError
+
+__all__ = [
+    "conservation_matrix",
+    "capacity_matrix",
+    "capacity_rhs",
+    "build_constraints",
+]
+
+
+def conservation_matrix(cluster: IDCCluster) -> np.ndarray:
+    """``H ∈ ℜ^{C×NC}`` with ``(H U)_i = Σ_j λ_ij`` (eq. 27 structure)."""
+    n, c = cluster.n_idcs, cluster.n_portals
+    H = np.zeros((c, n * c))
+    for i in range(c):
+        for j in range(n):
+            H[i, j * c + i] = 1.0
+    return H
+
+
+def capacity_matrix(cluster: IDCCluster) -> np.ndarray:
+    """``Ψ ∈ ℜ^{N×NC}`` with ``(Ψ U)_j = λ_j`` (eq. 32 structure)."""
+    n, c = cluster.n_idcs, cluster.n_portals
+    Psi = np.zeros((n, n * c))
+    for j in range(n):
+        Psi[j, j * c:(j + 1) * c] = 1.0
+    return Psi
+
+
+def capacity_rhs(cluster: IDCCluster,
+                 servers_on: np.ndarray | None = None) -> np.ndarray:
+    """``φ_j = m_j μ_j − 1/D_j`` (eq. 33), clipped at zero.
+
+    ``servers_on = None`` uses each IDC's **fleet size** ``M_j`` — the
+    right bound in ``sleep_substituted`` mode, where the slow loop will
+    provision whatever the allocation needs up to the fleet.
+    """
+    if servers_on is None:
+        m = [idc.available_servers for idc in cluster.idcs]
+    else:
+        m = np.asarray(servers_on, dtype=float).ravel()
+        if m.size != cluster.n_idcs:
+            raise ModelError(
+                f"need {cluster.n_idcs} server counts, got {m.size}")
+    return np.array([
+        latency_capacity(int(round(mj)), idc.config.service_rate,
+                         idc.config.latency_bound)
+        for idc, mj in zip(cluster.idcs, m)
+    ])
+
+
+def build_constraints(cluster: IDCCluster, loads: np.ndarray,
+                      servers_on: np.ndarray | None = None
+                      ) -> InputConstraintSet:
+    """Assemble the full constraint set for the MPC.
+
+    Parameters
+    ----------
+    loads:
+        Portal workloads — either one vector of length ``C`` (held
+        constant over the horizon) or a ``(β₂, C)`` array of predicted
+        workloads for known time-varying right-hand sides.
+    servers_on:
+        Per-IDC active servers for the capacity bound; ``None`` bounds
+        by the fleet size (see :func:`capacity_rhs`).
+    """
+    loads = np.asarray(loads, dtype=float)
+    c = cluster.n_portals
+    if loads.ndim == 1:
+        if loads.size != c:
+            raise ModelError(f"loads must have {c} entries, got {loads.size}")
+    elif loads.ndim == 2:
+        if loads.shape[1] != c:
+            raise ModelError(
+                f"loads rows must have {c} entries, got {loads.shape[1]}")
+    else:
+        raise ModelError("loads must be a vector or (steps, C) array")
+    if np.any(loads < 0):
+        raise ModelError("portal workloads cannot be negative")
+
+    return InputConstraintSet(
+        A_eq=conservation_matrix(cluster),
+        b_eq=loads,
+        A_ineq=capacity_matrix(cluster),
+        b_ineq=capacity_rhs(cluster, servers_on),
+        lower=0.0,
+    )

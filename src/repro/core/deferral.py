@@ -1,0 +1,210 @@
+"""Delay-tolerant workload deferral (extension).
+
+The paper's related work (Yao et al., USC TR 2011) exploits *delay
+tolerance*: MapReduce-style batch work need not run the moment it
+arrives, so it can wait for cheap electricity as long as its deadline
+holds.  This module adds that lever on top of any allocation policy:
+
+* incoming workload is split into an interactive fraction (served
+  immediately) and a batch fraction (queued);
+* the :class:`DeferralPolicy` wrapper serves queued work *opportunistically*
+  when the cheapest regional price is below a threshold, and *forcibly*
+  when deadlines approach — then delegates the combined load to the
+  wrapped allocation policy (optimal, MPC, …).
+
+The queue is work-conserving in deadline order (EDF) and its state is
+exported in the decision diagnostics so experiments can audit backlog
+and deadline violations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sim.policy import AllocationDecision, PolicyObservation
+
+__all__ = ["DeferralConfig", "BatchQueue", "DeferralPolicy"]
+
+
+@dataclass
+class DeferralConfig:
+    """Tuning of the deferral layer.
+
+    Attributes
+    ----------
+    batch_fraction:
+        Fraction of every portal's workload that is delay tolerant.
+    deadline_seconds:
+        Time each unit of batch work may wait before it *must* run.
+    price_threshold:
+        Cheapest-region price ($/MWh) at or below which queued work is
+        drained opportunistically.
+    dt:
+        Control period (must match the scenario's).
+    max_service_rate:
+        Cap on the batch service rate (req/s) — models the share of
+        capacity the operator reserves for batch draining; ``None``
+        means unbounded.
+    """
+
+    batch_fraction: float = 0.3
+    deadline_seconds: float = 1800.0
+    price_threshold: float = 30.0
+    dt: float = 30.0
+    max_service_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.batch_fraction < 1.0:
+            raise ConfigurationError("batch_fraction must be in [0, 1)")
+        if self.deadline_seconds < self.dt:
+            raise ConfigurationError(
+                "deadline must be at least one control period")
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if (self.max_service_rate is not None
+                and self.max_service_rate <= 0):
+            raise ConfigurationError("max_service_rate must be positive")
+
+
+class BatchQueue:
+    """EDF queue of delay-tolerant work, measured in request·seconds."""
+
+    def __init__(self) -> None:
+        # each entry: [remaining_work_req_s, absolute_deadline_seconds]
+        self._jobs: deque[list[float]] = deque()
+        self.deadline_misses = 0.0  # req·s that ran past their deadline
+
+    @property
+    def backlog(self) -> float:
+        """Total queued work (request·seconds)."""
+        return float(sum(j[0] for j in self._jobs))
+
+    def add(self, work: float, deadline: float) -> None:
+        """Enqueue ``work`` req·s due by absolute time ``deadline``."""
+        if work <= 0:
+            return
+        self._jobs.append([float(work), float(deadline)])
+
+    def due_within(self, t_now: float, window: float) -> float:
+        """Work whose deadline falls within ``t_now + window``."""
+        return float(sum(j[0] for j in self._jobs
+                         if j[1] <= t_now + window))
+
+    def serve(self, work: float) -> float:
+        """Serve up to ``work`` req·s in deadline (FIFO) order."""
+        served = 0.0
+        while self._jobs and served < work - 1e-12:
+            job = self._jobs[0]
+            take = min(job[0], work - served)
+            job[0] -= take
+            served += take
+            if job[0] <= 1e-12:
+                self._jobs.popleft()
+        return served
+
+    def expire(self, t_now: float) -> float:
+        """Account (and drop) work already past its deadline."""
+        missed = 0.0
+        keep = deque()
+        for job in self._jobs:
+            if job[1] < t_now:
+                missed += job[0]
+            else:
+                keep.append(job)
+        self._jobs = keep
+        self.deadline_misses += missed
+        return missed
+
+    def reset(self) -> None:
+        self._jobs.clear()
+        self.deadline_misses = 0.0
+
+
+class DeferralPolicy:
+    """Wrap an allocation policy with price-aware batch deferral.
+
+    The wrapper transforms the observed portal loads: the batch share is
+    diverted into the queue, and the queue is drained back into the
+    loads whenever electricity is cheap or deadlines demand it.  The
+    modified observation is handed to the wrapped policy unchanged
+    otherwise.
+    """
+
+    def __init__(self, inner, config: DeferralConfig) -> None:
+        self.inner = inner
+        self.config = config
+        self.queue = BatchQueue()
+        self.name = f"deferral({inner.name})"
+
+    def reset(self) -> None:
+        self.queue.reset()
+        self.inner.reset()
+
+    def _service_budget(self, obs: PolicyObservation,
+                        interactive_total: float) -> float:
+        """How much queued work (req·s) we may serve this period.
+
+        Bounded by the cluster's spare latency-bounded capacity after the
+        interactive load — serving more would be physically impossible
+        and would only make the wrapped policy's problem infeasible.
+        """
+        cfg = self.config
+        cheapest = float(np.min(obs.prices))
+        spare = max(
+            sum(idc.available_capacity for idc in self.inner.cluster.idcs)
+            - interactive_total, 0.0) * cfg.dt
+        # mandatory: work whose deadline lands within the next period —
+        # always served, even past the service-rate cap (QoS contract)
+        mandatory = self.queue.due_within(obs.time_seconds, cfg.dt)
+        if cheapest <= cfg.price_threshold:
+            extra = max(self.queue.backlog - mandatory, 0.0)
+        else:
+            extra = 0.0
+        if cfg.max_service_rate is not None:
+            cap = cfg.max_service_rate * cfg.dt
+            extra = min(extra, max(cap - mandatory, 0.0))
+        return min(mandatory + extra, spare)
+
+    def decide(self, obs: PolicyObservation) -> AllocationDecision:
+        cfg = self.config
+        loads = np.asarray(obs.loads, dtype=float)
+
+        # 1. split off the batch share and enqueue it
+        batch_rates = cfg.batch_fraction * loads
+        interactive = loads - batch_rates
+        self.queue.add(float(batch_rates.sum()) * cfg.dt,
+                       deadline=obs.time_seconds + cfg.deadline_seconds)
+
+        # 2. decide how much queued work to run now
+        served_work = self.queue.serve(
+            self._service_budget(obs, float(interactive.sum())))
+        served_rate = served_work / cfg.dt
+
+        # 3. expire anything that slipped past its deadline (bookkeeping)
+        missed = self.queue.expire(obs.time_seconds)
+
+        # 4. rebuild the portal loads: interactive + drained batch,
+        #    spread across portals proportionally to their size
+        weights = (loads / loads.sum()) if loads.sum() > 0 \
+            else np.full(loads.size, 1.0 / loads.size)
+        effective = interactive + served_rate * weights
+
+        inner_obs = PolicyObservation(
+            period=obs.period, time_seconds=obs.time_seconds,
+            loads=effective, prices=obs.prices, prev_u=obs.prev_u,
+            prev_servers=obs.prev_servers,
+            predicted_loads=obs.predicted_loads,
+            predicted_prices=obs.predicted_prices,
+        )
+        decision = self.inner.decide(inner_obs)
+        decision.diagnostics = dict(decision.diagnostics)
+        decision.diagnostics.update({
+            "deferral_backlog_req_s": self.queue.backlog,
+            "deferral_served_rate": served_rate,
+            "deferral_deadline_missed_req_s": missed,
+        })
+        return decision

@@ -1,0 +1,155 @@
+"""Green geographic load balancing (extension).
+
+Following Liu et al. (SIGMETRICS 2011), each IDC may have on-site
+renewable generation; only the *brown* remainder
+``max(0, P_j − R_j)`` is bought from the grid.  The cost-minimizing
+allocation then chases renewable supply as well as cheap prices.  The
+hinge in the objective is LP-representable with one auxiliary variable
+per IDC::
+
+    minimize   Σ_j Pr_j · y_j
+    subject to y_j ≥ b1_j λ_j + b0_j m_j − R_j,   y_j ≥ 0,
+               (conservation, latency, fleet bounds as usual)
+
+:class:`GreenOptimalPolicy` re-solves this LP each period with the
+current renewable availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import InfeasibleProblemError, ModelError
+from ..optim import linprog
+from ..pricing.renewables import RenewableTrace
+from ..sim.policy import AllocationDecision, PolicyObservation
+from .constraints import capacity_matrix, conservation_matrix
+
+__all__ = ["GreenAllocation", "solve_green_allocation",
+           "GreenOptimalPolicy"]
+
+
+@dataclass
+class GreenAllocation:
+    """Solution of the renewable-aware allocation LP."""
+
+    u: np.ndarray
+    servers: np.ndarray
+    idc_workloads: np.ndarray
+    powers_watts: np.ndarray
+    brown_watts: np.ndarray
+    renewable_used_watts: np.ndarray
+
+    @property
+    def total_brown_watts(self) -> float:
+        return float(self.brown_watts.sum())
+
+
+def solve_green_allocation(cluster: IDCCluster, prices: np.ndarray,
+                           loads: np.ndarray,
+                           renewables_watts: np.ndarray
+                           ) -> GreenAllocation:
+    """Minimize the brown-energy bill given renewable availability.
+
+    Parameters
+    ----------
+    renewables_watts:
+        Per-IDC renewable power available this period (≥ 0).
+    """
+    n, c = cluster.n_idcs, cluster.n_portals
+    prices = np.asarray(prices, dtype=float).ravel()
+    loads = np.asarray(loads, dtype=float).ravel()
+    renewables = np.asarray(renewables_watts, dtype=float).ravel()
+    if prices.size != n or renewables.size != n:
+        raise ModelError(f"need {n} prices and renewable values")
+    if loads.size != c:
+        raise ModelError(f"need {c} portal loads")
+    if np.any(renewables < 0):
+        raise ModelError("renewable power cannot be negative")
+    if np.any(loads < 0):
+        raise ModelError("portal workloads cannot be negative")
+
+    b1 = np.array([i.config.power_model.b1 for i in cluster.idcs])
+    b0 = np.array([i.config.power_model.b0 for i in cluster.idcs])
+    mu = np.array([i.config.service_rate for i in cluster.idcs])
+    inv_d = np.array([1.0 / i.config.latency_bound for i in cluster.idcs])
+    fleet = np.array([i.available_servers for i in cluster.idcs],
+                     dtype=float)
+
+    # variables: [U (n·c), m (n), y (n)]
+    nvar = n * c + 2 * n
+    cost = np.zeros(nvar)
+    cost[n * c + n:] = prices
+
+    H = conservation_matrix(cluster)
+    A_eq = np.hstack([H, np.zeros((c, 2 * n))])
+    b_eq = loads
+
+    Psi = capacity_matrix(cluster)
+    # latency: Psi U − mu m <= −1/D
+    A_lat = np.hstack([Psi, -np.diag(mu), np.zeros((n, n))])
+    b_lat = -inv_d
+    # hinge: b1 λ_j + b0 m_j − y_j <= R_j
+    A_hinge = np.zeros((n, nvar))
+    for j in range(n):
+        A_hinge[j, j * c:(j + 1) * c] = b1[j]
+        A_hinge[j, n * c + j] = b0[j]
+        A_hinge[j, n * c + n + j] = -1.0
+    A_ub = np.vstack([A_lat, A_hinge])
+    b_ub = np.concatenate([b_lat, renewables])
+
+    bounds = ([(0.0, None)] * (n * c)
+              + [(0.0, float(fleet[j])) for j in range(n)]
+              + [(0.0, None)] * n)
+
+    try:
+        res = linprog(cost, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                      bounds=bounds)
+    except InfeasibleProblemError as exc:
+        raise InfeasibleProblemError(
+            "green allocation LP infeasible — workload exceeds capacity"
+        ) from exc
+    if not res.success:
+        raise InfeasibleProblemError(
+            f"green allocation LP did not converge: {res.status}")
+
+    u = np.maximum(res.x[:n * c], 0.0)
+    m_cont = res.x[n * c:n * c + n]
+    m_int = np.minimum(np.ceil(m_cont - 1e-9), fleet).astype(int)
+    lam = cluster.idc_workloads(u)
+    powers = b1 * lam + b0 * m_int
+    brown = np.maximum(powers - renewables, 0.0)
+    used = np.minimum(powers, renewables)
+    return GreenAllocation(u=u, servers=m_int, idc_workloads=lam,
+                           powers_watts=powers, brown_watts=brown,
+                           renewable_used_watts=used)
+
+
+class GreenOptimalPolicy:
+    """Per-step brown-energy minimization with renewable traces."""
+
+    def __init__(self, cluster: IDCCluster,
+                 renewables: list[RenewableTrace]) -> None:
+        if len(renewables) != cluster.n_idcs:
+            raise ModelError("need one renewable trace per IDC")
+        self.cluster = cluster
+        self.renewables = list(renewables)
+        self.name = "green"
+
+    def decide(self, obs: PolicyObservation) -> AllocationDecision:
+        available = np.array([t.at(obs.period) for t in self.renewables])
+        alloc = solve_green_allocation(self.cluster, obs.prices,
+                                       obs.loads, available)
+        return AllocationDecision(
+            u=alloc.u, servers=alloc.servers,
+            diagnostics={
+                "renewable_available_watts": available,
+                "renewable_used_watts": alloc.renewable_used_watts,
+                "brown_watts": alloc.brown_watts.copy(),
+            })
+
+    def reset(self) -> None:
+        """Stateless: nothing to clear."""

@@ -1,0 +1,196 @@
+"""State-space electricity-cost model (Sec. IV-A of the paper).
+
+Builds the affine system
+
+    dX/dt = A X + B U + F V,    Y = W X
+
+with state ``X = [C̄, E₁, …, E_N]``: the paper's cumulative cost state and
+one cumulative-energy state per IDC.  ``U = vec(λ_ij)`` is the flat
+allocation vector (IDC-grouped, see :mod:`repro.datacenter.cluster`) and
+``V = [m₁, …, m_N]`` the active-server counts.
+
+Internal units
+--------------
+* energy states ``E_j`` are in **megawatt-seconds** (1 MWs = 1 MJ) so the
+  per-step energy increment equals the power in MW times ``Ts`` — this
+  keeps the MPC Hessian well scaled;
+* the cost state follows the paper's eq. 17 verbatim,
+  ``dC̄/dt = Σ_j Pr_j · E_j(t)`` with ``Pr`` in $/MWh and ``E`` converted
+  to MWh, hence the ``Pr_j / 3600`` entries in the first row of ``A``;
+* ``B`` rows carry ``b1_j / 1e6`` (watts → MW) and ``F`` rows
+  ``b0_j / 1e6``.
+
+Two operating modes
+-------------------
+``fixed_servers``
+    ``V`` is held by the slow loop; it enters the model as the constant
+    offset ``w = F V`` (the paper's eqs. 19–25).
+``sleep_substituted``
+    The slow loop's rule (eq. 35, relaxed to the continuous
+    ``m_j = λ_j/μ_j + 1/(μ_j D_j)``) is substituted into the model,
+    giving the paper's eq. 36: ``G = Ḡ + Γ μ̄⁻¹ Ψ_λ`` plus the constant
+    disturbance ``Ω = Γ [1/(μ_j D_j)]``.  The MPC then *predicts* the
+    power effect of server scaling instead of treating it as noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..control import ContinuousStateSpace, DiscreteStateSpace, c2d
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import ModelError
+
+__all__ = ["CostModelBuilder", "OutputMode", "POWER_SCALE"]
+
+OutputMode = Literal["cost", "energy", "cost_and_energy", "full"]
+
+#: watts → MW, the scale applied to b0/b1 inside the model matrices.
+POWER_SCALE = 1e-6
+
+#: MWs → MWh inside the paper's cost integrand.
+_COST_SCALE = 1.0 / 3600.0
+
+
+@dataclass
+class CostModelBuilder:
+    """Constructs the Sec. IV-A matrices for a given cluster.
+
+    The builder is stateless with respect to prices and server counts —
+    those arrive per call because they change at run time (hourly price
+    adjustments, slow-loop server updates) while the structure (N, C,
+    b-coefficients, μ, D) is fixed by the cluster.
+    """
+
+    cluster: IDCCluster
+
+    # -- matrix blocks ----------------------------------------------------
+    def a_matrix(self, prices: np.ndarray) -> np.ndarray:
+        """``A`` with the price row (eq. 19's first row)."""
+        prices = self._check_prices(prices)
+        n = self.cluster.n_idcs
+        A = np.zeros((n + 1, n + 1))
+        A[0, 1:] = prices * _COST_SCALE
+        return A
+
+    def b_matrix(self) -> np.ndarray:
+        """``B``: row ``j+1`` sums IDC ``j``'s block of ``U`` times b1_j."""
+        n, c = self.cluster.n_idcs, self.cluster.n_portals
+        B = np.zeros((n + 1, n * c))
+        for j, idc in enumerate(self.cluster.idcs):
+            B[j + 1, j * c:(j + 1) * c] = idc.config.power_model.b1 * POWER_SCALE
+        return B
+
+    def f_matrix(self) -> np.ndarray:
+        """``F``: maps server counts to idle-power energy rates."""
+        n = self.cluster.n_idcs
+        F = np.zeros((n + 1, n))
+        for j, idc in enumerate(self.cluster.idcs):
+            F[j + 1, j] = idc.config.power_model.b0 * POWER_SCALE
+        return F
+
+    def lambda_selector(self) -> np.ndarray:
+        """``Ψ_λ ∈ ℜ^{N×NC}``: per-IDC workload totals ``λ_j = Ψ_λ U``."""
+        n, c = self.cluster.n_idcs, self.cluster.n_portals
+        S = np.zeros((n, n * c))
+        for j in range(n):
+            S[j, j * c:(j + 1) * c] = 1.0
+        return S
+
+    def w_matrix(self, output: OutputMode = "energy") -> np.ndarray:
+        """Output matrix ``W`` for the chosen tracking mode.
+
+        * ``"cost"`` — the paper's verbatim ``Y = C̄`` (1 output);
+        * ``"energy"`` — per-IDC cumulative energies (N outputs, the mode
+          used to reproduce the power figures);
+        * ``"cost_and_energy"`` — both stacked (N+1 outputs);
+        * ``"full"`` — identity.
+        """
+        n = self.cluster.n_idcs
+        if output == "cost":
+            W = np.zeros((1, n + 1))
+            W[0, 0] = 1.0
+            return W
+        if output == "energy":
+            return np.hstack([np.zeros((n, 1)), np.eye(n)])
+        if output in ("cost_and_energy", "full"):
+            # The state is exactly [C̄, E₁..E_N], so both modes are the
+            # identity; they are kept as distinct names for call-site intent.
+            return np.eye(n + 1)
+        raise ModelError(f"unknown output mode {output!r}")
+
+    # -- assembled models ------------------------------------------------
+    def continuous(self, prices: np.ndarray, servers_on: np.ndarray,
+                   output: OutputMode = "energy",
+                   mode: Literal["fixed_servers", "sleep_substituted"]
+                   = "fixed_servers") -> ContinuousStateSpace:
+        """The continuous model at the current prices / server counts."""
+        A = self.a_matrix(prices)
+        B = self.b_matrix()
+        F = self.f_matrix()
+        C = self.w_matrix(output)
+        if mode == "fixed_servers":
+            m = self._check_servers(servers_on)
+            w = F @ m
+            return ContinuousStateSpace(A=A, B=B, C=C, w=w)
+        if mode == "sleep_substituted":
+            # eq. 36: substitute m_j = λ_j/μ_j + 1/(μ_j D_j)
+            mu_inv = np.diag([1.0 / idc.config.service_rate
+                              for idc in self.cluster.idcs])
+            G = B + F @ mu_inv @ self.lambda_selector()
+            omega = F @ np.array([
+                1.0 / (idc.config.service_rate * idc.config.latency_bound)
+                for idc in self.cluster.idcs
+            ])
+            return ContinuousStateSpace(A=A, B=G, C=C, w=omega)
+        raise ModelError(f"unknown model mode {mode!r}")
+
+    def discrete(self, prices: np.ndarray, servers_on: np.ndarray,
+                 dt: float, output: OutputMode = "energy",
+                 mode: Literal["fixed_servers", "sleep_substituted"]
+                 = "fixed_servers") -> DiscreteStateSpace:
+        """ZOH discretization (eqs. 21–25) of :meth:`continuous`."""
+        return c2d(self.continuous(prices, servers_on, output, mode), dt)
+
+    # -- state helpers ----------------------------------------------------
+    def initial_state(self, cost: float = 0.0,
+                      energies_mws: np.ndarray | None = None) -> np.ndarray:
+        """State vector ``[C̄, E₁.., E_N]`` (energies in MW·s)."""
+        n = self.cluster.n_idcs
+        x = np.zeros(n + 1)
+        x[0] = float(cost)
+        if energies_mws is not None:
+            e = np.asarray(energies_mws, dtype=float).ravel()
+            if e.size != n:
+                raise ModelError(f"energies must have {n} entries")
+            x[1:] = e
+        return x
+
+    def powers_mw(self, u: np.ndarray, servers_on: np.ndarray) -> np.ndarray:
+        """Per-IDC power in MW implied by allocation ``u`` and ``m``."""
+        lam = self.cluster.idc_workloads(u)
+        m = self._check_servers(servers_on)
+        return np.array([
+            idc.config.power_model.cluster_power(l, int(round(mj))) * POWER_SCALE
+            for idc, l, mj in zip(self.cluster.idcs, lam, m)
+        ])
+
+    # -- validation --------------------------------------------------------
+    def _check_prices(self, prices: np.ndarray) -> np.ndarray:
+        prices = np.asarray(prices, dtype=float).ravel()
+        if prices.size != self.cluster.n_idcs:
+            raise ModelError(
+                f"need {self.cluster.n_idcs} prices, got {prices.size}")
+        return prices
+
+    def _check_servers(self, servers_on: np.ndarray) -> np.ndarray:
+        m = np.asarray(servers_on, dtype=float).ravel()
+        if m.size != self.cluster.n_idcs:
+            raise ModelError(
+                f"need {self.cluster.n_idcs} server counts, got {m.size}")
+        if np.any(m < 0):
+            raise ModelError("server counts must be nonnegative")
+        return m

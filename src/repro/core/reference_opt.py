@@ -1,0 +1,178 @@
+"""Optimal-allocation reference (Sec. IV-D, following Rao et al. 2010).
+
+The MPC tracks references derived from the per-step cost-minimizing
+linear program
+
+    min_{m, λ}  Σ_j Pr_j · P_j(λ_j, m_j) = Σ_j Pr_j (b1_j λ_j + b0_j m_j)
+
+subject to workload conservation (eq. 2), the latency bound (eq. 15,
+linearized as ``λ_j ≤ μ_j m_j − 1/D_j``), fleet bounds ``0 ≤ m_j ≤ M_j``
+and ``λ ≥ 0`` — with ``m`` relaxed to be continuous and ceiled
+afterwards, exactly as the paper's optimal baseline does.
+
+The LP is solved with the package's own revised simplex.  Optionally,
+per-IDC power-budget rows ``b1_j λ_j + b0_j m_j ≤ P^b_j`` can be added
+(budget-aware variant, an extension the ablation benchmarks compare with
+the paper's reference-clamping rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import InfeasibleProblemError, ModelError
+from ..optim import linprog
+from .constraints import capacity_matrix, conservation_matrix
+
+__all__ = ["OptimalAllocation", "solve_optimal_allocation"]
+
+
+@dataclass
+class OptimalAllocation:
+    """Solution of the reference LP.
+
+    Attributes
+    ----------
+    u:
+        Flat allocation vector (IDC-grouped ordering).
+    lambda_matrix:
+        The ``(C, N)`` allocation matrix ``λ_ij``.
+    servers_continuous:
+        Relaxed server counts from the LP.
+    servers:
+        Integer server counts after ceiling (what the plant applies).
+    idc_workloads:
+        Per-IDC totals ``λ_j``.
+    powers_watts:
+        Per-IDC power with the *integer* server counts.
+    powers_watts_relaxed:
+        Per-IDC power with the relaxed counts (the LP's own optimum).
+    cost_rate_usd_per_hour:
+        Σ_j Pr_j · P_j in $/h (prices $/MWh × power MW).
+    """
+
+    u: np.ndarray
+    lambda_matrix: np.ndarray
+    servers_continuous: np.ndarray
+    servers: np.ndarray
+    idc_workloads: np.ndarray
+    powers_watts: np.ndarray
+    powers_watts_relaxed: np.ndarray
+    cost_rate_usd_per_hour: float
+
+
+def solve_optimal_allocation(cluster: IDCCluster, prices: np.ndarray,
+                             loads: np.ndarray,
+                             budgets_watts: np.ndarray | None = None
+                             ) -> OptimalAllocation:
+    """Solve the instantaneous cost-minimization LP.
+
+    Parameters
+    ----------
+    cluster:
+        The IDC cluster (provides b-coefficients, μ, D, fleet sizes).
+    prices:
+        Per-IDC electricity prices in $/MWh (must be positive for the
+        problem to be well posed — zero prices make servers free).
+    loads:
+        Portal workloads ``[L₁, …, L_C]`` in requests/second.
+    budgets_watts:
+        Optional per-IDC peak-power budgets added as LP rows (entries of
+        ``None``/``inf`` mean unconstrained).
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When the workload cannot be served within capacity (or within
+        the budgets in the budget-aware variant).
+    """
+    n, c = cluster.n_idcs, cluster.n_portals
+    prices = np.asarray(prices, dtype=float).ravel()
+    loads = np.asarray(loads, dtype=float).ravel()
+    if prices.size != n:
+        raise ModelError(f"need {n} prices, got {prices.size}")
+    if loads.size != c:
+        raise ModelError(f"need {c} portal loads, got {loads.size}")
+    if np.any(loads < 0):
+        raise ModelError("portal workloads cannot be negative")
+
+    b1 = np.array([idc.config.power_model.b1 for idc in cluster.idcs])
+    b0 = np.array([idc.config.power_model.b0 for idc in cluster.idcs])
+    mu = np.array([idc.config.service_rate for idc in cluster.idcs])
+    inv_d = np.array([1.0 / idc.config.latency_bound
+                      for idc in cluster.idcs])
+    fleet = np.array([idc.available_servers for idc in cluster.idcs],
+                     dtype=float)
+
+    nvar = n * c + n  # [U, m]
+    cost = np.zeros(nvar)
+    for j in range(n):
+        cost[j * c:(j + 1) * c] = prices[j] * b1[j]
+        cost[n * c + j] = prices[j] * b0[j]
+
+    # equality: H U = loads
+    H = conservation_matrix(cluster)
+    A_eq = np.hstack([H, np.zeros((c, n))])
+    b_eq = loads
+
+    # inequality: Psi U - mu_j m_j <= -1/D_j
+    Psi = capacity_matrix(cluster)
+    A_ub = np.hstack([Psi, -np.diag(mu)])
+    b_ub = -inv_d
+
+    if budgets_watts is not None:
+        budgets = np.asarray(
+            [np.inf if b is None else float(b) for b in budgets_watts],
+            dtype=float)
+        if budgets.size != n:
+            raise ModelError(f"need {n} budgets, got {budgets.size}")
+        rows = []
+        rhs = []
+        for j in range(n):
+            if np.isfinite(budgets[j]):
+                row = np.zeros(nvar)
+                row[j * c:(j + 1) * c] = b1[j]
+                row[n * c + j] = b0[j]
+                rows.append(row)
+                rhs.append(budgets[j])
+        if rows:
+            A_ub = np.vstack([A_ub, np.array(rows)])
+            b_ub = np.concatenate([b_ub, np.array(rhs)])
+
+    bounds = [(0.0, None)] * (n * c) + [
+        (0.0, float(fleet[j])) for j in range(n)
+    ]
+
+    try:
+        res = linprog(cost, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                      bounds=bounds)
+    except InfeasibleProblemError as exc:
+        raise InfeasibleProblemError(
+            "reference LP infeasible — offered workload exceeds the "
+            "latency-bounded capacity (or the power budgets)"
+        ) from exc
+    if not res.success:
+        raise InfeasibleProblemError(
+            f"reference LP did not reach optimality: {res.status}")
+
+    u = np.maximum(res.x[:n * c], 0.0)
+    m_cont = res.x[n * c:]
+    m_int = np.minimum(np.ceil(m_cont - 1e-9), fleet).astype(int)
+    lam = cluster.idc_workloads(u)
+    powers_int = b1 * lam + b0 * m_int
+    powers_relaxed = b1 * lam + b0 * m_cont
+    cost_rate = float(np.sum(prices * powers_int) / 1e6)  # $/MWh × MW = $/h
+
+    return OptimalAllocation(
+        u=u,
+        lambda_matrix=cluster.vector_to_matrix(u),
+        servers_continuous=m_cont,
+        servers=m_int,
+        idc_workloads=lam,
+        powers_watts=powers_int,
+        powers_watts_relaxed=powers_relaxed,
+        cost_rate_usd_per_hour=cost_rate,
+    )

@@ -1,0 +1,180 @@
+"""Behind-the-meter battery storage for peak shaving (extension).
+
+The paper shaves peaks purely by steering workload; a battery (UPS bank)
+is the complementary knob real IDCs use: discharge when the IDC draw
+exceeds the subscribed budget, recharge when there is headroom.  Because
+the battery sits behind the meter it does not affect IDC operation at
+all — it only transforms the *grid* power profile — so it composes with
+any allocation policy as a post-stage.
+
+This module provides the battery model (capacity, power limits,
+round-trip efficiency, state of charge) and the greedy budget-following
+dispatch rule, plus a helper that replays a recorded simulation's power
+series through a battery bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ModelError
+
+__all__ = ["BatteryConfig", "Battery", "shave_with_battery",
+           "BatteryShaveResult"]
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Static battery-bank parameters.
+
+    Attributes
+    ----------
+    capacity_joules:
+        Usable energy capacity.
+    max_charge_watts / max_discharge_watts:
+        Power limits in each direction.
+    charge_efficiency / discharge_efficiency:
+        One-way efficiencies; round-trip efficiency is their product.
+    initial_soc:
+        Initial state of charge as a fraction of capacity.
+    """
+
+    capacity_joules: float
+    max_charge_watts: float
+    max_discharge_watts: float
+    charge_efficiency: float = 0.95
+    discharge_efficiency: float = 0.95
+    initial_soc: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity_joules <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.max_charge_watts < 0 or self.max_discharge_watts < 0:
+            raise ConfigurationError("power limits must be nonnegative")
+        for eff in (self.charge_efficiency, self.discharge_efficiency):
+            if not 0.0 < eff <= 1.0:
+                raise ConfigurationError("efficiencies must be in (0, 1]")
+        if not 0.0 <= self.initial_soc <= 1.0:
+            raise ConfigurationError("initial_soc must be in [0, 1]")
+
+
+class Battery:
+    """A battery bank with state of charge and power/energy limits."""
+
+    def __init__(self, config: BatteryConfig) -> None:
+        self.config = config
+        self._energy = config.initial_soc * config.capacity_joules
+
+    @property
+    def energy_joules(self) -> float:
+        """Stored (usable) energy."""
+        return self._energy
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._energy / self.config.capacity_joules
+
+    def max_discharge_for(self, dt: float) -> float:
+        """Largest discharge power sustainable for ``dt`` seconds."""
+        if dt <= 0:
+            raise ModelError("dt must be positive")
+        energy_limited = (self._energy * self.config.discharge_efficiency
+                          / dt)
+        return float(min(self.config.max_discharge_watts, energy_limited))
+
+    def max_charge_for(self, dt: float) -> float:
+        """Largest charge power acceptable for ``dt`` seconds."""
+        if dt <= 0:
+            raise ModelError("dt must be positive")
+        headroom = self.config.capacity_joules - self._energy
+        energy_limited = headroom / (self.config.charge_efficiency * dt)
+        return float(min(self.config.max_charge_watts, energy_limited))
+
+    def discharge(self, power_watts: float, dt: float) -> float:
+        """Discharge at up to ``power_watts`` for ``dt``; returns actual."""
+        if power_watts < 0:
+            raise ModelError("discharge power must be nonnegative")
+        actual = min(power_watts, self.max_discharge_for(dt))
+        self._energy -= actual * dt / self.config.discharge_efficiency
+        self._energy = max(self._energy, 0.0)
+        return actual
+
+    def charge(self, power_watts: float, dt: float) -> float:
+        """Charge at up to ``power_watts`` for ``dt``; returns actual."""
+        if power_watts < 0:
+            raise ModelError("charge power must be nonnegative")
+        actual = min(power_watts, self.max_charge_for(dt))
+        self._energy += actual * dt * self.config.charge_efficiency
+        self._energy = min(self._energy, self.config.capacity_joules)
+        return actual
+
+    def reset(self) -> None:
+        self._energy = self.config.initial_soc * self.config.capacity_joules
+
+
+@dataclass
+class BatteryShaveResult:
+    """Grid-side power after battery dispatch, plus battery telemetry."""
+
+    grid_powers_watts: np.ndarray
+    soc: np.ndarray
+    discharged_joules: float
+    charged_joules: float
+
+    @property
+    def peak_watts(self) -> float:
+        return float(self.grid_powers_watts.max())
+
+
+def shave_with_battery(idc_powers_watts: np.ndarray, budget_watts: float,
+                       battery: Battery, dt: float,
+                       recharge_margin: float = 0.95) -> BatteryShaveResult:
+    """Greedy budget-following battery dispatch over a power series.
+
+    Discharges whatever is needed (and possible) to keep grid draw at or
+    below ``budget_watts``; recharges whenever the IDC draw leaves
+    headroom, but never pushes the grid draw above
+    ``recharge_margin × budget``.
+
+    Parameters
+    ----------
+    idc_powers_watts:
+        The IDC-side power series (one value per period).
+    budget_watts:
+        The subscribed grid-power budget.
+    battery:
+        The bank to dispatch (mutated; call ``battery.reset()`` to reuse).
+    dt:
+        Period length in seconds.
+    recharge_margin:
+        Fraction of the budget the recharge is allowed to fill up to.
+    """
+    powers = np.asarray(idc_powers_watts, dtype=float).ravel()
+    if powers.size == 0:
+        raise ModelError("empty power series")
+    if budget_watts <= 0:
+        raise ModelError("budget must be positive")
+    if not 0.0 <= recharge_margin <= 1.0:
+        raise ModelError("recharge_margin must be in [0, 1]")
+
+    grid = np.empty_like(powers)
+    soc = np.empty_like(powers)
+    discharged = 0.0
+    charged = 0.0
+    for k, p in enumerate(powers):
+        if p > budget_watts:
+            got = battery.discharge(p - budget_watts, dt)
+            grid[k] = p - got
+            discharged += got * dt
+        else:
+            headroom = recharge_margin * budget_watts - p
+            put = battery.charge(max(headroom, 0.0), dt)
+            grid[k] = p + put
+            charged += put * dt
+        soc[k] = battery.soc
+    return BatteryShaveResult(grid_powers_watts=grid, soc=soc,
+                              discharged_joules=discharged,
+                              charged_joules=charged)

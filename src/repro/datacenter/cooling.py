@@ -1,0 +1,89 @@
+"""Cooling overhead (PUE) models.
+
+The paper's footnote restricts its power model to the server subsystem
+("traditional design separates the three subsystems"); a real bill
+includes cooling and power distribution, summarized by the Power Usage
+Effectiveness ratio ``PUE = facility power / IT power``.  Two standard
+models are provided:
+
+* :class:`ConstantPUE` — a fixed multiplier;
+* :class:`LoadDependentPUE` — chillers are least efficient at low load,
+  so PUE falls from ``pue_idle`` toward ``pue_peak`` as utilization
+  rises (an affine-in-utilization facility overhead).
+
+These compose with any recorded power series (the cooling plant is
+downstream of the IT load), mirroring how the battery extension hooks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ModelError
+
+__all__ = ["ConstantPUE", "LoadDependentPUE", "facility_power"]
+
+
+@dataclass(frozen=True)
+class ConstantPUE:
+    """Fixed facility-to-IT power ratio."""
+
+    pue: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ConfigurationError("PUE cannot be below 1.0")
+
+    def factor(self, utilization: float) -> float:
+        """Facility/IT ratio at the given IT utilization (ignored)."""
+        return self.pue
+
+
+@dataclass(frozen=True)
+class LoadDependentPUE:
+    """PUE improving with IT utilization.
+
+    ``factor(u) = pue_peak + (pue_idle − pue_peak) · (1 − u)`` for
+    utilization ``u ∈ [0, 1]``: the fixed cooling overhead is amortized
+    over more IT work as the site fills up.
+    """
+
+    pue_idle: float = 2.0
+    pue_peak: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.pue_peak < 1.0:
+            raise ConfigurationError("peak PUE cannot be below 1.0")
+        if self.pue_idle < self.pue_peak:
+            raise ConfigurationError(
+                "idle PUE must be >= peak PUE (cooling amortizes with load)")
+
+    def factor(self, utilization: float) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ModelError("utilization must be in [0, 1]")
+        return self.pue_peak + (self.pue_idle - self.pue_peak) \
+            * (1.0 - utilization)
+
+
+def facility_power(it_powers_watts: np.ndarray, pue_model,
+                   max_power_watts: float | np.ndarray) -> np.ndarray:
+    """Total facility power for an IT power series.
+
+    ``max_power_watts`` normalizes utilization (the IDC's all-on full
+    load power); may be a scalar or per-sample array.
+    """
+    it = np.asarray(it_powers_watts, dtype=float)
+    cap = np.broadcast_to(np.asarray(max_power_watts, dtype=float),
+                          it.shape)
+    if np.any(cap <= 0):
+        raise ModelError("max power must be positive")
+    out = np.empty_like(it)
+    flat_it = it.ravel()
+    flat_cap = cap.ravel()
+    flat_out = out.ravel()
+    for i in range(flat_it.size):
+        u = min(max(flat_it[i] / flat_cap[i], 0.0), 1.0)
+        flat_out[i] = flat_it[i] * pue_model.factor(u)
+    return out

@@ -1,0 +1,156 @@
+"""Discrete-event simulation of an M/M/n queue.
+
+The paper *assumes* ``P_Q = 1`` to linearize the latency constraint
+(eq. 14).  The analytic Erlang-C formulas in
+:mod:`repro.datacenter.queueing` quantify that approximation in
+expectation; this simulator validates both against an actual
+event-driven queue — Poisson arrivals, exponential service, ``n``
+identical servers, FIFO — and measures the full waiting-time
+distribution (percentiles, not just means), which no closed form in the
+paper covers.
+
+The implementation is a classic two-event-type simulation on a binary
+heap: arrival events draw the next interarrival, departure events free a
+server and admit the queue head.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["QueueSimResult", "simulate_mmn_queue"]
+
+_ARRIVAL = 0
+_DEPARTURE = 1
+
+
+@dataclass
+class QueueSimResult:
+    """Measured statistics of one M/M/n simulation run.
+
+    All times in seconds.  ``waits`` holds the per-request queueing
+    delays (excluding service), ``responses`` the sojourn times.
+    """
+
+    n_served: int
+    waits: np.ndarray
+    responses: np.ndarray
+    utilization: float
+
+    @property
+    def mean_wait(self) -> float:
+        return float(np.mean(self.waits)) if self.n_served else 0.0
+
+    @property
+    def mean_response(self) -> float:
+        return float(np.mean(self.responses)) if self.n_served else 0.0
+
+    @property
+    def prob_wait(self) -> float:
+        """Fraction of requests that had to queue (empirical Erlang C)."""
+        if not self.n_served:
+            return 0.0
+        return float(np.mean(self.waits > 1e-12))
+
+    def wait_percentile(self, q: float) -> float:
+        """Waiting-time percentile, ``q`` in [0, 100]."""
+        if not self.n_served:
+            return 0.0
+        return float(np.percentile(self.waits, q))
+
+
+def simulate_mmn_queue(arrival_rate: float, service_rate: float,
+                       n_servers: int, n_requests: int = 50_000,
+                       warmup: int = 1_000,
+                       rng: np.random.Generator | None = None
+                       ) -> QueueSimResult:
+    """Simulate an M/M/n FIFO queue until ``n_requests`` complete.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate λ (requests/second).
+    service_rate:
+        Per-server exponential service rate μ.
+    n_servers:
+        Number of identical servers.
+    n_requests:
+        Completed requests to measure (after warmup).
+    warmup:
+        Completions discarded before measurement starts.
+
+    Raises
+    ------
+    ModelError
+        For non-positive rates/counts or an unstable queue (ρ ≥ 1) —
+        an unstable queue has no stationary waiting time to measure.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ModelError("rates must be positive")
+    if n_servers < 1 or n_requests < 1:
+        raise ModelError("need at least one server and one request")
+    if arrival_rate >= n_servers * service_rate:
+        raise ModelError("unstable queue: lambda >= n*mu")
+    rng = rng or np.random.default_rng()
+
+    total_target = warmup + n_requests
+    # event heap: (time, sequence, kind)  — sequence breaks ties stably
+    heap: list[tuple[float, int, int]] = []
+    seq = 0
+    heapq.heappush(heap, (rng.exponential(1.0 / arrival_rate), seq,
+                          _ARRIVAL))
+    busy = 0
+    fifo: deque[float] = deque()  # arrival times of queued requests
+    served = 0
+    waits: list[float] = []
+    responses: list[float] = []
+    busy_time = 0.0
+    last_t = 0.0
+    t = 0.0
+
+    while served < total_target:
+        t, _, kind = heapq.heappop(heap)
+        busy_time += busy * (t - last_t)
+        last_t = t
+        if kind == _ARRIVAL:
+            seq += 1
+            heapq.heappush(
+                heap, (t + rng.exponential(1.0 / arrival_rate), seq,
+                       _ARRIVAL))
+            if busy < n_servers:
+                busy += 1
+                service = rng.exponential(1.0 / service_rate)
+                seq += 1
+                heapq.heappush(heap, (t + service, seq, _DEPARTURE))
+                served += 1
+                if served > warmup:
+                    waits.append(0.0)
+                    responses.append(service)
+            else:
+                fifo.append(t)
+        else:  # departure frees a server
+            if fifo:
+                arrived = fifo.popleft()
+                service = rng.exponential(1.0 / service_rate)
+                seq += 1
+                heapq.heappush(heap, (t + service, seq, _DEPARTURE))
+                served += 1
+                if served > warmup:
+                    waits.append(t - arrived)
+                    responses.append(t - arrived + service)
+            else:
+                busy -= 1
+
+    utilization = busy_time / (last_t * n_servers) if last_t > 0 else 0.0
+    return QueueSimResult(
+        n_served=len(waits),
+        waits=np.asarray(waits),
+        responses=np.asarray(responses),
+        utilization=float(utilization),
+    )

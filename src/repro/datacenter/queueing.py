@@ -1,0 +1,148 @@
+"""Queueing models for IDC service latency (Sec. III-E).
+
+The paper processes each IDC's workload through an M/M/n queue and uses
+the heavy-traffic simplification ``P_Q = 1``, giving the average latency
+
+    D = 1 / (m μ − λ)                                           (eq. 14)
+
+We implement both the simplification (used by the controller, since it
+keeps the constraints linear) and the exact Erlang-C quantities (used to
+check how conservative the simplification is), plus the inverse
+functions: minimum servers for a latency bound (eq. 35) and
+latency-bounded capacity (the sleep controllability condition).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "simplified_latency",
+    "erlang_c",
+    "mmn_wait_time",
+    "mmn_response_time",
+    "required_servers",
+    "latency_capacity",
+    "is_stable",
+    "mm1_response_time",
+    "mg1_wait_time",
+]
+
+
+def is_stable(workload: float, n_servers: int, service_rate: float) -> bool:
+    """Whether an M/M/n queue with these parameters is stable (ρ < 1)."""
+    if n_servers <= 0 or service_rate <= 0:
+        return False
+    return workload < n_servers * service_rate
+
+
+def simplified_latency(workload: float, n_servers: int,
+                       service_rate: float) -> float:
+    """The paper's eq. 14: ``D = 1 / (m μ − λ)`` (P_Q = 1).
+
+    Raises :class:`ModelError` for an overloaded queue — the latency is
+    unbounded there and callers must treat it as a constraint violation.
+    """
+    if workload < 0:
+        raise ModelError("workload must be nonnegative")
+    if not is_stable(workload, n_servers, service_rate):
+        raise ModelError(
+            f"unstable queue: λ={workload} >= mμ={n_servers * service_rate}")
+    return 1.0 / (n_servers * service_rate - workload)
+
+
+def erlang_c(n_servers: int, offered_load: float) -> float:
+    """Erlang-C probability of queueing for an M/M/n queue.
+
+    ``offered_load`` is ``a = λ/μ`` in Erlangs; requires ``a < n`` for a
+    stable queue.  Computed with a numerically stable recurrence on the
+    Erlang-B blocking probability.
+    """
+    if n_servers < 1:
+        raise ModelError("need at least one server")
+    if offered_load < 0:
+        raise ModelError("offered load must be nonnegative")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= n_servers:
+        raise ModelError("unstable queue: offered load >= servers")
+    # Erlang-B recurrence: B(0)=1, B(k) = a B(k-1) / (k + a B(k-1))
+    b = 1.0
+    for k in range(1, n_servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / n_servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mmn_wait_time(workload: float, n_servers: int,
+                  service_rate: float) -> float:
+    """Exact M/M/n mean waiting time ``W_q = C(n, a) / (nμ − λ)``."""
+    if workload == 0:
+        return 0.0
+    if not is_stable(workload, n_servers, service_rate):
+        raise ModelError("unstable queue")
+    a = workload / service_rate
+    return erlang_c(n_servers, a) / (n_servers * service_rate - workload)
+
+
+def mmn_response_time(workload: float, n_servers: int,
+                      service_rate: float) -> float:
+    """Exact M/M/n mean response time (wait + service)."""
+    return mmn_wait_time(workload, n_servers, service_rate) + 1.0 / service_rate
+
+
+def required_servers(workload: float, service_rate: float,
+                     latency_bound: float) -> int:
+    """Eq. 35: minimum servers meeting the simplified latency bound.
+
+    ``m = ceil(λ/μ + 1/(μ D))`` guarantees ``1/(mμ − λ) ≤ D``.
+    """
+    if service_rate <= 0:
+        raise ModelError("service rate must be positive")
+    if latency_bound <= 0:
+        raise ModelError("latency bound must be positive")
+    if workload < 0:
+        raise ModelError("workload must be nonnegative")
+    raw = workload / service_rate + 1.0 / (service_rate * latency_bound)
+    # ceil with tolerance so λ exactly on a server boundary does not round up
+    m = int(math.ceil(raw - 1e-9))
+    return max(m, 1)
+
+
+def latency_capacity(n_servers: int, service_rate: float,
+                     latency_bound: float) -> float:
+    """Max workload ``λ̄ = mμ − 1/D`` under the simplified latency bound.
+
+    This is the per-IDC capacity in the paper's inequality (30), and with
+    ``m = M_j`` the term of the *sleep controllability condition*.
+    """
+    if service_rate <= 0 or latency_bound <= 0:
+        raise ModelError("service rate and latency bound must be positive")
+    if n_servers < 0:
+        raise ModelError("server count must be nonnegative")
+    return max(n_servers * service_rate - 1.0 / latency_bound, 0.0)
+
+
+def mm1_response_time(workload: float, service_rate: float) -> float:
+    """M/M/1 mean response time ``1/(μ − λ)`` (single-server special case)."""
+    if not is_stable(workload, 1, service_rate):
+        raise ModelError("unstable M/M/1 queue")
+    return 1.0 / (service_rate - workload)
+
+
+def mg1_wait_time(workload: float, service_rate: float,
+                  service_scv: float = 1.0) -> float:
+    """M/G/1 mean wait via Pollaczek–Khinchine.
+
+    ``service_scv`` is the squared coefficient of variation of the
+    service time (1 recovers M/M/1).  Included for the heterogeneity
+    extension experiments.
+    """
+    if service_scv < 0:
+        raise ModelError("squared coefficient of variation must be >= 0")
+    if not is_stable(workload, 1, service_rate):
+        raise ModelError("unstable M/G/1 queue")
+    rho = workload / service_rate
+    return rho * (1.0 + service_scv) / (2.0 * service_rate * (1.0 - rho))

@@ -1,0 +1,136 @@
+"""Server power models (eqs. 5–7 of the paper).
+
+The paper adopts the Horvath & Skadron (PACT 2008) measurement-driven
+model: power is affine in CPU utilization and frequency,
+
+    P(f, U_cpu) = a₃ f U_cpu + a₂ f + a₁ U_cpu + a₀              (eq. 5)
+
+and, with ``U_cpu = λ / f`` at a fixed frequency, affine in workload:
+
+    P(λ) = b₁ λ + b₀,   b₀ = a₂ f + a₀,  b₁ = a₃ + a₁ / f        (eq. 6)
+
+This module provides both parameterizations, the curve-fitting path the
+paper describes (least squares on (f, U, P) measurements), and the
+idle/peak constructor for the Table II setup (150 W idle, 285 W peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["FrequencyPowerModel", "LinearPowerModel", "fit_frequency_model"]
+
+
+@dataclass(frozen=True)
+class LinearPowerModel:
+    """Per-server power affine in served workload: ``P(λ) = b₁ λ + b₀``.
+
+    Units: watts; λ in requests/second.  ``b₀`` is the idle power, ``b₁``
+    the marginal energy per request per second.
+    """
+
+    b1: float
+    b0: float
+
+    def __post_init__(self) -> None:
+        if self.b0 < 0:
+            raise ModelError("idle power b0 must be nonnegative")
+        if self.b1 < 0:
+            raise ModelError("marginal power b1 must be nonnegative")
+
+    def power(self, workload: float) -> float:
+        """Power draw of one server handling ``workload`` req/s."""
+        if workload < 0:
+            raise ModelError("workload must be nonnegative")
+        return self.b1 * workload + self.b0
+
+    def cluster_power(self, total_workload: float, n_active: int) -> float:
+        """Total IDC power (eq. 7): ``b₁ λ_total + m b₀``."""
+        if n_active < 0:
+            raise ModelError("active server count must be nonnegative")
+        if total_workload < 0:
+            raise ModelError("workload must be nonnegative")
+        return self.b1 * total_workload + n_active * self.b0
+
+    @classmethod
+    def from_idle_peak(cls, idle_watts: float, peak_watts: float,
+                       service_rate: float) -> "LinearPowerModel":
+        """Build from the Table II style spec.
+
+        ``idle_watts`` at λ = 0 and ``peak_watts`` at λ = service rate μ
+        (server fully busy) give ``b₀ = idle`` and
+        ``b₁ = (peak − idle) / μ``.
+        """
+        if service_rate <= 0:
+            raise ModelError("service rate must be positive")
+        if peak_watts < idle_watts:
+            raise ModelError("peak power cannot be below idle power")
+        return cls(b1=(peak_watts - idle_watts) / service_rate,
+                   b0=idle_watts)
+
+
+@dataclass(frozen=True)
+class FrequencyPowerModel:
+    """Full four-parameter model of eq. 5.
+
+    ``P(f, U) = a₃ f U + a₂ f + a₁ U + a₀`` with ``U ∈ [0, 1]`` the CPU
+    utilization and ``f`` the clock frequency (arbitrary consistent
+    units, typically GHz).
+    """
+
+    a3: float
+    a2: float
+    a1: float
+    a0: float
+
+    def power(self, frequency: float, utilization: float) -> float:
+        if frequency <= 0:
+            raise ModelError("frequency must be positive")
+        if not 0.0 <= utilization <= 1.0:
+            raise ModelError("utilization must be in [0, 1]")
+        return (self.a3 * frequency * utilization + self.a2 * frequency
+                + self.a1 * utilization + self.a0)
+
+    def at_frequency(self, frequency: float,
+                     requests_per_util: float = 1.0) -> LinearPowerModel:
+        """Project to the fixed-frequency workload model of eq. 6.
+
+        ``requests_per_util`` converts between utilization and request
+        rate: the paper uses ``U_cpu = λ / f``, i.e. one unit of frequency
+        serves one request/s at full utilization, which corresponds to
+        ``requests_per_util = frequency``.
+        """
+        if frequency <= 0:
+            raise ModelError("frequency must be positive")
+        b0 = self.a2 * frequency + self.a0
+        b1 = (self.a3 + self.a1 / frequency) / requests_per_util * 1.0
+        if b0 < 0 or b1 < 0:
+            raise ModelError(
+                "projection produced a negative-power model; check fit")
+        return LinearPowerModel(b1=b1, b0=b0)
+
+
+def fit_frequency_model(frequencies: np.ndarray, utilizations: np.ndarray,
+                        powers: np.ndarray) -> FrequencyPowerModel:
+    """Least-squares fit of eq. 5 from power measurements.
+
+    This is the curve-fitting experiment the paper describes (run a
+    server at various frequency/utilization operating points, measure
+    power, regress).  Requires at least 4 measurements spanning the
+    parameter space.
+    """
+    f = np.asarray(frequencies, dtype=float).ravel()
+    u = np.asarray(utilizations, dtype=float).ravel()
+    p = np.asarray(powers, dtype=float).ravel()
+    if not (f.size == u.size == p.size):
+        raise ModelError("measurement arrays must have equal length")
+    if f.size < 4:
+        raise ModelError("need at least 4 measurements to fit 4 parameters")
+    X = np.column_stack([f * u, f, u, np.ones_like(f)])
+    coeffs, *_ = np.linalg.lstsq(X, p, rcond=None)
+    return FrequencyPowerModel(a3=float(coeffs[0]), a2=float(coeffs[1]),
+                               a1=float(coeffs[2]), a0=float(coeffs[3]))

@@ -1,0 +1,98 @@
+"""Server sleep (ON/OFF) control — the slow loop of Sec. IV-B.
+
+The paper sizes each IDC's active fleet from its received workload with
+
+    m_j = ⌈ λ_j / μ_j + 1 / (μ_j D_j) ⌉                         (eq. 35)
+
+applied on a slower time scale than the workload loop.  Beyond the
+verbatim rule, this module adds the practical refinements an operator
+would deploy (and that the paper's figures implicitly exhibit: the MPC's
+server curves ramp instead of jumping):
+
+* **ramp limiting** — bound how many servers may switch per decision,
+* **hysteresis** — only scale down after the surplus persists, avoiding
+  on/off thrash under noisy workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .idc import IDC
+
+__all__ = ["SleepController", "SleepControllerConfig"]
+
+
+@dataclass
+class SleepControllerConfig:
+    """Tuning of the slow ON/OFF loop.
+
+    Attributes
+    ----------
+    max_ramp:
+        Max servers switched (either direction) per decision; ``None``
+        means unlimited (the paper's verbatim eq. 35 behaviour).
+    scale_down_patience:
+        Number of consecutive decisions the target must stay below the
+        current count before scaling down (0 = immediate).
+    headroom:
+        Multiplicative server-count safety margin (1.0 = none).
+    """
+
+    max_ramp: int | None = None
+    scale_down_patience: int = 0
+    headroom: float = 1.0
+    qos_priority: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_ramp is not None and self.max_ramp < 1:
+            raise ConfigurationError("max_ramp must be >= 1 when set")
+        if self.scale_down_patience < 0:
+            raise ConfigurationError("scale_down_patience must be >= 0")
+        if self.headroom < 1.0:
+            raise ConfigurationError("headroom must be >= 1.0")
+
+
+class SleepController:
+    """Per-IDC ON/OFF decision maker implementing eq. 35 with refinements."""
+
+    def __init__(self, idc: IDC,
+                 config: SleepControllerConfig | None = None) -> None:
+        self.idc = idc
+        self.config = config or SleepControllerConfig()
+        self._below_count = 0
+
+    def target_servers(self, workload: float) -> int:
+        """Raw eq. 35 target (with headroom), before ramp/hysteresis."""
+        base = self.idc.servers_for(workload)
+        target = int(-(-base * self.config.headroom // 1))  # ceil
+        return min(target, self.idc.available_servers)
+
+    def decide(self, workload: float) -> int:
+        """Compute and apply the next active-server count.
+
+        Returns the applied count.  Scaling *up* is never delayed (QoS
+        first); scaling down honours patience and ramp limits.
+        """
+        current = self.idc.servers_on
+        target = self.target_servers(workload)
+
+        if target >= current:
+            self._below_count = 0
+            nxt = target
+            if self.config.max_ramp is not None and not self.config.qos_priority:
+                # Honouring the ramp limit upward may transiently violate
+                # QoS; with qos_priority (default) upward moves are never
+                # rate limited.
+                nxt = min(nxt, current + self.config.max_ramp)
+        else:
+            self._below_count += 1
+            if self._below_count <= self.config.scale_down_patience:
+                nxt = current
+            else:
+                nxt = target
+                if self.config.max_ramp is not None:
+                    nxt = max(nxt, current - self.config.max_ramp)
+        self.idc.set_servers(nxt)
+        return nxt

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Solver failures and model-construction problems get
+their own subclasses because callers typically handle them differently:
+an :class:`InfeasibleProblemError` is often recoverable (relax a budget),
+while a :class:`ModelError` signals a programming mistake.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ModelError(ReproError):
+    """A model was constructed with inconsistent shapes or parameters."""
+
+
+class SolverError(ReproError):
+    """An optimization solver failed to produce a usable solution."""
+
+
+class InfeasibleProblemError(SolverError):
+    """The constraint set of an optimization problem is empty."""
+
+
+class UnboundedProblemError(SolverError):
+    """The objective is unbounded below over the feasible set."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver hit its iteration limit before converging."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or controller configuration is invalid."""
+
+
+class CapacityError(ReproError):
+    """Total workload exceeds the aggregate capacity of all IDCs.
+
+    Raised when the sleep (ON/OFF) controllability condition of the paper
+    fails: sum of portal workloads > sum over IDCs of the latency-bounded
+    capacity with all servers on.
+    """

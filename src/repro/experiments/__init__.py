@@ -1,0 +1,48 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One module per artifact; each exposes ``run()`` (raw data) and
+``report()`` (formatted text).  ``benchmarks/`` times the ``run()``s and
+prints the ``report()``s; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from . import (
+    ablations,
+    fig2_prices,
+    full_day,
+    fig3_prediction,
+    fig4_smoothing_power,
+    fig5_smoothing_servers,
+    fig6_shaving_power,
+    fig7_shaving_servers,
+    sla_sweep,
+    tables,
+)
+
+__all__ = [
+    "tables",
+    "fig2_prices",
+    "fig3_prediction",
+    "fig4_smoothing_power",
+    "fig5_smoothing_servers",
+    "fig6_shaving_power",
+    "fig7_shaving_servers",
+    "sla_sweep",
+    "full_day",
+    "ablations",
+]
+
+
+def full_report() -> str:
+    """Every table, figure and the SLA sweep as one text report."""
+    parts = [
+        tables.report(),
+        fig2_prices.report(),
+        fig3_prediction.report(),
+        fig4_smoothing_power.report(),
+        fig5_smoothing_servers.report(),
+        fig6_shaving_power.report(),
+        fig7_shaving_servers.report(),
+        sla_sweep.report(),
+    ]
+    sep = "\n\n" + "=" * 72 + "\n\n"
+    return sep.join(parts)

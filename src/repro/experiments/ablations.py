@@ -1,0 +1,211 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the experiments a careful reader would
+run next: how the R weight trades cost for smoothness, how the horizon
+length matters, what the two QP backends cost, what prediction buys, how
+the budget-handling variants differ, and what the demand→price feedback
+does to naive price chasing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analysis import peak_power, power_volatility, ramp_max, render_table
+from ..baselines import GreedyPricePolicy, OptimalInstantaneousPolicy
+from ..core import CostMPCPolicy, MPCPolicyConfig
+from ..sim import (
+    PAPER_BUDGETS_WATTS,
+    paper_scenario,
+    price_step_scenario,
+    run_simulation,
+)
+
+__all__ = [
+    "r_weight_sweep",
+    "horizon_sweep",
+    "solver_comparison",
+    "budget_mode_comparison",
+    "price_feedback_study",
+    "report_all",
+]
+
+
+def _mean_ramp(run) -> float:
+    return float(np.mean([ramp_max(run.powers_watts[:, j])
+                          for j in range(run.n_idcs)]))
+
+
+def r_weight_sweep(r_values=(1e-4, 1e-3, 1e-2, 1e-1, 1.0),
+                   dt: float = 30.0, duration: float = 600.0) -> dict:
+    """The Q/R compromise: smoothing strength vs electricity-cost premium."""
+    sc = price_step_scenario(dt=dt, duration=duration)
+    base = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+    rows = []
+    for r in r_values:
+        sc_i = price_step_scenario(dt=dt, duration=duration)
+        run = run_simulation(sc_i, CostMPCPolicy(
+            sc_i.cluster, MPCPolicyConfig(dt=dt, r_weight=r)))
+        rows.append({
+            "r_weight": float(r),
+            "max_ramp_mw": _mean_ramp(run) / 1e6,
+            "cost_usd": run.total_cost_usd,
+            "cost_premium_pct": 100.0 * (run.total_cost_usd
+                                         / base.total_cost_usd - 1.0),
+        })
+    return {"optimal_cost_usd": base.total_cost_usd,
+            "optimal_max_ramp_mw": _mean_ramp(base) / 1e6,
+            "rows": rows}
+
+
+def horizon_sweep(horizons=(1, 2, 4, 8, 12), dt: float = 30.0,
+                  duration: float = 600.0) -> dict:
+    """Effect of the prediction horizon β₁ (β₂ scales with it).
+
+    With the input penalty fixed, a longer horizon sees more of the
+    future tracking error, converges to the new optimum faster (lower
+    electricity cost) and accepts somewhat larger — though still
+    sub-optimal-policy — power moves.
+    """
+    sc0 = price_step_scenario(dt=dt, duration=duration)
+    base = run_simulation(sc0, OptimalInstantaneousPolicy(sc0.cluster))
+    rows = []
+    for beta1 in horizons:
+        beta2 = max(1, min(3, beta1))
+        sc = price_step_scenario(dt=dt, duration=duration)
+        run = run_simulation(sc, CostMPCPolicy(sc.cluster, MPCPolicyConfig(
+            dt=dt, horizon_pred=beta1, horizon_ctrl=beta2)))
+        rows.append({
+            "horizon_pred": int(beta1),
+            "horizon_ctrl": int(beta2),
+            "max_ramp_mw": _mean_ramp(run) / 1e6,
+            "cost_usd": run.total_cost_usd,
+        })
+    return {"rows": rows,
+            "optimal_cost_usd": base.total_cost_usd,
+            "optimal_max_ramp_mw": _mean_ramp(base) / 1e6}
+
+
+def solver_comparison(dt: float = 30.0, duration: float = 600.0) -> dict:
+    """Active-set vs ADMM backends: agreement and wall-clock."""
+    out = {}
+    for backend in ("active_set", "admm"):
+        sc = price_step_scenario(dt=dt, duration=duration)
+        policy = CostMPCPolicy(sc.cluster,
+                               MPCPolicyConfig(dt=dt, backend=backend))
+        t0 = time.perf_counter()
+        run = run_simulation(sc, policy)
+        out[backend] = {
+            "seconds": time.perf_counter() - t0,
+            "cost_usd": run.total_cost_usd,
+            "final_powers_mw": run.powers_mw[-1].copy(),
+            "mean_qp_iterations": float(np.mean(
+                [d["qp_iterations"] for d in run.diagnostics])),
+        }
+    out["max_power_disagreement_mw"] = float(np.max(np.abs(
+        out["active_set"]["final_powers_mw"]
+        - out["admm"]["final_powers_mw"])))
+    return out
+
+
+def budget_mode_comparison(dt: float = 30.0,
+                           duration: float = 600.0) -> dict:
+    """Paper's reference clamping vs the budget-aware LP reference."""
+    rows = []
+    for mode in ("clamp", "lp"):
+        sc = price_step_scenario(dt=dt, duration=duration,
+                                 with_budgets=True)
+        run = run_simulation(sc, CostMPCPolicy(sc.cluster, MPCPolicyConfig(
+            dt=dt, budgets_watts=PAPER_BUDGETS_WATTS, budget_mode=mode)))
+        tail = run.powers_watts[-5:]
+        rows.append({
+            "mode": mode,
+            "cost_usd": run.total_cost_usd,
+            "settled_powers_mw": tail.mean(axis=0) / 1e6,
+            "budget_excess_mw": float(np.max(
+                (tail - PAPER_BUDGETS_WATTS).max(axis=0) / 1e6)),
+        })
+    return {"budgets_mw": PAPER_BUDGETS_WATTS / 1e6, "rows": rows}
+
+
+def price_feedback_study(sensitivities=(0.0, 0.2, 0.5),
+                         dt: float = 60.0, duration: float = 3600.0) -> dict:
+    """The Section-I "vicious cycle": greedy chasing vs MPC under
+    demand-coupled prices.
+
+    With γ > 0 an IDC's demand raises its own next-period price, so the
+    greedy policy keeps migrating load and its power oscillates; the MPC's
+    move penalty damps the cycle.  Reported metric: mean per-step power
+    volatility across IDCs.
+    """
+    rows = []
+    for gamma in sensitivities:
+        entry = {"sensitivity": float(gamma)}
+        for make, label in ((GreedyPricePolicy, "greedy"),
+                            (lambda c: CostMPCPolicy(
+                                c, MPCPolicyConfig(dt=dt)), "mpc")):
+            sc = paper_scenario(dt=dt, duration=duration, start_hour=6.0,
+                                demand_sensitivity=gamma)
+            run = run_simulation(sc, make(sc.cluster))
+            entry[f"{label}_volatility_kw"] = float(np.mean(
+                [power_volatility(run.powers_watts[:, j])
+                 for j in range(run.n_idcs)])) / 1e3
+            entry[f"{label}_peak_mw"] = float(max(
+                peak_power(run.powers_watts[:, j])
+                for j in range(run.n_idcs))) / 1e6
+        rows.append(entry)
+    return {"rows": rows}
+
+
+def report_all() -> str:
+    """Render every ablation as text tables."""
+    parts = []
+
+    sweep = r_weight_sweep()
+    parts.append(render_table(
+        ["r_weight", "max_ramp_mw", "cost_usd", "cost_premium_pct"],
+        [[r["r_weight"], round(r["max_ramp_mw"], 3),
+          round(r["cost_usd"], 2), round(r["cost_premium_pct"], 2)]
+         for r in sweep["rows"]],
+        title=f"R-weight sweep (optimal policy: "
+              f"cost {sweep['optimal_cost_usd']:.2f} USD, "
+              f"max ramp {sweep['optimal_max_ramp_mw']:.3f} MW)"))
+
+    hs = horizon_sweep()
+    parts.append(render_table(
+        ["horizon_pred", "horizon_ctrl", "max_ramp_mw", "cost_usd"],
+        [[r["horizon_pred"], r["horizon_ctrl"],
+          round(r["max_ramp_mw"], 3), round(r["cost_usd"], 2)]
+         for r in hs["rows"]],
+        title="Prediction-horizon sweep"))
+
+    sv = solver_comparison()
+    parts.append(render_table(
+        ["backend", "seconds", "cost_usd", "mean_qp_iterations"],
+        [[b, round(sv[b]["seconds"], 3), round(sv[b]["cost_usd"], 2),
+          round(sv[b]["mean_qp_iterations"], 1)]
+         for b in ("active_set", "admm")],
+        title=f"QP backend comparison (max settled-power disagreement "
+              f"{sv['max_power_disagreement_mw']:.4f} MW)"))
+
+    bm = budget_mode_comparison()
+    parts.append(render_table(
+        ["mode", "cost_usd", "settled_mw", "max_budget_excess_mw"],
+        [[r["mode"], round(r["cost_usd"], 2),
+          np.round(r["settled_powers_mw"], 2).tolist(),
+          round(r["budget_excess_mw"], 3)] for r in bm["rows"]],
+        title=f"Budget handling (budgets {bm['budgets_mw'].tolist()} MW)"))
+
+    pf = price_feedback_study()
+    parts.append(render_table(
+        ["gamma", "greedy_volatility_kw", "mpc_volatility_kw",
+         "greedy_peak_mw", "mpc_peak_mw"],
+        [[r["sensitivity"], round(r["greedy_volatility_kw"], 2),
+          round(r["mpc_volatility_kw"], 2),
+          round(r["greedy_peak_mw"], 3), round(r["mpc_peak_mw"], 3)]
+         for r in pf["rows"]],
+        title="Demand→price feedback (the Section-I vicious cycle)"))
+
+    return "\n\n".join(parts)

@@ -1,0 +1,81 @@
+"""Shared experiment plumbing for the figure/table reproductions.
+
+Each ``figN_*``/``tableN_*`` module in this package exposes a ``run()``
+returning a plain-dict payload (series, metrics) plus a ``report()``
+rendering it as text.  Benchmarks time ``run()`` and print ``report()``;
+examples import the same functions so the numbers shown anywhere always
+come from one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import render_table
+from ..baselines import OptimalInstantaneousPolicy
+from ..core import CostMPCPolicy, MPCPolicyConfig
+from ..sim import (
+    PAPER_BUDGETS_WATTS,
+    SimulationResult,
+    price_step_scenario,
+    run_simulation,
+)
+
+__all__ = ["smoothing_runs", "shaving_runs", "series_table",
+           "ExperimentRuns", "DEFAULT_DT", "DEFAULT_DURATION"]
+
+DEFAULT_DT = 30.0
+DEFAULT_DURATION = 600.0
+
+
+@dataclass
+class ExperimentRuns:
+    """The optimal-vs-MPC pair every power/server figure compares."""
+
+    optimal: SimulationResult
+    mpc: SimulationResult
+
+    @property
+    def minutes(self) -> np.ndarray:
+        """Time axis in minutes from the start of the window."""
+        t = self.optimal.times
+        return (t - t[0]) / 60.0
+
+
+def smoothing_runs(dt: float = DEFAULT_DT,
+                   duration: float = DEFAULT_DURATION,
+                   r_weight: float = 0.01) -> ExperimentRuns:
+    """The Figs. 4/5 experiment: optimal vs smoothing MPC, no budgets."""
+    sc = price_step_scenario(dt=dt, duration=duration)
+    optimal = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+    sc2 = price_step_scenario(dt=dt, duration=duration)
+    mpc = run_simulation(sc2, CostMPCPolicy(
+        sc2.cluster, MPCPolicyConfig(dt=dt, r_weight=r_weight)))
+    return ExperimentRuns(optimal=optimal, mpc=mpc)
+
+
+def shaving_runs(dt: float = DEFAULT_DT,
+                 duration: float = DEFAULT_DURATION,
+                 r_weight: float = 0.01,
+                 budget_mode: str = "lp") -> ExperimentRuns:
+    """The Figs. 6/7 experiment: optimal vs MPC with the Sec. V-C budgets."""
+    sc = price_step_scenario(dt=dt, duration=duration)
+    optimal = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+    sc2 = price_step_scenario(dt=dt, duration=duration, with_budgets=True)
+    mpc = run_simulation(sc2, CostMPCPolicy(sc2.cluster, MPCPolicyConfig(
+        dt=dt, r_weight=r_weight, budgets_watts=PAPER_BUDGETS_WATTS,
+        budget_mode=budget_mode)))
+    return ExperimentRuns(optimal=optimal, mpc=mpc)
+
+
+def series_table(minutes: np.ndarray, columns: dict[str, np.ndarray],
+                 title: str, unit: str) -> str:
+    """Render time series as the rows a figure plots."""
+    headers = [f"t_min"] + [f"{name} ({unit})" for name in columns]
+    rows = []
+    for i, t in enumerate(minutes):
+        rows.append([round(float(t), 2)] +
+                    [round(float(series[i]), 4) for series in columns.values()])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,51 @@
+"""Fig. 5(a–c) — number of turned-ON servers under power demand smoothing.
+
+Companion of Fig. 4: the optimal policy's server counts jump with the
+reallocation (e.g. Wisconsin releasing its whole fleet at 7:00), while
+the dynamic control turns servers on/off gradually.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import series_table, smoothing_runs
+
+__all__ = ["run", "report"]
+
+
+def run(dt: float = 30.0, duration: float = 600.0) -> dict:
+    runs = smoothing_runs(dt=dt, duration=duration)
+    return {
+        "minutes": runs.minutes,
+        "idc_names": runs.optimal.idc_names,
+        "optimal_servers": runs.optimal.servers,
+        "mpc_servers": runs.mpc.servers,
+        "max_step": {
+            name: {
+                "optimal": float(np.max(np.abs(np.diff(
+                    runs.optimal.servers[:, j])))),
+                "mpc": float(np.max(np.abs(np.diff(
+                    runs.mpc.servers[:, j])))),
+            }
+            for j, name in enumerate(runs.optimal.idc_names)
+        },
+    }
+
+
+def report() -> str:
+    data = run()
+    parts = []
+    for j, name in enumerate(data["idc_names"]):
+        sub = "abc"[j] if j < 3 else str(j)
+        parts.append(series_table(
+            data["minutes"],
+            {"optimal": data["optimal_servers"][:, j],
+             "control": data["mpc_servers"][:, j]},
+            title=f"Fig. 5({sub}) — turned-ON servers, {name}",
+            unit="servers"))
+        ms = data["max_step"][name]
+        parts.append(
+            f"  largest single ON/OFF move: optimal {ms['optimal']:.0f} "
+            f"servers vs control {ms['mpc']:.0f} servers")
+    return "\n\n".join(parts)

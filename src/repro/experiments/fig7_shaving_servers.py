@@ -1,0 +1,44 @@
+"""Fig. 7(a–c) — number of turned-ON servers under power peak shaving.
+
+Companion of Fig. 6: server counts under the budget-constrained dynamic
+control versus the (budget-oblivious) optimal policy.
+"""
+
+from __future__ import annotations
+
+from .common import series_table, shaving_runs
+
+__all__ = ["run", "report"]
+
+
+def run(dt: float = 30.0, duration: float = 600.0) -> dict:
+    runs = shaving_runs(dt=dt, duration=duration)
+    return {
+        "minutes": runs.minutes,
+        "idc_names": runs.optimal.idc_names,
+        "optimal_servers": runs.optimal.servers,
+        "mpc_servers": runs.mpc.servers,
+        "final_gap": {
+            name: float(runs.optimal.servers[-1, j]
+                        - runs.mpc.servers[-1, j])
+            for j, name in enumerate(runs.optimal.idc_names)
+        },
+    }
+
+
+def report() -> str:
+    data = run()
+    parts = []
+    for j, name in enumerate(data["idc_names"]):
+        sub = "abc"[j] if j < 3 else str(j)
+        parts.append(series_table(
+            data["minutes"],
+            {"optimal": data["optimal_servers"][:, j],
+             "control": data["mpc_servers"][:, j]},
+            title=f"Fig. 7({sub}) — turned-ON servers with shaving, {name}",
+            unit="servers"))
+        gap = data["final_gap"][name]
+        parts.append(
+            f"  settled server-count difference (optimal − control): "
+            f"{gap:+.0f}")
+    return "\n\n".join(parts)

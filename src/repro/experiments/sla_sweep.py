@@ -1,0 +1,73 @@
+"""SLA sensitivity: how the latency bound shapes cost and fleet size.
+
+The paper fixes D = 1 ms (Table II).  Tightening the bound forces more
+servers on per unit workload (eq. 35 keeps ``1/(μD)`` of them as
+headroom), raising idle power and the bill; loosening it approaches the
+``λ/μ`` lower bound.  This study sweeps D over the paper scenario and
+reports electricity cost, total servers and the headroom fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import render_table
+from ..baselines import OptimalInstantaneousPolicy
+from ..datacenter import IDCCluster, IDCConfig
+from ..sim import paper_scenario, run_simulation
+from ..workload import PortalSet
+
+__all__ = ["run", "report"]
+
+
+def _cluster_with_bound(base_cluster: IDCCluster,
+                        latency_bound: float) -> IDCCluster:
+    configs = [
+        IDCConfig(
+            name=idc.config.name, region=idc.config.region,
+            max_servers=idc.config.max_servers,
+            service_rate=idc.config.service_rate,
+            latency_bound=latency_bound,
+            power_model=idc.config.power_model,
+        )
+        for idc in base_cluster.idcs
+    ]
+    portals = PortalSet.constant(base_cluster.portals.loads_at(0))
+    return IDCCluster.from_configs(configs, portals)
+
+
+def run(bounds=(0.0002, 0.0005, 0.001, 0.005, 0.02),
+        dt: float = 60.0, duration: float = 600.0) -> dict:
+    """Sweep the latency bound; returns one row per bound."""
+    rows = []
+    for d in bounds:
+        sc = paper_scenario(dt=dt, duration=duration, start_hour=12.0)
+        from dataclasses import replace
+        sc = replace(sc, cluster=_cluster_with_bound(sc.cluster, d))
+        run_ = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        servers = float(run_.servers[-1].sum())
+        # headroom: servers beyond the work-conserving λ/μ minimum
+        mus = np.array([i.config.service_rate for i in sc.cluster.idcs])
+        minimum = float((run_.workloads[-1] / mus).sum())
+        rows.append({
+            "latency_bound_ms": d * 1e3,
+            "cost_usd": run_.total_cost_usd,
+            "servers_on": servers,
+            "headroom_fraction": (servers - minimum) / servers,
+            "worst_latency_ms": float(np.max(run_.latencies)) * 1e3,
+        })
+    return {"rows": rows}
+
+
+def report() -> str:
+    data = run()
+    table_rows = [[
+        r["latency_bound_ms"], round(r["cost_usd"], 2),
+        int(r["servers_on"]), round(100 * r["headroom_fraction"], 2),
+        round(r["worst_latency_ms"], 4),
+    ] for r in data["rows"]]
+    return render_table(
+        ["D (ms)", "cost_usd", "servers_on", "headroom_%",
+         "worst_latency_ms"],
+        table_rows,
+        title="SLA sweep — latency bound vs electricity cost")

@@ -1,0 +1,106 @@
+"""Serialization of simulation results.
+
+Saves :class:`~repro.sim.results.SimulationResult` objects to JSON (full
+round trip, including per-step diagnostics with numpy payloads coerced
+to lists) and exports the plotted series as CSV for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .exceptions import ModelError
+from .sim.results import SimulationResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result",
+           "load_result", "result_to_csv"]
+
+_ARRAY_FIELDS = (
+    "times", "powers_watts", "servers", "workloads", "latencies",
+    "prices", "loads", "allocations", "energy_mwh", "cost_usd",
+    "paper_cost",
+)
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays inside diagnostics to JSON types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A JSON-serializable dictionary capturing the whole result."""
+    out = {
+        "format_version": _FORMAT_VERSION,
+        "policy_name": result.policy_name,
+        "dt": result.dt,
+        "idc_names": list(result.idc_names),
+        "diagnostics": [_jsonable(d) for d in result.diagnostics],
+    }
+    for field in _ARRAY_FIELDS:
+        out[field] = np.asarray(getattr(result, field)).tolist()
+    return out
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported result format version {version!r} "
+            f"(expected {_FORMAT_VERSION})")
+    kwargs = {
+        "policy_name": data["policy_name"],
+        "dt": float(data["dt"]),
+        "idc_names": list(data["idc_names"]),
+        "diagnostics": list(data.get("diagnostics", [])),
+    }
+    for field in _ARRAY_FIELDS:
+        kwargs[field] = np.asarray(data[field], dtype=float)
+    return SimulationResult(**kwargs)
+
+
+def save_result(result: SimulationResult, path: str | Path) -> Path:
+    """Write a result as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result)))
+    return path
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def result_to_csv(result: SimulationResult) -> str:
+    """Per-period CSV of the series the figures plot.
+
+    Columns: time, then per-IDC power (MW), servers, workload, price.
+    """
+    names = result.idc_names
+    headers = ["time_s"]
+    for prefix in ("power_mw", "servers", "workload", "price"):
+        headers.extend(f"{prefix}_{n}" for n in names)
+    lines = [",".join(headers)]
+    for k in range(result.n_periods):
+        row = [f"{result.times[k]:.6g}"]
+        row.extend(f"{v:.8g}" for v in result.powers_watts[k] / 1e6)
+        row.extend(f"{v:.8g}" for v in result.servers[k])
+        row.extend(f"{v:.8g}" for v in result.workloads[k])
+        row.extend(f"{v:.8g}" for v in result.prices[k])
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"

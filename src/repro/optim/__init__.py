@@ -1,0 +1,36 @@
+"""Optimization substrate: LP, QP and constrained least-squares solvers.
+
+Everything here is implemented from scratch on numpy (scipy appears only
+inside the ADMM solver's LU factorization and in cross-validation tests).
+The MPC controller and the reference optimizer of the paper are built on
+these solvers.
+"""
+
+from .linprog_simplex import linprog, to_standard_form
+from .lsq import solve_constrained_lsq, weighted_lsq_to_qp
+from .projections import (
+    project_box,
+    project_capped_simplex,
+    project_nonnegative,
+    project_simplex,
+)
+from .qp_activeset import find_feasible_point, solve_qp
+from .qp_admm import boxed_constraints, solve_qp_admm
+from .result import OptimizeResult, Status
+
+__all__ = [
+    "linprog",
+    "to_standard_form",
+    "solve_qp",
+    "solve_qp_admm",
+    "boxed_constraints",
+    "find_feasible_point",
+    "solve_constrained_lsq",
+    "weighted_lsq_to_qp",
+    "project_box",
+    "project_simplex",
+    "project_capped_simplex",
+    "project_nonnegative",
+    "OptimizeResult",
+    "Status",
+]

@@ -1,0 +1,322 @@
+"""Dense two-phase revised simplex linear-programming solver.
+
+Solves problems of the form::
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lb <= x <= ub
+
+The paper's reference optimizer (Sec. IV-D, following Rao et al.
+INFOCOM 2010) is a linear program; this module is the from-scratch substrate
+that solves it.  The implementation is a textbook revised simplex with
+
+* conversion to standard form (slacks for inequalities, shift for finite
+  lower bounds, split for free variables, explicit upper-bound rows),
+* a phase-1 artificial-variable start,
+* Dantzig pricing with a Bland's-rule fallback that is enabled
+  automatically when a degeneracy cycle is suspected,
+* a basis re-solve every iteration via LAPACK (problem sizes in this
+  library are tens of variables, so numerical robustness beats the
+  product-form-inverse update).
+
+The solver is exact for non-degenerate problems and validated against
+``scipy.optimize.linprog`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InfeasibleProblemError, UnboundedProblemError
+from .result import OptimizeResult, Status
+
+__all__ = ["linprog", "StandardFormLP"]
+
+_FEAS_TOL = 1e-9
+_OPT_TOL = 1e-9
+
+
+@dataclass
+class StandardFormLP:
+    """A linear program in standard form ``min c@z  s.t.  A@z=b, z>=0``.
+
+    Also records how to map a standard-form solution ``z`` back to the
+    original variable vector ``x``.
+    """
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    # mapping back: x[i] = offset[i] + sum_j recover[i][j][1] * z[recover[i][j][0]]
+    offset: np.ndarray
+    recover: list[list[tuple[int, float]]]
+    n_orig: int
+
+    def to_original(self, z: np.ndarray) -> np.ndarray:
+        x = self.offset.copy()
+        for i, terms in enumerate(self.recover):
+            for idx, coeff in terms:
+                x[i] += coeff * z[idx]
+        return x
+
+
+def _normalize_bounds(n: int, bounds) -> tuple[np.ndarray, np.ndarray]:
+    """Expand the ``bounds`` argument into (lb, ub) arrays of length ``n``."""
+    if bounds is None:
+        lb = np.zeros(n)
+        ub = np.full(n, np.inf)
+        return lb, ub
+    bounds = list(bounds)
+
+    def _is_scalar_or_none(v) -> bool:
+        return v is None or np.isscalar(v)
+
+    if (len(bounds) == 2 and _is_scalar_or_none(bounds[0])
+            and _is_scalar_or_none(bounds[1])):
+        bounds = [tuple(bounds)] * n
+    if len(bounds) != n:
+        raise ValueError(f"bounds must have {n} entries, got {len(bounds)}")
+    lb = np.empty(n)
+    ub = np.empty(n)
+    for i, (lo, hi) in enumerate(bounds):
+        lb[i] = -np.inf if lo is None else float(lo)
+        ub[i] = np.inf if hi is None else float(hi)
+        if lb[i] > ub[i]:
+            raise InfeasibleProblemError(
+                f"bound lb>ub for variable {i}: {lb[i]} > {ub[i]}"
+            )
+    return lb, ub
+
+
+def to_standard_form(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None,
+                     bounds=None) -> StandardFormLP:
+    """Convert a general-form LP into standard form.
+
+    Finite lower bounds are shifted out (``x = lb + x'``), finite upper
+    bounds become explicit inequality rows, free variables are split into
+    a difference of two nonnegative variables, and every inequality row
+    gets a slack variable.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    n = c.size
+    lb, ub = _normalize_bounds(n, bounds)
+
+    rows_ub = []
+    rhs_ub = []
+    if A_ub is not None:
+        A_ub = np.atleast_2d(np.asarray(A_ub, dtype=float))
+        b_ub = np.asarray(b_ub, dtype=float).ravel()
+        if A_ub.shape != (b_ub.size, n):
+            raise ValueError("A_ub/b_ub shape mismatch")
+        rows_ub.extend(A_ub)
+        rhs_ub.extend(b_ub)
+    rows_eq = []
+    rhs_eq = []
+    if A_eq is not None:
+        A_eq = np.atleast_2d(np.asarray(A_eq, dtype=float))
+        b_eq = np.asarray(b_eq, dtype=float).ravel()
+        if A_eq.shape != (b_eq.size, n):
+            raise ValueError("A_eq/b_eq shape mismatch")
+        rows_eq.extend(A_eq)
+        rhs_eq.extend(b_eq)
+
+    # Variable substitution bookkeeping.
+    offset = np.zeros(n)
+    recover: list[list[tuple[int, float]]] = []
+    col_of: list[list[tuple[int, float]]] = []  # per orig var: std cols+signs
+    n_std = 0
+    for i in range(n):
+        if np.isfinite(lb[i]):
+            offset[i] = lb[i]
+            col_of.append([(n_std, 1.0)])
+            recover.append([(n_std, 1.0)])
+            n_std += 1
+            if np.isfinite(ub[i]):
+                row = np.zeros(n)
+                row[i] = 1.0
+                rows_ub.append(row)
+                rhs_ub.append(ub[i])
+        elif np.isfinite(ub[i]):
+            # x = ub - x',  x' >= 0
+            offset[i] = ub[i]
+            col_of.append([(n_std, -1.0)])
+            recover.append([(n_std, -1.0)])
+            n_std += 1
+        else:
+            # free: x = x+ - x-
+            col_of.append([(n_std, 1.0), (n_std + 1, -1.0)])
+            recover.append([(n_std, 1.0), (n_std + 1, -1.0)])
+            n_std += 2
+
+    m_ub = len(rows_ub)
+    m_eq = len(rows_eq)
+    m = m_ub + m_eq
+    A = np.zeros((m, n_std + m_ub))
+    b = np.zeros(m)
+    c_std = np.zeros(n_std + m_ub)
+
+    for i in range(n):
+        for col, sign in col_of[i]:
+            c_std[col] = sign * c[i]
+
+    for r, (row, rhs) in enumerate(zip(rows_ub + rows_eq, rhs_ub + rhs_eq)):
+        row = np.asarray(row, dtype=float)
+        b[r] = rhs - row @ offset
+        for i in range(n):
+            if row[i] != 0.0:
+                for col, sign in col_of[i]:
+                    A[r, col] += sign * row[i]
+        if r < m_ub:
+            A[r, n_std + r] = 1.0  # slack
+
+    return StandardFormLP(c=c_std, A=A, b=b, offset=offset,
+                          recover=recover, n_orig=n)
+
+
+def _simplex_core(c: np.ndarray, A: np.ndarray, b: np.ndarray,
+                  basis: np.ndarray, max_iter: int) -> tuple[np.ndarray, np.ndarray, str, int]:
+    """Run revised simplex from a given feasible basis.
+
+    Returns (x, basis, status, iterations).  ``x`` is the full
+    standard-form solution vector.
+    """
+    m, n = A.shape
+    basis = basis.copy()
+    bland_after = 5 * (m + n)  # switch to Bland's rule if we run this long
+    for it in range(max_iter):
+        B = A[:, basis]
+        try:
+            xb = np.linalg.solve(B, b)
+            y = np.linalg.solve(B.T, c[basis])
+        except np.linalg.LinAlgError:
+            return np.zeros(n), basis, Status.NUMERICAL, it
+        reduced = c - A.T @ y
+        reduced[basis] = 0.0
+        use_bland = it > bland_after
+        if use_bland:
+            candidates = np.flatnonzero(reduced < -_OPT_TOL)
+            if candidates.size == 0:
+                entering = -1
+            else:
+                entering = int(candidates[0])
+        else:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -_OPT_TOL:
+                entering = -1
+        if entering < 0:
+            x = np.zeros(n)
+            x[basis] = xb
+            return x, basis, Status.OPTIMAL, it
+        d = np.linalg.solve(B, A[:, entering])
+        pos = d > _FEAS_TOL
+        if not np.any(pos):
+            x = np.zeros(n)
+            x[basis] = xb
+            return x, basis, Status.UNBOUNDED, it
+        ratios = np.full(m, np.inf)
+        ratios[pos] = xb[pos] / d[pos]
+        if use_bland:
+            min_ratio = ratios.min()
+            ties = np.flatnonzero(ratios <= min_ratio + _FEAS_TOL)
+            leaving_row = int(ties[np.argmin(basis[ties])])
+        else:
+            leaving_row = int(np.argmin(ratios))
+        basis[leaving_row] = entering
+    x = np.zeros(n)
+    try:
+        xb = np.linalg.solve(A[:, basis], b)
+        x[basis] = xb
+    except np.linalg.LinAlgError:
+        pass
+    return x, basis, Status.ITERATION_LIMIT, max_iter
+
+
+def linprog(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None,
+            max_iter: int = 10_000) -> OptimizeResult:
+    """Solve a linear program with the two-phase revised simplex method.
+
+    Parameters mirror :func:`scipy.optimize.linprog`.  ``bounds`` may be a
+    single ``(lb, ub)`` pair applied to every variable or a sequence of
+    pairs; ``None`` entries mean unbounded, the default is ``(0, inf)``.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If phase 1 proves the feasible set empty.
+    UnboundedProblemError
+        If a descent ray is found in phase 2.
+    """
+    std = to_standard_form(c, A_ub, b_ub, A_eq, b_eq, bounds)
+    A, b, c_std = std.A.copy(), std.b.copy(), std.c
+    m, n = A.shape
+
+    if m == 0:
+        # No constraints at all: optimum is at the (shifted) origin unless
+        # some cost coefficient is negative, in which case it is unbounded.
+        if np.any(c_std < -_OPT_TOL):
+            raise UnboundedProblemError("no constraints and descent direction exists")
+        x = std.to_original(np.zeros(n))
+        return OptimizeResult(x=x, fun=float(np.asarray(c) @ x),
+                              status=Status.OPTIMAL, iterations=0)
+
+    # Make b nonnegative so artificial start is feasible.
+    neg = b < 0
+    A[neg] *= -1.0
+    b[neg] *= -1.0
+
+    # Phase 1: minimize sum of artificials.
+    A1 = np.hstack([A, np.eye(m)])
+    c1 = np.concatenate([np.zeros(n), np.ones(m)])
+    basis = np.arange(n, n + m)
+    x1, basis, status, it1 = _simplex_core(c1, A1, b, basis, max_iter)
+    if status not in (Status.OPTIMAL, Status.UNBOUNDED):
+        return OptimizeResult(x=std.to_original(x1[:n]), fun=np.nan,
+                              status=status, iterations=it1,
+                              message="phase 1 did not converge")
+    phase1_obj = float(c1 @ x1)
+    if phase1_obj > 1e-7:
+        raise InfeasibleProblemError(
+            f"LP infeasible: phase-1 objective {phase1_obj:.3e} > 0"
+        )
+
+    # Drive artificial variables out of the basis when possible.
+    for row in range(m):
+        if basis[row] >= n:
+            B = A1[:, basis]
+            try:
+                Binv_row = np.linalg.solve(B.T, np.eye(m)[:, row])
+            except np.linalg.LinAlgError:
+                continue
+            # find a structural column with nonzero pivot in this row
+            pivots = A.T @ Binv_row
+            cand = np.flatnonzero(np.abs(pivots) > 1e-8)
+            cand = [j for j in cand if j not in set(basis)]
+            if cand:
+                basis[row] = cand[0]
+    keep = basis < n
+    if not np.all(keep):
+        # Redundant rows remain pinned to artificials at zero level; drop them.
+        rows_keep = np.flatnonzero(keep)
+        A = A[rows_keep]
+        b = b[rows_keep]
+        basis = basis[rows_keep]
+        m = A.shape[0]
+        if m == 0:
+            if np.any(c_std < -_OPT_TOL):
+                raise UnboundedProblemError("all constraints redundant")
+            x = std.to_original(np.zeros(n))
+            return OptimizeResult(x=x, fun=float(np.asarray(c) @ x),
+                                  status=Status.OPTIMAL, iterations=it1)
+
+    x2, basis, status, it2 = _simplex_core(c_std, A, b, basis, max_iter)
+    if status == Status.UNBOUNDED:
+        raise UnboundedProblemError("LP objective unbounded below")
+    x = std.to_original(x2)
+    fun = float(np.asarray(c, dtype=float).ravel() @ x)
+    return OptimizeResult(x=x, fun=fun, status=status,
+                          iterations=it1 + it2,
+                          message="" if status == Status.OPTIMAL else
+                          "iteration limit reached")

@@ -1,0 +1,106 @@
+"""Constrained weighted least squares on top of the QP solvers.
+
+The MPC problem of the paper (eq. 42) is exactly a weighted least-squares
+problem in the stacked input increments ``ΔU``::
+
+    minimize  || W'Θ ΔU − Π ||²_Q  +  || ΔU ||²_R
+    subject to  linear equality and inequality constraints
+
+This module turns such problems into the standard QP form
+``0.5 x'Px + q'x`` and dispatches to a selectable backend.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .qp_activeset import solve_qp
+from .qp_admm import boxed_constraints, solve_qp_admm
+from .result import OptimizeResult
+
+__all__ = ["solve_constrained_lsq", "weighted_lsq_to_qp"]
+
+Backend = Literal["active_set", "admm"]
+
+
+def weighted_lsq_to_qp(A, b, Q=None, reg=None) -> tuple[np.ndarray, np.ndarray, float]:
+    """Convert ``min ||Ax-b||²_Q + ||x||²_reg`` into QP ``(P, q, const)`` form.
+
+    ``Q`` and ``reg`` may be ``None`` (identity / zero), a 1-D vector of
+    diagonal weights, or a full matrix.  Returns ``(P, q, c0)`` with
+    ``0.5 x'Px + q'x + c0`` equal to the original objective.
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float).ravel()
+    m, n = A.shape
+    if b.size != m:
+        raise ValueError(f"b must have {m} entries, got {b.size}")
+
+    def _as_matrix(Wt, size):
+        if Wt is None:
+            return None
+        Wt = np.asarray(Wt, dtype=float)
+        if Wt.ndim == 0:
+            return float(Wt) * np.eye(size)
+        if Wt.ndim == 1:
+            if Wt.size != size:
+                raise ValueError("weight vector has wrong length")
+            return np.diag(Wt)
+        if Wt.shape != (size, size):
+            raise ValueError("weight matrix has wrong shape")
+        return 0.5 * (Wt + Wt.T)
+
+    Qm = _as_matrix(Q, m)
+    Rm = _as_matrix(reg, n)
+
+    if Qm is None:
+        P = 2.0 * (A.T @ A)
+        q = -2.0 * (A.T @ b)
+        c0 = float(b @ b)
+    else:
+        P = 2.0 * (A.T @ Qm @ A)
+        q = -2.0 * (A.T @ Qm @ b)
+        c0 = float(b @ Qm @ b)
+    if Rm is not None:
+        P = P + 2.0 * Rm
+    return P, q, c0
+
+
+def solve_constrained_lsq(A, b, Q=None, reg=None, A_eq=None, b_eq=None,
+                          A_ineq=None, b_ineq=None,
+                          backend: Backend = "active_set",
+                          **solver_kwargs) -> OptimizeResult:
+    """Solve a linearly constrained weighted least-squares problem.
+
+    Parameters
+    ----------
+    A, b:
+        Residual map: the objective contains ``||A x - b||²_Q``.
+    Q:
+        Residual weights (scalar, diagonal vector, or matrix).
+    reg:
+        Tikhonov term ``||x||²_reg`` — this is the ``R`` penalty that the
+        paper uses to smooth power demand.
+    backend:
+        ``"active_set"`` (default, exact) or ``"admm"``.
+
+    Returns
+    -------
+    OptimizeResult
+        ``fun`` is reported in the original least-squares objective scale
+        (including the constant term), not the internal QP scale.
+    """
+    P, q, c0 = weighted_lsq_to_qp(A, b, Q=Q, reg=reg)
+    if backend == "active_set":
+        res = solve_qp(P, q, A_eq=A_eq, b_eq=b_eq,
+                       A_ineq=A_ineq, b_ineq=b_ineq, **solver_kwargs)
+    elif backend == "admm":
+        n = q.size
+        Abox, low, high = boxed_constraints(n, A_eq, b_eq, A_ineq, b_ineq)
+        res = solve_qp_admm(P, q, Abox, low, high, **solver_kwargs)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    res.fun = res.fun + c0
+    return res

@@ -1,0 +1,97 @@
+"""Euclidean projections used by allocation heuristics and baselines.
+
+The baseline policies in :mod:`repro.baselines` repair heuristic workload
+splits by projecting onto the feasible region (portal conservation is a
+scaled simplex; latency capacity is a box).  These are small, exact,
+closed-form or O(n log n) routines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "project_box",
+    "project_simplex",
+    "project_capped_simplex",
+    "project_nonnegative",
+]
+
+
+def project_nonnegative(x) -> np.ndarray:
+    """Project onto the nonnegative orthant (componentwise max with 0)."""
+    return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+def project_box(x, lower, upper) -> np.ndarray:
+    """Project onto the box ``lower <= x <= upper``."""
+    x = np.asarray(x, dtype=float)
+    return np.clip(x, lower, upper)
+
+
+def project_simplex(x, total: float = 1.0) -> np.ndarray:
+    """Project onto the scaled simplex ``{v >= 0 : sum(v) = total}``.
+
+    Uses the sorting algorithm of Held, Wolfe & Crowder (1974); exact in
+    O(n log n).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if total < 0:
+        raise ValueError("simplex total must be nonnegative")
+    if total == 0:
+        return np.zeros_like(x)
+    u = np.sort(x)[::-1]
+    css = np.cumsum(u) - total
+    ks = np.arange(1, x.size + 1)
+    cond = u - css / ks > 0
+    if not np.any(cond):
+        # Degenerate fall-back: all mass on the largest coordinate.
+        out = np.zeros_like(x)
+        out[int(np.argmax(x))] = total
+        return out
+    rho = int(np.max(ks[cond]))
+    theta = css[rho - 1] / rho
+    return np.maximum(x - theta, 0.0)
+
+
+def project_capped_simplex(x, caps, total: float, max_iter: int = 100,
+                           tol: float = 1e-12) -> np.ndarray:
+    """Project onto ``{v : 0 <= v <= caps, sum(v) = total}``.
+
+    Solved by bisection on the dual variable of the sum constraint.  Used
+    to split a portal's workload across IDCs whose latency-bounded
+    capacities act as per-IDC caps.
+
+    Raises
+    ------
+    ValueError
+        If ``total`` exceeds ``sum(caps)`` (the set is empty).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    caps = np.broadcast_to(np.asarray(caps, dtype=float), x.shape)
+    if np.any(caps < 0):
+        raise ValueError("caps must be nonnegative")
+    cap_sum = float(np.sum(caps))
+    if total > cap_sum + 1e-9:
+        raise ValueError(
+            f"infeasible capped simplex: total {total} > sum of caps {cap_sum}"
+        )
+    if total <= 0:
+        return np.zeros_like(x)
+    if abs(total - cap_sum) <= 1e-12:
+        return caps.copy()
+
+    def mass(theta: float) -> float:
+        return float(np.sum(np.clip(x - theta, 0.0, caps)))
+
+    lo = float(np.min(x - caps)) - 1.0
+    hi = float(np.max(x)) + 1.0
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if mass(mid) > total:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return np.clip(x - 0.5 * (lo + hi), 0.0, caps)

@@ -1,0 +1,206 @@
+"""Primal active-set solver for strictly convex quadratic programs.
+
+Solves::
+
+    minimize    0.5 * x @ P @ x + q @ x
+    subject to  A_eq @ x == b_eq
+                A_ineq @ x <= b_ineq
+
+with ``P`` symmetric positive definite.  This is the solver behind the
+paper's MPC step: the condensed MPC cost (eq. 42) has Hessian
+``Θ'Q Θ + R`` which is positive definite whenever the input-move penalty
+``R`` is, and the constraint set stacks the workload-conservation
+equalities (eq. 45) with the latency and nonnegativity inequalities
+(eqs. 43–44).
+
+The algorithm is the textbook primal active-set method (Nocedal & Wright,
+Algorithm 16.3):
+
+1. find a feasible start via a phase-1 LP (reusing the package's own
+   simplex solver),
+2. at each iteration solve the equality-constrained subproblem restricted
+   to the working set through the KKT system,
+3. either take a (possibly blocked) step and add the blocking constraint,
+   or — when the step is zero — inspect multipliers and drop the most
+   negative one, declaring optimality when none is negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, InfeasibleProblemError
+from .linprog_simplex import linprog
+from .result import OptimizeResult, Status
+
+__all__ = ["solve_qp", "find_feasible_point"]
+
+_TOL = 1e-9
+
+
+def find_feasible_point(n: int, A_eq=None, b_eq=None, A_ineq=None,
+                        b_ineq=None) -> np.ndarray:
+    """Return any point satisfying the given linear constraints.
+
+    Uses a zero-objective LP over free variables.  Raises
+    :class:`InfeasibleProblemError` when the constraint set is empty.
+    """
+    res = linprog(
+        c=np.zeros(n),
+        A_ub=A_ineq, b_ub=b_ineq,
+        A_eq=A_eq, b_eq=b_eq,
+        bounds=(None, None),
+    )
+    if not res.success:
+        raise InfeasibleProblemError("no feasible point found: " + res.message)
+    return res.x
+
+
+def _kkt_step(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the equality-constrained QP subproblem.
+
+    Returns the step ``p`` minimizing ``0.5 p'Pp + g'p`` subject to
+    ``A_w p = 0`` and the Lagrange multipliers of the working constraints.
+    """
+    n = P.shape[0]
+    m = A_w.shape[0] if A_w.size else 0
+    if m == 0:
+        p = np.linalg.solve(P, -g)
+        return p, np.empty(0)
+    K = np.zeros((n + m, n + m))
+    K[:n, :n] = P
+    K[:n, n:] = A_w.T
+    K[n:, :n] = A_w
+    rhs = np.concatenate([-g, np.zeros(m)])
+    try:
+        sol = np.linalg.solve(K, rhs)
+    except np.linalg.LinAlgError:
+        sol, *_ = np.linalg.lstsq(K, rhs, rcond=None)
+    return sol[:n], sol[n:]
+
+
+def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
+             x0=None, max_iter: int = 500) -> OptimizeResult:
+    """Solve a strictly convex QP with the primal active-set method.
+
+    Parameters
+    ----------
+    P, q:
+        Quadratic and linear cost terms; ``P`` must be symmetric positive
+        definite (a tiny diagonal regularization is *not* added silently —
+        callers own their conditioning).
+    A_eq, b_eq, A_ineq, b_ineq:
+        Optional equality and ``<=`` inequality constraints.
+    x0:
+        Optional feasible starting point.  When omitted (or infeasible) a
+        phase-1 LP provides one.
+    max_iter:
+        Bound on working-set changes.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When no feasible point exists.
+    ConvergenceError
+        When the working set keeps changing past ``max_iter``.
+    """
+    P = np.atleast_2d(np.asarray(P, dtype=float))
+    q = np.asarray(q, dtype=float).ravel()
+    n = q.size
+    if P.shape != (n, n):
+        raise ValueError(f"P must be {n}x{n}, got {P.shape}")
+    P = 0.5 * (P + P.T)
+
+    if A_eq is not None:
+        A_eq = np.atleast_2d(np.asarray(A_eq, dtype=float))
+        b_eq = np.asarray(b_eq, dtype=float).ravel()
+    else:
+        A_eq = np.zeros((0, n))
+        b_eq = np.zeros(0)
+    if A_ineq is not None:
+        A_ineq = np.atleast_2d(np.asarray(A_ineq, dtype=float))
+        b_ineq = np.asarray(b_ineq, dtype=float).ravel()
+    else:
+        A_ineq = np.zeros((0, n))
+        b_ineq = np.zeros(0)
+    m_ineq = A_ineq.shape[0]
+
+    def _feasible(x: np.ndarray) -> bool:
+        ok_eq = A_eq.size == 0 or np.all(np.abs(A_eq @ x - b_eq) <= 1e-7)
+        ok_in = A_ineq.size == 0 or np.all(A_ineq @ x - b_ineq <= 1e-7)
+        return ok_eq and ok_in
+
+    if x0 is not None:
+        x = np.asarray(x0, dtype=float).ravel().copy()
+        if not _feasible(x):
+            x = find_feasible_point(n, A_eq, b_eq, A_ineq, b_ineq)
+    else:
+        if A_eq.size == 0 and m_ineq == 0:
+            x = np.linalg.solve(P, -q)
+            return OptimizeResult(x=x, fun=float(0.5 * x @ P @ x + q @ x),
+                                  status=Status.OPTIMAL, iterations=0)
+        x = find_feasible_point(n, A_eq, b_eq, A_ineq, b_ineq)
+
+    # Working set holds indices into the inequality rows; equalities are
+    # always active.
+    slack = b_ineq - A_ineq @ x if m_ineq else np.empty(0)
+    working = set(np.flatnonzero(slack <= 1e-8).tolist())
+
+    # Degenerate problems can cycle under the most-negative-multiplier
+    # rule; past this many iterations we switch to Bland-style
+    # lowest-index selection, which cannot cycle.
+    bland_after = 3 * (q.size + m_ineq)
+
+    for it in range(1, max_iter + 1):
+        use_bland = it > bland_after
+        w_idx = sorted(working)
+        A_w = np.vstack([A_eq] + [A_ineq[i:i + 1] for i in w_idx]) \
+            if (A_eq.size or w_idx) else np.zeros((0, n))
+        g = P @ x + q
+        p, lam = _kkt_step(P, g, A_w)
+
+        if np.linalg.norm(p, ord=np.inf) <= _TOL:
+            # Stationary on the working set: check inequality multipliers.
+            lam_ineq = lam[A_eq.shape[0]:]
+            if lam_ineq.size == 0 or np.all(lam_ineq >= -_TOL):
+                dual_ineq = np.zeros(m_ineq)
+                for pos, ci in enumerate(w_idx):
+                    dual_ineq[ci] = lam_ineq[pos]
+                return OptimizeResult(
+                    x=x, fun=float(0.5 * x @ P @ x + q @ x),
+                    status=Status.OPTIMAL, iterations=it,
+                    dual_eq=lam[:A_eq.shape[0]], dual_ineq=dual_ineq,
+                )
+            if use_bland:
+                negative = [w_idx[i] for i in range(len(w_idx))
+                            if lam_ineq[i] < -_TOL]
+                drop = min(negative)
+            else:
+                drop = w_idx[int(np.argmin(lam_ineq))]
+            working.remove(drop)
+            continue
+
+        # Line search against constraints not in the working set.
+        alpha = 1.0
+        blocking = -1
+        if m_ineq:
+            for i in range(m_ineq):
+                if i in working:
+                    continue
+                ai_p = A_ineq[i] @ p
+                if ai_p > _TOL:
+                    step = (b_ineq[i] - A_ineq[i] @ x) / ai_p
+                    better = (step < alpha - 1e-14
+                              or (use_bland and blocking >= 0
+                                  and abs(step - alpha) <= 1e-12
+                                  and i < blocking))
+                    if better:
+                        alpha = max(min(step, alpha), 0.0)
+                        blocking = i
+        x = x + alpha * p
+        if blocking >= 0:
+            working.add(blocking)
+
+    raise ConvergenceError(
+        f"active-set QP did not converge in {max_iter} iterations"
+    )

@@ -1,0 +1,66 @@
+"""Common result container for the optimization substrate.
+
+Every solver in :mod:`repro.optim` returns an :class:`OptimizeResult` so the
+rest of the library can treat LP, QP and least-squares solvers uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OptimizeResult", "Status"]
+
+
+class Status:
+    """String constants for solver termination status."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL = "numerical_difficulty"
+
+    ALL = (OPTIMAL, INFEASIBLE, UNBOUNDED, ITERATION_LIMIT, NUMERICAL)
+
+
+@dataclass
+class OptimizeResult:
+    """Solution of an optimization problem.
+
+    Attributes
+    ----------
+    x:
+        Primal solution (best iterate found, even when not optimal).
+    fun:
+        Objective value at ``x``.
+    status:
+        One of the :class:`Status` constants.
+    iterations:
+        Number of iterations (pivots for simplex, active-set changes for QP,
+        ADMM sweeps for the ADMM solver).
+    dual_eq / dual_ineq:
+        Lagrange multipliers of the equality / inequality constraints when
+        the solver computes them, else empty arrays.
+    message:
+        Human-readable diagnostic.
+    """
+
+    x: np.ndarray
+    fun: float
+    status: str
+    iterations: int = 0
+    dual_eq: np.ndarray = field(default_factory=lambda: np.empty(0))
+    dual_ineq: np.ndarray = field(default_factory=lambda: np.empty(0))
+    message: str = ""
+
+    @property
+    def success(self) -> bool:
+        """Whether the solver terminated at a verified optimum."""
+        return self.status == Status.OPTIMAL
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        if self.status not in Status.ALL:
+            raise ValueError(f"unknown solver status {self.status!r}")

@@ -1,0 +1,57 @@
+"""Electricity-market substrate: price traces, stochastic models, markets.
+
+Provides the paper's real-time price inputs (embedded Michigan /
+Minnesota / Wisconsin traces matching Table III and Fig. 2), the
+bid-based stochastic price model it cites, and the demand-coupled market
+used to reproduce the "vicious cycle" discussion of Section I.
+"""
+
+from .lmp import (
+    LMPComponents,
+    decompose_lmp,
+    price_to_cost_rate,
+    spatial_diversity,
+    temporal_diversity,
+)
+from .dayahead import (
+    SettlementResult,
+    TwoSettlementTerms,
+    commitment_from_forecast,
+    settle,
+)
+from .forecast import (
+    DiurnalPriceForecaster,
+    MultiRegionForecaster,
+    PersistencePriceForecaster,
+)
+from .market import RealTimeMarket, RegionMarketConfig
+from .renewables import RenewableTrace, SolarProfile, WindModel
+from .stochastic import BidStackPriceModel, DiurnalProfile, OrnsteinUhlenbeck
+from .traces import PAPER_REGIONS, TABLE_III_PRICES, PriceTrace, paper_price_traces
+
+__all__ = [
+    "PriceTrace",
+    "paper_price_traces",
+    "PAPER_REGIONS",
+    "TABLE_III_PRICES",
+    "RealTimeMarket",
+    "RegionMarketConfig",
+    "DiurnalPriceForecaster",
+    "PersistencePriceForecaster",
+    "MultiRegionForecaster",
+    "SolarProfile",
+    "WindModel",
+    "RenewableTrace",
+    "TwoSettlementTerms",
+    "SettlementResult",
+    "settle",
+    "commitment_from_forecast",
+    "BidStackPriceModel",
+    "DiurnalProfile",
+    "OrnsteinUhlenbeck",
+    "LMPComponents",
+    "decompose_lmp",
+    "spatial_diversity",
+    "temporal_diversity",
+    "price_to_cost_rate",
+]

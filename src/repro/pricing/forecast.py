@@ -1,0 +1,132 @@
+"""Electricity-price forecasting for the MPC's prediction horizon.
+
+The paper holds the current price constant across the horizon (prices
+adjust hourly, horizons span minutes).  For longer horizons or for
+day-ahead planning, a forecast helps; this module provides:
+
+* :class:`DiurnalPriceForecaster` — fits a Fourier diurnal profile per
+  region and corrects it online with an RLS-estimated AR model on the
+  residuals (the same structure as the workload predictor);
+* :class:`PersistencePriceForecaster` — the hold-current baseline the
+  paper uses.
+
+Both expose ``observe(price)`` / ``predict(steps)`` and a vectorized
+multi-region wrapper used by the simulation engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.rls import RecursiveLeastSquares
+from ..exceptions import ModelError
+from .stochastic import DiurnalProfile
+
+__all__ = [
+    "PersistencePriceForecaster",
+    "DiurnalPriceForecaster",
+    "MultiRegionForecaster",
+]
+
+
+class PersistencePriceForecaster:
+    """Hold-current price forecast (the paper's implicit assumption)."""
+
+    def __init__(self) -> None:
+        self._last = 0.0
+
+    def observe(self, price: float, hour: float | None = None) -> None:
+        self._last = float(price)
+
+    def predict(self, steps: int, start_hour: float = 0.0,
+                step_hours: float = 0.0) -> np.ndarray:
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        return np.full(steps, self._last)
+
+
+class DiurnalPriceForecaster:
+    """Diurnal base profile + online AR(1) residual correction.
+
+    Parameters
+    ----------
+    profile:
+        Fitted :class:`DiurnalProfile` of the region (e.g. from the
+        previous day's trace).
+    forgetting:
+        RLS forgetting factor for the residual AR coefficient.
+    """
+
+    def __init__(self, profile: DiurnalProfile,
+                 forgetting: float = 0.95) -> None:
+        self.profile = profile
+        self._rls = RecursiveLeastSquares(1, forgetting=forgetting)
+        self._last_residual: float | None = None
+        self.n_observed = 0
+
+    def observe(self, price: float, hour: float) -> None:
+        """Record the price that materialized at ``hour``."""
+        residual = float(price) - self.profile.value(hour)
+        if self._last_residual is not None:
+            self._rls.update(np.array([self._last_residual]), residual)
+        self._last_residual = residual
+        self.n_observed += 1
+
+    def predict(self, steps: int, start_hour: float,
+                step_hours: float) -> np.ndarray:
+        """Prices for ``steps`` future sampling instants.
+
+        ``start_hour`` is the hour of the first forecast point;
+        ``step_hours`` the horizon step in hours.
+        """
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        a = self._rls.theta[0] if self._rls.n_updates else 0.0
+        residual = self._last_residual or 0.0
+        out = np.empty(steps)
+        for s in range(steps):
+            residual = a * residual
+            hour = start_hour + s * step_hours
+            out[s] = self.profile.value(hour) + residual
+        return out
+
+
+class MultiRegionForecaster:
+    """Per-region forecasters with an array interface for the engine."""
+
+    def __init__(self, forecasters: list) -> None:
+        if not forecasters:
+            raise ModelError("need at least one forecaster")
+        self.forecasters = list(forecasters)
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.forecasters)
+
+    def observe(self, prices: np.ndarray, hour: float) -> None:
+        prices = np.asarray(prices, dtype=float).ravel()
+        if prices.size != self.n_regions:
+            raise ModelError(
+                f"need {self.n_regions} prices, got {prices.size}")
+        for f, p in zip(self.forecasters, prices):
+            f.observe(float(p), hour)
+
+    def predict(self, steps: int, start_hour: float,
+                step_hours: float) -> np.ndarray:
+        """Forecast matrix of shape ``(steps, n_regions)``."""
+        cols = [f.predict(steps, start_hour, step_hours)
+                for f in self.forecasters]
+        return np.column_stack(cols)
+
+    @classmethod
+    def from_traces(cls, traces: list, n_harmonics: int = 3
+                    ) -> "MultiRegionForecaster":
+        """Diurnal forecasters fitted on historical hourly traces."""
+        return cls([
+            DiurnalPriceForecaster(DiurnalProfile.fit(t.hourly, n_harmonics))
+            for t in traces
+        ])
+
+    @classmethod
+    def persistence(cls, n_regions: int) -> "MultiRegionForecaster":
+        return cls([PersistencePriceForecaster() for _ in range(n_regions)])

@@ -1,0 +1,86 @@
+"""Locational marginal price (LMP) helpers.
+
+LMPs decompose into energy, congestion and loss components; the spatial
+diversity the paper exploits comes almost entirely from congestion.
+These utilities model that decomposition and provide conversions between
+$/MWh prices and the per-sample cost coefficients the controller uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "LMPComponents",
+    "decompose_lmp",
+    "spatial_diversity",
+    "temporal_diversity",
+    "price_to_cost_rate",
+]
+
+
+@dataclass(frozen=True)
+class LMPComponents:
+    """The standard three-way LMP decomposition, all in $/MWh."""
+
+    energy: float
+    congestion: float
+    loss: float
+
+    @property
+    def total(self) -> float:
+        return self.energy + self.congestion + self.loss
+
+
+def decompose_lmp(prices: np.ndarray, loss_fraction: float = 0.03
+                  ) -> list[LMPComponents]:
+    """Decompose simultaneous regional prices into LMP components.
+
+    With a single system-wide energy price, the cross-region spread is
+    congestion by definition.  We take the energy component as the
+    region-average price less the loss share, and attribute the residual
+    per-region deviation to congestion — the conventional ex-post
+    decomposition when only totals are published.
+    """
+    prices = np.asarray(prices, dtype=float).ravel()
+    if prices.size == 0:
+        raise ConfigurationError("need at least one regional price")
+    if not 0.0 <= loss_fraction < 1.0:
+        raise ConfigurationError("loss_fraction must be in [0, 1)")
+    mean = float(np.mean(prices))
+    energy = mean * (1.0 - loss_fraction)
+    out = []
+    for p in prices:
+        loss = mean * loss_fraction
+        congestion = float(p) - energy - loss
+        out.append(LMPComponents(energy=energy, congestion=congestion,
+                                 loss=loss))
+    return out
+
+
+def spatial_diversity(prices: np.ndarray) -> float:
+    """Max minus min simultaneous regional price — the arbitrage headroom."""
+    prices = np.asarray(prices, dtype=float).ravel()
+    if prices.size == 0:
+        raise ConfigurationError("need at least one regional price")
+    return float(np.max(prices) - np.min(prices))
+
+
+def temporal_diversity(hourly: np.ndarray) -> float:
+    """Peak-to-trough spread of one region's daily trace."""
+    hourly = np.asarray(hourly, dtype=float).ravel()
+    if hourly.size == 0:
+        raise ConfigurationError("need at least one hourly price")
+    return float(np.max(hourly) - np.min(hourly))
+
+
+def price_to_cost_rate(price_usd_per_mwh: float, power_watts: float) -> float:
+    """Dollars per second of drawing ``power_watts`` at the given price.
+
+    1 MWh = 1e6 W × 3600 s, so cost rate = price × P / (1e6 × 3600).
+    """
+    return float(price_usd_per_mwh) * float(power_watts) / 3.6e9

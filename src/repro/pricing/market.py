@@ -1,0 +1,133 @@
+"""Demand-coupled real-time electricity market.
+
+Section I of the paper argues that large IDCs are *active* consumers:
+their demand moves next period's wholesale price, and naive price-chasing
+load balancing therefore creates a vicious cycle of demand, cost and
+price.  This module implements that coupling so the closed-loop
+experiments can exercise it:
+
+``price_j(k) = base_j(k) · (1 + γ_j · (P_j(k-1) − P̄_j) / P̄_j)``
+
+where ``base_j`` is the exogenous trace, ``P_j(k-1)`` the power the IDC
+drew last period, ``P̄_j`` the nominal regional demand, and ``γ_j`` the
+demand sensitivity (γ = 0 reproduces the pure-trace market used in the
+main experiments).  Prices are floored to keep the model sane under
+extreme shedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .traces import PriceTrace
+
+__all__ = ["RegionMarketConfig", "RealTimeMarket"]
+
+
+@dataclass
+class RegionMarketConfig:
+    """Per-region market parameters.
+
+    Attributes
+    ----------
+    trace:
+        The exogenous hourly base price trace.
+    demand_sensitivity:
+        γ — relative price increase per unit relative demand increase
+        above nominal.  0 disables the feedback.
+    nominal_power_mw:
+        P̄ — the demand level at which the base price applies.
+    price_floor:
+        Lower bound applied after the demand adjustment ($/MWh).
+    """
+
+    trace: PriceTrace
+    demand_sensitivity: float = 0.0
+    nominal_power_mw: float = 5.0
+    price_floor: float = -50.0
+
+    def __post_init__(self) -> None:
+        if self.demand_sensitivity < 0:
+            raise ConfigurationError("demand sensitivity must be >= 0")
+        if self.nominal_power_mw <= 0:
+            raise ConfigurationError("nominal power must be positive")
+
+
+class RealTimeMarket:
+    """Hourly-adjusted RTP market over a set of regions.
+
+    The market is advanced by the simulation clock: :meth:`prices_at`
+    returns the vector of effective prices at a given time, and
+    :meth:`record_demand` feeds back the power each region's IDC drew so
+    the *next* price query reflects it (one-period lag, as the paper
+    describes: "when the power demand of an IDC is adjusted in one time
+    instance, it affects the price levels ... for the next time
+    instance").
+    """
+
+    def __init__(self, regions: dict[str, RegionMarketConfig]) -> None:
+        if not regions:
+            raise ConfigurationError("market needs at least one region")
+        self.regions = dict(regions)
+        self._region_names = list(self.regions)
+        self._last_demand: dict[str, float] = {
+            name: cfg.nominal_power_mw for name, cfg in self.regions.items()
+        }
+        self._history: list[dict[str, float]] = []
+
+    @property
+    def region_names(self) -> list[str]:
+        return list(self._region_names)
+
+    def base_price(self, region: str, t_seconds: float) -> float:
+        """Exogenous trace price, before demand feedback."""
+        return self.regions[region].trace.price_at_time(t_seconds)
+
+    def price(self, region: str, t_seconds: float) -> float:
+        """Effective price for ``region`` at ``t_seconds``."""
+        cfg = self.regions[region]
+        base = cfg.trace.price_at_time(t_seconds)
+        if cfg.demand_sensitivity == 0.0:
+            return base
+        rel = (self._last_demand[region] - cfg.nominal_power_mw) \
+            / cfg.nominal_power_mw
+        adjusted = base * (1.0 + cfg.demand_sensitivity * rel)
+        return float(max(adjusted, cfg.price_floor))
+
+    def prices_at(self, t_seconds: float) -> np.ndarray:
+        """Vector of effective prices in region order."""
+        return np.array([
+            self.price(name, t_seconds) for name in self._region_names
+        ])
+
+    def record_demand(self, demands_mw: np.ndarray | dict[str, float]) -> None:
+        """Report the power drawn this period (region order or by name)."""
+        if isinstance(demands_mw, dict):
+            unknown = set(demands_mw) - set(self._region_names)
+            if unknown:
+                raise ConfigurationError(f"unknown regions: {sorted(unknown)}")
+            self._last_demand.update(
+                {k: float(v) for k, v in demands_mw.items()})
+        else:
+            demands_mw = np.asarray(demands_mw, dtype=float).ravel()
+            if demands_mw.size != len(self._region_names):
+                raise ConfigurationError(
+                    f"expected {len(self._region_names)} demands, "
+                    f"got {demands_mw.size}")
+            for name, d in zip(self._region_names, demands_mw):
+                self._last_demand[name] = float(d)
+        self._history.append(dict(self._last_demand))
+
+    @property
+    def demand_history(self) -> list[dict[str, float]]:
+        """Recorded demand reports, oldest first."""
+        return list(self._history)
+
+    def reset(self) -> None:
+        """Forget demand history; prices revert to the base traces."""
+        for name, cfg in self.regions.items():
+            self._last_demand[name] = cfg.nominal_power_mw
+        self._history.clear()

@@ -1,0 +1,139 @@
+"""On-site renewable generation models.
+
+The paper's related work (Liu et al., SIGMETRICS 2011 — "Greening
+geographical load balancing") asks whether geographic load balancing can
+follow *renewable* supply instead of just cheap brown power.  This
+module provides the generation side: deterministic solar envelopes with
+weather noise, and an Ornstein–Uhlenbeck wind model, both returning
+per-period available power for an IDC site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .stochastic import OrnsteinUhlenbeck
+
+__all__ = ["SolarProfile", "WindModel", "RenewableTrace"]
+
+
+@dataclass
+class RenewableTrace:
+    """Per-period available renewable power for one site (watts)."""
+
+    site: str
+    powers_watts: np.ndarray
+    period_seconds: float
+
+    def __post_init__(self) -> None:
+        self.powers_watts = np.asarray(self.powers_watts,
+                                       dtype=float).ravel()
+        if self.powers_watts.size == 0:
+            raise ConfigurationError("renewable trace cannot be empty")
+        if np.any(self.powers_watts < 0):
+            raise ConfigurationError("renewable power cannot be negative")
+        if self.period_seconds <= 0:
+            raise ConfigurationError("period must be positive")
+
+    def at(self, period: int) -> float:
+        """Available power during ``period`` (clamps at the last value)."""
+        idx = min(max(period, 0), self.powers_watts.size - 1)
+        return float(self.powers_watts[idx])
+
+
+@dataclass
+class SolarProfile:
+    """Solar generation: a clear-sky envelope with weather attenuation.
+
+    ``P(t) = capacity · max(0, sin(π (h − sunrise)/(sunset − sunrise)))
+    · attenuation(t)`` where attenuation is a mean-reverting cloudiness
+    process in [attenuation_floor, 1].
+    """
+
+    capacity_watts: float
+    sunrise_hour: float = 6.0
+    sunset_hour: float = 18.0
+    attenuation_floor: float = 0.2
+    cloud_volatility: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.capacity_watts <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.sunset_hour <= self.sunrise_hour:
+            raise ConfigurationError("sunset must follow sunrise")
+        if not 0.0 <= self.attenuation_floor <= 1.0:
+            raise ConfigurationError("attenuation floor must be in [0, 1]")
+
+    def clear_sky(self, hour: float) -> float:
+        """Deterministic envelope at an hour of day."""
+        h = hour % 24.0
+        if not self.sunrise_hour <= h <= self.sunset_hour:
+            return 0.0
+        span = self.sunset_hour - self.sunrise_hour
+        return self.capacity_watts * float(
+            np.sin(np.pi * (h - self.sunrise_hour) / span))
+
+    def sample(self, start_hour: float, n_periods: int,
+               period_seconds: float,
+               rng: np.random.Generator | None = None,
+               site: str = "solar") -> RenewableTrace:
+        """Generate a stochastic generation trace."""
+        rng = rng or np.random.default_rng()
+        clouds = OrnsteinUhlenbeck(mean=0.0, reversion=1.0,
+                                   volatility=self.cloud_volatility)
+        path = clouds.sample_path(n_periods, dt=period_seconds / 3600.0,
+                                  rng=rng)
+        out = np.empty(n_periods)
+        for k in range(n_periods):
+            hour = start_hour + k * period_seconds / 3600.0
+            att = np.clip(1.0 - abs(path[k]), self.attenuation_floor, 1.0)
+            out[k] = self.clear_sky(hour) * att
+        return RenewableTrace(site=site, powers_watts=out,
+                              period_seconds=period_seconds)
+
+
+@dataclass
+class WindModel:
+    """Wind generation: OU wind speed through a cubic power curve.
+
+    Power = capacity · clip((v/rated)³, 0, 1) with cut-in/cut-out speeds.
+    """
+
+    capacity_watts: float
+    mean_speed: float = 8.0
+    speed_volatility: float = 2.0
+    rated_speed: float = 12.0
+    cut_in_speed: float = 3.0
+    cut_out_speed: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_watts <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not (0 < self.cut_in_speed < self.rated_speed
+                < self.cut_out_speed):
+            raise ConfigurationError(
+                "need 0 < cut_in < rated < cut_out speeds")
+
+    def power_at_speed(self, speed: float) -> float:
+        """Generation at a given wind speed (the turbine power curve)."""
+        if speed < self.cut_in_speed or speed > self.cut_out_speed:
+            return 0.0
+        frac = min((speed / self.rated_speed) ** 3, 1.0)
+        return self.capacity_watts * frac
+
+    def sample(self, n_periods: int, period_seconds: float,
+               rng: np.random.Generator | None = None,
+               site: str = "wind") -> RenewableTrace:
+        rng = rng or np.random.default_rng()
+        speeds = OrnsteinUhlenbeck(
+            mean=self.mean_speed, reversion=0.3,
+            volatility=self.speed_volatility).sample_path(
+                n_periods, dt=period_seconds / 3600.0,
+                x0=self.mean_speed, rng=rng)
+        powers = np.array([self.power_at_speed(max(s, 0.0))
+                           for s in speeds[:n_periods]])
+        return RenewableTrace(site=site, powers_watts=powers,
+                              period_seconds=period_seconds)

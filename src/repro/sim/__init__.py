@@ -1,0 +1,36 @@
+"""Simulation engine, scenarios (Tables I–III), recording and results."""
+
+from .engine import run_simulation, simulate_policies
+from .faults import FleetOutage, apply_faults
+from .policy import AllocationDecision, Policy, PolicyObservation
+from .recorder import SimulationRecorder
+from .results import ComparisonResult, SimulationResult
+from .scenario import (
+    PAPER_BUDGETS_WATTS,
+    PAPER_IDC_SPECS,
+    PAPER_PORTAL_LOADS,
+    Scenario,
+    paper_cluster,
+    paper_scenario,
+    price_step_scenario,
+)
+
+__all__ = [
+    "run_simulation",
+    "simulate_policies",
+    "FleetOutage",
+    "apply_faults",
+    "Policy",
+    "PolicyObservation",
+    "AllocationDecision",
+    "SimulationRecorder",
+    "SimulationResult",
+    "ComparisonResult",
+    "Scenario",
+    "paper_scenario",
+    "price_step_scenario",
+    "paper_cluster",
+    "PAPER_BUDGETS_WATTS",
+    "PAPER_PORTAL_LOADS",
+    "PAPER_IDC_SPECS",
+]

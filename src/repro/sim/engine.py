@@ -1,0 +1,173 @@
+"""Closed-loop simulation engine.
+
+Each control period the engine:
+
+1. reads the portal workloads and market prices,
+2. (optionally) updates online workload predictors and produces a
+   forecast for the policy,
+3. asks the policy for an allocation + server decision,
+4. applies it to the plant (cluster), measures power and latency,
+5. records everything and reports the demand back to the market so the
+   price feedback (when enabled) sees it.
+
+The engine is deliberately synchronous and deterministic: all
+stochasticity lives in the scenario inputs (traces, price noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datacenter.queueing import simplified_latency
+from ..exceptions import ModelError
+from ..workload.predictor import ARWorkloadPredictor
+from .faults import apply_faults
+from .policy import AllocationDecision, Policy, PolicyObservation
+from .recorder import SimulationRecorder
+from .results import ComparisonResult, SimulationResult
+from .scenario import Scenario
+
+__all__ = ["run_simulation", "simulate_policies"]
+
+
+def _measure_latencies(cluster, workloads, servers) -> np.ndarray:
+    out = np.empty(len(cluster.idcs))
+    for j, (idc, lam, m) in enumerate(zip(cluster.idcs, workloads, servers)):
+        try:
+            out[j] = simplified_latency(float(lam), int(m),
+                                        idc.config.service_rate)
+        except ModelError:
+            out[j] = np.inf  # overloaded: report unbounded latency
+    return out
+
+
+def run_simulation(scenario: Scenario, policy: Policy,
+                   predict_loads: bool = False,
+                   predictor_order: int = 3,
+                   prediction_horizon: int = 3,
+                   price_forecaster=None) -> SimulationResult:
+    """Run one policy through a scenario.
+
+    Parameters
+    ----------
+    predict_loads:
+        Attach per-portal RLS-AR predictors and pass their forecasts to
+        the policy (the paper's Sec. III-D machinery).  With the constant
+        Table I workloads this is a no-op, so it defaults off.
+    predictor_order, prediction_horizon:
+        AR order and forecast depth when prediction is on.
+    price_forecaster:
+        Optional :class:`repro.pricing.MultiRegionForecaster` fed the
+        realized prices each period; its forecasts are passed to the
+        policy as ``predicted_prices`` (region order = cluster order).
+
+    Raises
+    ------
+    ReproError subclasses
+        Propagated from the policy (e.g. :class:`CapacityError` when the
+        scenario overloads the cluster).
+    """
+    cluster = scenario.cluster
+    scenario.market.reset()
+    for idc in cluster.idcs:
+        idc.restore_availability()
+    policy.reset()
+    cluster_names = cluster.idc_names
+    recorder = SimulationRecorder(cluster.n_idcs, cluster.n_portals,
+                                  scenario.dt)
+
+    predictors = None
+    if predict_loads:
+        predictors = [ARWorkloadPredictor(order=predictor_order)
+                      for _ in range(cluster.n_portals)]
+
+    u_prev = np.zeros(cluster.n_allocations)
+    servers_prev = cluster.server_counts()
+
+    for k in range(scenario.n_periods):
+        t = scenario.start_time + k * scenario.dt
+        if scenario.faults:
+            apply_faults(cluster, scenario.faults, t)
+        loads = cluster.portals.loads_at(k)
+        prices = scenario.prices_at(t)
+
+        predicted = None
+        if predictors is not None:
+            for p, value in zip(predictors, loads):
+                p.observe(float(value))
+            predicted = np.column_stack([
+                p.predict(prediction_horizon) for p in predictors
+            ])
+
+        predicted_prices = None
+        if price_forecaster is not None:
+            hour = t / 3600.0
+            price_forecaster.observe(prices, hour)
+            step_hours = scenario.dt / 3600.0
+            predicted_prices = price_forecaster.predict(
+                prediction_horizon, hour + step_hours, step_hours)
+
+        obs = PolicyObservation(
+            period=k, time_seconds=t, loads=loads, prices=prices,
+            prev_u=u_prev.copy(), prev_servers=servers_prev.copy(),
+            predicted_loads=predicted,
+            predicted_prices=predicted_prices,
+        )
+        decision = policy.decide(obs)
+        if not isinstance(decision, AllocationDecision):
+            raise ModelError(
+                f"policy {policy.name!r} returned {type(decision).__name__}, "
+                "expected AllocationDecision")
+
+        servers = np.asarray(decision.servers).astype(int)
+        for idc, m in zip(cluster.idcs, servers):
+            idc.set_servers(int(m))
+        workloads = cluster.apply_allocation(decision.u)
+
+        powers = cluster.powers_watts()
+        latencies = _measure_latencies(cluster, workloads, servers)
+        recorder.record(
+            time_seconds=t, powers_watts=powers, servers=servers,
+            workloads=workloads, latencies=latencies, prices=prices,
+            loads=loads, allocation=decision.u,
+            diagnostics=decision.diagnostics)
+
+        scenario.market.record_demand(powers / 1e6)
+        u_prev = np.asarray(decision.u, dtype=float)
+        servers_prev = servers
+
+    arrays = recorder.as_arrays()
+    return SimulationResult(
+        policy_name=policy.name,
+        dt=scenario.dt,
+        times=arrays["times"],
+        powers_watts=arrays["powers_watts"],
+        servers=arrays["servers"],
+        workloads=arrays["workloads"],
+        latencies=arrays["latencies"],
+        prices=arrays["prices"],
+        loads=arrays["loads"],
+        allocations=arrays["allocations"],
+        energy_mwh=recorder.meter.energy_mwh.copy(),
+        cost_usd=recorder.meter.cost_usd.copy(),
+        paper_cost=recorder.meter.paper_cost.copy(),
+        idc_names=cluster_names,
+        diagnostics=recorder.diagnostics,
+    )
+
+
+def simulate_policies(scenario: Scenario, policies: list[Policy],
+                      **run_kwargs) -> ComparisonResult:
+    """Run several policies on (fresh copies of) the same scenario.
+
+    Policies run sequentially; the market and plant state are reset
+    between runs so each policy sees identical conditions.
+    """
+    if not policies:
+        raise ModelError("need at least one policy")
+    runs: dict[str, SimulationResult] = {}
+    for policy in policies:
+        if policy.name in runs:
+            raise ModelError(f"duplicate policy name {policy.name!r}")
+        runs[policy.name] = run_simulation(scenario, policy, **run_kwargs)
+    return ComparisonResult(runs=runs)

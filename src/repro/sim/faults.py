@@ -1,0 +1,72 @@
+"""Failure injection for closed-loop experiments.
+
+Real IDC fleets lose capacity — rack failures, cooling events, rolling
+maintenance.  A :class:`FleetOutage` marks a fraction of one IDC's
+servers unavailable over a time window; the engine applies the active
+outages at the start of every control period, and every capacity-aware
+component (reference LP, MPC constraints, baselines, the sleep loop)
+already reads ``IDC.available_servers``, so policies react by
+reallocating to the surviving sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import ConfigurationError
+
+__all__ = ["FleetOutage", "apply_faults"]
+
+
+@dataclass(frozen=True)
+class FleetOutage:
+    """A capacity-loss event at one IDC.
+
+    Attributes
+    ----------
+    idc_name:
+        The affected IDC.
+    start_seconds / end_seconds:
+        Absolute simulation times (same clock as ``Scenario.start_time``)
+        between which the outage is active; ``end`` is exclusive.
+    available_fraction:
+        Fraction of the fleet that stays usable during the outage
+        (0 = total outage, 0.5 = half the fleet down).
+    """
+
+    idc_name: str
+    start_seconds: float
+    end_seconds: float
+    available_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.end_seconds <= self.start_seconds:
+            raise ConfigurationError("outage must end after it starts")
+        if not 0.0 <= self.available_fraction <= 1.0:
+            raise ConfigurationError(
+                "available_fraction must be in [0, 1]")
+
+    def active_at(self, t_seconds: float) -> bool:
+        return self.start_seconds <= t_seconds < self.end_seconds
+
+
+def apply_faults(cluster: IDCCluster, faults: list[FleetOutage],
+                 t_seconds: float) -> None:
+    """Set every IDC's availability according to the active outages.
+
+    Overlapping outages on the same IDC compose by taking the *minimum*
+    surviving fraction.  IDCs with no active outage are fully restored.
+    """
+    by_name = {idc.config.name: idc for idc in cluster.idcs}
+    for fault in faults:
+        if fault.idc_name not in by_name:
+            raise ConfigurationError(
+                f"outage references unknown IDC {fault.idc_name!r}")
+    fractions = {name: 1.0 for name in by_name}
+    for fault in faults:
+        if fault.active_at(t_seconds):
+            fractions[fault.idc_name] = min(fractions[fault.idc_name],
+                                            fault.available_fraction)
+    for name, idc in by_name.items():
+        idc.set_availability(int(fractions[name] * idc.config.max_servers))

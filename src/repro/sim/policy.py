@@ -1,0 +1,88 @@
+"""The policy interface shared by the MPC controller and all baselines.
+
+A *policy* makes the two decisions of the paper's architecture each
+control period: the workload allocation vector ``U`` (fast loop) and the
+active-server counts ``m`` (slow loop).  The simulation engine feeds it a
+:class:`PolicyObservation` and applies the returned
+:class:`AllocationDecision` to the plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["PolicyObservation", "AllocationDecision", "Policy"]
+
+
+@dataclass
+class PolicyObservation:
+    """Everything a policy may look at when deciding period ``k``.
+
+    Attributes
+    ----------
+    period:
+        Control-period index (0-based).
+    time_seconds:
+        Simulation time at the start of the period.
+    loads:
+        Current portal workloads ``[L₁…L_C]`` (requests/second).
+    prices:
+        Current per-IDC electricity prices ($/MWh), in cluster IDC order.
+    prev_u:
+        Allocation applied in the previous period (zeros at k=0).
+    prev_servers:
+        Active servers after the previous period.
+    predicted_loads:
+        Optional ``(horizon, C)`` workload forecast supplied by the
+        engine's predictor (None if prediction is disabled).
+    predicted_prices:
+        Optional ``(horizon, N)`` price forecast.
+    """
+
+    period: int
+    time_seconds: float
+    loads: np.ndarray
+    prices: np.ndarray
+    prev_u: np.ndarray
+    prev_servers: np.ndarray
+    predicted_loads: np.ndarray | None = None
+    predicted_prices: np.ndarray | None = None
+
+
+@dataclass
+class AllocationDecision:
+    """A policy's output for one control period.
+
+    Attributes
+    ----------
+    u:
+        Flat allocation vector (IDC-grouped, length N·C).
+    servers:
+        Integer active-server counts per IDC.
+    diagnostics:
+        Free-form per-step information (solver status, softening flags,
+        reference values…) recorded verbatim by the engine.
+    """
+
+    u: np.ndarray
+    servers: np.ndarray
+    diagnostics: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Protocol implemented by every allocation policy."""
+
+    #: Human-readable identifier used in result tables.
+    name: str
+
+    def decide(self, obs: PolicyObservation) -> AllocationDecision:
+        """Choose the allocation and server counts for this period."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation run."""
+        ...

@@ -1,0 +1,86 @@
+"""Per-period metric recording for simulation runs.
+
+The recorder accumulates everything the analysis layer and the figure
+benchmarks need: per-IDC power, server counts, workloads, latencies,
+prices, energy/cost integrals, and per-step policy diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.power import EnergyMeter
+from ..exceptions import ModelError
+
+__all__ = ["SimulationRecorder"]
+
+
+@dataclass
+class SimulationRecorder:
+    """Columnar storage of one simulation run.
+
+    All arrays are laid out ``(n_periods, n_idcs)`` (or ``(n_periods,
+    n_portals)`` for loads) after :meth:`finalize`.
+    """
+
+    n_idcs: int
+    n_portals: int
+    dt: float
+
+    def __post_init__(self) -> None:
+        if self.n_idcs < 1 or self.n_portals < 1:
+            raise ModelError("need at least one IDC and one portal")
+        if self.dt <= 0:
+            raise ModelError("dt must be positive")
+        self._times: list[float] = []
+        self._powers: list[np.ndarray] = []
+        self._servers: list[np.ndarray] = []
+        self._workloads: list[np.ndarray] = []
+        self._latencies: list[np.ndarray] = []
+        self._prices: list[np.ndarray] = []
+        self._loads: list[np.ndarray] = []
+        self._allocations: list[np.ndarray] = []
+        self._diagnostics: list[dict] = []
+        self.meter = EnergyMeter(self.n_idcs)
+
+    def record(self, time_seconds: float, powers_watts: np.ndarray,
+               servers: np.ndarray, workloads: np.ndarray,
+               latencies: np.ndarray, prices: np.ndarray,
+               loads: np.ndarray, allocation: np.ndarray,
+               diagnostics: dict | None = None) -> None:
+        """Append one control period."""
+        self._times.append(float(time_seconds))
+        self._powers.append(np.asarray(powers_watts, dtype=float).copy())
+        self._servers.append(np.asarray(servers, dtype=float).copy())
+        self._workloads.append(np.asarray(workloads, dtype=float).copy())
+        self._latencies.append(np.asarray(latencies, dtype=float).copy())
+        self._prices.append(np.asarray(prices, dtype=float).copy())
+        self._loads.append(np.asarray(loads, dtype=float).copy())
+        self._allocations.append(np.asarray(allocation, dtype=float).copy())
+        self._diagnostics.append(dict(diagnostics or {}))
+        self.meter.record(powers_watts, prices, self.dt)
+
+    @property
+    def n_periods(self) -> int:
+        return len(self._times)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Materialize all recorded series as stacked arrays."""
+        if not self._times:
+            raise ModelError("nothing recorded")
+        return {
+            "times": np.array(self._times),
+            "powers_watts": np.vstack(self._powers),
+            "servers": np.vstack(self._servers),
+            "workloads": np.vstack(self._workloads),
+            "latencies": np.vstack(self._latencies),
+            "prices": np.vstack(self._prices),
+            "loads": np.vstack(self._loads),
+            "allocations": np.vstack(self._allocations),
+        }
+
+    @property
+    def diagnostics(self) -> list[dict]:
+        return list(self._diagnostics)

@@ -1,0 +1,115 @@
+"""Result containers for simulation runs and policy comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["SimulationResult", "ComparisonResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one closed-loop run of one policy.
+
+    Attributes
+    ----------
+    policy_name:
+        Identifier of the policy that produced the run.
+    dt:
+        Control period in seconds.
+    times:
+        Period start times, seconds.
+    powers_watts, servers, workloads, latencies:
+        Per-IDC series, shape ``(T, N)``.
+    prices:
+        Per-IDC prices in effect each period, $/MWh.
+    loads:
+        Portal workloads, shape ``(T, C)``.
+    allocations:
+        Flat allocation vectors, shape ``(T, N·C)``.
+    energy_mwh, cost_usd, paper_cost:
+        Final per-IDC integrals from the energy meter.
+    idc_names:
+        IDC labels in column order.
+    diagnostics:
+        Per-period policy diagnostics dictionaries.
+    """
+
+    policy_name: str
+    dt: float
+    times: np.ndarray
+    powers_watts: np.ndarray
+    servers: np.ndarray
+    workloads: np.ndarray
+    latencies: np.ndarray
+    prices: np.ndarray
+    loads: np.ndarray
+    allocations: np.ndarray
+    energy_mwh: np.ndarray
+    cost_usd: np.ndarray
+    paper_cost: np.ndarray
+    idc_names: list[str]
+    diagnostics: list[dict] = field(default_factory=list)
+
+    @property
+    def n_periods(self) -> int:
+        return self.times.size
+
+    @property
+    def n_idcs(self) -> int:
+        return self.powers_watts.shape[1]
+
+    @property
+    def powers_mw(self) -> np.ndarray:
+        return self.powers_watts / 1e6
+
+    @property
+    def total_cost_usd(self) -> float:
+        return float(self.cost_usd.sum())
+
+    def idc_index(self, name: str) -> int:
+        try:
+            return self.idc_names.index(name)
+        except ValueError:
+            raise ModelError(f"unknown IDC {name!r}; have {self.idc_names}") \
+                from None
+
+    def power_series_mw(self, idc: str | int) -> np.ndarray:
+        """One IDC's power trajectory in MW."""
+        j = idc if isinstance(idc, int) else self.idc_index(idc)
+        return self.powers_watts[:, j] / 1e6
+
+    def server_series(self, idc: str | int) -> np.ndarray:
+        j = idc if isinstance(idc, int) else self.idc_index(idc)
+        return self.servers[:, j]
+
+
+@dataclass
+class ComparisonResult:
+    """Results of several policies on the same scenario, keyed by name."""
+
+    runs: dict[str, SimulationResult]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ModelError("comparison needs at least one run")
+
+    def __getitem__(self, name: str) -> SimulationResult:
+        return self.runs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.runs
+
+    @property
+    def policy_names(self) -> list[str]:
+        return list(self.runs)
+
+    def summary(self) -> str:
+        """Human-readable cost/peak/volatility comparison table."""
+        from ..analysis.compare import comparison_table
+
+        return comparison_table(self)

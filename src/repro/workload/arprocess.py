@@ -1,0 +1,132 @@
+"""Autoregressive workload models (eq. 12 of the paper).
+
+The paper models request arrivals with a time-varying AR(p) process
+``µ(k) = Σ_s α_s µ(k−s) + ε(k)``.  This module provides the generative
+side: simulate AR(p) paths, fit coefficients by Yule–Walker, and check
+stationarity via the characteristic roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["ARProcess", "fit_yule_walker", "is_stationary"]
+
+
+def is_stationary(coefficients: np.ndarray) -> bool:
+    """Whether an AR(p) coefficient vector defines a stationary process.
+
+    Stationary iff all roots of ``z^p − a₁ z^{p-1} − … − a_p`` lie
+    strictly inside the unit circle.
+    """
+    a = np.asarray(coefficients, dtype=float).ravel()
+    if a.size == 0:
+        return True
+    poly = np.concatenate([[1.0], -a])
+    roots = np.roots(poly)
+    return bool(np.all(np.abs(roots) < 1.0))
+
+
+def fit_yule_walker(series: np.ndarray, order: int) -> tuple[np.ndarray, float]:
+    """Yule–Walker AR(p) fit.
+
+    Returns ``(coefficients, noise_variance)``.  The series is demeaned
+    internally; callers who need the mean should track it separately.
+    """
+    x = np.asarray(series, dtype=float).ravel()
+    if order < 1:
+        raise ModelError("order must be >= 1")
+    if x.size < order + 1:
+        raise ModelError(
+            f"need at least {order + 1} samples to fit AR({order})")
+    x = x - np.mean(x)
+    # Biased autocovariance estimates (guarantee a PSD Toeplitz system).
+    n = x.size
+    acov = np.array([
+        np.dot(x[:n - lag], x[lag:]) / n for lag in range(order + 1)
+    ])
+    if acov[0] <= 0:
+        return np.zeros(order), 0.0
+    R = np.array([[acov[abs(i - j)] for j in range(order)]
+                  for i in range(order)])
+    r = acov[1:order + 1]
+    coeffs = np.linalg.solve(R, r)
+    noise_var = float(acov[0] - coeffs @ r)
+    return coeffs, max(noise_var, 0.0)
+
+
+@dataclass
+class ARProcess:
+    """Generative AR(p) process around a (possibly time-varying) mean.
+
+    ``x(k) = mean(k) + Σ_s coefficients[s-1] · (x(k−s) − mean(k−s)) + ε(k)``
+
+    Attributes
+    ----------
+    coefficients:
+        AR coefficients ``[a₁, …, a_p]``.
+    noise_std:
+        Standard deviation of the i.i.d. Gaussian innovations ε.
+    mean:
+        Constant process mean (a callable mean is supported by
+        :meth:`sample` via the ``mean_fn`` argument).
+    """
+
+    coefficients: np.ndarray
+    noise_std: float = 1.0
+    mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.coefficients = np.asarray(self.coefficients, dtype=float).ravel()
+        if self.coefficients.size < 1:
+            raise ModelError("AR process needs at least one coefficient")
+        if self.noise_std < 0:
+            raise ModelError("noise_std must be nonnegative")
+
+    @property
+    def order(self) -> int:
+        return self.coefficients.size
+
+    @property
+    def stationary(self) -> bool:
+        return is_stationary(self.coefficients)
+
+    def sample(self, n_steps: int, rng: np.random.Generator | None = None,
+               initial: np.ndarray | None = None,
+               mean_fn=None) -> np.ndarray:
+        """Generate ``n_steps`` samples.
+
+        ``initial`` optionally seeds the first ``p`` lagged values
+        (deviation from mean); ``mean_fn(k)`` overrides the constant mean.
+        """
+        rng = rng or np.random.default_rng()
+        p = self.order
+        if initial is None:
+            lags = np.zeros(p)
+        else:
+            lags = np.asarray(initial, dtype=float).ravel()
+            if lags.size != p:
+                raise ModelError(f"initial must have {p} entries")
+            lags = lags.copy()
+        means = (np.array([mean_fn(k) for k in range(n_steps)])
+                 if mean_fn is not None else np.full(n_steps, self.mean))
+        out = np.empty(n_steps)
+        noise = rng.normal(scale=self.noise_std, size=n_steps) \
+            if self.noise_std > 0 else np.zeros(n_steps)
+        for k in range(n_steps):
+            dev = float(self.coefficients @ lags) + noise[k]
+            out[k] = means[k] + dev
+            lags = np.roll(lags, 1)
+            lags[0] = dev
+        return out
+
+    @classmethod
+    def fit(cls, series: np.ndarray, order: int) -> "ARProcess":
+        """Construct from data via Yule–Walker."""
+        coeffs, var = fit_yule_walker(series, order)
+        return cls(coefficients=coeffs, noise_std=float(np.sqrt(var)),
+                   mean=float(np.mean(np.asarray(series, dtype=float))))

@@ -1,0 +1,129 @@
+"""Markovian Arrival Process (MAP) workload model.
+
+The paper cites MAPs (Pacheco-Sanchez et al., CLOUD 2011) as a richer
+alternative to MMPP for cloud workload characterization.  A MAP is given
+by two matrices ``(D0, D1)``: ``D0`` holds transition rates without an
+arrival, ``D1`` transition rates that *coincide* with an arrival, and
+``D0 + D1`` is a CTMC generator.  MMPPs are MAPs with diagonal ``D1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["MAP"]
+
+
+@dataclass
+class MAP:
+    """A Markovian Arrival Process ``(D0, D1)``.
+
+    Validation enforces the standard conditions: nonnegative
+    off-diagonals in ``D0``, nonnegative ``D1``, negative ``D0``
+    diagonal, and ``(D0 + D1) 1 = 0``.
+    """
+
+    D0: np.ndarray
+    D1: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.D0 = np.atleast_2d(np.asarray(self.D0, dtype=float))
+        self.D1 = np.atleast_2d(np.asarray(self.D1, dtype=float))
+        n = self.D0.shape[0]
+        if self.D0.shape != (n, n) or self.D1.shape != (n, n):
+            raise ModelError("D0 and D1 must be square with equal size")
+        if np.any(self.D1 < -1e-12):
+            raise ModelError("D1 must be nonnegative")
+        off = self.D0 - np.diag(np.diag(self.D0))
+        if np.any(off < -1e-12):
+            raise ModelError("off-diagonal D0 entries must be nonnegative")
+        if np.any(np.diag(self.D0) > 0):
+            raise ModelError("D0 diagonal must be nonpositive")
+        rowsum = (self.D0 + self.D1).sum(axis=1)
+        if np.any(np.abs(rowsum) > 1e-8):
+            raise ModelError("(D0 + D1) rows must sum to zero")
+
+    @property
+    def n_states(self) -> int:
+        return self.D0.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution of the underlying CTMC ``D0 + D1``."""
+        Q = self.D0 + self.D1
+        n = self.n_states
+        A = np.vstack([Q.T, np.ones((1, n))])
+        b = np.concatenate([np.zeros(n), [1.0]])
+        pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+        pi = np.maximum(pi, 0.0)
+        return pi / pi.sum()
+
+    def fundamental_rate(self) -> float:
+        """Long-run arrival rate ``π D1 1``."""
+        pi = self.stationary_distribution()
+        return float(pi @ self.D1 @ np.ones(self.n_states))
+
+    def simulate_arrivals(self, duration: float,
+                          rng: np.random.Generator | None = None,
+                          initial_state: int = 0) -> np.ndarray:
+        """Exact simulation; returns arrival epochs within ``duration``."""
+        rng = rng or np.random.default_rng()
+        if not 0 <= initial_state < self.n_states:
+            raise ModelError("initial_state out of range")
+        t = 0.0
+        s = int(initial_state)
+        arrivals: list[float] = []
+        while True:
+            exit_rate = -self.D0[s, s]
+            if exit_rate <= 0:
+                break
+            t += rng.exponential(1.0 / exit_rate)
+            if t >= duration:
+                break
+            # choose the event among D0 off-diagonals and the D1 row
+            weights = np.concatenate([
+                np.where(np.arange(self.n_states) == s, 0.0, self.D0[s]),
+                self.D1[s],
+            ])
+            weights = np.maximum(weights, 0.0)
+            total = weights.sum()
+            if total <= 0:
+                break
+            choice = int(rng.choice(weights.size, p=weights / total))
+            if choice >= self.n_states:  # arrival event
+                arrivals.append(t)
+                s = choice - self.n_states
+            else:
+                s = choice
+        return np.array(arrivals)
+
+    def arrival_counts(self, duration: float, interval: float,
+                       rng: np.random.Generator | None = None,
+                       initial_state: int = 0) -> np.ndarray:
+        """Arrival counts per interval of length ``interval``."""
+        if interval <= 0 or duration <= 0:
+            raise ModelError("duration and interval must be positive")
+        epochs = self.simulate_arrivals(duration, rng, initial_state)
+        n_intervals = int(np.ceil(duration / interval))
+        counts, _ = np.histogram(
+            epochs, bins=n_intervals, range=(0.0, n_intervals * interval))
+        return counts
+
+    @classmethod
+    def from_mmpp(cls, generator: np.ndarray, rates: np.ndarray) -> "MAP":
+        """Embed an MMPP as a MAP (``D1 = diag(rates)``)."""
+        generator = np.atleast_2d(np.asarray(generator, dtype=float))
+        rates = np.asarray(rates, dtype=float).ravel()
+        D1 = np.diag(rates)
+        D0 = generator - D1
+        return cls(D0=D0, D1=D1)
+
+    @classmethod
+    def poisson(cls, rate: float) -> "MAP":
+        """A plain Poisson process as a single-state MAP."""
+        if rate <= 0:
+            raise ModelError("rate must be positive")
+        return cls(D0=np.array([[-rate]]), D1=np.array([[rate]]))

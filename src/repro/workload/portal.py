@@ -1,0 +1,104 @@
+"""Front-end portal workload streams.
+
+The architecture of Fig. 1 has ``C`` front-end Web portals, each
+receiving a client workload ``L_i`` to be split across IDCs.  A
+:class:`PortalWorkload` produces ``L_i(k)`` per control period — constant
+(Table I), trace-driven, or stochastic — and the :class:`PortalSet`
+bundles the ``C`` streams the simulator iterates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PortalWorkload", "PortalSet"]
+
+
+@dataclass
+class PortalWorkload:
+    """A single portal's request-rate stream (requests per second).
+
+    Exactly one of the source options is used, in precedence order:
+    ``trace`` (array indexed by period, clamped to its last value when
+    exhausted), ``rate_fn`` (callable ``k -> rate``), else the constant
+    ``rate``.
+    """
+
+    name: str
+    rate: float = 0.0
+    trace: np.ndarray | None = None
+    rate_fn: Callable[[int], float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace is not None:
+            self.trace = np.asarray(self.trace, dtype=float).ravel()
+            if self.trace.size == 0:
+                raise ConfigurationError("trace must be non-empty")
+            if np.any(self.trace < 0):
+                raise ConfigurationError("workload cannot be negative")
+        if self.rate < 0:
+            raise ConfigurationError("workload cannot be negative")
+
+    def at(self, period: int) -> float:
+        """Request rate during control period ``period``."""
+        if period < 0:
+            raise ConfigurationError("period must be nonnegative")
+        if self.trace is not None:
+            idx = min(period, self.trace.size - 1)
+            return float(self.trace[idx])
+        if self.rate_fn is not None:
+            value = float(self.rate_fn(period))
+            if value < 0:
+                raise ConfigurationError(
+                    f"rate_fn returned negative workload at period {period}")
+            return value
+        return float(self.rate)
+
+
+@dataclass
+class PortalSet:
+    """The ``C`` portals of the workload-allocation architecture."""
+
+    portals: list[PortalWorkload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.portals:
+            raise ConfigurationError("need at least one portal")
+        names = [p.name for p in self.portals]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("portal names must be unique")
+
+    @property
+    def n_portals(self) -> int:
+        return len(self.portals)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.portals]
+
+    def loads_at(self, period: int) -> np.ndarray:
+        """Vector ``[L_1(k), …, L_C(k)]``."""
+        return np.array([p.at(period) for p in self.portals])
+
+    def total_at(self, period: int) -> float:
+        """Aggregate request rate across portals."""
+        return float(np.sum(self.loads_at(period)))
+
+    @classmethod
+    def constant(cls, rates: np.ndarray | list[float],
+                 names: list[str] | None = None) -> "PortalSet":
+        """Build a set of constant-rate portals (the Table I setup)."""
+        rates = np.asarray(rates, dtype=float).ravel()
+        if names is None:
+            names = [f"portal-{i + 1}" for i in range(rates.size)]
+        if len(names) != rates.size:
+            raise ConfigurationError("names/rates length mismatch")
+        return cls(portals=[
+            PortalWorkload(name=n, rate=float(r))
+            for n, r in zip(names, rates)
+        ])

@@ -1,0 +1,162 @@
+"""Online workload prediction with RLS-identified AR models.
+
+Implements Sec. III-D of the paper: a time-varying AR(p) model whose
+coefficients are estimated online by recursive least squares (eq. 13),
+used to predict the workload over the MPC prediction horizon.  A few
+simpler predictors are included as ablation baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..control.rls import RecursiveLeastSquares
+from ..exceptions import ModelError
+
+__all__ = ["ARWorkloadPredictor", "LastValuePredictor", "PerfectPredictor",
+           "evaluate_predictor"]
+
+
+class ARWorkloadPredictor:
+    """AR(p) predictor with online RLS coefficient adaptation.
+
+    Parameters
+    ----------
+    order:
+        AR order ``p`` (the paper uses a small ``p``; 3 is the default).
+    forgetting:
+        RLS forgetting factor; < 1 adapts to diurnal nonstationarity.
+    nonnegative:
+        Clip predictions at zero (request rates cannot be negative).
+
+    Usage: call :meth:`observe` with each new workload sample, then
+    :meth:`predict` for one- or multi-step-ahead forecasts.  Multi-step
+    predictions are produced recursively by feeding forecasts back as
+    regressors, exactly how MPC consumes them.
+    """
+
+    def __init__(self, order: int = 3, forgetting: float = 0.98,
+                 nonnegative: bool = True) -> None:
+        if order < 1:
+            raise ModelError("order must be >= 1")
+        self.order = int(order)
+        self.nonnegative = bool(nonnegative)
+        self._rls = RecursiveLeastSquares(self.order, forgetting=forgetting)
+        self._history: deque[float] = deque(maxlen=self.order)
+        self.n_observed = 0
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough samples have arrived to form a regressor."""
+        return len(self._history) == self.order
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Current AR coefficient estimates (most recent lag first)."""
+        return self._rls.theta.copy()
+
+    def observe(self, value: float) -> float | None:
+        """Feed one sample; returns the a-priori prediction error if ready."""
+        value = float(value)
+        err = None
+        if self.ready:
+            phi = np.array(self._history)
+            err = self._rls.update(phi, value)
+        self._history.appendleft(value)
+        self.n_observed += 1
+        return err
+
+    def predict(self, steps: int = 1) -> np.ndarray:
+        """Forecast the next ``steps`` values.
+
+        Before the estimator is ready the forecast falls back to the most
+        recent observation (or zero when nothing has been seen).
+        """
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        if not self._history:
+            return np.zeros(steps)
+        if not self.ready or self._rls.n_updates == 0:
+            return np.full(steps, self._history[0])
+        lags = deque(self._history, maxlen=self.order)
+        out = np.empty(steps)
+        for s in range(steps):
+            phi = np.array(lags)
+            pred = self._rls.predict(phi)
+            if self.nonnegative:
+                pred = max(pred, 0.0)
+            out[s] = pred
+            lags.appendleft(pred)
+        return out
+
+    def observe_series(self, series: np.ndarray) -> np.ndarray:
+        """Feed a whole series; returns one-step-ahead prediction errors.
+
+        The first ``order`` entries produce no error (warm-up) and are
+        reported as NaN so callers can mask them.
+        """
+        errors = np.full(len(series), np.nan)
+        for k, v in enumerate(np.asarray(series, dtype=float).ravel()):
+            err = self.observe(v)
+            if err is not None:
+                errors[k] = err
+        return errors
+
+
+class LastValuePredictor:
+    """Naive persistence forecaster: predicts the last observation."""
+
+    def __init__(self) -> None:
+        self._last: float = 0.0
+        self.n_observed = 0
+
+    def observe(self, value: float) -> None:
+        self._last = float(value)
+        self.n_observed += 1
+
+    def predict(self, steps: int = 1) -> np.ndarray:
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        return np.full(steps, self._last)
+
+
+class PerfectPredictor:
+    """Oracle with access to the full future trace (ablation upper bound)."""
+
+    def __init__(self, trace: np.ndarray) -> None:
+        self.trace = np.asarray(trace, dtype=float).ravel()
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        self._cursor += 1
+
+    def predict(self, steps: int = 1) -> np.ndarray:
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        idx = np.minimum(self._cursor + np.arange(steps),
+                         self.trace.size - 1)
+        return self.trace[idx]
+
+
+def evaluate_predictor(predictor, series: np.ndarray,
+                       warmup: int = 10) -> dict[str, float]:
+    """Walk a predictor through a series; report one-step accuracy.
+
+    Returns mean absolute error, RMSE, and MAE relative to the series
+    mean (a scale-free accuracy figure), all computed after ``warmup``.
+    """
+    series = np.asarray(series, dtype=float).ravel()
+    preds = np.empty(series.size)
+    for k, v in enumerate(series):
+        preds[k] = predictor.predict(1)[0]
+        predictor.observe(v)
+    err = preds[warmup:] - series[warmup:]
+    mae = float(np.mean(np.abs(err)))
+    scale = float(np.mean(np.abs(series[warmup:]))) or 1.0
+    return {
+        "mae": mae,
+        "rmse": float(np.sqrt(np.mean(err ** 2))),
+        "relative_mae": mae / scale,
+    }

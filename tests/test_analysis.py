@@ -1,0 +1,143 @@
+"""Tests for metrics, comparison reports and rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_chart,
+    budget_stats,
+    comparison_table,
+    format_quantity,
+    peak_power,
+    power_volatility,
+    power_volatility_per_second,
+    ramp_max,
+    render_table,
+    series_csv,
+    sparkline,
+    summarize_run,
+    volatility_reduction,
+)
+from repro.baselines import OptimalInstantaneousPolicy, UniformPolicy
+from repro.exceptions import ModelError
+from repro.sim import paper_scenario, simulate_policies
+
+
+class TestMetrics:
+    def test_volatility_of_constant_series_is_zero(self):
+        assert power_volatility(np.full(10, 5.0)) == 0.0
+
+    def test_volatility_of_step(self):
+        series = np.array([1.0, 1.0, 3.0, 3.0])
+        assert power_volatility(series) == pytest.approx(2.0 / 3)
+        assert ramp_max(series) == 2.0
+
+    def test_volatility_per_second(self):
+        series = np.array([0.0, 10.0])
+        assert power_volatility_per_second(series, dt=5.0) == 2.0
+        with pytest.raises(ModelError):
+            power_volatility_per_second(series, dt=0.0)
+
+    def test_peak(self):
+        assert peak_power([1.0, 9.0, 3.0]) == 9.0
+        with pytest.raises(ModelError):
+            peak_power([])
+
+    def test_short_series_edge_cases(self):
+        assert power_volatility([5.0]) == 0.0
+        assert ramp_max([5.0]) == 0.0
+
+    def test_budget_stats(self):
+        series = np.array([4.0, 6.0, 7.0, 5.0])
+        stats = budget_stats(series, budget_watts=5.0, dt=2.0)
+        assert stats.periods_violated == 2
+        assert stats.max_excess_watts == 2.0
+        assert stats.excess_energy_joules == pytest.approx((1 + 2) * 2.0)
+        assert stats.violation_fraction == 0.5
+
+    def test_budget_stats_infinite_budget(self):
+        stats = budget_stats(np.ones(3), np.inf, 1.0)
+        assert stats.periods_violated == 0
+        assert stats.excess_energy_joules == 0.0
+
+
+class TestSummaries:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        return simulate_policies(sc, [
+            OptimalInstantaneousPolicy(sc.cluster),
+            UniformPolicy(sc.cluster),
+        ])
+
+    def test_summarize_run(self, comparison):
+        s = summarize_run(comparison["optimal"])
+        assert s.policy_name == "optimal"
+        assert s.total_cost_usd > 0
+        assert s.peak_power_watts.shape == (3,)
+        assert s.qos_violations == 0
+        assert np.all(s.mean_latency <= 0.001 + 1e-12)
+
+    def test_comparison_table_contents(self, comparison):
+        text = comparison_table(comparison)
+        assert "optimal" in text and "uniform" in text
+        assert "cost_usd" in text
+
+    def test_volatility_reduction_identity(self, comparison):
+        assert volatility_reduction(comparison, "optimal",
+                                    "optimal") == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_format_quantity(self):
+        assert format_quantity(None) == "-"
+        assert format_quantity("abc") == "abc"
+        assert format_quantity(3) == "3"
+        assert format_quantity(3.14159) == "3.142"
+        assert format_quantity(1.23e9) == "1.230e+09"
+        assert format_quantity(float("nan")) == "nan"
+
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a" in lines[1]
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_sparkline(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_and_nan(self):
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        assert "?" in sparkline([1.0, np.nan])
+        with pytest.raises(ModelError):
+            sparkline([])
+
+    def test_ascii_chart(self):
+        chart = ascii_chart({"a": np.linspace(0, 1, 30),
+                             "b": np.linspace(1, 0, 30)}, height=6)
+        assert "*=a" in chart and "o=b" in chart
+        assert len(chart.splitlines()) == 7
+
+    def test_ascii_chart_validation(self):
+        with pytest.raises(ModelError):
+            ascii_chart({})
+        with pytest.raises(ModelError):
+            ascii_chart({"a": [1.0]}, height=1)
+
+    def test_series_csv(self):
+        text = series_csv(np.array([0.0, 1.0]),
+                          {"p": np.array([2.0, 3.0])})
+        lines = text.strip().splitlines()
+        assert lines[0] == "time,p"
+        assert lines[1].startswith("0,2")
+
+    def test_series_csv_length_mismatch(self):
+        with pytest.raises(ModelError):
+            series_csv(np.array([0.0]), {"p": np.array([1.0, 2.0])})

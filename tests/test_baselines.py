@@ -1,0 +1,138 @@
+"""Tests for the baseline allocation policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GreedyPricePolicy,
+    OptimalInstantaneousPolicy,
+    StaticProportionalPolicy,
+    UniformPolicy,
+    feasible_totals,
+    marginal_cost_per_request,
+    split_by_totals,
+)
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.sim import paper_cluster, price_step_scenario, run_simulation
+from repro.sim.policy import PolicyObservation
+
+PRICES_6H = np.array([43.26, 30.26, 19.06])
+LOADS = np.array([30000.0, 15000.0, 15000.0, 20000.0, 20000.0])
+
+
+def _obs(cluster, prices=PRICES_6H, loads=LOADS, period=0):
+    return PolicyObservation(
+        period=period, time_seconds=0.0, loads=loads, prices=prices,
+        prev_u=np.zeros(cluster.n_allocations),
+        prev_servers=cluster.server_counts(),
+    )
+
+
+class TestHelpers:
+    def test_split_by_totals_conserves(self):
+        cluster = paper_cluster()
+        totals = np.array([50000.0, 30000.0, 20000.0])
+        u = split_by_totals(cluster, LOADS, totals)
+        mat = cluster.vector_to_matrix(u)
+        np.testing.assert_allclose(mat.sum(axis=1), LOADS)
+        np.testing.assert_allclose(mat.sum(axis=0), totals)
+
+    def test_split_by_totals_zero_load(self):
+        cluster = paper_cluster()
+        u = split_by_totals(cluster, np.zeros(5), np.zeros(3))
+        np.testing.assert_allclose(u, 0.0)
+
+    def test_feasible_totals_respects_caps(self):
+        cluster = paper_cluster()
+        # ask for everything on Wisconsin (cap 34000)
+        totals = feasible_totals(cluster, np.array([0.0, 0.0, 1e5]), 1e5)
+        assert totals[2] <= 34000.0 + 1e-6
+        assert totals.sum() == pytest.approx(1e5)
+
+    def test_marginal_cost_ordering_6h(self):
+        cluster = paper_cluster()
+        mc = marginal_cost_per_request(cluster, PRICES_6H)
+        # WI cheapest per request at 6H, MN most expensive
+        assert np.argmin(mc) == 2
+        assert np.argmax(mc) == 1
+
+
+class TestStaticPolicies:
+    def test_static_allocation_feasible(self):
+        cluster = paper_cluster()
+        policy = StaticProportionalPolicy(cluster)
+        d = policy.decide(_obs(cluster))
+        assert cluster.allocation_feasible(d.u)
+        # servers meet QoS for the assigned workload
+        lam = cluster.idc_workloads(d.u)
+        for idc, l, m in zip(cluster.idcs, lam, d.servers):
+            assert m >= idc.servers_for(l)
+
+    def test_static_weights_do_not_change_with_price(self):
+        cluster = paper_cluster()
+        policy = StaticProportionalPolicy(cluster)
+        d1 = policy.decide(_obs(cluster, prices=PRICES_6H))
+        d2 = policy.decide(_obs(cluster, prices=np.array([99.0, 1.0, 50.0])))
+        np.testing.assert_allclose(d1.u, d2.u)
+
+    def test_uniform_policy_equal_totals(self):
+        cluster = paper_cluster()
+        d = UniformPolicy(cluster).decide(_obs(cluster))
+        lam = cluster.idc_workloads(d.u)
+        # equal thirds of 100000, none hits a capacity cap
+        np.testing.assert_allclose(lam, 100000.0 / 3, rtol=1e-9)
+
+    def test_weight_validation(self):
+        cluster = paper_cluster()
+        with pytest.raises(ConfigurationError):
+            StaticProportionalPolicy(cluster, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            StaticProportionalPolicy(cluster, weights=[0.0, 0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            StaticProportionalPolicy(cluster, weights=[-1.0, 1.0, 1.0])
+
+
+class TestGreedy:
+    def test_greedy_fills_cheapest_first(self):
+        cluster = paper_cluster()
+        policy = GreedyPricePolicy(cluster)
+        d = policy.decide(_obs(cluster))
+        lam = cluster.idc_workloads(d.u)
+        assert lam[2] == pytest.approx(34000.0)  # WI saturated first
+        assert lam[0] == pytest.approx(59000.0)  # MI second
+        assert lam[1] == pytest.approx(7000.0)
+
+    def test_greedy_matches_lp_on_vertex_solutions(self):
+        cluster = paper_cluster()
+        greedy = GreedyPricePolicy(cluster).decide(_obs(cluster))
+        optimal = OptimalInstantaneousPolicy(cluster).decide(_obs(cluster))
+        np.testing.assert_allclose(
+            cluster.idc_workloads(greedy.u),
+            cluster.idc_workloads(optimal.u), atol=1.0)
+
+    def test_greedy_capacity_error(self):
+        cluster = paper_cluster()
+        policy = GreedyPricePolicy(cluster)
+        with pytest.raises(CapacityError):
+            policy.decide(_obs(cluster, loads=LOADS * 10))
+
+
+class TestOptimalPolicy:
+    def test_decision_feasible_and_diagnosed(self):
+        cluster = paper_cluster()
+        d = OptimalInstantaneousPolicy(cluster).decide(_obs(cluster))
+        assert cluster.allocation_feasible(d.u)
+        assert "cost_rate_usd_per_hour" in d.diagnostics
+        assert d.diagnostics["cost_rate_usd_per_hour"] > 0
+
+    def test_cheapest_policy_in_simulation(self):
+        """The optimal baseline must not lose to any other baseline."""
+        results = {}
+        for make in (OptimalInstantaneousPolicy, StaticProportionalPolicy,
+                     UniformPolicy, GreedyPricePolicy):
+            scenario = price_step_scenario(dt=60.0, duration=300.0)
+            policy = make(scenario.cluster)
+            results[policy.name] = run_simulation(scenario, policy)
+        best = results["optimal"].total_cost_usd
+        for name, run in results.items():
+            assert best <= run.total_cost_usd + 1e-6, name

@@ -1,0 +1,128 @@
+"""Tests for the Kalman filter and the Kalman workload predictor."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    DiscreteStateSpace,
+    KalmanFilter,
+    local_linear_trend_model,
+)
+from repro.exceptions import ModelError
+from repro.workload import (
+    ARWorkloadPredictor,
+    KalmanWorkloadPredictor,
+    evaluate_predictor,
+)
+
+
+class TestKalmanFilter:
+    def test_noise_free_tracking(self):
+        # With zero noise the filter converges to the true state exactly.
+        Phi = np.array([[1.0, 0.1], [0.0, 1.0]])
+        H = np.array([[1.0, 0.0]])
+        kf = KalmanFilter(Phi=Phi, H=H, Q=1e-12, R=1e-12,
+                          x0=[0.0, 0.0])
+        x_true = np.array([1.0, 0.5])
+        for _ in range(50):
+            x_true = Phi @ x_true
+            kf.step(x_true[0])
+        np.testing.assert_allclose(kf.x, x_true, rtol=1e-6)
+
+    def test_filters_noise(self):
+        """Estimation error beats raw-measurement error on a noisy
+        constant signal."""
+        rng = np.random.default_rng(0)
+        kf = KalmanFilter(Phi=[[1.0]], H=[[1.0]], Q=1e-6, R=4.0,
+                          x0=[0.0], P0=[[10.0]])
+        level = 10.0
+        errors_raw, errors_kf = [], []
+        for _ in range(500):
+            z = level + rng.normal(scale=2.0)
+            kf.step(z)
+            errors_raw.append(abs(z - level))
+            errors_kf.append(abs(kf.x[0] - level))
+        assert np.mean(errors_kf[50:]) < 0.3 * np.mean(errors_raw[50:])
+
+    def test_covariance_stays_symmetric_psd(self):
+        rng = np.random.default_rng(1)
+        kf = local_linear_trend_model(1.0, 0.1, 4.0)
+        for _ in range(200):
+            kf.step(rng.normal())
+            np.testing.assert_allclose(kf.P, kf.P.T, atol=1e-10)
+            assert np.all(np.linalg.eigvalsh(kf.P) >= -1e-10)
+
+    def test_with_inputs(self):
+        # x+ = x + u; perfect measurements recover the state.
+        kf = KalmanFilter(Phi=[[1.0]], H=[[1.0]], Q=1e-12, R=1e-12,
+                          G=[[1.0]], x0=[0.0])
+        x = 0.0
+        for u in [1.0, 2.0, -0.5]:
+            x += u
+            kf.predict([u])
+            kf.update([x])
+        assert kf.x[0] == pytest.approx(x, abs=1e-6)
+
+    def test_forecast_does_not_mutate(self):
+        kf = local_linear_trend_model(1.0, 0.1, 1.0)
+        kf.step(5.0)
+        x_before = kf.x.copy()
+        out = kf.forecast(4)
+        assert out.shape == (4, 2)
+        np.testing.assert_allclose(kf.x, x_before)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            KalmanFilter(Phi=np.ones((2, 3)), H=[[1.0, 0.0]], Q=1.0, R=1.0)
+        with pytest.raises(ModelError):
+            KalmanFilter(Phi=np.eye(2), H=[[1.0]], Q=1.0, R=1.0)
+        with pytest.raises(ModelError):
+            KalmanFilter(Phi=np.eye(1), H=[[1.0]], Q=np.eye(2), R=1.0)
+        kf = KalmanFilter(Phi=np.eye(1), H=[[1.0]], Q=1.0, R=1.0)
+        with pytest.raises(ModelError):
+            kf.update([1.0, 2.0])
+        with pytest.raises(ModelError):
+            kf.forecast(0)
+        with pytest.raises(ModelError):
+            local_linear_trend_model(-1.0, 1.0, 1.0)
+
+
+class TestKalmanWorkloadPredictor:
+    def test_initializes_at_first_observation(self):
+        p = KalmanWorkloadPredictor()
+        np.testing.assert_allclose(p.predict(2), 0.0)
+        p.observe(1000.0)
+        assert p.level == pytest.approx(1000.0, rel=0.01)
+
+    def test_learns_linear_trend(self):
+        p = KalmanWorkloadPredictor(obs_var=1.0, level_var=1.0,
+                                    trend_var=1.0)
+        for k in range(100):
+            p.observe(100.0 + 10.0 * k)
+        assert p.slope == pytest.approx(10.0, rel=0.05)
+        preds = p.predict(3)
+        # extrapolates the ramp
+        assert preds[2] > preds[0]
+        assert preds[0] == pytest.approx(100.0 + 10.0 * 100, rel=0.02)
+
+    def test_nonnegative_clipping(self):
+        p = KalmanWorkloadPredictor()
+        for v in [100.0, 50.0, 10.0, 1.0]:
+            p.observe(v)
+        assert np.all(p.predict(20) >= 0.0)
+
+    def test_beats_ar_on_strong_ramp(self):
+        """On a pure ramp the trend state extrapolates exactly."""
+        series = np.linspace(0, 5000, 200)
+        kal = evaluate_predictor(
+            KalmanWorkloadPredictor(obs_var=1.0, level_var=0.1,
+                                    trend_var=0.1, nonnegative=False),
+            series.copy(), warmup=50)
+        ar = evaluate_predictor(
+            ARWorkloadPredictor(order=1, nonnegative=False),
+            series.copy(), warmup=50)
+        assert kal["mae"] < ar["mae"]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            KalmanWorkloadPredictor().predict(0)

@@ -1,0 +1,147 @@
+"""Tests for the matrix exponential and discretization routines."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    ContinuousStateSpace,
+    c2d,
+    euler_matrices,
+    expm,
+    expm_pade,
+    tustin_matrices,
+    zoh_matrices,
+)
+from repro.exceptions import ModelError
+
+
+class TestExpm:
+    def test_zero_matrix(self):
+        np.testing.assert_allclose(expm(np.zeros((3, 3))), np.eye(3))
+
+    def test_diagonal(self):
+        D = np.diag([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(expm(D), np.diag(np.exp(D.diagonal())),
+                                   rtol=1e-12)
+
+    def test_nilpotent(self):
+        # exp of strictly upper triangular nilpotent has closed form.
+        N = np.array([[0.0, 1.0], [0.0, 0.0]])
+        np.testing.assert_allclose(expm(N), [[1, 1], [0, 1]], atol=1e-14)
+
+    def test_rotation_generator(self):
+        # exp([[0, -t], [t, 0]]) is a rotation by t.
+        t = 0.7
+        A = np.array([[0.0, -t], [t, 0.0]])
+        expected = [[np.cos(t), -np.sin(t)], [np.sin(t), np.cos(t)]]
+        np.testing.assert_allclose(expm(A), expected, rtol=1e-12)
+
+    def test_pade_small_norm(self):
+        A = 0.1 * np.array([[0.3, -0.2], [0.4, 0.1]])
+        np.testing.assert_allclose(expm_pade(A), sla.expm(A), rtol=1e-12)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            expm(np.ones((2, 3)))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            expm(np.array([[np.inf, 0], [0, 0]]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 6),
+           scale=st.floats(0.1, 20.0))
+    def test_matches_scipy_on_random(self, seed, n, scale):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(n, n)) * scale / n
+        ours = expm(A)
+        ref = sla.expm(A)
+        np.testing.assert_allclose(ours, ref, rtol=1e-8, atol=1e-10)
+
+    def test_semigroup_property(self):
+        rng = np.random.default_rng(5)
+        A = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(expm(A) @ expm(A), expm(2 * A),
+                                   rtol=1e-8, atol=1e-9)
+
+
+class TestDiscretize:
+    def _paper_like_system(self):
+        # Integrator chain like the cost model: dC = p1 E1 + p2 E2, dE = B u
+        A = np.array([[0.0, 40.0, 25.0],
+                      [0.0, 0.0, 0.0],
+                      [0.0, 0.0, 0.0]])
+        B = np.array([[0.0, 0.0],
+                      [0.05, 0.0],
+                      [0.0, 0.05]])
+        return A, B
+
+    def test_zoh_integrator(self):
+        # Pure integrator: Phi = 1, G = dt * b
+        Phi, G = zoh_matrices([[0.0]], [[2.0]], dt=0.5)
+        assert Phi[0, 0] == pytest.approx(1.0)
+        assert G[0, 0] == pytest.approx(1.0)
+
+    def test_zoh_double_integrator(self):
+        # x1' = x2, x2' = u: classic result Phi=[[1,dt],[0,1]],
+        # G=[dt^2/2, dt]
+        dt = 0.1
+        Phi, G = zoh_matrices([[0, 1], [0, 0]], [[0], [1]], dt)
+        np.testing.assert_allclose(Phi, [[1, dt], [0, 1]], atol=1e-12)
+        np.testing.assert_allclose(G.ravel(), [dt**2 / 2, dt], atol=1e-12)
+
+    def test_zoh_matches_scipy_signal(self):
+        from scipy.signal import cont2discrete
+        A, B = self._paper_like_system()
+        dt = 60.0
+        Phi, G = zoh_matrices(A, B, dt)
+        sysd = cont2discrete((A, B, np.eye(3), np.zeros((3, 2))), dt)
+        Phi_ref, G_ref = sysd[0], sysd[1]
+        np.testing.assert_allclose(Phi, Phi_ref, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(G, G_ref, rtol=1e-9, atol=1e-12)
+
+    def test_euler_first_order_agreement(self):
+        A, B = self._paper_like_system()
+        dt = 1e-4
+        Pz, Gz = zoh_matrices(A, B, dt)
+        Pe, Ge = euler_matrices(A, B, dt)
+        np.testing.assert_allclose(Pz, Pe, atol=1e-6)
+        np.testing.assert_allclose(Gz, Ge, atol=1e-6)
+
+    def test_tustin_stability_preservation(self):
+        # A stable continuous pole maps inside the unit circle.
+        Phi, _ = tustin_matrices([[-1.0]], [[1.0]], dt=0.7)
+        assert abs(Phi[0, 0]) < 1.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ModelError):
+            zoh_matrices(np.eye(2), np.eye(2), dt=0.0)
+
+    def test_c2d_offset_handling(self):
+        # dx/dt = u + w with u = 0: after dt, x grows by w*dt.
+        sys = ContinuousStateSpace(A=[[0.0]], B=[[1.0]], w=[3.0])
+        dsys = c2d(sys, dt=2.0)
+        x1 = dsys.step([0.0], [0.0])
+        assert x1[0] == pytest.approx(6.0)
+
+    def test_c2d_unknown_method(self):
+        sys = ContinuousStateSpace(A=[[0.0]], B=[[1.0]])
+        with pytest.raises(ModelError):
+            c2d(sys, dt=1.0, method="magic")
+
+    def test_c2d_simulation_agrees_with_rk4(self):
+        rng = np.random.default_rng(11)
+        A = np.array([[0.0, 30.0], [0.0, 0.0]])
+        B = np.array([[0.0], [0.1]])
+        sys = ContinuousStateSpace(A=A, B=B, w=[0.0, 0.5])
+        dt = 0.05
+        dsys = c2d(sys, dt)
+        u = 2.0
+        # continuous sim with constant input
+        t_grid = np.linspace(0, 1.0, 21)
+        xc = sys.simulate([0.0, 0.0], lambda t: [u], t_grid)
+        xd = dsys.simulate([0.0, 0.0], np.full((20, 1), u))
+        np.testing.assert_allclose(xd[-1], xc[-1], rtol=1e-6, atol=1e-8)

@@ -1,0 +1,171 @@
+"""Tests for the RLS estimator, reference builders and controllability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    RecursiveLeastSquares,
+    clamp_reference,
+    constant_reference,
+    controllability_matrix,
+    estimate_contraction,
+    first_order_approach,
+    integrate_rates,
+    is_controllable,
+    is_observable,
+    ramp_reference,
+    uncontrollable_modes,
+)
+from repro.exceptions import ModelError
+
+
+class TestRLS:
+    def test_recovers_static_parameters(self):
+        rng = np.random.default_rng(0)
+        theta_true = np.array([1.5, -0.7, 0.2])
+        rls = RecursiveLeastSquares(3, forgetting=1.0)
+        for _ in range(200):
+            phi = rng.normal(size=3)
+            rls.update(phi, phi @ theta_true)
+        np.testing.assert_allclose(rls.theta, theta_true, atol=1e-6)
+
+    def test_tracks_parameter_drift_with_forgetting(self):
+        rng = np.random.default_rng(1)
+        rls_forget = RecursiveLeastSquares(1, forgetting=0.9)
+        rls_inf = RecursiveLeastSquares(1, forgetting=1.0)
+        # parameter switches halfway
+        for k in range(400):
+            theta = 1.0 if k < 200 else 3.0
+            phi = np.array([rng.normal() + 2.0])
+            y = theta * phi[0]
+            rls_forget.update(phi, y)
+            rls_inf.update(phi, y)
+        err_forget = abs(rls_forget.theta[0] - 3.0)
+        err_inf = abs(rls_inf.theta[0] - 3.0)
+        assert err_forget < err_inf
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(2)
+        theta_true = np.array([2.0, -1.0])
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        for _ in range(2000):
+            phi = rng.normal(size=2)
+            rls.update(phi, phi @ theta_true + 0.01 * rng.normal())
+        np.testing.assert_allclose(rls.theta, theta_true, atol=0.05)
+
+    def test_predict_and_residual(self):
+        rls = RecursiveLeastSquares(2, theta0=[1.0, 2.0])
+        assert rls.predict([3.0, 4.0]) == pytest.approx(11.0)
+        resid = rls.update([1.0, 0.0], 5.0)
+        assert resid == pytest.approx(4.0)  # 5 - 1*1
+
+    def test_reset(self):
+        rls = RecursiveLeastSquares(2)
+        rls.update([1.0, 1.0], 2.0)
+        rls.reset()
+        assert rls.n_updates == 0
+        np.testing.assert_allclose(rls.theta, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(2, forgetting=1.5)
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(2, theta0=[1.0])
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(ModelError):
+            rls.update([1.0], 1.0)
+
+    def test_batch_fit(self):
+        rng = np.random.default_rng(3)
+        Phi = rng.normal(size=(50, 2))
+        theta = np.array([0.5, -0.25])
+        rls = RecursiveLeastSquares(2)
+        residuals = rls.batch_fit(Phi, Phi @ theta)
+        assert residuals.shape == (50,)
+        np.testing.assert_allclose(rls.theta, theta, atol=1e-6)
+
+
+class TestReferences:
+    def test_constant(self):
+        ref = constant_reference([1.0, 2.0], 3)
+        assert ref.shape == (3, 2)
+        np.testing.assert_allclose(ref[2], [1.0, 2.0])
+
+    def test_ramp_endpoints(self):
+        ref = ramp_reference([0.0], [10.0], 5)
+        assert ref[-1, 0] == pytest.approx(10.0)
+        assert ref[0, 0] == pytest.approx(2.0)  # first step of the ramp
+
+    def test_clamp(self):
+        ref = constant_reference([5.0, 1.0], 2)
+        out = clamp_reference(ref, [3.0, 4.0])
+        np.testing.assert_allclose(out, [[3.0, 1.0], [3.0, 1.0]])
+
+    def test_integrate_rates(self):
+        out = integrate_rates([10.0], [[1.0], [2.0], [3.0]], dt=2.0)
+        np.testing.assert_allclose(out.ravel(), [12.0, 16.0, 22.0])
+
+    def test_first_order_approach_converges(self):
+        ref = first_order_approach([0.0], [4.0], 10, smoothing=0.5)
+        assert ref[0, 0] == pytest.approx(2.0)
+        assert ref[-1, 0] == pytest.approx(4.0, abs=1e-2)
+
+    def test_first_order_zero_smoothing_is_constant(self):
+        ref = first_order_approach([1.0], [4.0], 4, smoothing=0.0)
+        np.testing.assert_allclose(ref, 4.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-100, 100), st.floats(-100, 100), st.integers(1, 20))
+    def test_ramp_is_monotone(self, a, b, n):
+        ref = ramp_reference([a], [b], n).ravel()
+        diffs = np.diff(ref)
+        if b >= a:
+            assert np.all(diffs >= -1e-9)
+        else:
+            assert np.all(diffs <= 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ramp_reference([0.0], [1.0, 2.0], 3)
+        with pytest.raises(ModelError):
+            constant_reference([1.0], 0)
+        with pytest.raises(ModelError):
+            integrate_rates([1.0, 2.0], [[1.0]], dt=1.0)
+        with pytest.raises(ModelError):
+            first_order_approach([0.0], [1.0], 3, smoothing=1.0)
+
+
+class TestControllability:
+    def test_integrator_chain_controllable(self):
+        A = np.array([[0, 1], [0, 0]])
+        B = np.array([[0], [1]])
+        assert is_controllable(A, B)
+        assert controllability_matrix(A, B).shape == (2, 2)
+
+    def test_disconnected_state_uncontrollable(self):
+        A = np.diag([1.0, 2.0])
+        B = np.array([[1.0], [0.0]])
+        assert not is_controllable(A, B)
+        modes = uncontrollable_modes(A, B)
+        assert any(abs(m - 2.0) < 1e-8 for m in modes)
+
+    def test_observability(self):
+        A = np.array([[0, 1], [0, 0]])
+        C = np.array([[1, 0]])
+        assert is_observable(A, C)
+        assert not is_observable(A, np.array([[0.0, 1.0]]))
+
+
+class TestContraction:
+    def test_geometric_sequence(self):
+        e = 0.8 ** np.arange(20)
+        assert estimate_contraction(e) == pytest.approx(0.8, abs=1e-6)
+
+    def test_zero_errors(self):
+        assert estimate_contraction(np.zeros(5)) == 0.0

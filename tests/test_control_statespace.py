@@ -1,0 +1,70 @@
+"""Tests for continuous/discrete state-space containers and simulation."""
+
+import numpy as np
+import pytest
+
+from repro.control import ContinuousStateSpace, DiscreteStateSpace
+from repro.exceptions import ModelError
+
+
+class TestContinuous:
+    def test_dimensions(self):
+        sys = ContinuousStateSpace(A=np.zeros((3, 3)), B=np.zeros((3, 2)))
+        assert sys.n_states == 3
+        assert sys.n_inputs == 2
+        assert sys.n_outputs == 3  # default C = identity
+
+    def test_default_offset_zero(self):
+        sys = ContinuousStateSpace(A=[[0.0]], B=[[1.0]])
+        np.testing.assert_allclose(sys.derivative([1.0], [0.0]), [0.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            ContinuousStateSpace(A=np.zeros((2, 3)), B=np.zeros((2, 1)))
+        with pytest.raises(ModelError):
+            ContinuousStateSpace(A=np.eye(2), B=np.zeros((3, 1)))
+        with pytest.raises(ModelError):
+            ContinuousStateSpace(A=np.eye(2), B=np.zeros((2, 1)),
+                                 C=np.zeros((1, 3)))
+        with pytest.raises(ModelError):
+            ContinuousStateSpace(A=np.eye(2), B=np.zeros((2, 1)), w=[1.0])
+
+    def test_rk4_exponential_decay(self):
+        sys = ContinuousStateSpace(A=[[-1.0]], B=[[0.0]])
+        t = np.linspace(0, 2, 201)
+        x = sys.simulate([1.0], lambda _t: [0.0], t)
+        np.testing.assert_allclose(x[:, 0], np.exp(-t), rtol=1e-6)
+
+    def test_output_map(self):
+        sys = ContinuousStateSpace(A=np.zeros((2, 2)), B=np.zeros((2, 1)),
+                                   C=[[1.0, -1.0]])
+        assert sys.output([3.0, 1.0])[0] == pytest.approx(2.0)
+
+
+class TestDiscrete:
+    def test_step_affine(self):
+        sys = DiscreteStateSpace(Phi=[[1.0]], G=[[2.0]], w=[0.5])
+        assert sys.step([1.0], [3.0])[0] == pytest.approx(7.5)
+
+    def test_simulate_includes_initial_state(self):
+        sys = DiscreteStateSpace(Phi=np.eye(2), G=np.zeros((2, 1)))
+        traj = sys.simulate([1.0, 2.0], np.zeros((5, 1)))
+        assert traj.shape == (6, 2)
+        np.testing.assert_allclose(traj[0], [1.0, 2.0])
+        np.testing.assert_allclose(traj[-1], [1.0, 2.0])
+
+    def test_with_offset_returns_copy(self):
+        sys = DiscreteStateSpace(Phi=np.eye(1), G=np.eye(1))
+        sys2 = sys.with_offset([4.0])
+        assert sys.w[0] == 0.0
+        assert sys2.w[0] == 4.0
+        assert sys2.Phi is sys.Phi  # matrices shared, offset replaced
+
+    def test_invalid_dt(self):
+        with pytest.raises(ModelError):
+            DiscreteStateSpace(Phi=np.eye(1), G=np.eye(1), dt=-1.0)
+
+    def test_integrator_accumulates(self):
+        sys = DiscreteStateSpace(Phi=[[1.0]], G=[[1.0]])
+        traj = sys.simulate([0.0], np.ones((10, 1)))
+        assert traj[-1, 0] == pytest.approx(10.0)

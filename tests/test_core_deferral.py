@@ -1,0 +1,201 @@
+"""Tests for the delay-tolerant workload deferral extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimalInstantaneousPolicy
+from repro.core import BatchQueue, DeferralConfig, DeferralPolicy
+from repro.exceptions import ConfigurationError
+from repro.sim import paper_scenario, run_simulation
+from repro.sim.policy import PolicyObservation
+
+
+class TestBatchQueue:
+    def test_backlog_accounting(self):
+        q = BatchQueue()
+        q.add(100.0, deadline=50.0)
+        q.add(200.0, deadline=80.0)
+        assert q.backlog == 300.0
+
+    def test_zero_work_ignored(self):
+        q = BatchQueue()
+        q.add(0.0, deadline=10.0)
+        assert q.backlog == 0.0
+
+    def test_serve_in_order(self):
+        q = BatchQueue()
+        q.add(100.0, deadline=50.0)
+        q.add(200.0, deadline=80.0)
+        served = q.serve(150.0)
+        assert served == 150.0
+        assert q.backlog == 150.0
+        assert q.due_within(0.0, 60.0) == 0.0  # first job fully drained
+
+    def test_serve_more_than_backlog(self):
+        q = BatchQueue()
+        q.add(10.0, deadline=5.0)
+        assert q.serve(100.0) == 10.0
+        assert q.backlog == 0.0
+
+    def test_due_within(self):
+        q = BatchQueue()
+        q.add(100.0, deadline=30.0)
+        q.add(50.0, deadline=90.0)
+        assert q.due_within(0.0, 60.0) == 100.0
+        assert q.due_within(0.0, 100.0) == 150.0
+
+    def test_expire(self):
+        q = BatchQueue()
+        q.add(100.0, deadline=30.0)
+        q.add(50.0, deadline=90.0)
+        missed = q.expire(t_now=60.0)
+        assert missed == 100.0
+        assert q.backlog == 50.0
+        assert q.deadline_misses == 100.0
+
+    def test_reset(self):
+        q = BatchQueue()
+        q.add(10.0, 1.0)
+        q.expire(2.0)
+        q.reset()
+        assert q.backlog == 0.0
+        assert q.deadline_misses == 0.0
+
+
+class TestDeferralConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeferralConfig(batch_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            DeferralConfig(deadline_seconds=1.0, dt=30.0)
+        with pytest.raises(ConfigurationError):
+            DeferralConfig(dt=0.0)
+        with pytest.raises(ConfigurationError):
+            DeferralConfig(max_service_rate=0.0)
+
+
+class TestDeferralPolicy:
+    def _obs(self, cluster, prices, period=0, t=0.0):
+        return PolicyObservation(
+            period=period, time_seconds=t,
+            loads=cluster.portals.loads_at(period), prices=prices,
+            prev_u=np.zeros(cluster.n_allocations),
+            prev_servers=cluster.server_counts())
+
+    def test_expensive_hours_defer_work(self):
+        sc = paper_scenario(dt=60.0, duration=600.0)
+        cfg = DeferralConfig(batch_fraction=0.3, deadline_seconds=3600.0,
+                             price_threshold=5.0, dt=60.0)  # never cheap
+        policy = DeferralPolicy(OptimalInstantaneousPolicy(sc.cluster), cfg)
+        d = policy.decide(self._obs(sc.cluster,
+                                    prices=np.array([50.0, 40.0, 60.0])))
+        served = sc.cluster.idc_workloads(d.u).sum()
+        # only the interactive 70% runs now; the batch 30% queues
+        assert served == pytest.approx(0.7 * 100000.0, rel=1e-6)
+        assert d.diagnostics["deferral_backlog_req_s"] == pytest.approx(
+            0.3 * 100000.0 * 60.0)
+
+    def test_cheap_hour_drains_queue(self):
+        sc = paper_scenario(dt=60.0, duration=600.0)
+        cfg = DeferralConfig(batch_fraction=0.3, deadline_seconds=3600.0,
+                             price_threshold=100.0, dt=60.0)  # always cheap
+        policy = DeferralPolicy(OptimalInstantaneousPolicy(sc.cluster), cfg)
+        d = policy.decide(self._obs(sc.cluster,
+                                    prices=np.array([50.0, 40.0, 60.0])))
+        served = sc.cluster.idc_workloads(d.u).sum()
+        # batch enqueued then immediately drained: full load served
+        assert served == pytest.approx(100000.0, rel=1e-6)
+        assert d.diagnostics["deferral_backlog_req_s"] == pytest.approx(0.0)
+
+    def test_deadline_forces_service(self):
+        sc = paper_scenario(dt=60.0, duration=600.0)
+        cfg = DeferralConfig(batch_fraction=0.2, deadline_seconds=120.0,
+                             price_threshold=0.0, dt=60.0)  # never cheap
+        policy = DeferralPolicy(OptimalInstantaneousPolicy(sc.cluster), cfg)
+        prices = np.array([50.0, 40.0, 60.0])
+        served_rates = []
+        for k in range(4):
+            d = policy.decide(self._obs(sc.cluster, prices, period=k,
+                                        t=60.0 * k))
+            served_rates.append(d.diagnostics["deferral_served_rate"])
+        # by period 2, period-0 work's deadline (t=120) falls within the
+        # next period and must be served
+        assert served_rates[0] == pytest.approx(0.0)
+        assert max(served_rates[1:]) > 0.0
+        assert policy.queue.deadline_misses == 0.0
+
+    def test_service_rate_cap_limits_opportunistic_drain(self):
+        sc = paper_scenario(dt=60.0, duration=600.0)
+        cfg = DeferralConfig(batch_fraction=0.3, deadline_seconds=3600.0,
+                             price_threshold=100.0, dt=60.0,
+                             max_service_rate=10000.0)
+        policy = DeferralPolicy(OptimalInstantaneousPolicy(sc.cluster), cfg)
+        d = policy.decide(self._obs(sc.cluster,
+                                    prices=np.array([50.0, 40.0, 60.0])))
+        assert d.diagnostics["deferral_served_rate"] <= 10000.0 + 1e-9
+
+    def test_closed_loop_shifts_energy_into_cheap_hour(self):
+        """On the paper scenario, deferral moves energy into the hour-3
+        negative-price dip without missing deadlines.
+
+        (The *bill* barely moves there: geographic balancing has already
+        squeezed the spatial spread, so only the small marginal-price
+        gap is arbitraged — the clean economic win is asserted on the
+        controlled market below.)
+        """
+        sc = paper_scenario(dt=60.0, duration=7200.0, start_hour=2.0)
+        cfg = DeferralConfig(batch_fraction=0.4, deadline_seconds=5400.0,
+                             price_threshold=0.0, dt=60.0)
+        defer = run_simulation(sc, DeferralPolicy(
+            OptimalInstantaneousPolicy(sc.cluster), cfg))
+        served = defer.workloads.sum(axis=1)
+        hour2 = served[:60]
+        hour3 = served[60:120]
+        assert hour2.max() < 100000.0  # work withheld in hour 2
+        assert hour3.max() > 100000.0  # drained in the cheap hour
+        assert defer.diagnostics[-1][
+            "deferral_deadline_missed_req_s"] == 0.0
+
+    def test_cost_savings_on_price_drop_market(self):
+        """Single-region market whose price halves after one hour:
+        deferring batch work into the cheap hour must cut the bill."""
+        from repro.datacenter import IDCCluster, IDCConfig, LinearPowerModel
+        from repro.pricing import PriceTrace, RealTimeMarket, RegionMarketConfig
+        from repro.sim import Scenario
+        from repro.workload import PortalSet
+
+        def make_scenario():
+            config = IDCConfig(
+                name="solo", region="solo", max_servers=50000,
+                service_rate=2.0, latency_bound=0.001,
+                power_model=LinearPowerModel.from_idle_peak(150, 285, 2.0))
+            cluster = IDCCluster.from_configs(
+                [config], PortalSet.constant([20000.0]))
+            market = RealTimeMarket({"solo": RegionMarketConfig(
+                trace=PriceTrace("solo", [50.0, 10.0, 10.0]))})
+            return Scenario(cluster=cluster, market=market, dt=60.0,
+                            duration=7200.0, start_time=0.0)
+
+        sc_plain = make_scenario()
+        plain = run_simulation(
+            sc_plain, OptimalInstantaneousPolicy(sc_plain.cluster))
+        sc = make_scenario()
+        cfg = DeferralConfig(batch_fraction=0.5, deadline_seconds=5400.0,
+                             price_threshold=20.0, dt=60.0)
+        defer = run_simulation(sc, DeferralPolicy(
+            OptimalInstantaneousPolicy(sc.cluster), cfg))
+
+        assert defer.total_cost_usd < 0.9 * plain.total_cost_usd
+        assert defer.diagnostics[-1][
+            "deferral_deadline_missed_req_s"] == 0.0
+
+    def test_reset_clears_queue(self):
+        sc = paper_scenario(dt=60.0, duration=600.0)
+        cfg = DeferralConfig(batch_fraction=0.3, deadline_seconds=3600.0,
+                             price_threshold=0.0, dt=60.0)
+        policy = DeferralPolicy(OptimalInstantaneousPolicy(sc.cluster), cfg)
+        policy.decide(self._obs(sc.cluster, np.array([50.0, 40.0, 60.0])))
+        assert policy.queue.backlog > 0
+        policy.reset()
+        assert policy.queue.backlog == 0.0
+        assert policy.name == "deferral(optimal)"

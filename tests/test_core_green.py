@@ -1,0 +1,151 @@
+"""Tests for renewable generation models and green load balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GreenOptimalPolicy,
+    solve_green_allocation,
+    solve_optimal_allocation,
+)
+from repro.exceptions import ConfigurationError, ModelError
+from repro.pricing import RenewableTrace, SolarProfile, WindModel
+from repro.sim import paper_cluster, paper_scenario, run_simulation
+
+PRICES = np.array([43.26, 30.26, 19.06])
+LOADS = np.array([30000.0, 15000.0, 15000.0, 20000.0, 20000.0])
+
+
+class TestSolarProfile:
+    def test_clear_sky_envelope(self):
+        solar = SolarProfile(capacity_watts=1e6)
+        assert solar.clear_sky(3.0) == 0.0         # night
+        assert solar.clear_sky(12.0) == pytest.approx(1e6)  # noon peak
+        assert solar.clear_sky(6.0) == pytest.approx(0.0, abs=1e-6)
+        assert 0 < solar.clear_sky(9.0) < 1e6
+
+    def test_sample_bounded_by_capacity(self):
+        solar = SolarProfile(capacity_watts=2e6)
+        trace = solar.sample(start_hour=0.0, n_periods=288,
+                             period_seconds=300.0,
+                             rng=np.random.default_rng(0))
+        assert np.all(trace.powers_watts >= 0)
+        assert np.all(trace.powers_watts <= 2e6)
+        # night periods generate nothing
+        assert trace.powers_watts[:60].max() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SolarProfile(capacity_watts=0.0)
+        with pytest.raises(ConfigurationError):
+            SolarProfile(1e6, sunrise_hour=19.0, sunset_hour=6.0)
+        with pytest.raises(ConfigurationError):
+            SolarProfile(1e6, attenuation_floor=2.0)
+
+
+class TestWindModel:
+    def test_power_curve(self):
+        wind = WindModel(capacity_watts=3e6)
+        assert wind.power_at_speed(1.0) == 0.0       # below cut-in
+        assert wind.power_at_speed(30.0) == 0.0      # above cut-out
+        assert wind.power_at_speed(12.0) == pytest.approx(3e6)
+        assert wind.power_at_speed(6.0) == pytest.approx(
+            3e6 * (6.0 / 12.0) ** 3)
+
+    def test_sample_bounds(self):
+        wind = WindModel(capacity_watts=1e6)
+        trace = wind.sample(500, 60.0, rng=np.random.default_rng(1))
+        assert np.all(trace.powers_watts >= 0)
+        assert np.all(trace.powers_watts <= 1e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindModel(capacity_watts=-1.0)
+        with pytest.raises(ConfigurationError):
+            WindModel(1e6, cut_in_speed=15.0, rated_speed=12.0)
+
+
+class TestRenewableTrace:
+    def test_clamping(self):
+        t = RenewableTrace("s", [1.0, 2.0], 60.0)
+        assert t.at(0) == 1.0
+        assert t.at(5) == 2.0
+        assert t.at(-3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RenewableTrace("s", [], 60.0)
+        with pytest.raises(ConfigurationError):
+            RenewableTrace("s", [-1.0], 60.0)
+        with pytest.raises(ConfigurationError):
+            RenewableTrace("s", [1.0], 0.0)
+
+
+class TestGreenAllocation:
+    def test_zero_renewables_matches_plain_lp(self):
+        cluster = paper_cluster()
+        green = solve_green_allocation(cluster, PRICES, LOADS,
+                                       np.zeros(3))
+        plain = solve_optimal_allocation(cluster, PRICES, LOADS)
+        assert float(np.sum(PRICES * green.brown_watts)) == pytest.approx(
+            float(np.sum(PRICES * plain.powers_watts_relaxed)), rel=1e-3)
+
+    def test_renewables_attract_load(self):
+        """Free power at the most expensive site flips the allocation."""
+        cluster = paper_cluster()
+        none = solve_green_allocation(cluster, PRICES, LOADS, np.zeros(3))
+        # 6 MW of free power at Michigan (most expensive at 6H)
+        solar = solve_green_allocation(cluster, PRICES, LOADS,
+                                       np.array([6e6, 0.0, 0.0]))
+        assert solar.idc_workloads[0] >= none.idc_workloads[0] - 1.0
+        assert solar.total_brown_watts < none.total_brown_watts
+        # within the covered region electricity is free: brown at MI small
+        assert solar.brown_watts[0] < none.brown_watts[0]
+
+    def test_hinge_never_negative(self):
+        cluster = paper_cluster()
+        out = solve_green_allocation(cluster, PRICES, LOADS,
+                                     np.array([1e9, 1e9, 1e9]))
+        np.testing.assert_allclose(out.brown_watts, 0.0, atol=1e-6)
+        assert np.all(out.renewable_used_watts <= 1e9)
+
+    def test_conservation_and_capacity(self):
+        cluster = paper_cluster()
+        out = solve_green_allocation(cluster, PRICES, LOADS,
+                                     np.array([2e6, 1e6, 0.0]))
+        assert cluster.allocation_feasible(out.u)
+
+    def test_validation(self):
+        cluster = paper_cluster()
+        with pytest.raises(ModelError):
+            solve_green_allocation(cluster, PRICES, LOADS, np.zeros(2))
+        with pytest.raises(ModelError):
+            solve_green_allocation(cluster, PRICES, LOADS,
+                                   np.array([-1.0, 0, 0]))
+
+
+class TestGreenPolicy:
+    def test_closed_loop_uses_less_brown_energy(self):
+        sc = paper_scenario(dt=300.0, duration=3600.0, start_hour=10.0)
+        n = sc.n_periods
+        solar = SolarProfile(capacity_watts=4e6)
+        traces = [
+            solar.sample(10.0, n, 300.0, rng=np.random.default_rng(j),
+                         site=name)
+            for j, name in enumerate(sc.cluster.idc_names)
+        ]
+        policy = GreenOptimalPolicy(sc.cluster, traces)
+        run = run_simulation(sc, policy)
+        brown = np.array([d["brown_watts"] for d in run.diagnostics])
+        used = np.array([d["renewable_used_watts"]
+                         for d in run.diagnostics])
+        assert used.sum() > 0  # renewables actually consumed
+        # brown + used == total power drawn
+        np.testing.assert_allclose(brown + used, run.powers_watts,
+                                   rtol=1e-6)
+
+    def test_trace_count_validation(self):
+        sc = paper_scenario()
+        with pytest.raises(ModelError):
+            GreenOptimalPolicy(sc.cluster,
+                               [RenewableTrace("x", [1.0], 60.0)])

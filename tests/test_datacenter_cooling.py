@@ -1,0 +1,77 @@
+"""Tests for the cooling/PUE extension."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import ConstantPUE, LoadDependentPUE, facility_power
+from repro.exceptions import ConfigurationError, ModelError
+
+
+class TestConstantPUE:
+    def test_factor(self):
+        assert ConstantPUE(1.4).factor(0.1) == 1.4
+        assert ConstantPUE(1.4).factor(0.9) == 1.4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantPUE(0.9)
+
+
+class TestLoadDependentPUE:
+    def test_endpoints(self):
+        m = LoadDependentPUE(pue_idle=2.0, pue_peak=1.3)
+        assert m.factor(0.0) == pytest.approx(2.0)
+        assert m.factor(1.0) == pytest.approx(1.3)
+        assert m.factor(0.5) == pytest.approx(1.65)
+
+    def test_monotone_in_utilization(self):
+        m = LoadDependentPUE()
+        factors = [m.factor(u) for u in np.linspace(0, 1, 11)]
+        assert all(b <= a for a, b in zip(factors, factors[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadDependentPUE(pue_idle=1.2, pue_peak=1.5)
+        with pytest.raises(ConfigurationError):
+            LoadDependentPUE(pue_idle=1.5, pue_peak=0.9)
+        with pytest.raises(ModelError):
+            LoadDependentPUE().factor(1.5)
+
+
+class TestFacilityPower:
+    def test_constant_pue_scales(self):
+        it = np.array([1e6, 2e6])
+        out = facility_power(it, ConstantPUE(1.5), max_power_watts=4e6)
+        np.testing.assert_allclose(out, it * 1.5)
+
+    def test_load_dependent_penalizes_low_load(self):
+        m = LoadDependentPUE(pue_idle=2.0, pue_peak=1.2)
+        cap = 10e6
+        low = facility_power(np.array([1e6]), m, cap)[0]
+        high = facility_power(np.array([9e6]), m, cap)[0]
+        # overhead ratio is worse at low load
+        assert low / 1e6 > high / 9e6
+
+    def test_matrix_input(self):
+        it = np.array([[1e6, 2e6], [3e6, 4e6]])
+        out = facility_power(it, ConstantPUE(1.1), 5e6)
+        assert out.shape == it.shape
+        np.testing.assert_allclose(out, it * 1.1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            facility_power(np.array([1.0]), ConstantPUE(1.1), 0.0)
+
+    def test_composes_with_simulation(self):
+        """Facility power of a recorded run: total bill with cooling is
+        PUE-fold the IT bill for a constant PUE."""
+        from repro.baselines import OptimalInstantaneousPolicy
+        from repro.sim import paper_scenario, run_simulation
+
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        caps = np.array([idc.config.max_power_watts
+                         for idc in sc.cluster.idcs])
+        total = facility_power(run.powers_watts, ConstantPUE(1.5),
+                               np.broadcast_to(caps, run.powers_watts.shape))
+        np.testing.assert_allclose(total, run.powers_watts * 1.5)

@@ -1,0 +1,190 @@
+"""Tests for server power models and queueing formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    FrequencyPowerModel,
+    LinearPowerModel,
+    erlang_c,
+    fit_frequency_model,
+    is_stable,
+    latency_capacity,
+    mg1_wait_time,
+    mm1_response_time,
+    mmn_response_time,
+    mmn_wait_time,
+    required_servers,
+    simplified_latency,
+)
+from repro.exceptions import ModelError
+
+
+class TestLinearPowerModel:
+    def test_table2_spec(self):
+        # 150 W idle, 285 W peak at mu = 2 req/s (Michigan servers)
+        m = LinearPowerModel.from_idle_peak(150.0, 285.0, 2.0)
+        assert m.b0 == 150.0
+        assert m.b1 == pytest.approx(67.5)
+        assert m.power(0.0) == 150.0
+        assert m.power(2.0) == pytest.approx(285.0)
+
+    def test_cluster_power_eq7(self):
+        m = LinearPowerModel(b1=10.0, b0=100.0)
+        # P = b1*lambda + m*b0
+        assert m.cluster_power(50.0, 3) == pytest.approx(800.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LinearPowerModel(b1=-1.0, b0=0.0)
+        with pytest.raises(ModelError):
+            LinearPowerModel(b1=1.0, b0=-1.0)
+        m = LinearPowerModel(b1=1.0, b0=1.0)
+        with pytest.raises(ModelError):
+            m.power(-1.0)
+        with pytest.raises(ModelError):
+            m.cluster_power(1.0, -1)
+        with pytest.raises(ModelError):
+            LinearPowerModel.from_idle_peak(200.0, 100.0, 1.0)
+        with pytest.raises(ModelError):
+            LinearPowerModel.from_idle_peak(100.0, 200.0, 0.0)
+
+
+class TestFrequencyModel:
+    def test_eq5_evaluation(self):
+        m = FrequencyPowerModel(a3=50.0, a2=30.0, a1=20.0, a0=100.0)
+        assert m.power(2.0, 0.5) == pytest.approx(
+            50 * 2 * 0.5 + 30 * 2 + 20 * 0.5 + 100)
+
+    def test_projection_to_linear(self):
+        m = FrequencyPowerModel(a3=50.0, a2=30.0, a1=20.0, a0=100.0)
+        lin = m.at_frequency(2.0)
+        # b0 = a2 f + a0, b1 = a3 + a1/f
+        assert lin.b0 == pytest.approx(160.0)
+        assert lin.b1 == pytest.approx(60.0)
+
+    def test_fit_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        true = FrequencyPowerModel(a3=40.0, a2=25.0, a1=15.0, a0=120.0)
+        f = rng.uniform(1.0, 3.0, 50)
+        u = rng.uniform(0.0, 1.0, 50)
+        p = np.array([true.power(fi, ui) for fi, ui in zip(f, u)])
+        fitted = fit_frequency_model(f, u, p + rng.normal(0, 0.01, 50))
+        assert fitted.a3 == pytest.approx(40.0, abs=0.1)
+        assert fitted.a0 == pytest.approx(120.0, abs=0.5)
+
+    def test_fit_validation(self):
+        with pytest.raises(ModelError):
+            fit_frequency_model([1.0], [0.5], [100.0])
+        with pytest.raises(ModelError):
+            fit_frequency_model([1.0, 2.0], [0.5], [100.0, 200.0])
+
+    def test_power_validation(self):
+        m = FrequencyPowerModel(1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            m.power(0.0, 0.5)
+        with pytest.raises(ModelError):
+            m.power(1.0, 1.5)
+
+
+class TestQueueing:
+    def test_simplified_latency_eq14(self):
+        # D = 1/(m*mu - lambda)
+        assert simplified_latency(10.0, 6, 2.0) == pytest.approx(0.5)
+
+    def test_simplified_latency_unstable(self):
+        with pytest.raises(ModelError):
+            simplified_latency(12.0, 6, 2.0)
+
+    def test_erlang_c_single_server_is_rho(self):
+        # For M/M/1, C(1, a) = a = rho.
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+
+    def test_erlang_c_bounds(self):
+        assert erlang_c(10, 0.0) == 0.0
+        for a in [1.0, 5.0, 9.0]:
+            c = erlang_c(10, a)
+            assert 0.0 <= c <= 1.0
+
+    def test_erlang_c_increases_with_load(self):
+        vals = [erlang_c(5, a) for a in [1.0, 2.0, 3.0, 4.0, 4.9]]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_mmn_wait_mm1_closed_form(self):
+        # M/M/1: Wq = rho/(mu - lambda)
+        lam, mu = 0.6, 1.0
+        assert mmn_wait_time(lam, 1, mu) == pytest.approx(
+            (lam / mu) / (mu - lam))
+
+    def test_response_time_includes_service(self):
+        lam, mu = 0.5, 1.0
+        assert mmn_response_time(lam, 1, mu) == pytest.approx(
+            mmn_wait_time(lam, 1, mu) + 1.0)
+
+    def test_paper_simplification_is_conservative(self):
+        """P_Q = 1 overestimates waiting, so eq. 14 upper-bounds exact Wq."""
+        for lam, n, mu in [(10.0, 6, 2.0), (50.0, 30, 2.0), (5.0, 8, 1.0)]:
+            assert simplified_latency(lam, n, mu) >= mmn_wait_time(lam, n, mu)
+
+    def test_required_servers_eq35(self):
+        # m = ceil(lambda/mu + 1/(mu*D))
+        assert required_servers(100.0, 2.0, 0.001) == 550
+        # and the resulting latency meets the bound
+        assert simplified_latency(100.0, 550, 2.0) <= 0.001
+
+    def test_required_servers_tight(self):
+        """One fewer server than eq. 35 must violate the bound."""
+        m = required_servers(100.0, 2.0, 0.001)
+        try:
+            latency = simplified_latency(100.0, m - 1, 2.0)
+            assert latency > 0.001
+        except ModelError:
+            pass  # unstable is also a violation
+
+    def test_latency_capacity_inverse_of_required(self):
+        cap = latency_capacity(550, 2.0, 0.001)
+        assert cap == pytest.approx(100.0)
+        assert required_servers(cap, 2.0, 0.001) == 550
+
+    def test_latency_capacity_zero_floor(self):
+        assert latency_capacity(1, 1.0, 0.1) == 0.0  # 1 - 10 < 0 -> 0
+
+    def test_stability_predicate(self):
+        assert is_stable(5.0, 3, 2.0)
+        assert not is_stable(6.0, 3, 2.0)
+        assert not is_stable(1.0, 0, 2.0)
+
+    def test_mm1_and_mg1(self):
+        assert mm1_response_time(0.5, 1.0) == pytest.approx(2.0)
+        # M/G/1 with scv=1 equals M/M/1 waiting time
+        lam, mu = 0.5, 1.0
+        assert mg1_wait_time(lam, mu, 1.0) == pytest.approx(
+            mmn_wait_time(lam, 1, mu))
+        # deterministic service halves the wait
+        assert mg1_wait_time(lam, mu, 0.0) == pytest.approx(
+            0.5 * mg1_wait_time(lam, mu, 1.0))
+
+    def test_queueing_validation(self):
+        with pytest.raises(ModelError):
+            required_servers(-1.0, 1.0, 0.1)
+        with pytest.raises(ModelError):
+            required_servers(1.0, 0.0, 0.1)
+        with pytest.raises(ModelError):
+            latency_capacity(1, 1.0, 0.0)
+        with pytest.raises(ModelError):
+            erlang_c(0, 0.5)
+        with pytest.raises(ModelError):
+            erlang_c(2, 2.5)
+        with pytest.raises(ModelError):
+            mm1_response_time(2.0, 1.0)
+        with pytest.raises(ModelError):
+            mg1_wait_time(0.5, 1.0, -1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.1, 500.0), st.floats(0.5, 5.0),
+           st.floats(1e-4, 1.0))
+    def test_required_servers_always_sufficient(self, lam, mu, dbound):
+        m = required_servers(lam, mu, dbound)
+        assert simplified_latency(lam, m, mu) <= dbound * (1 + 1e-9)

@@ -1,0 +1,101 @@
+"""Edge and error paths not covered by the behavioural suites."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformPolicy
+from repro.exceptions import ModelError
+from repro.optim import OptimizeResult, Status
+from repro.sim import (
+    ComparisonResult,
+    paper_scenario,
+    run_simulation,
+)
+from repro.sim.policy import AllocationDecision, Policy, PolicyObservation
+
+
+class TestOptimizeResult:
+    def test_status_validation(self):
+        with pytest.raises(ValueError):
+            OptimizeResult(x=np.zeros(2), fun=0.0, status="vibes")
+
+    def test_success_flag(self):
+        ok = OptimizeResult(x=np.zeros(1), fun=0.0, status=Status.OPTIMAL)
+        bad = OptimizeResult(x=np.zeros(1), fun=0.0,
+                             status=Status.ITERATION_LIMIT)
+        assert ok.success and not bad.success
+
+    def test_x_coerced_to_array(self):
+        res = OptimizeResult(x=[1, 2], fun=0.0, status=Status.OPTIMAL)
+        assert isinstance(res.x, np.ndarray)
+        assert res.x.dtype == float
+
+
+class TestEngineErrorPaths:
+    def test_policy_returning_wrong_type_rejected(self):
+        sc = paper_scenario(dt=60.0, duration=120.0)
+
+        class Broken:
+            name = "broken"
+
+            def decide(self, obs):
+                return {"u": None}  # not an AllocationDecision
+
+            def reset(self):
+                pass
+
+        with pytest.raises(ModelError):
+            run_simulation(sc, Broken())
+
+    def test_policy_protocol_runtime_checkable(self):
+        sc = paper_scenario(dt=60.0, duration=120.0)
+        assert isinstance(UniformPolicy(sc.cluster), Policy)
+
+        class NotAPolicy:
+            pass
+
+        assert not isinstance(NotAPolicy(), Policy)
+
+    def test_allocation_decision_defaults(self):
+        d = AllocationDecision(u=np.zeros(3), servers=np.zeros(1))
+        assert d.diagnostics == {}
+
+    def test_observation_optional_fields_default_none(self):
+        obs = PolicyObservation(
+            period=0, time_seconds=0.0, loads=np.zeros(1),
+            prices=np.zeros(1), prev_u=np.zeros(1),
+            prev_servers=np.zeros(1))
+        assert obs.predicted_loads is None
+        assert obs.predicted_prices is None
+
+
+class TestComparisonResult:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ComparisonResult(runs={})
+
+    def test_membership_and_names(self):
+        sc = paper_scenario(dt=60.0, duration=120.0)
+        run = run_simulation(sc, UniformPolicy(sc.cluster))
+        comp = ComparisonResult(runs={"uniform": run})
+        assert "uniform" in comp
+        assert "other" not in comp
+        assert comp.policy_names == ["uniform"]
+        assert comp["uniform"].policy_name == "uniform"
+
+
+class TestMPCSolutionContents:
+    def test_u_sequence_consistent_with_increments(self):
+        from repro.control import (
+            DiscreteStateSpace,
+            ModelPredictiveController,
+        )
+
+        model = DiscreteStateSpace(Phi=np.eye(1), G=np.eye(1))
+        ctrl = ModelPredictiveController(model, 4, 3, q_weight=1.0,
+                                         r_weight=0.1)
+        u_prev = np.array([0.5])
+        sol = ctrl.control(np.zeros(1), u_prev, reference=2.0)
+        rebuilt = u_prev + np.cumsum(sol.du_sequence, axis=0)
+        np.testing.assert_allclose(sol.u_sequence, rebuilt)
+        np.testing.assert_allclose(sol.u, sol.u_sequence[0])

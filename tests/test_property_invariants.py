@@ -1,0 +1,131 @@
+"""Property-based invariants across randomized scenarios.
+
+Hypothesis drives randomized cluster/market/workload configurations
+through the closed loop and checks the invariants that must hold for
+*any* valid configuration — conservation, feasibility, cost ordering,
+meter consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    GreedyPricePolicy,
+    OptimalInstantaneousPolicy,
+    UniformPolicy,
+)
+from repro.core import solve_optimal_allocation
+from repro.datacenter import IDCCluster, IDCConfig, LinearPowerModel
+from repro.pricing import PriceTrace, RealTimeMarket, RegionMarketConfig
+from repro.sim import Scenario, run_simulation
+from repro.workload import PortalSet
+
+_SETTINGS = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_setup(rng: np.random.Generator):
+    """A random feasible cluster + market + loads."""
+    n_idcs = int(rng.integers(2, 5))
+    n_portals = int(rng.integers(1, 4))
+    configs = []
+    regions = {}
+    for j in range(n_idcs):
+        mu = float(rng.uniform(0.5, 3.0))
+        idle = float(rng.uniform(50, 200))
+        peak = idle + float(rng.uniform(50, 300))
+        fleet = int(rng.integers(2000, 20000))
+        name = f"r{j}"
+        configs.append(IDCConfig(
+            name=name, region=name, max_servers=fleet, service_rate=mu,
+            latency_bound=float(rng.uniform(0.001, 0.01)),
+            power_model=LinearPowerModel.from_idle_peak(idle, peak, mu)))
+        hourly = rng.uniform(5.0, 90.0, size=24)
+        regions[name] = RegionMarketConfig(
+            trace=PriceTrace(name, hourly))
+    # loads at most 60% of aggregate capacity => always feasible
+    total_cap = sum(
+        cfg.max_servers * cfg.service_rate - 1.0 / cfg.latency_bound
+        for cfg in configs)
+    loads = rng.uniform(0.05, 0.6 / n_portals, n_portals) * total_cap
+    cluster = IDCCluster.from_configs(configs, PortalSet.constant(loads))
+    market = RealTimeMarket(regions)
+    scenario = Scenario(cluster=cluster, market=market, dt=120.0,
+                        duration=1200.0, start_time=0.0)
+    return scenario
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_optimal_policy_invariants(seed):
+    scenario = _random_setup(np.random.default_rng(seed))
+    run = run_simulation(scenario,
+                         OptimalInstantaneousPolicy(scenario.cluster))
+    # conservation
+    np.testing.assert_allclose(run.workloads.sum(axis=1),
+                               run.loads.sum(axis=1), rtol=1e-6)
+    # nonnegative allocations, servers within fleet
+    assert np.all(run.allocations >= -1e-9)
+    fleets = [idc.config.max_servers for idc in scenario.cluster.idcs]
+    assert np.all(run.servers <= np.array(fleets))
+    # QoS bound holds at the optimal allocation
+    bounds = np.array([idc.config.latency_bound
+                       for idc in scenario.cluster.idcs])
+    assert np.all(run.latencies <= bounds * (1 + 1e-9))
+    # meter consistency
+    expected_energy = run.powers_watts.sum(axis=0) * run.dt / 3.6e9
+    np.testing.assert_allclose(run.energy_mwh, expected_energy, rtol=1e-10)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_optimal_is_cost_floor(seed):
+    scenario = _random_setup(np.random.default_rng(seed))
+    opt = run_simulation(scenario,
+                         OptimalInstantaneousPolicy(scenario.cluster))
+    uni = run_simulation(scenario, UniformPolicy(scenario.cluster))
+    assert opt.total_cost_usd <= uni.total_cost_usd + 1e-6
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_greedy_never_beats_lp(seed):
+    scenario = _random_setup(np.random.default_rng(seed))
+    prices = scenario.prices_at(0.0)
+    loads = scenario.cluster.portals.loads_at(0)
+    alloc = solve_optimal_allocation(scenario.cluster, prices, loads)
+    lp_cost = float(np.sum(prices * alloc.powers_watts_relaxed))
+
+    greedy = GreedyPricePolicy(scenario.cluster)
+    from repro.sim.policy import PolicyObservation
+    obs = PolicyObservation(
+        period=0, time_seconds=0.0, loads=loads, prices=prices,
+        prev_u=np.zeros(scenario.cluster.n_allocations),
+        prev_servers=scenario.cluster.server_counts())
+    d = greedy.decide(obs)
+    lam = scenario.cluster.idc_workloads(d.u)
+    b1 = np.array([i.config.power_model.b1 for i in scenario.cluster.idcs])
+    b0 = np.array([i.config.power_model.b0 for i in scenario.cluster.idcs])
+    mu = np.array([i.config.service_rate for i in scenario.cluster.idcs])
+    invd = np.array([1.0 / i.config.latency_bound
+                     for i in scenario.cluster.idcs])
+    m_cont = lam / mu + invd / mu
+    greedy_cost = float(np.sum(prices * (b1 * lam + b0 * m_cont)))
+    assert lp_cost <= greedy_cost * (1 + 1e-9)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_lp_solution_always_feasible(seed):
+    scenario = _random_setup(np.random.default_rng(seed))
+    prices = scenario.prices_at(0.0)
+    loads = scenario.cluster.portals.loads_at(0)
+    alloc = solve_optimal_allocation(scenario.cluster, prices, loads)
+    assert scenario.cluster.allocation_feasible(alloc.u)
+    # integer servers cover the assigned workload within the QoS bound
+    for idc, lam, m in zip(scenario.cluster.idcs, alloc.idc_workloads,
+                           alloc.servers):
+        if lam > 0:
+            assert m * idc.config.service_rate > lam

@@ -1,0 +1,175 @@
+"""Tests for the simulation engine, scenario factory and result types."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimalInstantaneousPolicy, UniformPolicy
+from repro.exceptions import ConfigurationError, ModelError
+from repro.pricing import TABLE_III_PRICES
+from repro.sim import (
+    PAPER_BUDGETS_WATTS,
+    SimulationRecorder,
+    paper_cluster,
+    paper_scenario,
+    price_step_scenario,
+    run_simulation,
+    simulate_policies,
+)
+
+
+class TestScenario:
+    def test_paper_scenario_tables(self):
+        sc = paper_scenario()
+        assert sc.cluster.n_idcs == 3
+        assert sc.cluster.n_portals == 5
+        np.testing.assert_allclose(sc.cluster.portals.loads_at(0),
+                                   [30000, 15000, 15000, 20000, 20000])
+        fleets = [idc.config.max_servers for idc in sc.cluster.idcs]
+        assert fleets == [30000, 40000, 20000]
+        mus = [idc.config.service_rate for idc in sc.cluster.idcs]
+        assert mus == [2.0, 1.25, 1.75]
+        for idc in sc.cluster.idcs:
+            assert idc.config.latency_bound == 0.001
+            assert idc.config.power_model.b0 == 150.0
+
+    def test_paper_scenario_prices_match_table_iii(self):
+        sc = paper_scenario()
+        prices = sc.prices_at(6 * 3600.0)
+        expected = [TABLE_III_PRICES[r][6] for r in sc.cluster.regions]
+        np.testing.assert_allclose(prices, expected)
+
+    def test_price_step_scenario_crosses_7h(self):
+        sc = price_step_scenario(dt=30.0, duration=600.0)
+        first = sc.prices_at(sc.start_time)
+        later = sc.prices_at(sc.start_time + 120.0)
+        expected_6h = [TABLE_III_PRICES[r][6] for r in sc.cluster.regions]
+        expected_7h = [TABLE_III_PRICES[r][7] for r in sc.cluster.regions]
+        np.testing.assert_allclose(first, expected_6h)
+        np.testing.assert_allclose(later, expected_7h)
+
+    def test_n_periods(self):
+        sc = paper_scenario(dt=30.0, duration=600.0)
+        assert sc.n_periods == 20
+
+    def test_with_budgets(self):
+        sc = paper_scenario(with_budgets=True)
+        np.testing.assert_allclose(sc.budgets_watts, PAPER_BUDGETS_WATTS)
+        sc2 = sc.with_budgets(None)
+        assert sc2.budgets_watts is None
+
+    def test_validation(self):
+        sc = paper_scenario()
+        with pytest.raises(ConfigurationError):
+            paper_scenario(dt=0.0)
+        with pytest.raises(ConfigurationError):
+            paper_scenario(dt=100.0, duration=50.0)
+        _ = sc
+
+    def test_sleep_controllability_of_paper_setup(self):
+        paper_cluster().check_sleep_controllability()
+
+
+class TestEngine:
+    def test_result_shapes(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        assert run.n_periods == 5
+        assert run.powers_watts.shape == (5, 3)
+        assert run.loads.shape == (5, 5)
+        assert run.allocations.shape == (5, 15)
+        assert run.idc_names == ["michigan", "minnesota", "wisconsin"]
+        assert len(run.diagnostics) == 5
+
+    def test_energy_meter_consistency(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        # meter energy equals sum(P*dt) converted to MWh
+        expected = run.powers_watts.sum(axis=0) * 60.0 / 3.6e9
+        np.testing.assert_allclose(run.energy_mwh, expected, rtol=1e-12)
+
+    def test_cost_is_price_weighted_energy(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        expected = np.sum(run.prices * run.powers_watts * 60.0 / 3.6e9,
+                          axis=0)
+        np.testing.assert_allclose(run.cost_usd, expected, rtol=1e-12)
+
+    def test_market_demand_feedback_loop(self):
+        sc = paper_scenario(dt=60.0, duration=300.0,
+                            demand_sensitivity=0.3)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        # prices after the first period must deviate from the pure trace
+        base = np.array([
+            sc.market.base_price(r, sc.start_time)
+            for r in sc.cluster.regions
+        ])
+        assert not np.allclose(run.prices[1], base)
+
+    def test_simulate_policies_shared_scenario(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        comp = simulate_policies(sc, [
+            OptimalInstantaneousPolicy(sc.cluster),
+            UniformPolicy(sc.cluster),
+        ])
+        assert set(comp.policy_names) == {"optimal", "uniform"}
+        assert "optimal" in comp
+        summary = comp.summary()
+        assert "Policy comparison" in summary
+        assert "optimal" in summary
+
+    def test_simulate_policies_duplicate_names(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        with pytest.raises(ModelError):
+            simulate_policies(sc, [UniformPolicy(sc.cluster),
+                                   UniformPolicy(sc.cluster)])
+
+    def test_simulate_policies_empty(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        with pytest.raises(ModelError):
+            simulate_policies(sc, [])
+
+    def test_prediction_plumbing(self):
+        """With predictors on, policies receive forecasts."""
+        sc = paper_scenario(dt=60.0, duration=300.0)
+
+        captured = []
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, obs):
+                captured.append(obs.predicted_loads)
+                return UniformPolicy(sc.cluster).decide(obs)
+
+            def reset(self):
+                pass
+
+        run_simulation(sc, Probe(), predict_loads=True,
+                       prediction_horizon=4)
+        assert captured[0] is not None
+        assert captured[0].shape == (4, 5)
+        # constant loads -> prediction converges to the constant
+        np.testing.assert_allclose(captured[-1][0],
+                                   sc.cluster.portals.loads_at(0),
+                                   rtol=1e-3)
+
+
+class TestResultAccessors:
+    def test_series_accessors(self):
+        sc = paper_scenario(dt=60.0, duration=300.0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        by_name = run.power_series_mw("michigan")
+        by_index = run.power_series_mw(0)
+        np.testing.assert_allclose(by_name, by_index)
+        assert run.server_series("wisconsin").shape == (5,)
+        with pytest.raises(ModelError):
+            run.idc_index("mars")
+
+    def test_recorder_validation(self):
+        with pytest.raises(ModelError):
+            SimulationRecorder(0, 1, 1.0)
+        with pytest.raises(ModelError):
+            SimulationRecorder(1, 1, 0.0)
+        rec = SimulationRecorder(1, 1, 1.0)
+        with pytest.raises(ModelError):
+            rec.as_arrays()

@@ -1,0 +1,152 @@
+"""Tests for failure injection (fleet outages) and availability plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimalInstantaneousPolicy, UniformPolicy
+from repro.core import CostMPCPolicy, MPCPolicyConfig
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.sim import (
+    FleetOutage,
+    apply_faults,
+    paper_cluster,
+    paper_scenario,
+    run_simulation,
+)
+
+
+class TestAvailability:
+    def test_default_full_availability(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        assert idc.available_servers == idc.config.max_servers
+        assert idc.available_capacity == idc.config.max_capacity
+
+    def test_set_availability_clamps_active_servers(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        idc.set_servers(20000)
+        idc.set_availability(5000)
+        assert idc.servers_on == 5000
+        assert idc.available_capacity == pytest.approx(5000 * 2.0 - 1000)
+
+    def test_set_servers_beyond_availability_rejected(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        idc.set_availability(100)
+        with pytest.raises(ConfigurationError):
+            idc.set_servers(101)
+
+    def test_servers_for_respects_availability(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        idc.set_availability(100)
+        with pytest.raises(CapacityError):
+            idc.servers_for(10000.0)
+
+    def test_restore(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        idc.set_availability(10)
+        idc.restore_availability()
+        assert idc.available_servers == idc.config.max_servers
+
+    def test_validation(self):
+        cluster = paper_cluster()
+        idc = cluster.idcs[0]
+        with pytest.raises(ConfigurationError):
+            idc.set_availability(-1)
+        with pytest.raises(ConfigurationError):
+            idc.set_availability(idc.config.max_servers + 1)
+
+
+class TestFleetOutage:
+    def test_window(self):
+        f = FleetOutage("michigan", 100.0, 200.0, 0.5)
+        assert not f.active_at(99.9)
+        assert f.active_at(100.0)
+        assert f.active_at(199.9)
+        assert not f.active_at(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetOutage("x", 200.0, 100.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            FleetOutage("x", 0.0, 1.0, 1.5)
+
+    def test_apply_faults_sets_and_restores(self):
+        cluster = paper_cluster()
+        faults = [FleetOutage("michigan", 100.0, 200.0, 0.25)]
+        apply_faults(cluster, faults, 150.0)
+        assert cluster.idcs[0].available_servers == 7500
+        apply_faults(cluster, faults, 250.0)
+        assert cluster.idcs[0].available_servers == 30000
+
+    def test_overlapping_outages_take_minimum(self):
+        cluster = paper_cluster()
+        faults = [
+            FleetOutage("michigan", 0.0, 100.0, 0.5),
+            FleetOutage("michigan", 50.0, 150.0, 0.2),
+        ]
+        apply_faults(cluster, faults, 75.0)
+        assert cluster.idcs[0].available_servers == 6000
+
+    def test_unknown_idc(self):
+        cluster = paper_cluster()
+        with pytest.raises(ConfigurationError):
+            apply_faults(cluster, [FleetOutage("mars", 0, 1, 0.5)], 0.5)
+
+
+class TestOutageInClosedLoop:
+    def _scenario_with_outage(self, fraction=0.5):
+        sc = paper_scenario(dt=60.0, duration=600.0, start_hour=12.0)
+        # Michigan loses most of its fleet for minutes 3..7
+        start = sc.start_time + 180.0
+        sc = sc.__class__(**{**sc.__dict__,
+                             "faults": [FleetOutage("michigan", start,
+                                                    start + 240.0,
+                                                    fraction)]})
+        return sc
+
+    def test_optimal_policy_reroutes_around_outage(self):
+        sc = self._scenario_with_outage()
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        mi = run.workloads[:, 0]
+        # during the outage Michigan's workload drops to its reduced cap
+        outage_cap = 0.5 * 30000 * 2.0 - 1000.0
+        assert mi[4] <= outage_cap + 1e-6
+        # all workload still served every period
+        np.testing.assert_allclose(run.workloads.sum(axis=1),
+                                   run.loads.sum(axis=1), rtol=1e-6)
+        # after restoration the allocation returns
+        assert mi[-1] > outage_cap
+
+    def test_mpc_reroutes_around_outage(self):
+        sc = self._scenario_with_outage()
+        run = run_simulation(sc, CostMPCPolicy(sc.cluster,
+                                               MPCPolicyConfig(dt=60.0)))
+        outage_cap = 0.5 * 30000 * 2.0 - 1000.0
+        # by the end of the outage the MPC has moved Michigan's load off
+        assert run.workloads[6, 0] <= outage_cap * 1.05
+        np.testing.assert_allclose(run.workloads.sum(axis=1),
+                                   run.loads.sum(axis=1), rtol=1e-6)
+        # servers never exceed availability
+        assert np.all(run.servers[:, 0] <= 30000)
+        for k in range(3, 7):
+            assert run.servers[k, 0] <= 15000
+
+    def test_uniform_policy_survives_outage(self):
+        sc = self._scenario_with_outage(fraction=0.6)
+        run = run_simulation(sc, UniformPolicy(sc.cluster))
+        np.testing.assert_allclose(run.workloads.sum(axis=1),
+                                   run.loads.sum(axis=1), rtol=1e-6)
+
+    def test_total_outage_of_all_capacity_raises(self):
+        sc = paper_scenario(dt=60.0, duration=300.0, start_hour=12.0)
+        faults = [
+            FleetOutage(name, sc.start_time, sc.start_time + 1e6, 0.0)
+            for name in sc.cluster.idc_names
+        ]
+        sc = sc.__class__(**{**sc.__dict__, "faults": faults})
+        with pytest.raises(CapacityError):
+            run_simulation(sc, UniformPolicy(sc.cluster))

@@ -1,0 +1,107 @@
+"""Tests for the R-weight autotuner and distribution analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SeriesDistribution,
+    ascii_histogram,
+    describe_series,
+    ramp_max,
+)
+from repro.control import TuningResult, tune_r_weight
+from repro.exceptions import ConfigurationError, ConvergenceError, ModelError
+
+
+class TestTuneRWeight:
+    def test_synthetic_monotone_response(self):
+        """On a known monotone ramp(r) curve the tuner brackets the
+        smallest feasible weight."""
+
+        def evaluate(r):
+            return 10.0 / (1.0 + 50.0 * r)  # smooth, decreasing in r
+
+        result = tune_r_weight(evaluate, target_ramp=2.0,
+                               r_low=1e-4, r_high=10.0)
+        assert result.met_target
+        # analytic crossing: 10/(1+50r) = 2  =>  r = 0.08
+        assert result.r_weight == pytest.approx(0.08, rel=0.20)
+        assert result.evaluations <= 20
+        assert len(result.history) == result.evaluations
+
+    def test_returns_low_bracket_if_already_feasible(self):
+        result = tune_r_weight(lambda r: 0.1, target_ramp=1.0)
+        assert result.r_weight == pytest.approx(1e-5)
+        assert result.evaluations == 1
+
+    def test_raises_when_target_unreachable(self):
+        with pytest.raises(ConvergenceError):
+            tune_r_weight(lambda r: 100.0, target_ramp=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tune_r_weight(lambda r: 1.0, target_ramp=0.0)
+        with pytest.raises(ConfigurationError):
+            tune_r_weight(lambda r: 1.0, target_ramp=1.0,
+                          r_low=1.0, r_high=0.5)
+
+    def test_closed_loop_tuning(self):
+        """Tune the real controller to a 1.5 MW ramp target."""
+        from repro.core import CostMPCPolicy, MPCPolicyConfig
+        from repro.sim import price_step_scenario, run_simulation
+
+        def evaluate(r):
+            sc = price_step_scenario(dt=30.0, duration=600.0)
+            run = run_simulation(sc, CostMPCPolicy(
+                sc.cluster, MPCPolicyConfig(r_weight=r)))
+            return max(ramp_max(run.powers_watts[:, j])
+                       for j in range(3)) / 1e6
+
+        result = tune_r_weight(evaluate, target_ramp=1.5,
+                               r_low=1e-3, r_high=1.0,
+                               max_evaluations=8, tolerance=0.5)
+        assert result.met_target
+        assert result.achieved_ramp <= 1.5 * (1 + 1e-6)
+
+
+class TestDistributions:
+    def test_describe_constant(self):
+        d = describe_series(np.full(10, 3.0))
+        assert d.mean == 3.0 and d.std == 0.0
+        assert d.median == 3.0 and d.p99 == 3.0
+        assert d.count == 10
+
+    def test_describe_drops_nonfinite(self):
+        d = describe_series(np.array([1.0, np.nan, 2.0, np.inf]))
+        assert d.count == 2
+        assert d.maximum == 2.0
+
+    def test_describe_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        d = describe_series(rng.exponential(size=5000))
+        assert d.minimum <= d.p25 <= d.median <= d.p75 <= d.p95 \
+            <= d.p99 <= d.maximum
+
+    def test_row_and_headers_align(self):
+        d = describe_series(np.arange(10.0))
+        assert len(d.as_row()) == len(SeriesDistribution.headers())
+
+    def test_describe_empty_raises(self):
+        with pytest.raises(ModelError):
+            describe_series(np.array([np.nan]))
+
+    def test_ascii_histogram(self):
+        rng = np.random.default_rng(1)
+        text = ascii_histogram(rng.normal(size=1000), bins=8)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all("│" in line for line in lines)
+        # total counts printed must sum to the sample size
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == 1000
+
+    def test_ascii_histogram_validation(self):
+        with pytest.raises(ModelError):
+            ascii_histogram(np.array([]), bins=4)
+        with pytest.raises(ModelError):
+            ascii_histogram(np.ones(5), bins=0)

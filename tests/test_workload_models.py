@@ -1,0 +1,201 @@
+"""Tests for AR processes, MMPP, MAP and synthetic traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ModelError
+from repro.workload import (
+    MAP,
+    MMPP,
+    ARProcess,
+    DiurnalTraceConfig,
+    epa_like_trace,
+    fit_yule_walker,
+    is_stationary,
+    step_change_trace,
+    synth_web_trace,
+)
+
+
+class TestARProcess:
+    def test_stationarity_check(self):
+        assert is_stationary([0.5])
+        assert not is_stationary([1.1])
+        assert is_stationary([0.5, 0.3])
+        assert not is_stationary([0.9, 0.3])  # sum > 1 with positive coeffs
+
+    def test_zero_noise_decays_to_mean(self):
+        ar = ARProcess(coefficients=[0.5], noise_std=0.0, mean=10.0)
+        path = ar.sample(50, initial=[5.0])
+        assert abs(path[-1] - 10.0) < 1e-6
+
+    def test_yule_walker_recovers_ar1(self):
+        rng = np.random.default_rng(0)
+        true = ARProcess(coefficients=[0.7], noise_std=1.0)
+        series = true.sample(20_000, rng=rng)
+        coeffs, var = fit_yule_walker(series, order=1)
+        assert coeffs[0] == pytest.approx(0.7, abs=0.03)
+        assert var == pytest.approx(1.0, rel=0.1)
+
+    def test_yule_walker_recovers_ar2(self):
+        rng = np.random.default_rng(1)
+        true = ARProcess(coefficients=[0.5, 0.2], noise_std=1.0)
+        series = true.sample(40_000, rng=rng)
+        coeffs, _ = fit_yule_walker(series, order=2)
+        np.testing.assert_allclose(coeffs, [0.5, 0.2], atol=0.05)
+
+    def test_fit_classmethod(self):
+        rng = np.random.default_rng(2)
+        series = ARProcess([0.6], noise_std=2.0, mean=100.0).sample(
+            10_000, rng=rng) + 0.0
+        model = ARProcess.fit(series, order=1)
+        assert model.mean == pytest.approx(100.0, abs=2.0)
+        assert model.stationary
+
+    def test_time_varying_mean(self):
+        ar = ARProcess(coefficients=[0.0], noise_std=0.0)
+        path = ar.sample(5, mean_fn=lambda k: float(k))
+        np.testing.assert_allclose(path, np.arange(5.0))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ARProcess(coefficients=[])
+        with pytest.raises(ModelError):
+            ARProcess(coefficients=[0.5], noise_std=-1.0)
+        with pytest.raises(ModelError):
+            fit_yule_walker([1.0, 2.0], order=5)
+        ar = ARProcess([0.5, 0.2])
+        with pytest.raises(ModelError):
+            ar.sample(10, initial=[1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(-0.9, 0.9), st.integers(0, 1000))
+    def test_stationary_ar1_bounded(self, a, seed):
+        ar = ARProcess([a], noise_std=1.0)
+        path = ar.sample(500, rng=np.random.default_rng(seed))
+        # stationary variance is 1/(1-a^2); 10 sigma bound is generous
+        bound = 10.0 / np.sqrt(1 - a ** 2)
+        assert np.all(np.abs(path) < bound)
+
+
+class TestMMPP:
+    def _bursty(self):
+        return MMPP.two_state(low_rate=10.0, high_rate=100.0,
+                              rate_up=0.1, rate_down=0.3)
+
+    def test_stationary_distribution(self):
+        m = self._bursty()
+        pi = m.stationary_distribution()
+        # birth-death: pi = (rate_down, rate_up)/(sum)
+        np.testing.assert_allclose(pi, [0.75, 0.25], atol=1e-9)
+
+    def test_mean_rate(self):
+        m = self._bursty()
+        assert m.mean_rate() == pytest.approx(0.75 * 10 + 0.25 * 100)
+
+    def test_empirical_rate_matches(self):
+        rng = np.random.default_rng(3)
+        m = self._bursty()
+        counts = m.arrival_counts(duration=2000.0, interval=1.0, rng=rng)
+        assert counts.mean() == pytest.approx(m.mean_rate(), rel=0.15)
+
+    def test_burstiness_exceeds_poisson(self):
+        # Index of dispersion of an MMPP exceeds 1 (Poisson value).
+        rng = np.random.default_rng(4)
+        m = self._bursty()
+        counts = m.arrival_counts(duration=5000.0, interval=1.0, rng=rng)
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 1.5
+
+    def test_state_path_starts_at_initial(self):
+        times, states = self._bursty().simulate_states(
+            10.0, np.random.default_rng(5), initial_state=1)
+        assert times[0] == 0.0
+        assert states[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MMPP(generator=[[-1.0, 1.0], [1.0, -1.0]], rates=[1.0])
+        with pytest.raises(ModelError):
+            MMPP(generator=[[-1.0, 2.0], [1.0, -1.0]], rates=[1.0, 1.0])
+        with pytest.raises(ModelError):
+            MMPP(generator=[[-1.0, 1.0], [1.0, -1.0]], rates=[-1.0, 1.0])
+        m = self._bursty()
+        with pytest.raises(ModelError):
+            m.arrival_counts(10.0, 0.0)
+
+
+class TestMAP:
+    def test_poisson_special_case(self):
+        m = MAP.poisson(5.0)
+        assert m.fundamental_rate() == pytest.approx(5.0)
+        rng = np.random.default_rng(6)
+        counts = m.arrival_counts(2000.0, 1.0, rng=rng)
+        assert counts.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_from_mmpp_rate_agrees(self):
+        Q = np.array([[-0.1, 0.1], [0.3, -0.3]])
+        rates = np.array([10.0, 100.0])
+        m = MAP.from_mmpp(Q, rates)
+        mm = MMPP(generator=Q, rates=rates)
+        assert m.fundamental_rate() == pytest.approx(mm.mean_rate(), rel=1e-9)
+
+    def test_arrival_epochs_sorted_within_duration(self):
+        m = MAP.poisson(20.0)
+        epochs = m.simulate_arrivals(10.0, np.random.default_rng(7))
+        assert np.all(np.diff(epochs) >= 0)
+        assert np.all(epochs < 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MAP(D0=[[-1.0]], D1=[[2.0]])  # rows of D0+D1 must sum to 0
+        with pytest.raises(ModelError):
+            MAP(D0=[[1.0]], D1=[[-1.0]])  # D1 negative
+        with pytest.raises(ModelError):
+            MAP.poisson(0.0)
+
+
+class TestTraces:
+    def test_epa_like_shape(self):
+        trace = epa_like_trace()
+        assert trace.size == 24 * 12
+        assert np.all(trace >= 0)
+        # Fig. 3 peak is around 2000 requests/interval
+        assert 1500 <= trace.max() <= 3500
+        # overnight trough well below the peak
+        assert trace.min() < 0.45 * trace.max()
+
+    def test_epa_like_reproducible(self):
+        np.testing.assert_allclose(epa_like_trace(), epa_like_trace())
+
+    def test_synth_trace_duration(self):
+        cfg = DiurnalTraceConfig(samples_per_hour=4)
+        trace = synth_web_trace(cfg, hours=6.0,
+                                rng=np.random.default_rng(0))
+        assert trace.size == 24
+
+    def test_synth_trace_diurnal_peak_location(self):
+        cfg = DiurnalTraceConfig(noise_std=0.0, burst_rate=0.0,
+                                 peak_hour=15.0, samples_per_hour=1)
+        trace = synth_web_trace(cfg, hours=24.0,
+                                rng=np.random.default_rng(0))
+        assert int(np.argmax(trace)) == 15
+
+    def test_step_change_trace(self):
+        out = step_change_trace([100.0, 200.0], steps_per_level=3)
+        np.testing.assert_allclose(out, [100, 100, 100, 200, 200, 200])
+
+    def test_step_change_noise_nonnegative(self):
+        out = step_change_trace([1.0], 100, noise_std=10.0,
+                                rng=np.random.default_rng(1))
+        assert np.all(out >= 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTraceConfig(base_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraceConfig(burst_decay=1.0)
+        with pytest.raises(ConfigurationError):
+            step_change_trace([], 3)

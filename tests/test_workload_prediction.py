@@ -1,0 +1,129 @@
+"""Tests for the online workload predictors (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelError
+from repro.workload import (
+    ARWorkloadPredictor,
+    LastValuePredictor,
+    PerfectPredictor,
+    PortalSet,
+    PortalWorkload,
+    epa_like_trace,
+    evaluate_predictor,
+)
+
+
+class TestARWorkloadPredictor:
+    def test_warmup_behaviour(self):
+        p = ARWorkloadPredictor(order=3)
+        assert not p.ready
+        np.testing.assert_allclose(p.predict(2), [0.0, 0.0])
+        p.observe(5.0)
+        np.testing.assert_allclose(p.predict(2), [5.0, 5.0])
+
+    def test_learns_ar1(self):
+        p = ARWorkloadPredictor(order=1, forgetting=1.0, nonnegative=False)
+        x = 1.0
+        for _ in range(100):
+            p.observe(x)
+            x *= 0.9
+        assert p.coefficients[0] == pytest.approx(0.9, abs=1e-3)
+        # multi-step prediction continues the decay with the learned rate
+        a_hat = p.coefficients[0]
+        preds = p.predict(3)
+        assert preds[1] == pytest.approx(preds[0] * a_hat, rel=1e-9)
+
+    def test_nonnegative_clipping(self):
+        p = ARWorkloadPredictor(order=1, nonnegative=True)
+        for v in [100.0, 50.0, 10.0, 1.0, 0.5, 0.1, 0.0, 0.0]:
+            p.observe(v)
+        assert np.all(p.predict(5) >= 0.0)
+
+    def test_tracks_epa_like_trace(self):
+        """The Fig. 3 claim: RLS-AR prediction follows the real trace."""
+        trace = epa_like_trace()
+        metrics = evaluate_predictor(ARWorkloadPredictor(order=3), trace,
+                                     warmup=20)
+        # Prediction error well under 10% of mean workload
+        assert metrics["relative_mae"] < 0.10
+
+    def test_beats_last_value_on_trending_series(self):
+        # Strong linear trend: AR extrapolates, persistence lags behind.
+        series = np.linspace(0, 1000, 300) + 0.0
+        ar = evaluate_predictor(
+            ARWorkloadPredictor(order=3, nonnegative=False), series.copy(),
+            warmup=50)
+        naive = evaluate_predictor(LastValuePredictor(), series.copy(),
+                                   warmup=50)
+        assert ar["mae"] < naive["mae"]
+
+    def test_observe_series_errors_shape(self):
+        p = ARWorkloadPredictor(order=2)
+        errs = p.observe_series(np.arange(10.0))
+        assert errs.shape == (10,)
+        assert np.isnan(errs[0]) and np.isnan(errs[1])
+        assert np.isfinite(errs[-1])
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ARWorkloadPredictor(order=0)
+        with pytest.raises(ModelError):
+            ARWorkloadPredictor().predict(0)
+
+
+class TestOtherPredictors:
+    def test_last_value(self):
+        p = LastValuePredictor()
+        p.observe(42.0)
+        np.testing.assert_allclose(p.predict(3), 42.0)
+
+    def test_perfect_predictor_sees_future(self):
+        trace = np.array([1.0, 2.0, 3.0, 4.0])
+        p = PerfectPredictor(trace)
+        np.testing.assert_allclose(p.predict(2), [1.0, 2.0])
+        p.observe(1.0)
+        np.testing.assert_allclose(p.predict(2), [2.0, 3.0])
+
+    def test_perfect_predictor_clamps_at_end(self):
+        p = PerfectPredictor(np.array([1.0, 2.0]))
+        p.observe(1.0)
+        p.observe(2.0)
+        np.testing.assert_allclose(p.predict(3), [2.0, 2.0, 2.0])
+
+
+class TestPortals:
+    def test_constant_portalset_matches_table1(self):
+        ps = PortalSet.constant([30000, 15000, 15000, 20000, 20000])
+        assert ps.n_portals == 5
+        np.testing.assert_allclose(ps.loads_at(0),
+                                   [30000, 15000, 15000, 20000, 20000])
+        assert ps.total_at(5) == 100000.0
+
+    def test_trace_driven_portal(self):
+        p = PortalWorkload(name="a", trace=np.array([1.0, 2.0]))
+        assert p.at(0) == 1.0
+        assert p.at(1) == 2.0
+        assert p.at(99) == 2.0  # clamps at last value
+
+    def test_rate_fn_portal(self):
+        p = PortalWorkload(name="a", rate_fn=lambda k: 10.0 * k)
+        assert p.at(3) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PortalWorkload(name="a", rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            PortalWorkload(name="a", trace=np.array([]))
+        with pytest.raises(ConfigurationError):
+            PortalSet(portals=[])
+        with pytest.raises(ConfigurationError):
+            PortalSet(portals=[PortalWorkload(name="x"),
+                               PortalWorkload(name="x")])
+        p = PortalWorkload(name="a", rate=1.0)
+        with pytest.raises(ConfigurationError):
+            p.at(-1)
+        bad = PortalWorkload(name="b", rate_fn=lambda k: -5.0)
+        with pytest.raises(ConfigurationError):
+            bad.at(0)
