@@ -22,6 +22,24 @@ def test_bench_full_day(macro, capsys):
     for r in rows.values():
         assert r["qos_violations"] == 0
 
+    # The performance layer must actually engage over the day, not just
+    # leave the wall clock to chance: with 24 hourly price changes over
+    # 288 periods, the discretization/horizon caches should hit for
+    # every period whose prices repeat, and the solver warm start should
+    # carry every period after the first.
+    perf = rows["mpc"]["perf"]["counters"]
+    n_periods = perf["qp_solves"]
+    assert perf["model_cache_hits"] + perf["model_cache_misses"] == n_periods
+    assert perf["model_cache_misses"] <= 25      # one per distinct price hour
+    assert perf["model_cache_hits"] >= n_periods - 25
+    assert perf["horizon_rebuilds"] <= 25
+    assert perf["constraint_cache_hits"] == n_periods - 1
+    assert perf["warm_start_hits"] == n_periods - 1
+    assert perf["warm_start_misses"] == 0
+    # warm-started active set needs only a few working-set changes/period
+    assert perf["qp_iterations"] < 5 * n_periods
+    assert perf["ref_cache_hits"] > 10 * perf["ref_cache_misses"]
+
     with capsys.disabled():
         print()
         print(full_day.report())

@@ -4,6 +4,11 @@ The paper evaluates one trace day; a production claim needs robustness
 across days.  This bench samples stochastic price days from bid-stack
 models calibrated on the embedded traces, runs the optimal policy and
 the MPC on each, and aggregates cost / peak / worst-ramp statistics.
+
+The days are independent, so they fan out over the process-pool runner
+(:func:`repro.sim.run_many`) — one worker per (day, policy) run.  The
+policy factories below are module-level precisely so they pickle into
+the workers.
 """
 
 import numpy as np
@@ -17,7 +22,7 @@ from repro.pricing import (
     RegionMarketConfig,
     paper_price_traces,
 )
-from repro.sim import Scenario, paper_cluster, run_simulation
+from repro.sim import Scenario, paper_cluster, run_many
 
 N_DAYS = 5
 
@@ -35,14 +40,21 @@ def _random_day_scenario(seed: int) -> Scenario:
                     start_time=5 * 3600.0, name=f"mc-day-{seed}")
 
 
+def _optimal_factory(cluster):
+    return OptimalInstantaneousPolicy(cluster)
+
+
+def _mpc_factory(cluster):
+    return CostMPCPolicy(cluster, MPCPolicyConfig(dt=120.0))
+
+
 def _study():
+    scenarios = [_random_day_scenario(seed) for seed in range(N_DAYS)]
+    opts = run_many(scenarios, _optimal_factory)
+    mpcs = run_many([_random_day_scenario(seed) for seed in range(N_DAYS)],
+                    _mpc_factory)
     rows = []
-    for seed in range(N_DAYS):
-        sc = _random_day_scenario(seed)
-        opt = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
-        sc2 = _random_day_scenario(seed)
-        mpc = run_simulation(sc2, CostMPCPolicy(
-            sc2.cluster, MPCPolicyConfig(dt=120.0)))
+    for seed, (opt, mpc) in enumerate(zip(opts, mpcs)):
         rows.append({
             "seed": seed,
             "opt_cost": opt.total_cost_usd,

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/bench.yml: run the benchmark smoke
+# suite and leave the pytest-benchmark JSON at the repo root
+# (BENCH_solvers.json / BENCH_full_day.json).  Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+python -m pytest benchmarks/test_bench_solvers_micro.py -q \
+    --benchmark-json=BENCH_solvers.json
+python -m pytest benchmarks/test_bench_full_day.py -q \
+    --benchmark-json=BENCH_full_day.json
+
+python - <<'EOF'
+import json
+
+for name in ("BENCH_solvers.json", "BENCH_full_day.json"):
+    with open(name) as fh:
+        data = json.load(fh)
+    print(f"{name}:")
+    for bench in data["benchmarks"]:
+        print(f"  {bench['name']}: {bench['stats']['mean'] * 1e3:.2f} ms mean")
+EOF

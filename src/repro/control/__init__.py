@@ -14,7 +14,12 @@ from .controllability import (
     uncontrollable_modes,
 )
 from .discretize import c2d, euler_matrices, tustin_matrices, zoh_matrices
-from .horizon import HorizonMatrices, build_horizon, move_selector
+from .horizon import (
+    HorizonMatrices,
+    build_horizon,
+    move_selector,
+    refresh_offset,
+)
 from .kalman import KalmanFilter, local_linear_trend_model
 from .matexp import expm, expm_pade
 from .mpc import InputConstraintSet, ModelPredictiveController, MPCSolution
@@ -52,6 +57,7 @@ __all__ = [
     "HorizonMatrices",
     "build_horizon",
     "move_selector",
+    "refresh_offset",
     "ModelPredictiveController",
     "MPCSolution",
     "InputConstraintSet",

@@ -19,7 +19,8 @@ import numpy as np
 from ..exceptions import ModelError
 from .statespace import DiscreteStateSpace
 
-__all__ = ["HorizonMatrices", "build_horizon", "move_selector"]
+__all__ = ["HorizonMatrices", "build_horizon", "move_selector",
+           "refresh_offset"]
 
 
 @dataclass
@@ -35,6 +36,12 @@ class HorizonMatrices:
     n_outputs, n_inputs:
         Per-step dimensions (the stacked dimensions are these times the
         respective horizons).
+    offset_map:
+        The linear map ``f_w = offset_map @ w`` (``w`` the model's affine
+        offset).  It depends only on ``(Φ, C)``, so when a model update
+        changes *only* ``w`` — the slow server loop in ``fixed_servers``
+        mode — :func:`refresh_offset` rebuilds ``f_w`` in O(β₁·ny·n)
+        instead of redoing the whole stacking.
     """
 
     F_x: np.ndarray
@@ -45,6 +52,7 @@ class HorizonMatrices:
     horizon_ctrl: int
     n_outputs: int
     n_inputs: int
+    offset_map: np.ndarray | None = None
 
     def predict(self, x, u_prev, dU) -> np.ndarray:
         """Stacked output prediction, reshaped to ``(β₁, ny)``."""
@@ -104,7 +112,8 @@ def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
 
     F_x = np.vstack([C @ powers[s] for s in range(1, horizon_pred + 1)])
     F_u = np.vstack([C @ psums[s] @ G for s in range(1, horizon_pred + 1)])
-    f_w = np.concatenate([C @ psums[s] @ w for s in range(1, horizon_pred + 1)])
+    offset_map = np.vstack([C @ psums[s] for s in range(1, horizon_pred + 1)])
+    f_w = offset_map @ w
 
     Theta = np.zeros((horizon_pred * ny, horizon_ctrl * nu))
     for s in range(1, horizon_pred + 1):
@@ -114,5 +123,25 @@ def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
     return HorizonMatrices(
         F_x=F_x, F_u=F_u, f_w=f_w, Theta=Theta,
         horizon_pred=horizon_pred, horizon_ctrl=horizon_ctrl,
-        n_outputs=ny, n_inputs=nu,
+        n_outputs=ny, n_inputs=nu, offset_map=offset_map,
     )
+
+
+def refresh_offset(horizon: HorizonMatrices, w) -> HorizonMatrices:
+    """Update ``f_w`` in place for a new affine offset ``w``.
+
+    Valid only when the model's ``Φ, G, C`` are unchanged — the structural
+    operators (``F_x``, ``F_u``, ``Θ``) and the cached ``offset_map`` all
+    stay valid, so this is the whole horizon refresh for a slow-loop
+    server update in ``fixed_servers`` mode.
+    """
+    if horizon.offset_map is None:
+        raise ModelError(
+            "horizon was built without an offset_map; rebuild it")
+    w = np.asarray(w, dtype=float).ravel()
+    if w.size != horizon.offset_map.shape[1]:
+        raise ModelError(
+            f"offset must have {horizon.offset_map.shape[1]} entries, "
+            f"got {w.size}")
+    horizon.f_w = horizon.offset_map @ w
+    return horizon

@@ -28,8 +28,14 @@ from typing import Literal
 import numpy as np
 
 from ..exceptions import ConvergenceError, InfeasibleProblemError, ModelError
-from ..optim import solve_qp, solve_qp_admm, boxed_constraints, weighted_lsq_to_qp
-from .horizon import HorizonMatrices, build_horizon, move_selector
+from ..optim import (
+    ADMMFactorCache,
+    boxed_constraints,
+    solve_qp,
+    solve_qp_admm,
+)
+from .horizon import HorizonMatrices, build_horizon, move_selector, \
+    refresh_offset
 from .statespace import DiscreteStateSpace
 
 __all__ = ["InputConstraintSet", "MPCSolution", "ModelPredictiveController"]
@@ -137,6 +143,15 @@ class ModelPredictiveController:
         Quadratic penalty on constraint slacks in the softened problem,
         *relative* to the largest Hessian entry (keeps the softened QP
         well scaled regardless of the tracking weights).
+    warm_start:
+        Reuse the previous :meth:`control` solution to start the next
+        solve (shifted one step, per the receding-horizon coherence the
+        ``R`` penalty enforces).  For the active-set backend this skips
+        the phase-1 feasibility LP — the dominant cost of a cold solve —
+        and seeds the working set; for ADMM it seeds ``x``/``y`` and
+        reuses the cached KKT factorization.  The QP is strictly convex,
+        so warm and cold solves reach the same optimum (within solver
+        tolerance); disable only for benchmarking cold performance.
     """
 
     def __init__(self, model: DiscreteStateSpace, horizon_pred: int,
@@ -144,7 +159,8 @@ class ModelPredictiveController:
                  constraints: InputConstraintSet | None = None,
                  backend: Backend = "active_set",
                  soften_infeasible: bool = True,
-                 slack_penalty: float = 1e4) -> None:
+                 slack_penalty: float = 1e4,
+                 warm_start: bool = True) -> None:
         self.model = model
         self.horizon_pred = int(horizon_pred)
         self.horizon_ctrl = int(horizon_ctrl)
@@ -152,16 +168,37 @@ class ModelPredictiveController:
         self.backend = backend
         self.soften_infeasible = bool(soften_infeasible)
         self.slack_penalty = float(slack_penalty)
+        self.warm_start = bool(warm_start)
         self._Q = self._expand_weight(q_weight, model.n_outputs, "q_weight")
         self._R = self._expand_weight(r_weight, model.n_inputs, "r_weight")
         if np.any(np.linalg.eigvalsh(self._R) <= 0):
             raise ModelError("r_weight must be positive definite")
+        # Stacked weights depend only on the horizons — built once.
+        self._Q_stack = np.kron(np.eye(self.horizon_pred), self._Q)
+        self._R_stack = np.kron(np.eye(self.horizon_ctrl), self._R)
         self._horizon: HorizonMatrices = build_horizon(
             model, self.horizon_pred, self.horizon_ctrl)
         self._selectors = [
             move_selector(model.n_inputs, self.horizon_ctrl, i)
             for i in range(self.horizon_ctrl)
         ]
+        #: perf counters, exposed through the policy layer's PerfStats.
+        self.stats: dict[str, int] = {
+            "qp_solves": 0, "qp_iterations": 0,
+            "warm_start_hits": 0, "warm_start_misses": 0,
+            "horizon_rebuilds": 1, "horizon_offset_refreshes": 0,
+            "horizon_reuses": 0,
+            "constraint_cache_hits": 0, "constraint_cache_misses": 0,
+            "softened_solves": 0,
+        }
+        self._qp_quad = None         # (Theta id, 2Θ'Q, P) objective cache
+        self._con_cache: dict | None = None
+        self._warm: dict | None = None
+        self._admm_cache = ADMMFactorCache()
+
+    def reset_warm_start(self) -> None:
+        """Drop carried solver state (previous solution, working set)."""
+        self._warm = None
 
     @staticmethod
     def _expand_weight(w, size: int, name: str) -> np.ndarray:
@@ -177,74 +214,160 @@ class ModelPredictiveController:
         return 0.5 * (w + w.T)
 
     def update_model(self, model: DiscreteStateSpace) -> None:
-        """Swap the prediction model (e.g. new server counts ⇒ new offset)."""
+        """Swap the prediction model (e.g. new server counts ⇒ new offset).
+
+        Exploits temporal coherence: a receding-horizon caller passes a
+        model every period, but consecutive models are usually identical
+        (piecewise-constant prices) or differ only in the affine offset
+        ``w`` (slow-loop server update).  The horizon stacking is rebuilt
+        only when the structural matrices ``Φ, G, C`` actually changed;
+        an offset-only change refreshes ``f_w`` through the cached
+        offset map.
+        """
         if (model.n_inputs != self.model.n_inputs
                 or model.n_outputs != self.model.n_outputs
                 or model.n_states != self.model.n_states):
             raise ModelError("replacement model changes dimensions")
+        old = self.model
         self.model = model
+        if model is old:
+            self.stats["horizon_reuses"] += 1
+            return
+        if (np.array_equal(model.Phi, old.Phi)
+                and np.array_equal(model.G, old.G)
+                and np.array_equal(model.C, old.C)):
+            if np.array_equal(model.w, old.w):
+                self.stats["horizon_reuses"] += 1
+            else:
+                refresh_offset(self._horizon, model.w)
+                self.stats["horizon_offset_refreshes"] += 1
+            return
         self._horizon = build_horizon(model, self.horizon_pred,
                                       self.horizon_ctrl)
+        self._qp_quad = None
+        self.stats["horizon_rebuilds"] += 1
 
     # ------------------------------------------------------------------
     # Constraint stacking
     # ------------------------------------------------------------------
-    def _stack_constraints(self, u_prev: np.ndarray):
-        """Translate per-step input constraints into ΔU-space matrices."""
-        cs = self.constraints
+    @staticmethod
+    def _constraint_signature(cs: InputConstraintSet) -> tuple:
+        """Value-based key over everything the *A-side* stacks depend on.
+
+        Right-hand sides (``b_eq``, ``b_ineq``) are deliberately absent:
+        they vary per period (loads, server capacities) but only enter the
+        stacked RHS vectors, which are always rebuilt.
+        """
+        parts = []
+        for M in (cs.A_eq, cs.A_ineq, cs.lower, cs.upper, cs.du_limit):
+            if M is None:
+                parts.append(None)
+            else:
+                M = np.asarray(M, dtype=float)
+                parts.append((M.shape, M.tobytes()))
+        return tuple(parts)
+
+    def _constraint_structure(self, cs: InputConstraintSet) -> dict:
+        """Cached ΔU-space A-side stacks + normalized per-step operands.
+
+        The stacked ``A`` blocks (``A_eq @ T_i``, ``A_ineq @ T_i``, the
+        bound selectors ``±T_i`` and the ``du_limit`` increment selectors)
+        depend only on the constraint matrices and the horizon — never on
+        ``u_prev`` — so they are built once per distinct constraint set
+        and reused every period.
+        """
+        sig = self._constraint_signature(cs)
+        cached = self._con_cache
+        if cached is not None and cached["sig"] == sig:
+            self.stats["constraint_cache_hits"] += 1
+            return cached
+        self.stats["constraint_cache_misses"] += 1
         nu = self.model.n_inputs
         ndu = nu * self.horizon_ctrl
-        A_eq_rows, b_eq_rows = [], []
-        A_in_rows, b_in_rows = [], []
+        A_eq = (np.atleast_2d(np.asarray(cs.A_eq, dtype=float))
+                if cs.A_eq is not None else None)
+        A_in = (np.atleast_2d(np.asarray(cs.A_ineq, dtype=float))
+                if cs.A_ineq is not None else None)
+        lo = (np.broadcast_to(np.asarray(cs.lower, dtype=float), (nu,)).copy()
+              if cs.lower is not None else None)
+        hi = (np.broadcast_to(np.asarray(cs.upper, dtype=float), (nu,)).copy()
+              if cs.upper is not None else None)
+        lim = None
+        if cs.du_limit is not None:
+            lim = np.broadcast_to(
+                np.asarray(cs.du_limit, dtype=float), (nu,)).copy()
+            if np.any(lim <= 0):
+                raise ModelError("du_limit must be positive")
+        eq_blocks, in_blocks = [], []
+        for i, T in enumerate(self._selectors):
+            if A_eq is not None:
+                eq_blocks.append(A_eq @ T)
+            if A_in is not None:
+                in_blocks.append(A_in @ T)
+            if lo is not None:
+                in_blocks.append(-T)
+            if hi is not None:
+                in_blocks.append(T)
+            if lim is not None:
+                # select this step's increment block directly
+                E = np.zeros((nu, ndu))
+                E[:, i * nu:(i + 1) * nu] = np.eye(nu)
+                in_blocks.append(E)
+                in_blocks.append(-E)
+        structure = {
+            "sig": sig,
+            "A_eq": A_eq, "A_ineq": A_in,
+            "lower": lo, "upper": hi, "du_limit": lim,
+            "A_eq_stack": np.vstack(eq_blocks) if eq_blocks else None,
+            "A_in_stack": np.vstack(in_blocks) if in_blocks else None,
+        }
+        self._con_cache = structure
+        return structure
+
+    def _stack_constraints(self, u_prev: np.ndarray):
+        """Translate per-step input constraints into ΔU-space matrices.
+
+        The A-side comes from :meth:`_constraint_structure`'s cache; only
+        the right-hand sides depend on ``u_prev`` (and per-step loads) and
+        are rebuilt here.
+        """
+        cs = self.constraints
         if cs is None:
             return None, None, None, None
-        for i, T in enumerate(self._selectors):
-            if cs.A_eq is not None:
-                A = np.atleast_2d(np.asarray(cs.A_eq, dtype=float))
-                b = cs.rhs_at(cs.b_eq, i)
-                A_eq_rows.append(A @ T)
-                b_eq_rows.append(b - A @ u_prev)
-            if cs.A_ineq is not None:
-                A = np.atleast_2d(np.asarray(cs.A_ineq, dtype=float))
-                b = cs.rhs_at(cs.b_ineq, i)
-                A_in_rows.append(A @ T)
-                b_in_rows.append(b - A @ u_prev)
-            if cs.lower is not None:
-                lo = np.broadcast_to(np.asarray(cs.lower, dtype=float), (nu,))
-                A_in_rows.append(-T)
+        st = self._constraint_structure(cs)
+        A_eq, A_in = st["A_eq"], st["A_ineq"]
+        lo, hi, lim = st["lower"], st["upper"], st["du_limit"]
+        Aeq_u = A_eq @ u_prev if A_eq is not None else None
+        Ain_u = A_in @ u_prev if A_in is not None else None
+        b_eq_rows, b_in_rows = [], []
+        for i in range(self.horizon_ctrl):
+            if A_eq is not None:
+                b_eq_rows.append(cs.rhs_at(cs.b_eq, i) - Aeq_u)
+            if A_in is not None:
+                b_in_rows.append(cs.rhs_at(cs.b_ineq, i) - Ain_u)
+            if lo is not None:
                 b_in_rows.append(u_prev - lo)
-            if cs.upper is not None:
-                hi = np.broadcast_to(np.asarray(cs.upper, dtype=float), (nu,))
-                A_in_rows.append(T)
+            if hi is not None:
                 b_in_rows.append(hi - u_prev)
-            if cs.du_limit is not None:
-                lim = np.broadcast_to(
-                    np.asarray(cs.du_limit, dtype=float), (nu,))
-                if np.any(lim <= 0):
-                    raise ModelError("du_limit must be positive")
-                # select this step's increment block directly
-                E = np.zeros((nu, nu * self.horizon_ctrl))
-                E[:, i * nu:(i + 1) * nu] = np.eye(nu)
-                A_in_rows.append(E)
-                b_in_rows.append(lim.copy())
-                A_in_rows.append(-E)
-                b_in_rows.append(lim.copy())
-        A_eq = np.vstack(A_eq_rows) if A_eq_rows else None
+            if lim is not None:
+                b_in_rows.append(lim)
+                b_in_rows.append(lim)
         b_eq = np.concatenate(b_eq_rows) if b_eq_rows else None
-        A_in = np.vstack(A_in_rows) if A_in_rows else None
         b_in = np.concatenate(b_in_rows) if b_in_rows else None
-        _ = ndu  # stacked widths already encoded in the selectors
-        return A_eq, b_eq, A_in, b_in
+        return st["A_eq_stack"], b_eq, st["A_in_stack"], b_in
 
     # ------------------------------------------------------------------
     # QP assembly and solve
     # ------------------------------------------------------------------
-    def _solve(self, P, q, A_eq, b_eq, A_in, b_in, max_iter: int = 500):
+    def _solve(self, P, q, A_eq, b_eq, A_in, b_in, max_iter: int = 500,
+               x0=None, working_set0=None, y0=None, use_cache: bool = True):
         if self.backend == "active_set":
             return solve_qp(P, q, A_eq=A_eq, b_eq=b_eq,
-                            A_ineq=A_in, b_ineq=b_in, max_iter=max_iter)
+                            A_ineq=A_in, b_ineq=b_in, max_iter=max_iter,
+                            x0=x0, working_set0=working_set0)
         A, low, high = boxed_constraints(q.size, A_eq, b_eq, A_in, b_in)
-        return solve_qp_admm(P, q, A, low, high)
+        return solve_qp_admm(P, q, A, low, high, x0=x0, y0=y0,
+                             cache=self._admm_cache if use_cache else None)
 
     def _solve_softened(self, P, q, A_eq, b_eq, A_in, b_in):
         """Relax inequalities with quadratically penalized slacks ≥ 0."""
@@ -278,7 +401,8 @@ class ModelPredictiveController:
         try:
             res = self._solve(P_big, q_big, A_eq_big, b_eq,
                               A_in_big, b_in_big,
-                              max_iter=max(2000, 20 * (n + m)))
+                              max_iter=max(2000, 20 * (n + m)),
+                              use_cache=False)
         except ConvergenceError:
             A, low, high = boxed_constraints(n + m, A_eq_big, b_eq,
                                              A_in_big, b_in_big)
@@ -322,14 +446,23 @@ class ModelPredictiveController:
         free = H.free_response(x, u_prev)
         target = ref.ravel() - free
 
-        Q_stack = np.kron(np.eye(self.horizon_pred), self._Q)
-        R_stack = np.kron(np.eye(self.horizon_ctrl), self._R)
-        P, q, c0 = weighted_lsq_to_qp(H.Theta, target, Q=Q_stack, reg=R_stack)
+        # QP objective: P = 2 Θ'QΘ + 2R depends only on (Θ, Q, R) — cached
+        # until the horizon is rebuilt; q tracks the per-step target.
+        if self._qp_quad is None or self._qp_quad[0] is not H.Theta:
+            ThetaT_2Q = 2.0 * (H.Theta.T @ self._Q_stack)
+            P = ThetaT_2Q @ H.Theta + 2.0 * self._R_stack
+            P = 0.5 * (P + P.T)
+            self._qp_quad = (H.Theta, ThetaT_2Q, P)
+        _, ThetaT_2Q, P = self._qp_quad
+        q = -(ThetaT_2Q @ target)
+        c0 = float(target @ self._Q_stack @ target)
 
         A_eq, b_eq, A_in, b_in = self._stack_constraints(u_prev)
+        x0, working_set0, y0 = self._warm_start_point(A_eq, b_eq, A_in, b_in)
         softened = False
         try:
-            res = self._solve(P, q, A_eq, b_eq, A_in, b_in)
+            res = self._solve(P, q, A_eq, b_eq, A_in, b_in,
+                              x0=x0, working_set0=working_set0, y0=y0)
         except InfeasibleProblemError:
             if not self.soften_infeasible:
                 raise
@@ -342,6 +475,11 @@ class ModelPredictiveController:
                                              A_in, b_in)
             res = solve_qp_admm(P, q, A, low, high, rho=10.0,
                                 max_iter=50_000)
+        self._store_warm_state(res, softened)
+        self.stats["qp_solves"] += 1
+        self.stats["qp_iterations"] += res.iterations
+        if softened:
+            self.stats["softened_solves"] += 1
 
         dU = res.x.reshape(self.horizon_ctrl, self.model.n_inputs)
         u_seq = u_prev + np.cumsum(dU, axis=0)
@@ -352,3 +490,57 @@ class ModelPredictiveController:
             status=res.status, softened=softened,
             solver_iterations=res.iterations,
         )
+
+    # ------------------------------------------------------------------
+    # Warm-start plumbing
+    # ------------------------------------------------------------------
+    def _warm_start_point(self, A_eq, b_eq, A_in, b_in):
+        """Pick a feasible start from the previous period's solution.
+
+        Candidates, in order: the previous ΔU shifted one step (the plan's
+        tail, feasible whenever loads/capacities are unchanged), the
+        unshifted previous ΔU, and zero increments (feasible whenever
+        ``u_prev`` itself still satisfies the per-step constraints).  The
+        first feasible candidate is returned together with the previous
+        working set (active set) / constraint dual (ADMM).
+        """
+        if not self.warm_start:
+            return None, None, None
+        warm = self._warm
+        ndu = self.model.n_inputs * self.horizon_ctrl
+        if warm is None or warm["x"].size != ndu:
+            return None, None, None
+        prev = warm["x"]
+        shifted = np.zeros(ndu)
+        nu = self.model.n_inputs
+        if self.horizon_ctrl > 1:
+            shifted[:ndu - nu] = prev[nu:]
+        for cand in (shifted, prev, np.zeros(ndu)):
+            if self._point_feasible(cand, A_eq, b_eq, A_in, b_in):
+                self.stats["warm_start_hits"] += 1
+                return cand, warm.get("working_set"), warm.get("y")
+        self.stats["warm_start_misses"] += 1
+        return None, None, None
+
+    @staticmethod
+    def _point_feasible(x, A_eq, b_eq, A_in, b_in,
+                        tol: float = 1e-7) -> bool:
+        if A_eq is not None and np.any(np.abs(A_eq @ x - b_eq) > tol):
+            return False
+        if A_in is not None and np.any(A_in @ x - b_in > tol):
+            return False
+        return True
+
+    def _store_warm_state(self, res, softened: bool) -> None:
+        """Remember the solution for the next period's warm start."""
+        if softened:
+            # The softened problem has extra slack variables; its duals
+            # and working set do not map back onto the nominal rows.
+            self._warm = None
+            return
+        self._warm = {
+            "x": res.x.copy(),
+            "working_set": res.working_set,
+            "y": (res.dual_ineq.copy()
+                  if self.backend == "admm" and res.dual_ineq.size else None),
+        }

@@ -20,6 +20,7 @@ cumulative-energy references the MPC tracks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Literal
 
@@ -34,6 +35,7 @@ from ..exceptions import (
     InfeasibleProblemError,
 )
 from ..sim.policy import AllocationDecision, PolicyObservation
+from ..sim.profiling import PerfStats
 from .constraints import build_constraints
 from .model import CostModelBuilder, OutputMode
 from .peak_shaving import clamp_powers, normalize_budgets
@@ -93,6 +95,13 @@ class MPCPolicyConfig:
     warm_start_optimal:
         Start from the LP optimum at the first period (the figures begin
         at the 6H optimal operating point).
+    warm_start_solver:
+        Thread each period's QP solution (and active set / ADMM dual)
+        into the next period's solve.  Consecutive MPC optima are close
+        by construction — that is what ``r_weight`` enforces — so this
+        skips the phase-1 feasibility LP and most working-set iterations
+        without changing the optimum (the QP is strictly convex).
+        Disable only to benchmark cold-start behavior.
     power_schedule_watts:
         Optional ``(T, N)`` per-period power schedule to *track instead
         of* the reference LP — e.g. a day-ahead commitment.  The MPC
@@ -115,6 +124,7 @@ class MPCPolicyConfig:
     backend: str = "active_set"
     slow_period: int = 1
     warm_start_optimal: bool = True
+    warm_start_solver: bool = True
     power_schedule_watts: np.ndarray | None = None
 
     def __post_init__(self) -> None:
@@ -149,9 +159,17 @@ class CostMPCPolicy:
                                           cluster.n_idcs)
         self.reset()
 
+    #: bound on the reference-LP memo (distinct price/load pairs kept).
+    REF_CACHE_SIZE = 512
+
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Return to the pre-simulation state."""
+        """Return to the pre-simulation state.
+
+        The builder's discretization cache deliberately survives — its
+        entries are pure functions of (prices, dt, mode) and stay valid
+        across runs.
+        """
         n = self.cluster.n_idcs
         self._x = self.builder.initial_state()
         self._u_prev: np.ndarray | None = None
@@ -159,7 +177,25 @@ class CostMPCPolicy:
         self._pending: tuple[np.ndarray, np.ndarray] | None = None
         self._last_prices = np.full(n, np.nan)
         self._mpc: ModelPredictiveController | None = None
-        self._ref_cache: dict = {}
+        # LRU memo of reference-LP solutions keyed by (prices, loads).
+        self._ref_cache: OrderedDict = OrderedDict()
+        self.perf = PerfStats()
+
+    def perf_snapshot(self) -> dict:
+        """Perf counters + stage timings accumulated since :meth:`reset`.
+
+        Folds in the MPC core's solver/cache statistics and the model
+        builder's discretization cache totals, so one dict describes the
+        whole policy stack.  The simulation engine attaches this to
+        :attr:`repro.sim.SimulationResult.perf`.
+        """
+        if self._mpc is not None:
+            self.perf.update_counters(self._mpc.stats)
+        self.perf.update_counters({
+            "model_cache_hits": self.builder.cache_stats["hits"],
+            "model_cache_misses": self.builder.cache_stats["misses"],
+        })
+        return self.perf.as_dict()
 
     # ------------------------------------------------------------------
     # internal state integration (mirrors the plant deterministically)
@@ -208,12 +244,19 @@ class CostMPCPolicy:
                 step_prices = prices
             key = (tuple(np.round(step_prices, 6)),
                    tuple(np.round(loads, 3)))
-            if key not in self._ref_cache:
-                self._ref_cache[key] = self._solve_reference(step_prices,
-                                                             loads)
-                if len(self._ref_cache) > 512:
-                    self._ref_cache.pop(next(iter(self._ref_cache)))
-            out[s] = self._ref_cache[key]
+            cached = self._ref_cache.get(key)
+            if cached is None:
+                self.perf.count("ref_cache_misses")
+                cached = self._solve_reference(step_prices, loads)
+                self._ref_cache[key] = cached
+                if len(self._ref_cache) > self.REF_CACHE_SIZE:
+                    self._ref_cache.popitem(last=False)
+            else:
+                # true LRU: a hit refreshes the entry's recency, so the
+                # recurring (price, load) pairs of a long run never age out.
+                self._ref_cache.move_to_end(key)
+                self.perf.count("ref_cache_hits")
+            out[s] = cached
         return out
 
     def _solve_reference(self, prices: np.ndarray,
@@ -305,19 +348,23 @@ class CostMPCPolicy:
             self._servers = self._servers_for_loads(lam)
 
         # 3. rebuild the prediction model when prices (or servers, in
-        #    fixed mode) changed
-        model = self.builder.discrete(
-            prices, self._servers, cfg.dt,
-            output=cfg.output, mode=cfg.model_mode)
-        constraints = self._make_constraints(obs)
-        if self._mpc is None:
-            self._mpc = ModelPredictiveController(
-                model, cfg.horizon_pred, cfg.horizon_ctrl,
-                q_weight=self._q_weight_vector(), r_weight=cfg.r_weight,
-                constraints=constraints, backend=cfg.backend)
-        else:
-            self._mpc.update_model(model)
-            self._mpc.constraints = constraints
+        #    fixed mode) changed — the builder memoizes, so an unchanged
+        #    period returns the identical object and the MPC skips its
+        #    horizon restacking
+        with self.perf.stage("model"):
+            model = self.builder.discrete(
+                prices, self._servers, cfg.dt,
+                output=cfg.output, mode=cfg.model_mode)
+            constraints = self._make_constraints(obs)
+            if self._mpc is None:
+                self._mpc = ModelPredictiveController(
+                    model, cfg.horizon_pred, cfg.horizon_ctrl,
+                    q_weight=self._q_weight_vector(), r_weight=cfg.r_weight,
+                    constraints=constraints, backend=cfg.backend,
+                    warm_start=cfg.warm_start_solver)
+            else:
+                self._mpc.update_model(model)
+                self._mpc.constraints = constraints
         self._last_prices = prices
 
         # 4. references from the optimizer, clamped at the budgets
@@ -326,12 +373,14 @@ class CostMPCPolicy:
         if obs.predicted_prices is not None:
             prices_seq = np.atleast_2d(
                 np.asarray(obs.predicted_prices, dtype=float))
-        reference = self._build_reference(prices, loads_seq,
-                                          period=obs.period,
-                                          prices_seq=prices_seq)
+        with self.perf.stage("reference"):
+            reference = self._build_reference(prices, loads_seq,
+                                              period=obs.period,
+                                              prices_seq=prices_seq)
 
         # 5. solve the MPC step
-        sol = self._mpc.control(self._x, self._u_prev, reference)
+        with self.perf.stage("mpc_solve"):
+            sol = self._mpc.control(self._x, self._u_prev, reference)
         u = np.maximum(sol.u, 0.0)
 
         # 6. integer server counts for the commanded allocation

@@ -35,7 +35,8 @@ Two operating modes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Literal
 
 import numpy as np
@@ -63,9 +64,23 @@ class CostModelBuilder:
     those arrive per call because they change at run time (hourly price
     adjustments, slow-loop server updates) while the structure (N, C,
     b-coefficients, μ, D) is fixed by the cluster.
+
+    :meth:`discrete` memoizes its ZOH discretizations: the paper's price
+    traces are piecewise-constant over many consecutive control periods,
+    so the closed loop asks for the same model over and over.  The cache
+    is a bounded LRU keyed on exactly the inputs the matrices depend on
+    — ``(prices, dt, output, mode)`` plus the server counts in
+    ``fixed_servers`` mode (in ``sleep_substituted`` mode eq. 36 removes
+    the explicit server dependence, so server changes *correctly* hit
+    the same entry).  Hit/miss totals are kept in ``cache_stats``.
     """
 
     cluster: IDCCluster
+    cache_size: int = 64
+    cache_stats: dict = field(default_factory=lambda: {"hits": 0,
+                                                       "misses": 0})
+    _discrete_cache: OrderedDict = field(default_factory=OrderedDict,
+                                         repr=False)
 
     # -- matrix blocks ----------------------------------------------------
     def a_matrix(self, prices: np.ndarray) -> np.ndarray:
@@ -152,8 +167,29 @@ class CostModelBuilder:
                  dt: float, output: OutputMode = "energy",
                  mode: Literal["fixed_servers", "sleep_substituted"]
                  = "fixed_servers") -> DiscreteStateSpace:
-        """ZOH discretization (eqs. 21–25) of :meth:`continuous`."""
-        return c2d(self.continuous(prices, servers_on, output, mode), dt)
+        """ZOH discretization (eqs. 21–25) of :meth:`continuous`, memoized.
+
+        Repeated calls with unchanged inputs return the *same* model
+        object — downstream consumers (the MPC's ``update_model``) use
+        that identity to skip their own rebuilds.  Callers must treat the
+        returned model as immutable.
+        """
+        prices = self._check_prices(prices)
+        key = [float(dt), str(output), str(mode), prices.tobytes()]
+        if mode == "fixed_servers":
+            key.append(self._check_servers(servers_on).tobytes())
+        key = tuple(key)
+        cached = self._discrete_cache.get(key)
+        if cached is not None:
+            self._discrete_cache.move_to_end(key)
+            self.cache_stats["hits"] += 1
+            return cached
+        self.cache_stats["misses"] += 1
+        model = c2d(self.continuous(prices, servers_on, output, mode), dt)
+        self._discrete_cache[key] = model
+        if len(self._discrete_cache) > self.cache_size:
+            self._discrete_cache.popitem(last=False)
+        return model
 
     # -- state helpers ----------------------------------------------------
     def initial_state(self, cost: float = 0.0,

@@ -33,7 +33,12 @@ def _policies(cluster, dt):
 
 
 def run(dt: float = 300.0, duration: float = 24 * 3600.0) -> dict:
-    """One row of daily metrics per policy."""
+    """One row of daily metrics per policy.
+
+    Each row carries the run's ``perf`` counter snapshot (cache hits,
+    QP iterations, stage wall times) so benchmarks can assert the
+    performance layer engages, not just that the wall clock moved.
+    """
     rows = []
     for make_idx in range(5):
         sc = paper_scenario(dt=dt, duration=duration, start_hour=0.0)
@@ -49,6 +54,7 @@ def run(dt: float = 300.0, duration: float = 24 * 3600.0) -> dict:
             ) / 1e6,
             "energy_mwh": float(result.energy_mwh.sum()),
             "qos_violations": summary.qos_violations,
+            "perf": result.perf,
         })
     return {"rows": rows, "dt": dt, "duration": duration}
 

@@ -15,7 +15,7 @@ from .projections import (
     project_simplex,
 )
 from .qp_activeset import find_feasible_point, solve_qp
-from .qp_admm import boxed_constraints, solve_qp_admm
+from .qp_admm import ADMMFactorCache, boxed_constraints, solve_qp_admm
 from .result import OptimizeResult, Status
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "to_standard_form",
     "solve_qp",
     "solve_qp_admm",
+    "ADMMFactorCache",
     "boxed_constraints",
     "find_feasible_point",
     "solve_constrained_lsq",

@@ -80,7 +80,7 @@ def _kkt_step(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.ndarray
 
 
 def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
-             x0=None, max_iter: int = 500) -> OptimizeResult:
+             x0=None, working_set0=None, max_iter: int = 500) -> OptimizeResult:
     """Solve a strictly convex QP with the primal active-set method.
 
     Parameters
@@ -93,7 +93,16 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         Optional equality and ``<=`` inequality constraints.
     x0:
         Optional feasible starting point.  When omitted (or infeasible) a
-        phase-1 LP provides one.
+        phase-1 LP provides one.  A feasible ``x0`` skips the phase-1 LP
+        entirely, which is the dominant cost of a cold solve — receding-
+        horizon callers should pass the previous period's solution.
+    working_set0:
+        Optional iterable of inequality indices to seed the working set
+        with (e.g. the ``working_set`` of the previous, nearby solve).
+        Indices not tight at the starting point are silently dropped, so a
+        stale set degrades gracefully.  Without it the solver activates
+        *every* tight constraint, which on degenerate vertices means extra
+        drop iterations.
     max_iter:
         Bound on working-set changes.
 
@@ -144,7 +153,13 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
     # Working set holds indices into the inequality rows; equalities are
     # always active.
     slack = b_ineq - A_ineq @ x if m_ineq else np.empty(0)
-    working = set(np.flatnonzero(slack <= 1e-8).tolist())
+    tight = set(np.flatnonzero(slack <= 1e-8).tolist())
+    if working_set0 is not None:
+        # Seed from the caller's set, but only constraints actually tight
+        # at the start are admissible working constraints.
+        working = {int(i) for i in working_set0} & tight
+    else:
+        working = tight
 
     # Degenerate problems can cycle under the most-negative-multiplier
     # rule; past this many iterations we switch to Bland-style
@@ -170,6 +185,7 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
                     x=x, fun=float(0.5 * x @ P @ x + q @ x),
                     status=Status.OPTIMAL, iterations=it,
                     dual_eq=lam[:A_eq.shape[0]], dual_ineq=dual_ineq,
+                    working_set=tuple(w_idx),
                 )
             if use_bland:
                 negative = [w_idx[i] for i in range(len(w_idx))

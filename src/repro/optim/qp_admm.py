@@ -22,7 +22,49 @@ import numpy as np
 
 from .result import OptimizeResult, Status
 
-__all__ = ["solve_qp_admm", "boxed_constraints"]
+__all__ = ["solve_qp_admm", "boxed_constraints", "ADMMFactorCache"]
+
+
+class ADMMFactorCache:
+    """Reusable LU factorization of the ADMM KKT matrix.
+
+    The KKT matrix depends only on ``(P, A, rho, sigma)`` — in a receding-
+    horizon loop these are unchanged for long stretches (prices constant ⇒
+    same Hessian and constraint matrix), so the O(n³) factorization can be
+    reused across solves.  Pass one instance to consecutive
+    :func:`solve_qp_admm` calls; matrices are compared *by value* (an O(n²)
+    check, negligible next to refactorization), so callers need not track
+    identity.
+    """
+
+    def __init__(self) -> None:
+        self._P: np.ndarray | None = None
+        self._A: np.ndarray | None = None
+        self._rho: float = np.nan
+        self._sigma: float = np.nan
+        self._factor = None
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, P: np.ndarray, A: np.ndarray, rho: float, sigma: float):
+        """Return the cached factorization, or ``None`` on mismatch."""
+        if (self._factor is not None and rho == self._rho
+                and sigma == self._sigma
+                and self._P.shape == P.shape and self._A.shape == A.shape
+                and np.array_equal(self._P, P)
+                and np.array_equal(self._A, A)):
+            self.hits += 1
+            return self._factor
+        self.misses += 1
+        return None
+
+    def store(self, P: np.ndarray, A: np.ndarray, rho: float, sigma: float,
+              factor) -> None:
+        self._P = P.copy()
+        self._A = A.copy()
+        self._rho = rho
+        self._sigma = sigma
+        self._factor = factor
 
 
 def boxed_constraints(n: int, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None):
@@ -50,7 +92,8 @@ def boxed_constraints(n: int, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None):
 def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
                   sigma: float = 1e-6, alpha: float = 1.6,
                   eps_abs: float = 1e-7, eps_rel: float = 1e-7,
-                  max_iter: int = 20_000) -> OptimizeResult:
+                  max_iter: int = 20_000, x0=None, y0=None,
+                  cache: ADMMFactorCache | None = None) -> OptimizeResult:
     """Solve ``min 0.5 x'Px + q'x  s.t.  l <= Ax <= u`` by ADMM.
 
     Parameters
@@ -61,6 +104,15 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
         scaled MPC problems in this library.
     eps_abs, eps_rel:
         Absolute/relative tolerances on the primal and dual residuals.
+    x0, y0:
+        Warm-start primal iterate and constraint dual.  ``z`` is seeded
+        with ``clip(A x0, l, u)``.  In a receding-horizon loop the
+        previous period's ``(x, dual_ineq)`` pair cuts the iteration count
+        dramatically because consecutive optima are close.
+    cache:
+        Optional :class:`ADMMFactorCache` reused across calls; the KKT
+        factorization is skipped whenever ``(P, A, rho, sigma)`` match the
+        cached problem.
 
     Returns
     -------
@@ -86,18 +138,35 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
         return OptimizeResult(x=x, fun=float(0.5 * x @ P @ x + q @ x),
                               status=Status.OPTIMAL, iterations=0)
 
-    # KKT matrix factored once (fixed rho).
-    K = np.zeros((n + m, n + m))
-    K[:n, :n] = P + sigma * np.eye(n)
-    K[:n, n:] = A.T
-    K[n:, :n] = A
-    K[n:, n:] = -np.eye(m) / rho
+    # KKT matrix factored once (fixed rho), or pulled from the cache when
+    # the caller solves a sequence of problems sharing (P, A).
     import scipy.linalg as sla
-    lu, piv = sla.lu_factor(K)
+    factor = cache.lookup(P, A, rho, sigma) if cache is not None else None
+    if factor is None:
+        K = np.zeros((n + m, n + m))
+        K[:n, :n] = P + sigma * np.eye(n)
+        K[:n, n:] = A.T
+        K[n:, :n] = A
+        K[n:, n:] = -np.eye(m) / rho
+        factor = sla.lu_factor(K)
+        if cache is not None:
+            cache.store(P, A, rho, sigma, factor)
+    lu, piv = factor
 
-    x = np.zeros(n)
-    z = np.zeros(m)
-    y = np.zeros(m)
+    if x0 is not None:
+        x = np.asarray(x0, dtype=float).ravel().copy()
+        if x.size != n:
+            x = np.zeros(n)
+        z = np.clip(A @ x, l, u)
+    else:
+        x = np.zeros(n)
+        z = np.zeros(m)
+    if y0 is not None:
+        y = np.asarray(y0, dtype=float).ravel().copy()
+        if y.size != m:
+            y = np.zeros(m)
+    else:
+        y = np.zeros(m)
     status = Status.ITERATION_LIMIT
     it = 0
     for it in range(1, max_iter + 1):

@@ -43,6 +43,11 @@ class OptimizeResult:
     dual_eq / dual_ineq:
         Lagrange multipliers of the equality / inequality constraints when
         the solver computes them, else empty arrays.
+    working_set:
+        Indices of the inequality constraints active at the solution, for
+        solvers that track them (the active-set QP).  Feeding this back as
+        ``working_set0`` on the next, nearby problem warm starts the
+        solver.  ``None`` when the solver does not track a working set.
     message:
         Human-readable diagnostic.
     """
@@ -53,6 +58,7 @@ class OptimizeResult:
     iterations: int = 0
     dual_eq: np.ndarray = field(default_factory=lambda: np.empty(0))
     dual_ineq: np.ndarray = field(default_factory=lambda: np.empty(0))
+    working_set: tuple[int, ...] | None = None
     message: str = ""
 
     @property

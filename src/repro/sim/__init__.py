@@ -3,8 +3,10 @@
 from .engine import run_simulation, simulate_policies
 from .faults import FleetOutage, apply_faults
 from .policy import AllocationDecision, Policy, PolicyObservation
+from .profiling import PerfStats
 from .recorder import SimulationRecorder
 from .results import ComparisonResult, SimulationResult
+from .runner import run_many, run_parallel
 from .scenario import (
     PAPER_BUDGETS_WATTS,
     PAPER_IDC_SPECS,
@@ -18,6 +20,9 @@ from .scenario import (
 __all__ = [
     "run_simulation",
     "simulate_policies",
+    "run_many",
+    "run_parallel",
+    "PerfStats",
     "FleetOutage",
     "apply_faults",
     "Policy",

@@ -137,6 +137,7 @@ def run_simulation(scenario: Scenario, policy: Policy,
         servers_prev = servers
 
     arrays = recorder.as_arrays()
+    perf = policy.perf_snapshot() if hasattr(policy, "perf_snapshot") else {}
     return SimulationResult(
         policy_name=policy.name,
         dt=scenario.dt,
@@ -153,21 +154,33 @@ def run_simulation(scenario: Scenario, policy: Policy,
         paper_cost=recorder.meter.paper_cost.copy(),
         idc_names=cluster_names,
         diagnostics=recorder.diagnostics,
+        perf=perf,
     )
 
 
 def simulate_policies(scenario: Scenario, policies: list[Policy],
+                      parallel: bool = False, n_workers: int | None = None,
                       **run_kwargs) -> ComparisonResult:
     """Run several policies on (fresh copies of) the same scenario.
 
-    Policies run sequentially; the market and plant state are reset
-    between runs so each policy sees identical conditions.
+    Each policy sees identical conditions: sequentially, the market and
+    plant are reset between runs; with ``parallel=True`` every policy
+    runs in its own worker process on its own pickled copy of the
+    scenario (see :mod:`repro.sim.runner`), which is bit-identical to the
+    sequential path because the engine is deterministic.
     """
     if not policies:
         raise ModelError("need at least one policy")
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        dup = next(n for n in names if names.count(n) > 1)
+        raise ModelError(f"duplicate policy name {dup!r}")
+    if parallel:
+        from .runner import run_parallel
+        results = run_parallel([(scenario, p) for p in policies],
+                               n_workers=n_workers, **run_kwargs)
+        return ComparisonResult(runs={r.policy_name: r for r in results})
     runs: dict[str, SimulationResult] = {}
     for policy in policies:
-        if policy.name in runs:
-            raise ModelError(f"duplicate policy name {policy.name!r}")
         runs[policy.name] = run_simulation(scenario, policy, **run_kwargs)
     return ComparisonResult(runs=runs)

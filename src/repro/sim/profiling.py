@@ -1,0 +1,96 @@
+"""Lightweight performance counters for the closed loop.
+
+The receding-horizon loop is built from caches (model discretization,
+horizon operators, constraint stacks, reference LP solutions) and
+warm-started solvers.  Wall-clock alone cannot tell whether those layers
+actually engage — a cache regression shows up as "slightly slower" long
+before it shows up as "broken".  :class:`PerfStats` therefore records,
+per closed-loop run:
+
+* **stage timers** — cumulative wall time and call counts per named
+  stage (``model``, ``reference``, ``mpc_solve`` …),
+* **counters** — cache hits/misses, QP iteration totals, warm-start
+  engagement,
+
+so benchmarks can assert *cache effectiveness*, not just speed.  The
+object is a plain-data container (picklable — results cross process
+boundaries in the parallel runner) and cheap enough to leave permanently
+enabled: one ``perf_counter`` pair per stage per period.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PerfStats"]
+
+
+@dataclass
+class PerfStats:
+    """Per-run stage timings and event counters.
+
+    Attributes
+    ----------
+    stage_seconds, stage_calls:
+        Cumulative wall time / number of entries per named stage.
+    counters:
+        Free-form named event counts (cache hits, solver iterations…).
+    """
+
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_calls: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with``-wrapped block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            dt = time.perf_counter() - t0
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + dt
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Overwrite counter ``name`` (for externally accumulated totals)."""
+        self.counters[name] = int(value)
+
+    def update_counters(self, values: dict) -> None:
+        """Overwrite several counters at once."""
+        for name, value in values.items():
+            self.counters[name] = int(value)
+
+    def merge(self, other: "PerfStats") -> None:
+        """Fold another stats object into this one (summing everything)."""
+        for k, v in other.stage_seconds.items():
+            self.stage_seconds[k] = self.stage_seconds.get(k, 0.0) + v
+        for k, v in other.stage_calls.items():
+            self.stage_calls[k] = self.stage_calls.get(k, 0) + v
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (stable keys, safe to serialize)."""
+        return {
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_calls": dict(self.stage_calls),
+            "counters": dict(self.counters),
+        }
+
+    def summary(self) -> str:
+        """One-line-per-stage human-readable report."""
+        lines = []
+        for name in sorted(self.stage_seconds):
+            calls = self.stage_calls.get(name, 0)
+            lines.append(f"{name}: {self.stage_seconds[name] * 1e3:.1f} ms"
+                         f" over {calls} calls")
+        for name in sorted(self.counters):
+            lines.append(f"{name} = {self.counters[name]}")
+        return "\n".join(lines)

@@ -37,6 +37,12 @@ class SimulationResult:
         IDC labels in column order.
     diagnostics:
         Per-period policy diagnostics dictionaries.
+    perf:
+        Run-level performance counters (stage wall times, cache hit/miss
+        totals, QP iteration counts) snapshotted from the policy's
+        :class:`repro.sim.profiling.PerfStats` when it exposes one; empty
+        for policies without instrumentation.  See
+        ``docs/architecture.md`` § Performance architecture.
     """
 
     policy_name: str
@@ -54,6 +60,7 @@ class SimulationResult:
     paper_cost: np.ndarray
     idc_names: list[str]
     diagnostics: list[dict] = field(default_factory=list)
+    perf: dict = field(default_factory=dict)
 
     @property
     def n_periods(self) -> int:

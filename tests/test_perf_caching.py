@@ -1,0 +1,308 @@
+"""Cache layers of the fast closed loop: correctness and invalidation.
+
+Covers the discretization memo in :class:`CostModelBuilder`, the
+structural/offset split of the horizon operators, the constraint-stack
+cache in :class:`ModelPredictiveController`, the LRU reference-LP memo
+in :class:`CostMPCPolicy`, and the :class:`PerfStats` container.  Every
+cache must (a) hit when inputs repeat and (b) miss when any keyed input
+actually changes — stale-entry bugs in an MPC are silent wrong answers,
+not crashes, so the invalidation side is what these tests guard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import ModelPredictiveController, refresh_offset
+from repro.control.horizon import build_horizon
+from repro.core import CostModelBuilder, build_constraints
+from repro.core.controller import CostMPCPolicy, MPCPolicyConfig
+from repro.exceptions import ModelError
+from repro.sim import PerfStats, paper_cluster
+
+PRICES = np.array([43.26, 30.26, 19.06])
+LOADS = np.array([30000.0, 15000.0, 15000.0, 20000.0, 20000.0])
+
+
+# ---------------------------------------------------------------------------
+# Discretization cache
+# ---------------------------------------------------------------------------
+class TestDiscretizationCache:
+    def test_repeat_returns_identical_object(self):
+        builder = CostModelBuilder(paper_cluster())
+        m1 = builder.discrete(PRICES, np.zeros(3), 30.0,
+                              mode="sleep_substituted")
+        m2 = builder.discrete(PRICES, np.zeros(3), 30.0,
+                              mode="sleep_substituted")
+        assert m1 is m2
+        assert builder.cache_stats == {"hits": 1, "misses": 1}
+
+    def test_price_change_invalidates(self):
+        builder = CostModelBuilder(paper_cluster())
+        m1 = builder.discrete(PRICES, np.zeros(3), 30.0,
+                              mode="sleep_substituted")
+        m2 = builder.discrete(PRICES * 2.0, np.zeros(3), 30.0,
+                              mode="sleep_substituted")
+        assert m1 is not m2
+        assert not np.array_equal(m1.Phi, m2.Phi)
+        assert builder.cache_stats["misses"] == 2
+
+    def test_dt_output_and_mode_are_keyed(self):
+        builder = CostModelBuilder(paper_cluster())
+        servers = np.array([100.0, 100.0, 100.0])
+        base = builder.discrete(PRICES, servers, 30.0)
+        assert builder.discrete(PRICES, servers, 60.0) is not base
+        assert builder.discrete(PRICES, servers, 30.0,
+                                output="cost_and_energy") is not base
+        assert builder.discrete(PRICES, servers, 30.0,
+                                mode="sleep_substituted") is not base
+        assert builder.discrete(PRICES, servers, 30.0) is base
+
+    def test_servers_keyed_only_in_fixed_mode(self):
+        builder = CostModelBuilder(paper_cluster())
+        m_a = builder.discrete(PRICES, np.array([100.0, 100.0, 100.0]), 30.0,
+                               mode="fixed_servers")
+        m_b = builder.discrete(PRICES, np.array([200.0, 100.0, 100.0]), 30.0,
+                               mode="fixed_servers")
+        assert m_a is not m_b  # server counts enter the offset w
+        # eq. 36 substitutes the slow loop away: server counts are not an
+        # input of the sleep_substituted model, so they must share an entry
+        s_a = builder.discrete(PRICES, np.array([100.0, 100.0, 100.0]), 30.0,
+                               mode="sleep_substituted")
+        s_b = builder.discrete(PRICES, np.array([200.0, 100.0, 100.0]), 30.0,
+                               mode="sleep_substituted")
+        assert s_a is s_b
+
+    def test_cache_is_bounded(self):
+        builder = CostModelBuilder(paper_cluster())
+        builder.cache_size = 4
+        for k in range(10):
+            builder.discrete(PRICES + k, np.zeros(3), 30.0,
+                             mode="sleep_substituted")
+        assert len(builder._discrete_cache) == 4
+
+    def test_cached_model_matches_fresh_build(self):
+        builder = CostModelBuilder(paper_cluster())
+        cached = builder.discrete(PRICES, np.zeros(3), 30.0,
+                                  mode="sleep_substituted")
+        builder.discrete(PRICES, np.zeros(3), 30.0,
+                         mode="sleep_substituted")  # hit
+        fresh = CostModelBuilder(paper_cluster()).discrete(
+            PRICES, np.zeros(3), 30.0, mode="sleep_substituted")
+        np.testing.assert_allclose(cached.Phi, fresh.Phi)
+        np.testing.assert_allclose(cached.G, fresh.G)
+        np.testing.assert_allclose(cached.w, fresh.w)
+
+
+# ---------------------------------------------------------------------------
+# Horizon structural/offset split
+# ---------------------------------------------------------------------------
+class TestHorizonRefresh:
+    def _model(self, prices, servers):
+        return CostModelBuilder(paper_cluster()).discrete(
+            prices, servers, 30.0, mode="fixed_servers")
+
+    def test_refresh_offset_matches_full_rebuild(self):
+        m1 = self._model(PRICES, np.array([100.0, 100.0, 100.0]))
+        m2 = self._model(PRICES, np.array([250.0, 80.0, 120.0]))
+        # same Phi/G/C (same prices), different offset w (server change)
+        assert np.array_equal(m1.Phi, m2.Phi)
+        assert not np.array_equal(m1.w, m2.w)
+        H = build_horizon(m1, 8, 3)
+        theta_before = H.Theta
+        refresh_offset(H, m2.w)
+        full = build_horizon(m2, 8, 3)
+        np.testing.assert_allclose(H.f_w, full.f_w)
+        assert H.Theta is theta_before  # structure untouched
+
+    def test_refresh_offset_validates_size(self):
+        H = build_horizon(self._model(PRICES, np.zeros(3)), 8, 3)
+        with pytest.raises(ModelError):
+            refresh_offset(H, np.zeros(99))
+
+    def test_update_model_tiers(self):
+        m1 = self._model(PRICES, np.array([100.0, 100.0, 100.0]))
+        mpc = ModelPredictiveController(m1, 8, 3, r_weight=0.01)
+        assert mpc.stats["horizon_rebuilds"] == 1
+
+        mpc.update_model(m1)  # identical object: no work at all
+        assert mpc.stats["horizon_reuses"] == 1
+        assert mpc.stats["horizon_rebuilds"] == 1
+
+        m_off = self._model(PRICES, np.array([250.0, 80.0, 120.0]))
+        theta_before = mpc._horizon.Theta
+        mpc.update_model(m_off)  # offset-only: f_w refresh
+        assert mpc.stats["horizon_offset_refreshes"] == 1
+        assert mpc.stats["horizon_rebuilds"] == 1
+        assert mpc._horizon.Theta is theta_before
+        np.testing.assert_allclose(mpc._horizon.f_w,
+                                   build_horizon(m_off, 8, 3).f_w)
+
+        m_struct = self._model(PRICES * 3.0, np.array([250.0, 80.0, 120.0]))
+        mpc.update_model(m_struct)  # price change: full rebuild
+        assert mpc.stats["horizon_rebuilds"] == 2
+        np.testing.assert_allclose(mpc._horizon.Theta,
+                                   build_horizon(m_struct, 8, 3).Theta)
+
+
+# ---------------------------------------------------------------------------
+# Constraint-stack cache
+# ---------------------------------------------------------------------------
+class TestConstraintStackCache:
+    def _mpc(self):
+        cluster = paper_cluster()
+        model = CostModelBuilder(cluster).discrete(
+            PRICES, np.zeros(3), 30.0, mode="sleep_substituted")
+        cs = build_constraints(cluster, LOADS)
+        return ModelPredictiveController(model, 8, 3, r_weight=0.01,
+                                         constraints=cs), cluster
+
+    def test_value_equal_constraints_hit(self):
+        mpc, cluster = self._mpc()
+        u = np.zeros(mpc.model.n_inputs)
+        first = mpc._stack_constraints(u)
+        # fresh, value-identical object (what build_constraints returns
+        # every period in the closed loop)
+        mpc.constraints = build_constraints(cluster, LOADS)
+        second = mpc._stack_constraints(u)
+        assert mpc.stats["constraint_cache_hits"] == 1
+        assert second[0] is first[0]  # A-side stacks reused verbatim
+        assert second[2] is first[2]
+
+    def test_rhs_change_keeps_a_side(self):
+        mpc, cluster = self._mpc()
+        u = np.zeros(mpc.model.n_inputs)
+        A_eq1, b_eq1, A_in1, b_in1 = mpc._stack_constraints(u)
+        new_loads = LOADS * 1.5
+        mpc.constraints = build_constraints(cluster, new_loads)
+        A_eq2, b_eq2, A_in2, b_in2 = mpc._stack_constraints(u)
+        assert A_eq2 is A_eq1  # loads only touch the RHS
+        assert not np.array_equal(b_eq1, b_eq2)
+        np.testing.assert_allclose(b_eq2[:new_loads.size], new_loads)
+
+    def test_matrix_change_invalidates(self):
+        mpc, cluster = self._mpc()
+        u = np.zeros(mpc.model.n_inputs)
+        A_in_before = mpc._stack_constraints(u)[2]
+        cs = build_constraints(cluster, LOADS)
+        cs.A_ineq = cs.A_ineq * 2.0
+        mpc.constraints = cs
+        A_in_after = mpc._stack_constraints(u)[2]
+        assert mpc.stats["constraint_cache_misses"] == 2
+        assert A_in_after is not A_in_before
+
+    def test_stack_matches_unchached_reference(self):
+        """Cached stacking reproduces the straightforward per-step build."""
+        mpc, cluster = self._mpc()
+        rng = np.random.default_rng(7)
+        u_prev = rng.uniform(0, 100, mpc.model.n_inputs)
+        cs = mpc.constraints
+        cs.du_limit = 500.0
+        cs.upper = 40000.0
+        A_eq, b_eq, A_in, b_in = mpc._stack_constraints(u_prev)
+        nu = mpc.model.n_inputs
+        # reference: the pre-cache formulation, step by step
+        from repro.control.horizon import move_selector
+        eq_rows, eq_rhs, in_rows, in_rhs = [], [], [], []
+        for i in range(3):
+            T = move_selector(nu, 3, i)
+            eq_rows.append(cs.A_eq @ T)
+            eq_rhs.append(cs.rhs_at(cs.b_eq, i) - cs.A_eq @ u_prev)
+            in_rows.append(cs.A_ineq @ T)
+            in_rhs.append(cs.rhs_at(cs.b_ineq, i) - cs.A_ineq @ u_prev)
+            in_rows.append(-T)
+            in_rhs.append(u_prev - 0.0)
+            in_rows.append(T)
+            in_rhs.append(np.full(nu, 40000.0) - u_prev)
+            E = np.zeros((nu, nu * 3))
+            E[:, i * nu:(i + 1) * nu] = np.eye(nu)
+            in_rows.append(E)
+            in_rhs.append(np.full(nu, 500.0))
+            in_rows.append(-E)
+            in_rhs.append(np.full(nu, 500.0))
+        np.testing.assert_allclose(A_eq, np.vstack(eq_rows))
+        np.testing.assert_allclose(b_eq, np.concatenate(eq_rhs))
+        np.testing.assert_allclose(A_in, np.vstack(in_rows))
+        np.testing.assert_allclose(b_in, np.concatenate(in_rhs))
+
+    def test_nonpositive_du_limit_rejected(self):
+        mpc, cluster = self._mpc()
+        mpc.constraints.du_limit = -1.0
+        with pytest.raises(ModelError):
+            mpc._stack_constraints(np.zeros(mpc.model.n_inputs))
+
+
+# ---------------------------------------------------------------------------
+# Reference-LP LRU
+# ---------------------------------------------------------------------------
+class TestReferenceLRU:
+    def _policy(self):
+        cluster = paper_cluster()
+        return CostMPCPolicy(cluster, MPCPolicyConfig(dt=30.0))
+
+    def test_hit_refreshes_recency(self):
+        policy = self._policy()
+        policy.REF_CACHE_SIZE = 3
+        loads_seq = np.tile(LOADS, (3, 1))
+        prices = [PRICES + k for k in range(3)]
+        for p in prices:
+            policy._reference_powers_mw(p, loads_seq)
+        # touch the oldest entry, then insert a new one: the *second*
+        # oldest must be evicted, not the just-touched one
+        policy._reference_powers_mw(prices[0], loads_seq)
+        policy._reference_powers_mw(PRICES + 99, loads_seq)
+        key0 = (tuple(np.round(prices[0], 6)), tuple(np.round(LOADS, 3)))
+        key1 = (tuple(np.round(prices[1], 6)), tuple(np.round(LOADS, 3)))
+        assert key0 in policy._ref_cache
+        assert key1 not in policy._ref_cache
+
+    def test_counters_exposed_through_perf(self):
+        policy = self._policy()
+        loads_seq = np.tile(LOADS, (3, 1))
+        policy._reference_powers_mw(PRICES, loads_seq)
+        policy._reference_powers_mw(PRICES, loads_seq)
+        snap = policy.perf_snapshot()
+        # β₁ = 8 lookups per call, one distinct (price, load) pair
+        assert snap["counters"]["ref_cache_misses"] == 1
+        assert snap["counters"]["ref_cache_hits"] == 15
+
+    def test_cache_bounded(self):
+        policy = self._policy()
+        policy.REF_CACHE_SIZE = 5
+        loads_seq = np.tile(LOADS, (3, 1))
+        for k in range(12):
+            policy._reference_powers_mw(PRICES + k, loads_seq)
+        assert len(policy._ref_cache) == 5
+
+
+# ---------------------------------------------------------------------------
+# PerfStats container
+# ---------------------------------------------------------------------------
+class TestPerfStats:
+    def test_stage_timing_and_counts(self):
+        stats = PerfStats()
+        with stats.stage("solve"):
+            pass
+        with stats.stage("solve"):
+            pass
+        assert stats.stage_calls["solve"] == 2
+        assert stats.stage_seconds["solve"] >= 0.0
+
+    def test_merge_sums(self):
+        a, b = PerfStats(), PerfStats()
+        a.count("hits", 2)
+        b.count("hits", 3)
+        b.count("misses")
+        with b.stage("x"):
+            pass
+        a.merge(b)
+        assert a.counters == {"hits": 5, "misses": 1}
+        assert a.stage_calls["x"] == 1
+
+    def test_picklable(self):
+        import pickle
+
+        stats = PerfStats()
+        with stats.stage("s"):
+            stats.count("c")
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.as_dict() == stats.as_dict()
