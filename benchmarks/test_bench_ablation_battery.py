@@ -6,8 +6,6 @@ This bench shaves the optimal policy's Minnesota peak with batteries of
 increasing size and compares against the MPC's workload-based shave.
 """
 
-import numpy as np
-
 from repro.baselines import OptimalInstantaneousPolicy
 from repro.datacenter import Battery, BatteryConfig, shave_with_battery
 from repro.sim import PAPER_BUDGETS_WATTS, price_step_scenario, run_simulation

@@ -5,8 +5,6 @@ deferral wrapper queues the batch share during the expensive hour and
 drains it in the cheap one.  Sweeps the batch fraction.
 """
 
-import numpy as np
-
 from repro.baselines import OptimalInstantaneousPolicy
 from repro.core import DeferralConfig, DeferralPolicy
 from repro.datacenter import IDCCluster, IDCConfig, LinearPowerModel

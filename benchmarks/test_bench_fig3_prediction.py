@@ -1,7 +1,5 @@
 """Fig. 3: original vs RLS-AR-predicted workload."""
 
-import numpy as np
-
 from repro.experiments import fig3_prediction
 
 

@@ -8,7 +8,7 @@ QP (solved once per period).  Useful to track substrate regressions.
 import numpy as np
 import pytest
 
-from repro.control import InputConstraintSet, ModelPredictiveController
+from repro.control import ModelPredictiveController
 from repro.core import CostModelBuilder, build_constraints, \
     solve_optimal_allocation
 from repro.optim import linprog, solve_qp, solve_qp_admm, boxed_constraints

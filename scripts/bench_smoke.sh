@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/bench.yml: run the benchmark smoke
-# suite and leave the pytest-benchmark JSON at the repo root
-# (BENCH_solvers.json / BENCH_full_day.json).  Run from anywhere.
+# suite and leave the benchmark JSON at the repo root
+# (BENCH_solvers.json / BENCH_full_day.json / BENCH_scaling.json).
+# Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +11,7 @@ python -m pytest benchmarks/test_bench_solvers_micro.py -q \
     --benchmark-json=BENCH_solvers.json
 python -m pytest benchmarks/test_bench_full_day.py -q \
     --benchmark-json=BENCH_full_day.json
+python -m pytest benchmarks/test_bench_scaling.py -q
 
 python - <<'EOF'
 import json
@@ -20,4 +22,15 @@ for name in ("BENCH_solvers.json", "BENCH_full_day.json"):
     print(f"{name}:")
     for bench in data["benchmarks"]:
         print(f"  {bench['name']}: {bench['stats']['mean'] * 1e3:.2f} ms mean")
+
+with open("BENCH_scaling.json") as fh:
+    data = json.load(fh)
+print("BENCH_scaling.json (structured vs dense, per solve):")
+for row in data["configs"]:
+    print("  N={n_idcs} beta1={horizon_pred}: "
+          "admm x{a:.1f}, active-set warm x{w:.1f}, "
+          "horizon assembly x{h:.1f}".format(
+              a=row["admm"]["speedup"],
+              w=row["active_set"]["speedup"],
+              h=row["horizon_assembly"]["speedup"], **row))
 EOF

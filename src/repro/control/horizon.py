@@ -8,11 +8,22 @@ Turns the recursion ``x⁺ = Φx + Gu + w`` with the move parameterization
 where ``Y`` stacks the predicted outputs ``y(k+1) … y(k+β₁)`` and ``ΔU``
 stacks the ``β₂`` input increments.  This is the matrix algebra of
 eqs. (39)–(41) in the paper, written for a general output matrix.
+
+Θ is block-lower-*Toeplitz*: its ``(s, t)`` block is the impulse-response
+block ``J_{s−t} = C (Σ_{i<s−t} Φⁱ) G``, a function of ``s − t`` alone.
+:func:`build_horizon` therefore computes only the β₁ distinct blocks and
+assembles the dense matrix by fancy indexing (no Python block-copy
+loops); :class:`HorizonMatrices` keeps the block stack and exposes
+matrix-free :meth:`~HorizonMatrices.apply_theta` /
+:meth:`~HorizonMatrices.apply_theta_T` products for the prediction and
+solver matvec paths, which cost O(β₁·β₂·ny·nu) flops through batched
+small matmuls instead of touching the (β₁ny × β₂nu) dense operator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -42,6 +53,11 @@ class HorizonMatrices:
         changes *only* ``w`` — the slow server loop in ``fixed_servers``
         mode — :func:`refresh_offset` rebuilds ``f_w`` in O(β₁·ny·n)
         instead of redoing the whole stacking.
+    theta_blocks:
+        The β₁ distinct impulse-response blocks ``J_1 … J_{β₁}`` of the
+        block-lower-Toeplitz Θ, shape ``(β₁, ny, nu)``.  Backs the
+        matrix-free :meth:`apply_theta` / :meth:`apply_theta_T`; ``None``
+        for hand-built instances, which fall back to the dense operator.
     """
 
     F_x: np.ndarray
@@ -53,13 +69,48 @@ class HorizonMatrices:
     n_outputs: int
     n_inputs: int
     offset_map: np.ndarray | None = None
+    theta_blocks: np.ndarray | None = None
+
+    def apply_theta(self, dU) -> np.ndarray:
+        """Matrix-free ``Theta @ dU`` via the Toeplitz block stack.
+
+        ``y_s = Σ_t J_{s−t} Δu_t`` is a block convolution: one batched
+        matmul of all blocks against all increments, then β₂ shifted
+        vector adds — no (β₁ny × β₂nu) product.
+        """
+        dU = np.asarray(dU, dtype=float).ravel()
+        if self.theta_blocks is None:
+            return self.Theta @ dU
+        b1, b2 = self.horizon_pred, self.horizon_ctrl
+        U = dU.reshape(b2, self.n_inputs)
+        # contrib[t, j] = J_{j+1} @ Δu_t lands at output step s = t+j+1.
+        contrib = np.einsum("jab,tb->tja", self.theta_blocks, U)
+        Y = np.zeros((b1, self.n_outputs))
+        for t in range(b2):
+            Y[t:] += contrib[t, :b1 - t]
+        return Y.ravel()
+
+    def apply_theta_T(self, v) -> np.ndarray:
+        """Matrix-free ``Theta.T @ v`` (adjoint of :meth:`apply_theta`)."""
+        v = np.asarray(v, dtype=float).ravel()
+        if self.theta_blocks is None:
+            return self.Theta.T @ v
+        b1, b2 = self.horizon_pred, self.horizon_ctrl
+        V = v.reshape(b1, self.n_outputs)
+        # contrib[s, j] = J_{j+1}ᵀ @ v_s ; Δu_t collects s = t+j.
+        contrib = np.einsum("jab,sa->sjb", self.theta_blocks, V)
+        out = np.empty((b2, self.n_inputs))
+        for t in range(b2):
+            j = np.arange(b1 - t)
+            out[t] = contrib[t + j, j].sum(axis=0)
+        return out.ravel()
 
     def predict(self, x, u_prev, dU) -> np.ndarray:
         """Stacked output prediction, reshaped to ``(β₁, ny)``."""
         x = np.asarray(x, dtype=float).ravel()
         u_prev = np.asarray(u_prev, dtype=float).ravel()
-        dU = np.asarray(dU, dtype=float).ravel()
-        y = self.F_x @ x + self.F_u @ u_prev + self.f_w + self.Theta @ dU
+        y = self.F_x @ x + self.F_u @ u_prev + self.f_w \
+            + self.apply_theta(dU)
         return y.reshape(self.horizon_pred, self.n_outputs)
 
     def free_response(self, x, u_prev) -> np.ndarray:
@@ -69,19 +120,28 @@ class HorizonMatrices:
         return self.F_x @ x + self.F_u @ u_prev + self.f_w
 
 
+@lru_cache(maxsize=256)
+def _move_selector_cached(n_inputs: int, horizon_ctrl: int,
+                          step: int) -> np.ndarray:
+    mask = np.zeros(horizon_ctrl)
+    mask[:min(step, horizon_ctrl - 1) + 1] = 1.0
+    T = np.kron(mask, np.eye(n_inputs))
+    T.setflags(write=False)  # cached and shared — callers must not mutate
+    return T
+
+
 def move_selector(n_inputs: int, horizon_ctrl: int, step: int) -> np.ndarray:
     """Matrix ``T_i`` with ``u(k+i) = u_prev + T_i @ dU``.
 
     ``T_i`` is ``[I, I, …, I, 0, …, 0]`` with ``min(step, β₂-1)+1``
-    identity blocks — the block row of the paper's Ī matrix.
+    identity blocks — the block row of the paper's Ī matrix.  Built by a
+    single Kronecker product and memoized per ``(n_inputs, β₂, step)``
+    (the MPC requests the same selectors every period); the returned
+    array is read-only, copy before mutating.
     """
     if step < 0:
         raise ModelError("step must be nonnegative")
-    blocks = min(step, horizon_ctrl - 1) + 1
-    T = np.zeros((n_inputs, n_inputs * horizon_ctrl))
-    for b in range(blocks):
-        T[:, b * n_inputs:(b + 1) * n_inputs] = np.eye(n_inputs)
-    return T
+    return _move_selector_cached(int(n_inputs), int(horizon_ctrl), int(step))
 
 
 def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
@@ -91,6 +151,8 @@ def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
     Complexity is O(β₁) matrix products of the state dimension — cheap for
     the (N+1)-dimensional cost model of the paper — and the result is
     reusable across MPC steps as long as the model matrices are unchanged.
+    Θ is assembled from its β₁ distinct Toeplitz blocks by one fancy-index
+    gather instead of the O(β₁·β₂) per-block Python copy loop.
     """
     if horizon_pred < 1:
         raise ModelError("prediction horizon must be >= 1")
@@ -111,19 +173,29 @@ def build_horizon(model: DiscreteStateSpace, horizon_pred: int,
         psums.append(psums[-1] + powers[s - 1])
 
     F_x = np.vstack([C @ powers[s] for s in range(1, horizon_pred + 1)])
-    F_u = np.vstack([C @ psums[s] @ G for s in range(1, horizon_pred + 1)])
     offset_map = np.vstack([C @ psums[s] for s in range(1, horizon_pred + 1)])
     f_w = offset_map @ w
 
-    Theta = np.zeros((horizon_pred * ny, horizon_ctrl * nu))
-    for s in range(1, horizon_pred + 1):
-        for t in range(min(s, horizon_ctrl)):
-            block = C @ psums[s - t] @ G
-            Theta[(s - 1) * ny:s * ny, t * nu:(t + 1) * nu] = block
+    # Θ's (s, t) block is J_{s-t} = C psums[s-t] G — a function of s−t
+    # only.  Compute the β₁ distinct blocks in one batched product …
+    psums_G = np.stack([psums[j] @ G for j in range(1, horizon_pred + 1)])
+    theta_blocks = C @ psums_G                     # (β₁, ny, nu)
+    # … F_u is the first block column continued down all β₁ steps …
+    F_u = theta_blocks.reshape(horizon_pred * ny, nu).copy()
+    # … and the dense Θ is a fancy-index gather over the shift s−t, with
+    # shift 0 padding the upper-triangular zero blocks.
+    padded = np.concatenate(
+        [np.zeros((1, ny, nu)), theta_blocks])     # padded[j] = J_j, J_0 = 0
+    shift = (np.arange(1, horizon_pred + 1)[:, None]
+             - np.arange(horizon_ctrl)[None, :])   # s − t
+    Theta = (padded[np.clip(shift, 0, horizon_pred)]
+             .transpose(0, 2, 1, 3)
+             .reshape(horizon_pred * ny, horizon_ctrl * nu))
     return HorizonMatrices(
         F_x=F_x, F_u=F_u, f_w=f_w, Theta=Theta,
         horizon_pred=horizon_pred, horizon_ctrl=horizon_ctrl,
         n_outputs=ny, n_inputs=nu, offset_map=offset_map,
+        theta_blocks=theta_blocks,
     )
 
 

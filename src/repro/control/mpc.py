@@ -34,6 +34,7 @@ from ..optim import (
     solve_qp,
     solve_qp_admm,
 )
+from ..optim.linalg import KKTFactorCache, MPCConstraintOperator
 from .horizon import HorizonMatrices, build_horizon, move_selector, \
     refresh_offset
 from .statespace import DiscreteStateSpace
@@ -186,15 +187,22 @@ class ModelPredictiveController:
         self.stats: dict[str, int] = {
             "qp_solves": 0, "qp_iterations": 0,
             "warm_start_hits": 0, "warm_start_misses": 0,
+            "warm_start_rejections": 0,
             "horizon_rebuilds": 1, "horizon_offset_refreshes": 0,
             "horizon_reuses": 0,
             "constraint_cache_hits": 0, "constraint_cache_misses": 0,
             "softened_solves": 0,
+            # linear-algebra kernel counters (see repro.optim.linalg):
+            # incremental O(n²) working-set factorization changes vs
+            # from-scratch refactorizations vs dense fallback steps.
+            "kkt_updates": 0, "kkt_refactorizations": 0,
+            "kkt_dense_steps": 0, "admm_reduced_solves": 0,
         }
         self._qp_quad = None         # (Theta id, 2Θ'Q, P) objective cache
         self._con_cache: dict | None = None
         self._warm: dict | None = None
         self._admm_cache = ADMMFactorCache()
+        self._kkt_cache = KKTFactorCache()
 
     def reset_warm_start(self) -> None:
         """Drop carried solver state (previous solution, working set)."""
@@ -320,6 +328,12 @@ class ModelPredictiveController:
             "lower": lo, "upper": hi, "du_limit": lim,
             "A_eq_stack": np.vstack(eq_blocks) if eq_blocks else None,
             "A_in_stack": np.vstack(in_blocks) if in_blocks else None,
+            # Matrix-free view of the same stack (identical row order):
+            # drives the reduced/structured ADMM KKT path.
+            "operator": MPCConstraintOperator(
+                self.horizon_ctrl, nu, A_eq=A_eq, A_ineq=A_in,
+                has_lower=lo is not None, has_upper=hi is not None,
+                has_du_limit=lim is not None),
         }
         self._con_cache = structure
         return structure
@@ -333,7 +347,7 @@ class ModelPredictiveController:
         """
         cs = self.constraints
         if cs is None:
-            return None, None, None, None
+            return None, None, None, None, None
         st = self._constraint_structure(cs)
         A_eq, A_in = st["A_eq"], st["A_ineq"]
         lo, hi, lim = st["lower"], st["upper"], st["du_limit"]
@@ -354,20 +368,23 @@ class ModelPredictiveController:
                 b_in_rows.append(lim)
         b_eq = np.concatenate(b_eq_rows) if b_eq_rows else None
         b_in = np.concatenate(b_in_rows) if b_in_rows else None
-        return st["A_eq_stack"], b_eq, st["A_in_stack"], b_in
+        return st["A_eq_stack"], b_eq, st["A_in_stack"], b_in, st["operator"]
 
     # ------------------------------------------------------------------
     # QP assembly and solve
     # ------------------------------------------------------------------
     def _solve(self, P, q, A_eq, b_eq, A_in, b_in, max_iter: int = 500,
-               x0=None, working_set0=None, y0=None, use_cache: bool = True):
+               x0=None, working_set0=None, y0=None, use_cache: bool = True,
+               structure: MPCConstraintOperator | None = None):
         if self.backend == "active_set":
             return solve_qp(P, q, A_eq=A_eq, b_eq=b_eq,
                             A_ineq=A_in, b_ineq=b_in, max_iter=max_iter,
-                            x0=x0, working_set0=working_set0)
+                            x0=x0, working_set0=working_set0,
+                            kkt_cache=self._kkt_cache if use_cache else None)
         A, low, high = boxed_constraints(q.size, A_eq, b_eq, A_in, b_in)
         return solve_qp_admm(P, q, A, low, high, x0=x0, y0=y0,
-                             cache=self._admm_cache if use_cache else None)
+                             cache=self._admm_cache if use_cache else None,
+                             structure=structure)
 
     def _solve_softened(self, P, q, A_eq, b_eq, A_in, b_in):
         """Relax inequalities with quadratically penalized slacks ≥ 0."""
@@ -457,12 +474,13 @@ class ModelPredictiveController:
         q = -(ThetaT_2Q @ target)
         c0 = float(target @ self._Q_stack @ target)
 
-        A_eq, b_eq, A_in, b_in = self._stack_constraints(u_prev)
+        A_eq, b_eq, A_in, b_in, operator = self._stack_constraints(u_prev)
         x0, working_set0, y0 = self._warm_start_point(A_eq, b_eq, A_in, b_in)
         softened = False
         try:
             res = self._solve(P, q, A_eq, b_eq, A_in, b_in,
-                              x0=x0, working_set0=working_set0, y0=y0)
+                              x0=x0, working_set0=working_set0, y0=y0,
+                              structure=operator)
         except InfeasibleProblemError:
             if not self.soften_infeasible:
                 raise
@@ -474,10 +492,18 @@ class ModelPredictiveController:
             A, low, high = boxed_constraints(q.size, A_eq, b_eq,
                                              A_in, b_in)
             res = solve_qp_admm(P, q, A, low, high, rho=10.0,
-                                max_iter=50_000)
-        self._store_warm_state(res, softened)
+                                max_iter=50_000, structure=operator)
+        self._store_warm_state(
+            res, softened,
+            rows=(0 if A_eq is None else A_eq.shape[0],
+                  0 if A_in is None else A_in.shape[0]))
         self.stats["qp_solves"] += 1
         self.stats["qp_iterations"] += res.iterations
+        for key in ("kkt_updates", "kkt_refactorizations",
+                    "kkt_dense_steps"):
+            self.stats[key] += int(res.meta.get(key, 0))
+        if res.meta.get("kkt_method") == "reduced":
+            self.stats["admm_reduced_solves"] += 1
         if softened:
             self.stats["softened_solves"] += 1
 
@@ -503,6 +529,16 @@ class ModelPredictiveController:
         ``u_prev`` itself still satisfies the per-step constraints).  The
         first feasible candidate is returned together with the previous
         working set (active set) / constraint dual (ADMM).
+
+        The stored working set and dual index *rows* of the stacked
+        constraints, so they are only meaningful while the row counts are
+        unchanged.  When the stack grows or shrinks between periods (a
+        budget toggling on/off mid-day changes the inequality count) the
+        stale solver state is dropped *here* — counted as a
+        ``warm_start_rejections`` — rather than handed to the solver,
+        where out-of-range indices or a wrong-length dual would fail.
+        The primal candidate is still tried: it lives in ΔU space, which
+        is unchanged.
         """
         if not self.warm_start:
             return None, None, None
@@ -510,6 +546,12 @@ class ModelPredictiveController:
         ndu = self.model.n_inputs * self.horizon_ctrl
         if warm is None or warm["x"].size != ndu:
             return None, None, None
+        rows_now = (0 if A_eq is None else A_eq.shape[0],
+                    0 if A_in is None else A_in.shape[0])
+        working_set, y = warm.get("working_set"), warm.get("y")
+        if warm.get("rows") != rows_now:
+            working_set, y = None, None
+            self.stats["warm_start_rejections"] += 1
         prev = warm["x"]
         shifted = np.zeros(ndu)
         nu = self.model.n_inputs
@@ -518,7 +560,7 @@ class ModelPredictiveController:
         for cand in (shifted, prev, np.zeros(ndu)):
             if self._point_feasible(cand, A_eq, b_eq, A_in, b_in):
                 self.stats["warm_start_hits"] += 1
-                return cand, warm.get("working_set"), warm.get("y")
+                return cand, working_set, y
         self.stats["warm_start_misses"] += 1
         return None, None, None
 
@@ -531,8 +573,15 @@ class ModelPredictiveController:
             return False
         return True
 
-    def _store_warm_state(self, res, softened: bool) -> None:
-        """Remember the solution for the next period's warm start."""
+    def _store_warm_state(self, res, softened: bool,
+                          rows: tuple[int, int] = (0, 0)) -> None:
+        """Remember the solution for the next period's warm start.
+
+        ``rows`` records the constraint-stack shape (equality rows,
+        inequality rows) the working set and dual were computed against;
+        :meth:`_warm_start_point` rejects them when the next period's
+        stack has a different row count.
+        """
         if softened:
             # The softened problem has extra slack variables; its duals
             # and working set do not map back onto the nominal rows.
@@ -541,6 +590,7 @@ class ModelPredictiveController:
         self._warm = {
             "x": res.x.copy(),
             "working_set": res.working_set,
+            "rows": rows,
             "y": (res.dual_ineq.copy()
                   if self.backend == "admm" and res.dual_ineq.size else None),
         }

@@ -34,6 +34,17 @@ class ConvergenceError(SolverError):
     """An iterative solver hit its iteration limit before converging."""
 
 
+class FactorizationError(SolverError):
+    """A matrix factorization failed or lost positive definiteness.
+
+    Raised by the incremental Cholesky kernels in :mod:`repro.optim.linalg`
+    when a rank-one downdate or a bordered extension would leave the factor
+    indefinite (dependent constraint rows, accumulated round-off).  Callers
+    recover by refactorizing from scratch or switching to a dense solve —
+    the active-set QP does both automatically.
+    """
+
+
 class ConfigurationError(ReproError):
     """A scenario or controller configuration is invalid."""
 

@@ -1,11 +1,19 @@
 """Optimization substrate: LP, QP and constrained least-squares solvers.
 
-Everything here is implemented from scratch on numpy (scipy appears only
-inside the ADMM solver's LU factorization and in cross-validation tests).
-The MPC controller and the reference optimizer of the paper are built on
-these solvers.
+Everything here is implemented from scratch on numpy (scipy supplies only
+the triangular/Cholesky solves inside the linear-algebra kernels and the
+ADMM factorization, plus cross-validation in tests).  The MPC controller
+and the reference optimizer of the paper are built on these solvers; the
+structure-exploiting kernels backing both QP solvers live in
+:mod:`repro.optim.linalg`.
 """
 
+from .linalg import (
+    IncrementalKKT,
+    KKTFactorCache,
+    MPCConstraintOperator,
+    UpdatableCholesky,
+)
 from .linprog_simplex import linprog, to_standard_form
 from .lsq import solve_constrained_lsq, weighted_lsq_to_qp
 from .projections import (
@@ -26,6 +34,10 @@ __all__ = [
     "ADMMFactorCache",
     "boxed_constraints",
     "find_feasible_point",
+    "UpdatableCholesky",
+    "IncrementalKKT",
+    "KKTFactorCache",
+    "MPCConstraintOperator",
     "solve_constrained_lsq",
     "weighted_lsq_to_qp",
     "project_box",

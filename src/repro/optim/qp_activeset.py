@@ -23,13 +23,24 @@ Algorithm 16.3):
 3. either take a (possibly blocked) step and add the blocking constraint,
    or — when the step is zero — inspect multipliers and drop the most
    negative one, declaring optimality when none is negative.
+
+The KKT subproblem is solved through :class:`repro.optim.linalg.
+IncrementalKKT`: ``P`` is Cholesky-factored once per call and the
+working-set Schur complement is updated/downdated in O(n²) as constraints
+enter and leave, instead of re-solving a dense (n+m)×(n+m) KKT system per
+iteration.  Degenerate working sets (dependent rows) fall back to the
+dense least-squares KKT step; ``OptimizeResult.meta`` reports
+``kkt_updates`` / ``kkt_refactorizations`` / ``kkt_dense_steps`` so the
+incremental path is observable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ConvergenceError, InfeasibleProblemError
+from ..exceptions import ConvergenceError, FactorizationError, \
+    InfeasibleProblemError
+from .linalg import IncrementalKKT, KKTFactorCache
 from .linprog_simplex import linprog
 from .result import OptimizeResult, Status
 
@@ -56,11 +67,14 @@ def find_feasible_point(n: int, A_eq=None, b_eq=None, A_ineq=None,
     return res.x
 
 
-def _kkt_step(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Solve the equality-constrained QP subproblem.
+def _kkt_step_dense(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense fallback for the equality-constrained QP subproblem.
 
     Returns the step ``p`` minimizing ``0.5 p'Pp + g'p`` subject to
     ``A_w p = 0`` and the Lagrange multipliers of the working constraints.
+    Used when the incremental factorization cannot be maintained —
+    dependent working rows or a non-SPD ``P`` — because the least-squares
+    KKT solve handles the singular case gracefully.
     """
     n = P.shape[0]
     m = A_w.shape[0] if A_w.size else 0
@@ -80,7 +94,8 @@ def _kkt_step(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.ndarray
 
 
 def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
-             x0=None, working_set0=None, max_iter: int = 500) -> OptimizeResult:
+             x0=None, working_set0=None, max_iter: int = 500,
+             kkt_cache: KKTFactorCache | None = None) -> OptimizeResult:
     """Solve a strictly convex QP with the primal active-set method.
 
     Parameters
@@ -105,6 +120,12 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         drop iterations.
     max_iter:
         Bound on working-set changes.
+    kkt_cache:
+        Optional :class:`repro.optim.linalg.KKTFactorCache` shared across
+        calls.  When the problem matrices match the cached ones *and* the
+        seeded working set equals the cached final working set (the
+        common receding-horizon case), the solve starts from the fully
+        factored KKT state — no O(n³) work at all.
 
     Raises
     ------
@@ -151,7 +172,9 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         x = find_feasible_point(n, A_eq, b_eq, A_ineq, b_ineq)
 
     # Working set holds indices into the inequality rows; equalities are
-    # always active.
+    # always active.  ``order`` keeps the *insertion* order of working
+    # inequalities — the incremental factorization appends/deletes by
+    # position, so positions must stay stable across changes.
     slack = b_ineq - A_ineq @ x if m_ineq else np.empty(0)
     tight = set(np.flatnonzero(slack <= 1e-8).tolist())
     if working_set0 is not None:
@@ -160,40 +183,112 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         working = {int(i) for i in working_set0} & tight
     else:
         working = tight
+    order = sorted(working)
+    m_eq = A_eq.shape[0]
+
+    def current_rows() -> np.ndarray:
+        if not (A_eq.size or order):
+            return np.zeros((0, n))
+        return np.vstack([A_eq] + [A_ineq[i:i + 1] for i in order])
+
+    # Incremental KKT state.  ``kkt_ok`` is False while the working set is
+    # degenerate (dependent rows) or P is not SPD; then the dense
+    # least-squares step is used until a working-set change lets the
+    # factorization be rebuilt.
+    dense_steps = 0
+    kkt = None
+    kkt_ok = False
+    cached = kkt_cache.lookup(P, A_eq, A_ineq) if kkt_cache is not None \
+        else None
+    if cached is not None:
+        kkt, cached_key = cached
+        if set(cached_key) == working:
+            # Same active set as the cached final state: adopt its row
+            # order and start from the already-factored KKT — zero
+            # factorization work on this solve.
+            order = list(cached_key)
+            kkt_ok = True
+    if kkt is None:
+        try:
+            kkt = IncrementalKKT(P)
+        except FactorizationError:
+            kkt = None
+    updates0 = kkt.updates if kkt is not None else 0
+    refactor0 = kkt.refactorizations if kkt is not None else 0
+    if kkt is not None and not kkt_ok:
+        try:
+            kkt.set_rows(current_rows())
+            kkt_ok = True
+        except FactorizationError:
+            kkt_ok = False
+
+    def rebuild() -> None:
+        nonlocal kkt_ok
+        if kkt is None:
+            return
+        try:
+            kkt.set_rows(current_rows())
+            kkt_ok = True
+        except FactorizationError:
+            kkt_ok = False
 
     # Degenerate problems can cycle under the most-negative-multiplier
     # rule; past this many iterations we switch to Bland-style
     # lowest-index selection, which cannot cycle.
     bland_after = 3 * (q.size + m_ineq)
 
+    def _result(x, it, lam) -> OptimizeResult:
+        lam_ineq = lam[m_eq:]
+        dual_ineq = np.zeros(m_ineq)
+        for pos, ci in enumerate(order):
+            dual_ineq[ci] = lam_ineq[pos]
+        if kkt_cache is not None and kkt is not None and kkt_ok:
+            kkt_cache.store(P, A_eq, A_ineq, kkt, tuple(order))
+        return OptimizeResult(
+            x=x, fun=float(0.5 * x @ P @ x + q @ x),
+            status=Status.OPTIMAL, iterations=it,
+            dual_eq=lam[:m_eq], dual_ineq=dual_ineq,
+            working_set=tuple(sorted(order)),
+            meta={
+                "kkt_updates":
+                    (kkt.updates - updates0) if kkt is not None else 0,
+                "kkt_refactorizations":
+                    (kkt.refactorizations - refactor0)
+                    if kkt is not None else 0,
+                "kkt_dense_steps": dense_steps,
+            },
+        )
+
     for it in range(1, max_iter + 1):
         use_bland = it > bland_after
-        w_idx = sorted(working)
-        A_w = np.vstack([A_eq] + [A_ineq[i:i + 1] for i in w_idx]) \
-            if (A_eq.size or w_idx) else np.zeros((0, n))
         g = P @ x + q
-        p, lam = _kkt_step(P, g, A_w)
+        if kkt_ok:
+            p, lam = kkt.step(g)
+        else:
+            dense_steps += 1
+            p, lam = _kkt_step_dense(P, g, current_rows())
 
         if np.linalg.norm(p, ord=np.inf) <= _TOL:
             # Stationary on the working set: check inequality multipliers.
-            lam_ineq = lam[A_eq.shape[0]:]
+            lam_ineq = lam[m_eq:]
             if lam_ineq.size == 0 or np.all(lam_ineq >= -_TOL):
-                dual_ineq = np.zeros(m_ineq)
-                for pos, ci in enumerate(w_idx):
-                    dual_ineq[ci] = lam_ineq[pos]
-                return OptimizeResult(
-                    x=x, fun=float(0.5 * x @ P @ x + q @ x),
-                    status=Status.OPTIMAL, iterations=it,
-                    dual_eq=lam[:A_eq.shape[0]], dual_ineq=dual_ineq,
-                    working_set=tuple(w_idx),
-                )
+                return _result(x, it, lam)
             if use_bland:
-                negative = [w_idx[i] for i in range(len(w_idx))
+                negative = [order[i] for i in range(len(order))
                             if lam_ineq[i] < -_TOL]
                 drop = min(negative)
             else:
-                drop = w_idx[int(np.argmin(lam_ineq))]
+                drop = order[int(np.argmin(lam_ineq))]
+            pos = order.index(drop)
+            order.pop(pos)
             working.remove(drop)
+            if kkt_ok:
+                try:
+                    kkt.remove_row(m_eq + pos)
+                except FactorizationError:
+                    kkt_ok = False
+            else:
+                rebuild()
             continue
 
         # Line search against constraints not in the working set.
@@ -216,6 +311,14 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         x = x + alpha * p
         if blocking >= 0:
             working.add(blocking)
+            order.append(blocking)
+            if kkt_ok:
+                try:
+                    kkt.add_row(A_ineq[blocking])
+                except FactorizationError:
+                    kkt_ok = False
+            else:
+                rebuild()
 
     raise ConvergenceError(
         f"active-set QP did not converge in {max_iter} iterations"

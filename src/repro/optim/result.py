@@ -50,6 +50,11 @@ class OptimizeResult:
         solver.  ``None`` when the solver does not track a working set.
     message:
         Human-readable diagnostic.
+    meta:
+        Solver-specific diagnostics (e.g. the QP kernels report
+        ``kkt_updates`` / ``kkt_refactorizations`` / ``kkt_dense_steps``,
+        the ADMM solver its KKT method).  Always a plain dict of scalars,
+        safe to fold into :class:`repro.sim.profiling.PerfStats` counters.
     """
 
     x: np.ndarray
@@ -60,6 +65,7 @@ class OptimizeResult:
     dual_ineq: np.ndarray = field(default_factory=lambda: np.empty(0))
     working_set: tuple[int, ...] | None = None
     message: str = ""
+    meta: dict = field(default_factory=dict)
 
     @property
     def success(self) -> bool:

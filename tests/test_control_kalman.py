@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.control import (
-    DiscreteStateSpace,
     KalmanFilter,
     local_linear_trend_model,
 )

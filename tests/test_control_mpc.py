@@ -73,6 +73,61 @@ class TestHorizon:
             build_horizon(model, 0, 1)
         with pytest.raises(ModelError):
             build_horizon(model, 3, 4)
+        with pytest.raises(ModelError):
+            move_selector(2, 3, -1)
+
+    def test_theta_is_block_lower_toeplitz(self):
+        rng = np.random.default_rng(1)
+        model = DiscreteStateSpace(
+            Phi=rng.normal(size=(3, 3)) * 0.3,
+            G=rng.normal(size=(3, 2)),
+            C=rng.normal(size=(2, 3)),
+        )
+        b1, b2, ny, nu = 6, 4, 2, 2
+        H = build_horizon(model, b1, b2)
+        assert H.theta_blocks.shape == (b1, ny, nu)
+        # dense Θ's (s, t) block must equal J_{s-t} (zero above diagonal)
+        for s in range(b1):
+            for t in range(b2):
+                block = H.Theta[s * ny:(s + 1) * ny, t * nu:(t + 1) * nu]
+                if s < t:
+                    np.testing.assert_array_equal(block, 0.0)
+                else:
+                    np.testing.assert_allclose(
+                        block, H.theta_blocks[s - t], atol=1e-13)
+
+    def test_apply_theta_matches_dense_operator(self):
+        rng = np.random.default_rng(2)
+        model = DiscreteStateSpace(
+            Phi=rng.normal(size=(4, 4)) * 0.25,
+            G=rng.normal(size=(4, 3)),
+            C=rng.normal(size=(2, 4)),
+        )
+        for b1, b2 in ((7, 4), (5, 5), (3, 1)):
+            H = build_horizon(model, b1, b2)
+            dU = rng.normal(size=b2 * 3)
+            v = rng.normal(size=b1 * 2)
+            np.testing.assert_allclose(H.apply_theta(dU), H.Theta @ dU,
+                                       atol=1e-11)
+            np.testing.assert_allclose(H.apply_theta_T(v), H.Theta.T @ v,
+                                       atol=1e-11)
+
+    def test_apply_theta_dense_fallback_without_blocks(self):
+        rng = np.random.default_rng(3)
+        model = _double_integrator()
+        H = build_horizon(model, 4, 2)
+        H.theta_blocks = None  # hand-built instances lack the block stack
+        dU = rng.normal(size=2)
+        np.testing.assert_allclose(H.apply_theta(dU), H.Theta @ dU)
+        v = rng.normal(size=4)
+        np.testing.assert_allclose(H.apply_theta_T(v), H.Theta.T @ v)
+
+    def test_move_selector_is_cached_and_read_only(self):
+        T1 = move_selector(2, 3, 1)
+        T2 = move_selector(2, 3, 1)
+        assert T1 is T2  # memoized per (n_inputs, horizon, step)
+        with pytest.raises(ValueError):
+            T1[0, 0] = 5.0
 
 
 class TestMPC:

@@ -23,7 +23,7 @@ from repro.datacenter import (
     IDCCluster,
     shave_with_battery,
 )
-from repro.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.io import load_result, save_result
 from repro.pricing import MultiRegionForecaster, paper_price_traces
 from repro.sim import (
     PAPER_BUDGETS_WATTS,

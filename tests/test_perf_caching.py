@@ -171,10 +171,10 @@ class TestConstraintStackCache:
     def test_rhs_change_keeps_a_side(self):
         mpc, cluster = self._mpc()
         u = np.zeros(mpc.model.n_inputs)
-        A_eq1, b_eq1, A_in1, b_in1 = mpc._stack_constraints(u)
+        A_eq1, b_eq1, A_in1, b_in1, _ = mpc._stack_constraints(u)
         new_loads = LOADS * 1.5
         mpc.constraints = build_constraints(cluster, new_loads)
-        A_eq2, b_eq2, A_in2, b_in2 = mpc._stack_constraints(u)
+        A_eq2, b_eq2, A_in2, b_in2, _ = mpc._stack_constraints(u)
         assert A_eq2 is A_eq1  # loads only touch the RHS
         assert not np.array_equal(b_eq1, b_eq2)
         np.testing.assert_allclose(b_eq2[:new_loads.size], new_loads)
@@ -198,7 +198,7 @@ class TestConstraintStackCache:
         cs = mpc.constraints
         cs.du_limit = 500.0
         cs.upper = 40000.0
-        A_eq, b_eq, A_in, b_in = mpc._stack_constraints(u_prev)
+        A_eq, b_eq, A_in, b_in, operator = mpc._stack_constraints(u_prev)
         nu = mpc.model.n_inputs
         # reference: the pre-cache formulation, step by step
         from repro.control.horizon import move_selector
@@ -223,6 +223,10 @@ class TestConstraintStackCache:
         np.testing.assert_allclose(b_eq, np.concatenate(eq_rhs))
         np.testing.assert_allclose(A_in, np.vstack(in_rows))
         np.testing.assert_allclose(b_in, np.concatenate(in_rhs))
+        # the matrix-free operator is the same stack in the same row order
+        np.testing.assert_allclose(
+            operator.to_dense(), np.vstack([np.vstack(eq_rows),
+                                            np.vstack(in_rows)]))
 
     def test_nonpositive_du_limit_rejected(self):
         mpc, cluster = self._mpc()

@@ -9,7 +9,7 @@ from repro.analysis import (
     describe_series,
     ramp_max,
 )
-from repro.control import TuningResult, tune_r_weight
+from repro.control import tune_r_weight
 from repro.exceptions import ConfigurationError, ConvergenceError, ModelError
 
 

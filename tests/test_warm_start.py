@@ -162,6 +162,11 @@ def test_warm_counters_engage_in_closed_loop():
     assert counters["warm_start_hits"] == n - 1
     assert counters["warm_start_misses"] == 0
     assert counters["constraint_cache_hits"] == n - 1
+    # The incremental KKT path must carry the warm run: the cached
+    # factorization makes refactorizations rare (ideally one for the
+    # whole day), far below the iteration count.
+    assert counters["kkt_refactorizations"] <= max(
+        1, counters["qp_iterations"] // 5)
 
     cold = _closed_loop("active_set", warm=False)
     assert cold.perf["counters"]["warm_start_hits"] == 0
