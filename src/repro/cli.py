@@ -7,6 +7,9 @@ Commands
 ``ablations``           run all ablation studies
 ``simulate``            run one policy on the paper scenario
 ``compare``             run several policies and print the comparison
+``verify``              fuzz closed-loop scenarios under the invariant
+                        monitor with KKT certificates and differential
+                        oracles (exit 1 on any failure)
 
 The CLI is a thin layer over :mod:`repro.experiments` and
 :mod:`repro.sim`; everything it prints is produced by the same functions
@@ -114,6 +117,21 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--policies", nargs="+", choices=_POLICIES,
                        default=["optimal", "mpc"])
     _add_scenario_args(cmp_p)
+
+    ver = sub.add_parser(
+        "verify",
+        help="fuzz random scenarios through the verification layer")
+    ver.add_argument("--seeds", type=int, default=10, metavar="N",
+                     help="number of consecutive seeds to run (default 10)")
+    ver.add_argument("--base-seed", type=int, default=0,
+                     help="first seed (default 0)")
+    ver.add_argument("--oracle-samples", type=int, default=2,
+                     help="captured QPs cross-checked per run (default 2)")
+    ver.add_argument("--no-shrink", action="store_true",
+                     help="skip shrinking failing seeds")
+    ver.add_argument("--json", metavar="PATH",
+                     help="write the full report (incl. minimal repros) "
+                          "as JSON")
     return parser
 
 
@@ -183,6 +201,43 @@ def main(argv: list[str] | None = None) -> int:
         budgets = PAPER_BUDGETS_WATTS if args.budgets else None
         print(comparison_table(results, budgets_watts=budgets))
         return 0
+
+    if args.command == "verify":
+        import json
+
+        from .verify import generate_spec, run_spec, shrink
+        n_failed = 0
+        outcomes = []
+        repros = []
+        for k in range(args.seeds):
+            seed = args.base_seed + k
+            outcome = run_spec(generate_spec(seed),
+                               oracle_samples=args.oracle_samples)
+            outcomes.append(outcome)
+            print(outcome.describe())
+            if not outcome.ok:
+                n_failed += 1
+                if not args.no_shrink:
+                    minimal = shrink(outcome.spec)
+                    repros.append(minimal)
+                    print("  minimal repro: "
+                          f"{json.dumps(minimal, sort_keys=True)}")
+        total_certs = sum(o.certificates_checked for o in outcomes)
+        total_oracles = sum(o.oracle_problems for o in outcomes)
+        print(f"\n{args.seeds - n_failed}/{args.seeds} seeds clean, "
+              f"{total_certs} KKT certificates, "
+              f"{total_oracles} oracle cross-checks")
+        if args.json:
+            from pathlib import Path
+            report = {
+                "n_seeds": args.seeds, "base_seed": args.base_seed,
+                "n_failed": n_failed,
+                "outcomes": [o.to_dict() for o in outcomes],
+                "minimal_repros": repros,
+            }
+            Path(args.json).write_text(json.dumps(report, indent=2))
+            print(f"report written to {args.json}")
+        return 1 if n_failed else 0
 
     return 1  # pragma: no cover - argparse enforces the choices
 

@@ -116,6 +116,10 @@ class MPCSolution:
     status: str
     softened: bool = False
     solver_iterations: int = 0
+    #: KKT optimality certificate for the solved QP (only populated when
+    #: the controller runs with ``certify=True`` and the step was not
+    #: softened; see :mod:`repro.verify.certificates`).
+    certificate: object | None = None
 
 
 class ModelPredictiveController:
@@ -153,6 +157,19 @@ class ModelPredictiveController:
         reuses the cached KKT factorization.  The QP is strictly convex,
         so warm and cold solves reach the same optimum (within solver
         tolerance); disable only for benchmarking cold performance.
+    certify:
+        Check a KKT optimality certificate on every (non-softened) QP
+        solution via :func:`repro.verify.check_kkt_qp`.  Failures are
+        counted in ``stats["certificate_failures"]`` and attached to the
+        returned :class:`MPCSolution`; the solve itself is never blocked.
+    certify_tol:
+        Residual tolerance for the certificate (ADMM solutions are judged
+        at a proportionally looser tolerance matching the solver's
+        first-order accuracy).
+    capture_limit:
+        Keep up to this many solved QPs as
+        (:class:`repro.verify.QPProblem`, result) pairs in
+        :attr:`captured` for offline differential cross-checking.
     """
 
     def __init__(self, model: DiscreteStateSpace, horizon_pred: int,
@@ -161,7 +178,10 @@ class ModelPredictiveController:
                  backend: Backend = "active_set",
                  soften_infeasible: bool = True,
                  slack_penalty: float = 1e4,
-                 warm_start: bool = True) -> None:
+                 warm_start: bool = True,
+                 certify: bool = False,
+                 certify_tol: float = 1e-5,
+                 capture_limit: int = 0) -> None:
         self.model = model
         self.horizon_pred = int(horizon_pred)
         self.horizon_ctrl = int(horizon_ctrl)
@@ -170,6 +190,11 @@ class ModelPredictiveController:
         self.soften_infeasible = bool(soften_infeasible)
         self.slack_penalty = float(slack_penalty)
         self.warm_start = bool(warm_start)
+        self.certify = bool(certify)
+        self.certify_tol = float(certify_tol)
+        self.capture_limit = int(capture_limit)
+        #: (QPProblem, OptimizeResult) pairs kept for differential oracles.
+        self.captured: list = []
         self._Q = self._expand_weight(q_weight, model.n_outputs, "q_weight")
         self._R = self._expand_weight(r_weight, model.n_inputs, "r_weight")
         if np.any(np.linalg.eigvalsh(self._R) <= 0):
@@ -197,6 +222,7 @@ class ModelPredictiveController:
             # from-scratch refactorizations vs dense fallback steps.
             "kkt_updates": 0, "kkt_refactorizations": 0,
             "kkt_dense_steps": 0, "admm_reduced_solves": 0,
+            "certificates_checked": 0, "certificate_failures": 0,
         }
         self._qp_quad = None         # (Theta id, 2Θ'Q, P) objective cache
         self._con_cache: dict | None = None
@@ -477,6 +503,7 @@ class ModelPredictiveController:
         A_eq, b_eq, A_in, b_in, operator = self._stack_constraints(u_prev)
         x0, working_set0, y0 = self._warm_start_point(A_eq, b_eq, A_in, b_in)
         softened = False
+        solved_by = self.backend
         try:
             res = self._solve(P, q, A_eq, b_eq, A_in, b_in,
                               x0=x0, working_set0=working_set0, y0=y0,
@@ -493,6 +520,7 @@ class ModelPredictiveController:
                                              A_in, b_in)
             res = solve_qp_admm(P, q, A, low, high, rho=10.0,
                                 max_iter=50_000, structure=operator)
+            solved_by = "admm"
         self._store_warm_state(
             res, softened,
             rows=(0 if A_eq is None else A_eq.shape[0],
@@ -507,6 +535,35 @@ class ModelPredictiveController:
         if softened:
             self.stats["softened_solves"] += 1
 
+        certificate = None
+        if (self.certify or self.capture_limit) and not softened:
+            # Imported lazily: repro.verify pulls in the policy layer for
+            # its fuzzer, so a module-level import would be circular.
+            from ..verify.certificates import check_kkt_qp
+            from ..verify.problems import QPProblem
+            if self.capture_limit and len(self.captured) < self.capture_limit:
+                self.captured.append((
+                    QPProblem(P=P.copy(), q=q.copy(),
+                              A_eq=A_eq, b_eq=b_eq,
+                              A_ineq=A_in, b_ineq=b_in,
+                              label=f"mpc-step-{self.stats['qp_solves']}"),
+                    res))
+            if self.certify:
+                # ADMM returns boxed-form duals and first-order-accurate
+                # iterates: let the certificate estimate multipliers and
+                # judge at a matching looser tolerance.
+                exact = solved_by == "active_set"
+                certificate = check_kkt_qp(
+                    P, q, res.x, A_eq=A_eq, b_eq=b_eq,
+                    A_ineq=A_in, b_ineq=b_in,
+                    dual_eq=res.dual_eq if exact else None,
+                    dual_ineq=res.dual_ineq if exact else None,
+                    tol=self.certify_tol if exact
+                    else 50.0 * self.certify_tol)
+                self.stats["certificates_checked"] += 1
+                if not certificate.ok:
+                    self.stats["certificate_failures"] += 1
+
         dU = res.x.reshape(self.horizon_ctrl, self.model.n_inputs)
         u_seq = u_prev + np.cumsum(dU, axis=0)
         predicted = H.predict(x, u_prev, res.x)
@@ -514,7 +571,7 @@ class ModelPredictiveController:
             u=u_seq[0].copy(), du_sequence=dU, u_sequence=u_seq,
             predicted_outputs=predicted, cost=float(res.fun + c0),
             status=res.status, softened=softened,
-            solver_iterations=res.iterations,
+            solver_iterations=res.iterations, certificate=certificate,
         )
 
     # ------------------------------------------------------------------

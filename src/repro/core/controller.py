@@ -108,6 +108,16 @@ class MPCPolicyConfig:
         then holds each IDC as close to its committed power as the
         workload-conservation constraint allows (budgets still clamp);
         rows past the end of the schedule repeat the last row.
+    certify:
+        Check a KKT optimality certificate on every QP solve (see
+        :mod:`repro.verify`).  Failures never block the loop; they are
+        counted in the perf counters (``certificates_checked`` /
+        ``certificate_failures``).
+    capture_problems:
+        Keep up to this many solved QPs (as
+        :class:`repro.verify.QPProblem` instances, exposed through
+        :attr:`CostMPCPolicy.captured_problems`) for offline
+        differential cross-checking.
     """
 
     dt: float = 30.0
@@ -126,6 +136,8 @@ class MPCPolicyConfig:
     warm_start_optimal: bool = True
     warm_start_solver: bool = True
     power_schedule_watts: np.ndarray | None = None
+    certify: bool = False
+    capture_problems: int = 0
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -196,6 +208,15 @@ class CostMPCPolicy:
             "model_cache_misses": self.builder.cache_stats["misses"],
         })
         return self.perf.as_dict()
+
+    @property
+    def captured_problems(self) -> list:
+        """QPs captured for the differential oracles (``capture_problems``).
+
+        A list of (:class:`repro.verify.QPProblem`,
+        :class:`repro.optim.OptimizeResult`) pairs, oldest first.
+        """
+        return [] if self._mpc is None else list(self._mpc.captured)
 
     # ------------------------------------------------------------------
     # internal state integration (mirrors the plant deterministically)
@@ -361,7 +382,9 @@ class CostMPCPolicy:
                     model, cfg.horizon_pred, cfg.horizon_ctrl,
                     q_weight=self._q_weight_vector(), r_weight=cfg.r_weight,
                     constraints=constraints, backend=cfg.backend,
-                    warm_start=cfg.warm_start_solver)
+                    warm_start=cfg.warm_start_solver,
+                    certify=cfg.certify,
+                    capture_limit=cfg.capture_problems)
             else:
                 self._mpc.update_model(model)
                 self._mpc.constraints = constraints

@@ -45,6 +45,30 @@ class FactorizationError(SolverError):
     """
 
 
+class VerificationError(ReproError):
+    """Base class for failures detected by the verification layer."""
+
+
+class InvariantViolationError(VerificationError):
+    """A closed-loop physical invariant was violated.
+
+    Raised by :class:`repro.verify.InvariantMonitor` in
+    ``raise_on_violation`` mode when a simulation step breaks workload
+    conservation, server bounds/integrality, a power budget (outside the
+    peak-shaving convergence window), reference-clamp correctness, or
+    propagates NaNs.  Carries the offending
+    :class:`repro.verify.monitor.InvariantViolation` as ``violation``.
+    """
+
+    def __init__(self, message: str, violation=None) -> None:
+        super().__init__(message)
+        self.violation = violation
+
+
+class CertificateError(VerificationError):
+    """A solver solution failed its KKT optimality certificate."""
+
+
 class ConfigurationError(ReproError):
     """A scenario or controller configuration is invalid."""
 

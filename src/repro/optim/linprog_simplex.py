@@ -260,7 +260,9 @@ def linprog(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None,
             raise UnboundedProblemError("no constraints and descent direction exists")
         x = std.to_original(np.zeros(n))
         return OptimizeResult(x=x, fun=float(np.asarray(c) @ x),
-                              status=Status.OPTIMAL, iterations=0)
+                              status=Status.OPTIMAL, iterations=0,
+                              meta={"phase1_iterations": 0,
+                                    "phase2_iterations": 0})
 
     # Make b nonnegative so artificial start is feasible.
     neg = b < 0
@@ -275,7 +277,9 @@ def linprog(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None,
     if status not in (Status.OPTIMAL, Status.UNBOUNDED):
         return OptimizeResult(x=std.to_original(x1[:n]), fun=np.nan,
                               status=status, iterations=it1,
-                              message="phase 1 did not converge")
+                              message="phase 1 did not converge",
+                              meta={"phase1_iterations": it1,
+                                    "phase2_iterations": 0})
     phase1_obj = float(c1 @ x1)
     if phase1_obj > 1e-7:
         raise InfeasibleProblemError(
@@ -309,7 +313,9 @@ def linprog(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None,
                 raise UnboundedProblemError("all constraints redundant")
             x = std.to_original(np.zeros(n))
             return OptimizeResult(x=x, fun=float(np.asarray(c) @ x),
-                                  status=Status.OPTIMAL, iterations=it1)
+                                  status=Status.OPTIMAL, iterations=it1,
+                                  meta={"phase1_iterations": it1,
+                                        "phase2_iterations": 0})
 
     x2, basis, status, it2 = _simplex_core(c_std, A, b, basis, max_iter)
     if status == Status.UNBOUNDED:
@@ -319,4 +325,6 @@ def linprog(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None,
     return OptimizeResult(x=x, fun=fun, status=status,
                           iterations=it1 + it2,
                           message="" if status == Status.OPTIMAL else
-                          "iteration limit reached")
+                          "iteration limit reached",
+                          meta={"phase1_iterations": it1,
+                                "phase2_iterations": it2})

@@ -45,7 +45,8 @@ def run_simulation(scenario: Scenario, policy: Policy,
                    predict_loads: bool = False,
                    predictor_order: int = 3,
                    prediction_horizon: int = 3,
-                   price_forecaster=None) -> SimulationResult:
+                   price_forecaster=None,
+                   monitor=None) -> SimulationResult:
     """Run one policy through a scenario.
 
     Parameters
@@ -60,12 +61,19 @@ def run_simulation(scenario: Scenario, policy: Policy,
         Optional :class:`repro.pricing.MultiRegionForecaster` fed the
         realized prices each period; its forecasts are passed to the
         policy as ``predicted_prices`` (region order = cluster order).
+    monitor:
+        Optional :class:`repro.verify.InvariantMonitor` (or anything with
+        its ``begin_run``/``observe``/``counters`` protocol).  It sees
+        every period's raw decision and measured plant state; its
+        counters are folded into ``SimulationResult.perf["counters"]``.
 
     Raises
     ------
     ReproError subclasses
         Propagated from the policy (e.g. :class:`CapacityError` when the
-        scenario overloads the cluster).
+        scenario overloads the cluster), and
+        :class:`repro.exceptions.InvariantViolationError` from a monitor
+        in ``raise_on_violation`` mode.
     """
     cluster = scenario.cluster
     scenario.market.reset()
@@ -75,6 +83,9 @@ def run_simulation(scenario: Scenario, policy: Policy,
     cluster_names = cluster.idc_names
     recorder = SimulationRecorder(cluster.n_idcs, cluster.n_portals,
                                   scenario.dt)
+
+    if monitor is not None:
+        monitor.begin_run(scenario)
 
     predictors = None
     if predict_loads:
@@ -126,6 +137,14 @@ def run_simulation(scenario: Scenario, policy: Policy,
 
         powers = cluster.powers_watts()
         latencies = _measure_latencies(cluster, workloads, servers)
+        if monitor is not None:
+            # The monitor sees the *raw* decision (pre-integer-cast
+            # servers) next to the measured plant state.
+            monitor.observe(
+                period=k, time_seconds=t, loads=loads, prices=prices,
+                decision=decision, workloads=workloads,
+                powers_watts=powers, servers=servers,
+                latencies=latencies)
         recorder.record(
             time_seconds=t, powers_watts=powers, servers=servers,
             workloads=workloads, latencies=latencies, prices=prices,
@@ -138,6 +157,9 @@ def run_simulation(scenario: Scenario, policy: Policy,
 
     arrays = recorder.as_arrays()
     perf = policy.perf_snapshot() if hasattr(policy, "perf_snapshot") else {}
+    if monitor is not None:
+        from .profiling import fold_counters
+        perf = fold_counters(perf, monitor.counters())
     return SimulationResult(
         policy_name=policy.name,
         dt=scenario.dt,

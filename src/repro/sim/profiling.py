@@ -27,7 +27,24 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["PerfStats"]
+__all__ = ["PerfStats", "fold_counters"]
+
+
+def fold_counters(perf: dict, extra: dict) -> dict:
+    """Merge plain-int counters into a ``perf_snapshot()``-style dict.
+
+    ``perf`` is whatever the policy reported (possibly ``{}`` — simple
+    policies have no :class:`PerfStats`); ``extra`` is a flat
+    ``name -> int`` mapping such as
+    :meth:`repro.verify.InvariantMonitor.counters`.  Returns the same
+    dict with ``perf["counters"]`` updated, so engine-level layers can
+    surface their counts through ``SimulationResult.perf`` without
+    caring which policy produced it.
+    """
+    counters = perf.setdefault("counters", {})
+    for name, value in extra.items():
+        counters[name] = int(value)
+    return perf
 
 
 @dataclass

@@ -1,0 +1,54 @@
+"""Verification layer: certificates, oracles, invariants, fuzzing.
+
+Four independent lines of defence against silently-wrong solver output:
+
+1. :mod:`~repro.verify.certificates` — KKT optimality certificates that
+   judge a returned solution on mathematical grounds alone;
+2. :mod:`~repro.verify.oracles` — differential re-solving of captured
+   problems across every in-house backend and scipy references;
+3. :mod:`~repro.verify.monitor` — closed-loop physical-invariant
+   monitoring pluggable into :func:`repro.sim.run_simulation`;
+4. :mod:`~repro.verify.fuzz` — seeded scenario fuzzing with shrinking,
+   driven by ``repro verify`` from the CLI and by CI.
+"""
+
+from .certificates import Certificate, check_kkt_lp, check_kkt_qp
+from .fuzz import (
+    Outcome,
+    build_scenario,
+    fuzz_many,
+    generate_spec,
+    run_spec,
+    shrink,
+)
+from .monitor import InvariantMonitor, InvariantViolation
+from .oracles import (
+    BackendRun,
+    OracleReport,
+    cross_check,
+    cross_check_lp,
+    cross_check_qp,
+)
+from .problems import LPProblem, QPProblem, problem_from_dict
+
+__all__ = [
+    "Certificate",
+    "check_kkt_qp",
+    "check_kkt_lp",
+    "QPProblem",
+    "LPProblem",
+    "problem_from_dict",
+    "BackendRun",
+    "OracleReport",
+    "cross_check",
+    "cross_check_qp",
+    "cross_check_lp",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Outcome",
+    "generate_spec",
+    "build_scenario",
+    "run_spec",
+    "shrink",
+    "fuzz_many",
+]

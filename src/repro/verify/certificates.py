@@ -1,0 +1,330 @@
+"""KKT optimality certificates for the from-scratch LP/QP solvers.
+
+A solver returning ``status == "optimal"`` is a claim, not a proof.  For
+the convex problems in this library the Karush-Kuhn-Tucker conditions
+*are* a proof: a point ``x`` with multipliers ``(ν, μ)`` satisfying
+
+* primal feasibility   ``A_eq x = b_eq``, ``A_ineq x <= b_ineq``,
+* dual feasibility     ``μ >= 0``,
+* stationarity         ``∇f(x) + A_eqᵀ ν + A_ineqᵀ μ = 0``,
+* complementary slack  ``μ_i (b_ineq − A_ineq x)_i = 0``,
+
+is a certified global optimum.  :func:`check_kkt_qp` and
+:func:`check_kkt_lp` evaluate these residuals for a candidate solution
+and return a structured :class:`Certificate` with the residual norms and
+the indices of violated constraints, so every perf rewrite of the
+solvers can be validated mechanically instead of by eyeballing
+objective values.
+
+When the solver did not report multipliers (the ADMM solver reports the
+boxed-form dual, the simplex none at all) the checker *recovers* them by
+solving the nonnegative least-squares problem
+
+    min_{ν, μ>=0} || ∇f(x) + A_eqᵀ ν + A_actᵀ μ ||₂
+
+over the constraints active at ``x`` — if ``x`` is optimal, exact
+multipliers exist and the residual vanishes; if it is not, no multiplier
+choice can zero the stationarity residual and the certificate fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Certificate", "check_kkt_qp", "check_kkt_lp"]
+
+#: Floor on the relative slack threshold below which an inequality counts
+#: as active for dual recovery.  The effective threshold is
+#: ``max(_ACTIVE_TOL, tol)``: a first-order solver certified at a loose
+#: ``tol`` leaves its active constraints with slacks of the same order,
+#: and excluding one with a large multiplier would blow up the
+#: stationarity residual of a genuinely optimal point.
+_ACTIVE_TOL = 1e-7
+
+
+@dataclass
+class Certificate:
+    """Outcome of a KKT check — a machine-readable optimality proof.
+
+    All residuals are *normalized* by the scale of the data they involve
+    (``1 + |b|``-style denominators), so ``ok`` is simply "every residual
+    is below ``tol``" regardless of the problem's units.
+
+    Attributes
+    ----------
+    ok:
+        True when the candidate point is a certified optimum.
+    kind:
+        ``"qp"`` or ``"lp"``.
+    stationarity:
+        Normalized inf-norm of ``∇f + A_eqᵀν + A_ineqᵀμ``.
+    primal_eq, primal_ineq:
+        Worst normalized equality / inequality violation.
+    dual_feas:
+        Most negative multiplier (0 when all are nonnegative).
+    comp_slack:
+        Worst normalized ``μ_i · slack_i`` product.
+    violated_eq, violated_ineq:
+        Indices of constraints violated beyond tolerance.
+    duals_estimated:
+        True when multipliers were recovered by NNLS rather than
+        supplied by the solver.
+    tol:
+        Tolerance the residuals were judged against.
+    message:
+        Human-readable one-liner (empty when ``ok``).
+    """
+
+    ok: bool
+    kind: str
+    stationarity: float
+    primal_eq: float
+    primal_ineq: float
+    dual_feas: float
+    comp_slack: float
+    violated_eq: tuple[int, ...] = ()
+    violated_ineq: tuple[int, ...] = ()
+    duals_estimated: bool = False
+    tol: float = 1e-6
+    message: str = ""
+
+    def residuals(self) -> dict[str, float]:
+        """The four residual norms as a plain dict."""
+        return {
+            "stationarity": self.stationarity,
+            "primal_eq": self.primal_eq,
+            "primal_ineq": self.primal_ineq,
+            "dual_feas": self.dual_feas,
+            "comp_slack": self.comp_slack,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "CERTIFIED" if self.ok else "FAILED"
+        parts = ", ".join(f"{k}={v:.2e}" for k, v in self.residuals().items())
+        return f"[{tag} {self.kind}] {parts}" + (
+            f" ({self.message})" if self.message else "")
+
+
+def _as_rows(A, b, n: int) -> tuple[np.ndarray, np.ndarray]:
+    if A is None or np.size(A) == 0:
+        return np.zeros((0, n)), np.zeros(0)
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float).ravel()
+    if A.shape != (b.size, n):
+        raise ValueError(f"constraint shape mismatch: A {A.shape}, "
+                         f"b {b.shape}, n={n}")
+    return A, b
+
+
+def _estimate_duals(g: np.ndarray, A_eq: np.ndarray,
+                    A_act: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Recover ``(ν, μ_act >= 0)`` minimizing the stationarity residual.
+
+    Free equality multipliers are split into positive and negative parts
+    so the whole problem is a single NNLS solve.
+    """
+    from scipy.optimize import nnls
+
+    m_eq, m_act = A_eq.shape[0], A_act.shape[0]
+    if m_eq == 0 and m_act == 0:
+        return np.zeros(0), np.zeros(0)
+    blocks = []
+    if m_eq:
+        blocks.extend([A_eq.T, -A_eq.T])
+    if m_act:
+        blocks.append(A_act.T)
+    M = np.hstack(blocks)
+    z, _ = nnls(M, -g)
+    if m_eq:
+        nu = z[:m_eq] - z[m_eq:2 * m_eq]
+        mu = z[2 * m_eq:]
+    else:
+        nu = np.zeros(0)
+        mu = z
+    return nu, mu
+
+
+def _check_kkt(kind: str, g: np.ndarray, x: np.ndarray,
+               A_eq, b_eq, A_ineq, b_ineq,
+               dual_eq, dual_ineq, tol: float) -> Certificate:
+    """Shared KKT evaluation: ``g`` is the objective gradient at ``x``."""
+    n = x.size
+    A_eq, b_eq = _as_rows(A_eq, b_eq, n)
+    A_ineq, b_ineq = _as_rows(A_ineq, b_ineq, n)
+    g_scale = 1.0 + float(np.linalg.norm(g, ord=np.inf))
+
+    # -- primal feasibility ------------------------------------------------
+    if A_eq.shape[0]:
+        r_eq = np.abs(A_eq @ x - b_eq) / (1.0 + np.abs(b_eq))
+        primal_eq = float(r_eq.max())
+        violated_eq = tuple(np.flatnonzero(r_eq > tol).tolist())
+    else:
+        primal_eq, violated_eq = 0.0, ()
+    if A_ineq.shape[0]:
+        slack = b_ineq - A_ineq @ x
+        r_in = np.maximum(-slack, 0.0) / (1.0 + np.abs(b_ineq))
+        primal_ineq = float(r_in.max())
+        violated_ineq = tuple(np.flatnonzero(r_in > tol).tolist())
+    else:
+        slack = np.zeros(0)
+        primal_ineq, violated_ineq = 0.0, ()
+
+    # -- multipliers -------------------------------------------------------
+    have_eq = dual_eq is not None and np.size(dual_eq) == A_eq.shape[0] \
+        and A_eq.shape[0] > 0
+    have_in = dual_ineq is not None and np.size(dual_ineq) == A_ineq.shape[0] \
+        and A_ineq.shape[0] > 0
+    supplied = (have_eq or A_eq.shape[0] == 0) and \
+               (have_in or A_ineq.shape[0] == 0)
+    estimated = False
+    if supplied:
+        nu = (np.asarray(dual_eq, dtype=float).ravel()
+              if have_eq else np.zeros(A_eq.shape[0]))
+        mu = (np.asarray(dual_ineq, dtype=float).ravel()
+              if have_in else np.zeros(A_ineq.shape[0]))
+        mu_full = mu
+    else:
+        estimated = True
+        scale = 1.0 + np.abs(b_ineq) if A_ineq.shape[0] else np.zeros(0)
+        active_tol = max(_ACTIVE_TOL, tol)
+        active = (np.flatnonzero(slack <= active_tol * scale)
+                  if A_ineq.shape[0] else np.zeros(0, dtype=int))
+        nu, mu_act = _estimate_duals(g, A_eq, A_ineq[active])
+        mu_full = np.zeros(A_ineq.shape[0])
+        mu_full[active] = mu_act
+        mu = mu_full
+
+    # -- dual feasibility --------------------------------------------------
+    dual_feas = float(max(0.0, -(mu.min() if mu.size else 0.0)))
+
+    # -- stationarity ------------------------------------------------------
+    r_stat = g.copy()
+    if A_eq.shape[0]:
+        r_stat = r_stat + A_eq.T @ nu
+    if A_ineq.shape[0]:
+        # Negative multipliers are a *dual* violation, already reported;
+        # clip them here so they cannot mask a stationarity failure.
+        r_stat = r_stat + A_ineq.T @ np.maximum(mu_full, 0.0)
+    stationarity = float(np.linalg.norm(r_stat, ord=np.inf)) / g_scale
+
+    # -- complementary slackness ------------------------------------------
+    if A_ineq.shape[0]:
+        comp = np.abs(mu_full * slack) / (g_scale * (1.0 + np.abs(b_ineq)))
+        comp_slack = float(comp.max())
+    else:
+        comp_slack = 0.0
+
+    worst = {
+        "stationarity": stationarity, "primal_eq": primal_eq,
+        "primal_ineq": primal_ineq, "dual_feas": dual_feas,
+        "comp_slack": comp_slack,
+    }
+    bad = {k: v for k, v in worst.items() if v > tol}
+    ok = not bad
+    message = "" if ok else "violated: " + ", ".join(
+        f"{k}={v:.3e}" for k, v in sorted(bad.items()))
+    return Certificate(
+        ok=ok, kind=kind, stationarity=stationarity,
+        primal_eq=primal_eq, primal_ineq=primal_ineq,
+        dual_feas=dual_feas, comp_slack=comp_slack,
+        violated_eq=violated_eq, violated_ineq=violated_ineq,
+        duals_estimated=estimated, tol=tol, message=message,
+    )
+
+
+def check_kkt_qp(P, q, x, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
+                 dual_eq=None, dual_ineq=None, tol: float = 1e-6
+                 ) -> Certificate:
+    """Certify a candidate optimum of ``min 0.5 x'Px + q'x`` s.t. linear
+    equality and ``<=`` inequality constraints.
+
+    Parameters
+    ----------
+    P, q, A_eq, b_eq, A_ineq, b_ineq:
+        The problem exactly as handed to the solver.
+    x:
+        Candidate solution (e.g. ``OptimizeResult.x``).
+    dual_eq, dual_ineq:
+        Optional solver multipliers.  When absent (or of the wrong
+        length, as with the ADMM solver's boxed-form dual) the
+        multipliers are recovered by NNLS over the active constraints.
+    tol:
+        Normalized-residual tolerance.
+
+    Returns
+    -------
+    Certificate
+        ``ok`` iff all four KKT conditions hold to ``tol``.
+    """
+    P = np.atleast_2d(np.asarray(P, dtype=float))
+    x = np.asarray(x, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if P.shape != (x.size, x.size) or q.size != x.size:
+        raise ValueError("P/q/x dimensions disagree")
+    g = 0.5 * (P + P.T) @ x + q
+    return _check_kkt("qp", g, x, A_eq, b_eq, A_ineq, b_ineq,
+                      dual_eq, dual_ineq, tol)
+
+
+def _bounds_as_rows(n: int, bounds) -> tuple[np.ndarray, np.ndarray]:
+    """Expand :func:`repro.optim.linprog`-style bounds into ``<=`` rows."""
+    if bounds is None:
+        pairs = [(0.0, np.inf)] * n
+    else:
+        bounds = list(bounds)
+        if len(bounds) == 2 and not hasattr(bounds[0], "__len__"):
+            bounds = [tuple(bounds)] * n        # one (lb, ub) for all vars
+        if len(bounds) != n:
+            raise ValueError(f"need {n} bound pairs, got {len(bounds)}")
+        pairs = [(lo if lo is not None else -np.inf,
+                  hi if hi is not None else np.inf) for lo, hi in bounds]
+    rows, rhs = [], []
+    for i, (lo, hi) in enumerate(pairs):
+        if np.isfinite(lo):
+            e = np.zeros(n)
+            e[i] = -1.0
+            rows.append(e)
+            rhs.append(-lo)
+        if np.isfinite(hi):
+            e = np.zeros(n)
+            e[i] = 1.0
+            rows.append(e)
+            rhs.append(hi)
+    if not rows:
+        return np.zeros((0, n)), np.zeros(0)
+    return np.vstack(rows), np.asarray(rhs, dtype=float)
+
+
+def check_kkt_lp(c, x, A_ub=None, b_ub=None, A_eq=None, b_eq=None,
+                 bounds=None, dual_eq=None, dual_ineq=None,
+                 tol: float = 1e-6) -> Certificate:
+    """Certify a candidate optimum of ``min c'x`` with the same calling
+    convention as :func:`repro.optim.linprog`.
+
+    Variable bounds (default ``(0, inf)`` per variable, as in
+    ``linprog``) are expanded into inequality rows before the KKT check,
+    so their multipliers are recovered together with the constraint
+    multipliers.  ``dual_ineq``, when given, applies to the ``A_ub``
+    rows only.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    x = np.asarray(x, dtype=float).ravel()
+    if c.size != x.size:
+        raise ValueError("c/x dimensions disagree")
+    n = x.size
+    A_ub, b_ub = _as_rows(A_ub, b_ub, n)
+    B, rhs = _bounds_as_rows(n, bounds)
+    A_in = np.vstack([A_ub, B]) if B.shape[0] else A_ub
+    b_in = np.concatenate([b_ub, rhs]) if B.shape[0] else b_ub
+    # Solver multipliers (if any) only cover the A_ub rows; bound rows
+    # would need their own, so fall back to estimation in that case.
+    if dual_ineq is not None and B.shape[0]:
+        dual_ineq = None
+    cert = _check_kkt("lp", c, x, A_eq, b_eq, A_in, b_in,
+                      dual_eq, dual_ineq, tol)
+    # Re-index inequality violations back onto the caller's A_ub rows.
+    m_ub = A_ub.shape[0]
+    cert.violated_ineq = tuple(i for i in cert.violated_ineq if i < m_ub)
+    return cert

@@ -1,0 +1,446 @@
+"""Seeded closed-loop scenario fuzzing with shrinking.
+
+Every future perf PR changes the solvers under the MPC; the fuzzer is
+the mechanical adversary that keeps them honest.  From one integer seed
+it deterministically generates a complete scenario — per-region hourly
+price traces (with occasional violent steps, like the paper's 7:00
+Wisconsin spike), piecewise-constant portal workload profiles (including
+zero-workload portals), optional power budgets, optional fleet outages
+(reusing :mod:`repro.sim.faults`), MPC horizons/weights/backend — then
+runs the full closed loop with
+
+* the :class:`~repro.verify.monitor.InvariantMonitor` attached,
+* per-step KKT certificates enabled on the MPC,
+* a differential-oracle cross-check on a sample of the captured QPs,
+
+and reports an :class:`Outcome`.  A failing seed is *shrunk*: the spec
+is simplified transformation by transformation (drop faults, drop
+budgets, halve the run, flatten traces, …) as long as it keeps failing,
+ending in a minimal reproduction dict small enough to commit under
+``tests/seeds/`` as a permanent regression test.
+
+Generation is loads-conservative by construction: total offered workload
+is clamped to 85 % of the worst-case (deepest-outage) latency-bounded
+capacity, so every generated scenario is servable and a conservation or
+budget violation is a real bug, not an impossible ask.  Budgets, when
+generated, are sized from the optimal allocation under *peak* loads, so
+a budget-respecting allocation always exists; budgets and faults are
+never combined in one seed for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import CostMPCPolicy, MPCPolicyConfig
+from ..core.reference_opt import solve_optimal_allocation
+from ..datacenter import IDCCluster, IDCConfig, LinearPowerModel
+from ..exceptions import ReproError
+from ..pricing import PriceTrace, RealTimeMarket, RegionMarketConfig
+from ..pricing.traces import paper_price_traces
+from ..sim.engine import run_simulation
+from ..sim.faults import FleetOutage
+from ..sim.scenario import (
+    PAPER_IDC_SPECS,
+    PAPER_IDLE_WATTS,
+    PAPER_LATENCY_BOUND,
+    PAPER_PEAK_WATTS,
+    PAPER_PORTAL_LOADS,
+    Scenario,
+)
+from ..workload import PortalSet
+from ..workload.portal import PortalWorkload
+from .monitor import InvariantMonitor
+from .oracles import cross_check_qp
+
+__all__ = ["generate_spec", "build_scenario", "run_spec", "shrink",
+           "fuzz_many", "Outcome"]
+
+#: Offered load is kept below this fraction of worst-case capacity.
+_CAPACITY_HEADROOM = 0.85
+
+
+@dataclass
+class Outcome:
+    """Verdict of one fuzzed closed-loop run."""
+
+    spec: dict
+    ok: bool = True
+    error: str | None = None
+    violations: list[dict] = field(default_factory=list)
+    certificate_failures: int = 0
+    certificates_checked: int = 0
+    oracle_failures: list[str] = field(default_factory=list)
+    oracle_problems: int = 0
+    monitor_summary: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec, "ok": self.ok, "error": self.error,
+            "violations": self.violations,
+            "certificate_failures": self.certificate_failures,
+            "certificates_checked": self.certificates_checked,
+            "oracle_failures": self.oracle_failures,
+            "oracle_problems": self.oracle_problems,
+        }
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"seed {self.spec.get('seed')}: OK "
+                    f"({self.certificates_checked} certificates, "
+                    f"{self.oracle_problems} oracle problems)")
+        parts = []
+        if self.error:
+            parts.append(f"error: {self.error}")
+        if self.violations:
+            parts.append(f"{len(self.violations)} invariant violation(s), "
+                         f"first: {self.violations[0]['message']}")
+        if self.certificate_failures:
+            parts.append(f"{self.certificate_failures} certificate "
+                         "failure(s)")
+        if self.oracle_failures:
+            parts.append(f"oracle: {self.oracle_failures[0]}")
+        return f"seed {self.spec.get('seed')}: FAIL — " + "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Spec generation
+# ---------------------------------------------------------------------------
+def _worst_case_capacity(faults: list[dict]) -> float:
+    """Aggregate latency-bounded capacity under the deepest outages."""
+    frac = {name: 1.0 for name, _m, _mu in PAPER_IDC_SPECS}
+    for f in faults:
+        frac[f["idc"]] = min(frac[f["idc"]], f["available_fraction"])
+    total = 0.0
+    for name, fleet, mu in PAPER_IDC_SPECS:
+        servers = int(frac[name] * fleet)
+        total += max(mu * servers - 1.0 / PAPER_LATENCY_BOUND, 0.0)
+    return total
+
+
+def generate_spec(seed: int) -> dict:
+    """Deterministically generate one scenario spec from an integer seed.
+
+    The returned dict is plain JSON data — every array is explicit, so a
+    failing spec can be shrunk and committed verbatim.
+    """
+    rng = np.random.default_rng(int(seed))
+    dt = float(rng.choice([30.0, 60.0, 120.0]))
+    n_periods = int(rng.integers(8, 25))
+    start_hour = float(np.round(rng.uniform(0.0, 22.0), 3))
+
+    # Prices: the paper's traces, rescaled per region, occasionally with
+    # an extra synthetic step (the 7:00-spike failure mode, relocated).
+    base = paper_price_traces()
+    prices_hourly: dict[str, list[float]] = {}
+    for name, _fleet, _mu in PAPER_IDC_SPECS:
+        scale = float(rng.uniform(0.5, 1.5))
+        hourly = np.clip(base[name].hourly * scale, 2.0, 180.0)
+        if rng.random() < 0.4:
+            hour = int(rng.integers(0, 24))
+            factor = float(rng.uniform(1.8, 3.5))
+            hourly = hourly.copy()
+            hourly[hour:] = np.clip(hourly[hour:] * factor, 2.0, 300.0)
+        prices_hourly[name] = [float(np.round(v, 2)) for v in hourly]
+
+    # Disturbance dimension: budgets or faults, never both (a budget
+    # sized for the healthy fleet has no feasibility guarantee under an
+    # outage, so combining them would make violations unfalsifiable).
+    roll = rng.random()
+    budget_fraction = None
+    hard_budgets = False
+    budget_mode = "lp"
+    faults: list[dict] = []
+    if roll < 0.35:
+        budget_fraction = float(np.round(rng.uniform(1.02, 1.4), 3))
+        hard_budgets = bool(rng.random() < 0.5)
+        budget_mode = "clamp" if rng.random() < 0.3 else "lp"
+    elif roll < 0.65:
+        idc = str(rng.choice([name for name, _m, _mu in PAPER_IDC_SPECS]))
+        a = int(rng.integers(1, max(2, n_periods - 2)))
+        b = int(rng.integers(a + 1, n_periods + 1))
+        faults = [{"idc": idc, "start_period": a, "end_period": b,
+                   "available_fraction":
+                       float(np.round(rng.uniform(0.6, 0.9), 3))}]
+
+    # Portal workloads: rescaled Table I loads, piecewise constant with
+    # at most one step, occasionally a dead portal (zero workload).
+    n_portals = len(PAPER_PORTAL_LOADS)
+    traces = []
+    for i, nominal in enumerate(PAPER_PORTAL_LOADS):
+        level = nominal * float(rng.uniform(0.2, 1.0))
+        if rng.random() < 0.15:
+            level = 0.0
+        trace = np.full(n_periods, level)
+        if rng.random() < 0.4 and n_periods > 2:
+            at = int(rng.integers(1, n_periods))
+            trace[at:] = level * float(rng.uniform(0.5, 1.5))
+        traces.append(trace)
+    load_matrix = np.vstack(traces)
+
+    # Capacity guard: clamp the worst period's total offered load.
+    capacity = _worst_case_capacity(faults)
+    worst_total = float(load_matrix.sum(axis=0).max())
+    if worst_total > _CAPACITY_HEADROOM * capacity:
+        load_matrix *= _CAPACITY_HEADROOM * capacity / worst_total
+    portal_traces = [[float(np.round(v, 1)) for v in row]
+                     for row in load_matrix]
+
+    horizon_pred = int(rng.integers(3, 11))
+    horizon_ctrl = int(rng.integers(1, min(horizon_pred, 4) + 1))
+    return {
+        "seed": int(seed),
+        "dt": dt,
+        "n_periods": n_periods,
+        "start_hour": start_hour,
+        "prices_hourly": prices_hourly,
+        "portal_traces": portal_traces,
+        "budget_fraction": budget_fraction,
+        "hard_budgets": hard_budgets,
+        "budget_mode": budget_mode,
+        "faults": faults,
+        "horizon_pred": horizon_pred,
+        "horizon_ctrl": horizon_ctrl,
+        "r_weight": float(np.round(10.0 ** rng.uniform(-3, -1), 5)),
+        "backend": str(rng.choice(["active_set", "admm"])),
+        "slow_period": int(rng.choice([1, 1, 2])),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario construction
+# ---------------------------------------------------------------------------
+def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
+    """Materialize a spec into a runnable scenario + MPC configuration."""
+    configs = []
+    for name, fleet, mu in PAPER_IDC_SPECS:
+        configs.append(IDCConfig(
+            name=name, region=name, max_servers=fleet, service_rate=mu,
+            latency_bound=PAPER_LATENCY_BOUND,
+            power_model=LinearPowerModel.from_idle_peak(
+                PAPER_IDLE_WATTS, PAPER_PEAK_WATTS, service_rate=mu),
+        ))
+    portals = PortalSet(portals=[
+        PortalWorkload(name=f"portal-{i + 1}",
+                       trace=np.asarray(trace, dtype=float))
+        for i, trace in enumerate(spec["portal_traces"])
+    ])
+    cluster = IDCCluster.from_configs(configs, portals)
+    market = RealTimeMarket({
+        name: RegionMarketConfig(
+            trace=PriceTrace(region=name, hourly=np.asarray(
+                spec["prices_hourly"][name], dtype=float)),
+            nominal_power_mw=5.0)
+        for name, _fleet, _mu in PAPER_IDC_SPECS
+    })
+    dt = float(spec["dt"])
+    start_time = float(spec["start_hour"]) * 3600.0
+
+    budgets = None
+    if spec.get("budget_fraction") is not None:
+        # Size budgets from the optimal allocation under *peak* loads so
+        # a budget-respecting allocation provably exists at every period.
+        peak_loads = np.asarray(spec["portal_traces"], dtype=float) \
+            .max(axis=1)
+        prices0 = np.array([
+            market.price(name, start_time)
+            for name, _f, _m in PAPER_IDC_SPECS])
+        alloc = solve_optimal_allocation(cluster, prices0, peak_loads)
+        budgets = (np.maximum(alloc.powers_watts_relaxed, PAPER_IDLE_WATTS)
+                   * float(spec["budget_fraction"]))
+
+    faults = [
+        FleetOutage(
+            idc_name=f["idc"],
+            start_seconds=start_time + f["start_period"] * dt,
+            end_seconds=start_time + f["end_period"] * dt,
+            available_fraction=f["available_fraction"])
+        for f in spec.get("faults", [])
+    ] or None
+
+    scenario = Scenario(
+        cluster=cluster, market=market, dt=dt,
+        duration=spec["n_periods"] * dt, start_time=start_time,
+        budgets_watts=budgets, faults=faults,
+        name=f"fuzz-{spec.get('seed', '?')}")
+    config = MPCPolicyConfig(
+        dt=dt,
+        horizon_pred=int(spec["horizon_pred"]),
+        horizon_ctrl=int(spec["horizon_ctrl"]),
+        r_weight=float(spec["r_weight"]),
+        budgets_watts=budgets,
+        budget_mode=spec.get("budget_mode", "lp"),
+        hard_budget_constraints=bool(spec.get("hard_budgets", False)),
+        backend=spec.get("backend", "active_set"),
+        slow_period=int(spec.get("slow_period", 1)),
+        certify=True,
+        capture_problems=8,
+    )
+    return scenario, config
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+def run_spec(spec: dict, *, oracle_samples: int = 2,
+             monitor: InvariantMonitor | None = None) -> Outcome:
+    """Run one spec through the full verification stack.
+
+    The run fails when the invariant monitor records any violation, any
+    per-step KKT certificate fails, the differential oracle finds a
+    cross-backend disagreement on a sampled captured QP, or the
+    simulation itself raises.
+    """
+    outcome = Outcome(spec=spec)
+    try:
+        scenario, config = build_scenario(spec)
+        policy = CostMPCPolicy(scenario.cluster, config)
+        mon = monitor if monitor is not None else InvariantMonitor()
+        result = run_simulation(scenario, policy, monitor=mon)
+    except ReproError as exc:
+        outcome.ok = False
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    outcome.violations = [v.to_dict() for v in mon.violations]
+    outcome.monitor_summary = mon.summary()
+    counters = result.perf.get("counters", {})
+    outcome.certificates_checked = int(counters.get(
+        "certificates_checked", 0))
+    outcome.certificate_failures = int(counters.get(
+        "certificate_failures", 0))
+
+    captured = policy.captured_problems
+    if oracle_samples > 0 and captured:
+        step = max(1, len(captured) // oracle_samples)
+        sampled = captured[::step][:oracle_samples]
+        outcome.oracle_problems = len(sampled)
+        for problem, _res in sampled:
+            report = cross_check_qp(problem)
+            if not report.ok:
+                outcome.oracle_failures.extend(report.failures())
+
+    outcome.ok = (not outcome.violations
+                  and outcome.certificate_failures == 0
+                  and not outcome.oracle_failures)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+def _shrink_candidates(spec: dict) -> list[tuple[str, dict]]:
+    """Ordered simplifications of a failing spec (coarsest first)."""
+    out: list[tuple[str, dict]] = []
+
+    def variant(name: str, **changes) -> None:
+        cand = json.loads(json.dumps(spec))  # deep copy via JSON
+        cand.update(changes)
+        out.append((name, cand))
+
+    if spec.get("faults"):
+        variant("drop_faults", faults=[])
+    if spec.get("budget_fraction") is not None:
+        variant("drop_budgets", budget_fraction=None, hard_budgets=False)
+    if spec.get("hard_budgets"):
+        variant("soft_budgets", hard_budgets=False)
+    if spec["n_periods"] > 2:
+        half = max(2, spec["n_periods"] // 2)
+        cand = json.loads(json.dumps(spec))
+        cand["n_periods"] = half
+        cand["portal_traces"] = [t[:half] for t in cand["portal_traces"]]
+        cand["faults"] = [f for f in cand.get("faults", [])
+                          if f["start_period"] < half]
+        for f in cand.get("faults", []):
+            f["end_period"] = min(f["end_period"], half)
+        out.append(("halve_periods", cand))
+    if spec.get("backend") != "active_set":
+        variant("backend_active_set", backend="active_set")
+    flat_loads = [[t[0]] * spec["n_periods"]
+                  for t in spec["portal_traces"]]
+    if flat_loads != spec["portal_traces"]:
+        variant("flatten_loads", portal_traces=flat_loads)
+    start = int(float(spec["start_hour"]))
+    flat_prices = {
+        name: [hourly[start % len(hourly)]] * len(hourly)
+        for name, hourly in spec["prices_hourly"].items()
+    }
+    if flat_prices != spec["prices_hourly"]:
+        variant("flatten_prices", prices_hourly=flat_prices)
+    if spec["horizon_pred"] > 2:
+        pred = max(2, spec["horizon_pred"] // 2)
+        variant("shrink_horizon", horizon_pred=pred,
+                horizon_ctrl=min(spec["horizon_ctrl"], pred))
+    if spec.get("slow_period", 1) != 1:
+        variant("slow_period_1", slow_period=1)
+    return out
+
+
+def shrink(spec: dict, *, is_failing=None, max_rounds: int = 20) -> dict:
+    """Greedily minimize a failing spec while it keeps failing.
+
+    Parameters
+    ----------
+    spec:
+        A spec for which the check currently fails.
+    is_failing:
+        Predicate ``spec -> bool``; defaults to
+        ``not run_spec(spec).ok``.  Injectable for tests and for
+        shrinking against a specific failure mode.
+    max_rounds:
+        Bound on accepted simplification rounds.
+
+    Returns
+    -------
+    dict
+        The minimal still-failing spec (possibly the input unchanged).
+    """
+    if is_failing is None:
+        def is_failing(s: dict) -> bool:
+            return not run_spec(s, oracle_samples=0).ok
+
+    current = json.loads(json.dumps(spec))
+    for _ in range(max_rounds):
+        for _name, candidate in _shrink_candidates(current):
+            if is_failing(candidate):
+                current = candidate
+                break
+        else:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Batch driver
+# ---------------------------------------------------------------------------
+def fuzz_many(n_seeds: int, base_seed: int = 0, *,
+              oracle_samples: int = 2,
+              shrink_failures: bool = True) -> dict:
+    """Run ``n_seeds`` consecutive seeds; shrink whatever fails.
+
+    Returns a JSON-able report: per-seed outcomes, the failure count,
+    and a minimal repro spec per failure (ready for ``tests/seeds/``).
+    """
+    outcomes: list[Outcome] = []
+    shrunk: list[dict] = []
+    for k in range(int(n_seeds)):
+        seed = int(base_seed) + k
+        outcome = run_spec(generate_spec(seed),
+                           oracle_samples=oracle_samples)
+        outcomes.append(outcome)
+        if not outcome.ok and shrink_failures:
+            shrunk.append(shrink(outcome.spec))
+    n_failed = sum(1 for o in outcomes if not o.ok)
+    return {
+        "n_seeds": int(n_seeds),
+        "base_seed": int(base_seed),
+        "n_failed": n_failed,
+        "outcomes": [o.to_dict() for o in outcomes],
+        "minimal_repros": shrunk,
+        "certificates_checked": sum(o.certificates_checked
+                                    for o in outcomes),
+        "oracle_problems": sum(o.oracle_problems for o in outcomes),
+    }

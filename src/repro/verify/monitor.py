@@ -1,0 +1,303 @@
+"""Per-step physical-invariant monitoring for closed-loop runs.
+
+The simulation engine accepts ``monitor=InvariantMonitor(...)`` and calls
+:meth:`InvariantMonitor.observe` once per control period with everything
+the period produced.  The monitor checks the invariants the paper's
+formulation promises:
+
+* **workload conservation** (eq. 2) — every portal's load is fully
+  routed: ``Σ_j λ_ij = L_i`` within tolerance, and no allocation entry
+  is meaningfully negative;
+* **server bounds and integrality** (eq. 35) — the slow loop's counts
+  are integers in ``[0, M_j]``;
+* **power-budget satisfaction** (Sec. V-C) — after the peak-shaving
+  convergence window following a disturbance (a price adjustment or a
+  budget change), per-IDC power stays at or below the budget;
+* **reference-clamp correctness** — the reference trajectory the MPC
+  tracks never exceeds the budget (this must hold *always*, not just
+  after convergence: the clamp is what drags the plant back);
+* **non-NaN state propagation** — no NaN in allocations, powers,
+  workloads, prices or latencies (``inf`` latency is legal: it encodes
+  an overloaded IDC).
+
+Violations are recorded (bounded list, counters per kind) and surfaced
+through ``SimulationResult.perf["counters"]``; with
+``raise_on_violation=True`` the first violation aborts the run with an
+:class:`repro.exceptions.InvariantViolationError` — the mode the fuzzer
+and CI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvariantViolationError
+
+__all__ = ["InvariantViolation", "InvariantMonitor"]
+
+
+@dataclass
+class InvariantViolation:
+    """One broken invariant at one control period."""
+
+    period: int
+    time_seconds: float
+    kind: str
+    message: str
+    magnitude: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"period": self.period, "time_seconds": self.time_seconds,
+                "kind": self.kind, "message": self.message,
+                "magnitude": self.magnitude}
+
+
+class InvariantMonitor:
+    """Pluggable invariant checker for :func:`repro.sim.run_simulation`.
+
+    Parameters
+    ----------
+    budgets_watts:
+        Per-IDC peak budgets to enforce.  ``None`` (default) adopts the
+        scenario's own budgets at :meth:`begin_run`; pass an array to
+        override, or leave both unset to skip budget checks.
+    budget_grace_periods:
+        The peak-shaving convergence window: budget satisfaction is only
+        enforced once this many periods have elapsed since the last
+        disturbance (a price change, a portal-load change, a fleet
+        availability change, or the run start).  Reference tracking
+        approaches the budget asymptotically after a step, so transient
+        overshoot inside the window is the documented behaviour
+        (paper Fig. 6), not a bug.
+    budget_rtol:
+        Relative slack on the budget check (tracking converges *to* the
+        budget, so exact comparison would flag solver-tolerance noise).
+    conservation_rtol:
+        Relative tolerance on per-portal workload conservation.
+    server_tol:
+        Absolute tolerance on server-count integrality.
+    raise_on_violation:
+        Abort the run on the first violation instead of recording it.
+    max_violations:
+        Cap on stored violation records (counters keep counting past it).
+    """
+
+    #: Invariant kinds, in check order.
+    KINDS = ("nan_state", "conservation", "server_bounds",
+             "server_integrality", "budget", "reference_clamp")
+
+    def __init__(self, budgets_watts=None, *,
+                 budget_grace_periods: int = 8,
+                 budget_rtol: float = 5e-3,
+                 conservation_rtol: float = 1e-6,
+                 server_tol: float = 1e-6,
+                 raise_on_violation: bool = False,
+                 max_violations: int = 1000) -> None:
+        self._budgets_param = (None if budgets_watts is None
+                               else np.asarray(budgets_watts, dtype=float))
+        self.budget_grace_periods = int(budget_grace_periods)
+        self.budget_rtol = float(budget_rtol)
+        self.conservation_rtol = float(conservation_rtol)
+        self.server_tol = float(server_tol)
+        self.raise_on_violation = bool(raise_on_violation)
+        self.max_violations = int(max_violations)
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self.violations: list[InvariantViolation] = []
+        self._counts = {kind: 0 for kind in self.KINDS}
+        self._checks = 0
+        self._periods = 0
+        self._cluster = None
+        self._budgets = self._budgets_param
+        self._max_servers = None
+        self._prev_prices = None
+        self._prev_loads = None
+        self._prev_available = None
+        self._last_disturbance = 0
+
+    def begin_run(self, scenario) -> None:
+        """Bind to a scenario; called by the engine before the first period."""
+        self._reset_state()
+        self._cluster = scenario.cluster
+        if self._budgets is None and scenario.budgets_watts is not None:
+            self._budgets = np.asarray(scenario.budgets_watts, dtype=float)
+        self._max_servers = np.array(
+            [idc.config.max_servers for idc in scenario.cluster.idcs],
+            dtype=float)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return self.n_violations == 0
+
+    @property
+    def n_violations(self) -> int:
+        return sum(self._counts.values())
+
+    def counters(self) -> dict[str, int]:
+        """Plain-int counters for ``SimulationResult.perf``."""
+        out = {"invariant_checks": self._checks,
+               "invariant_violations": self.n_violations}
+        for kind, n in self._counts.items():
+            out[f"invariant_{kind}"] = n
+        return out
+
+    def summary(self) -> str:
+        """Human-readable digest of the run's verdict."""
+        if self.ok:
+            return (f"invariants OK: {self._checks} checks over "
+                    f"{self._periods} periods")
+        lines = [f"{self.n_violations} invariant violation(s) in "
+                 f"{self._periods} periods:"]
+        for v in self.violations[:20]:
+            lines.append(f"  period {v.period} [{v.kind}] {v.message}")
+        if self.n_violations > len(self.violations):
+            lines.append(f"  ... ({self.n_violations - len(self.violations)} "
+                         "more not stored)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, period: int, t: float, message: str,
+                magnitude: float = 0.0) -> None:
+        self._counts[kind] += 1
+        violation = InvariantViolation(period=period, time_seconds=t,
+                                       kind=kind, message=message,
+                                       magnitude=float(magnitude))
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        if self.raise_on_violation:
+            raise InvariantViolationError(
+                f"period {period}: [{kind}] {message}", violation=violation)
+
+    def _check(self) -> None:
+        self._checks += 1
+
+    # ------------------------------------------------------------------
+    def observe(self, *, period: int, time_seconds: float,
+                loads: np.ndarray, prices: np.ndarray, decision,
+                workloads: np.ndarray, powers_watts: np.ndarray,
+                servers: np.ndarray, latencies: np.ndarray) -> None:
+        """Check every invariant for one applied control period.
+
+        ``decision`` is the policy's raw :class:`AllocationDecision` —
+        deliberately *before* the engine's ``astype(int)`` cast, so a
+        fractional server count is caught instead of silently truncated.
+        """
+        if self._cluster is None:
+            raise RuntimeError("begin_run() must be called before observe()")
+        self._periods += 1
+        t = float(time_seconds)
+        u = np.asarray(decision.u, dtype=float).ravel()
+        raw_servers = np.asarray(decision.servers, dtype=float).ravel()
+
+        # 1. non-NaN state propagation -------------------------------------
+        self._check()
+        nan_fields = [
+            name for name, arr in (
+                ("allocation", u), ("servers", raw_servers),
+                ("workloads", workloads), ("powers", powers_watts),
+                ("prices", prices), ("loads", loads),
+                ("latencies", latencies),
+            ) if np.any(np.isnan(np.asarray(arr, dtype=float)))
+        ]
+        if nan_fields:
+            self._record("nan_state", period, t,
+                         f"NaN in {', '.join(nan_fields)}")
+            return  # everything below would drown in NaN comparisons
+
+        # 2. workload conservation (eq. 2) ---------------------------------
+        self._check()
+        lam = self._cluster.vector_to_matrix(np.maximum(u, 0.0))
+        loads = np.asarray(loads, dtype=float).ravel()
+        resid = np.abs(lam.sum(axis=1) - loads)
+        tol = self.conservation_rtol * (1.0 + np.abs(loads))
+        worst = int(np.argmax(resid - tol))
+        if resid[worst] > tol[worst]:
+            self._record(
+                "conservation", period, t,
+                f"portal {worst}: routed {lam.sum(axis=1)[worst]:.6f} of "
+                f"load {loads[worst]:.6f} req/s "
+                f"(|Σλ - L| = {resid[worst]:.3e})",
+                magnitude=float(resid[worst]))
+        if np.any(u < -1e-6):
+            self._record("conservation", period, t,
+                         f"negative allocation entry {u.min():.3e}",
+                         magnitude=float(-u.min()))
+
+        # 3. server bounds and integrality (eq. 35) ------------------------
+        self._check()
+        over = raw_servers - self._max_servers
+        if np.any(raw_servers < -self.server_tol) or \
+                np.any(over > self.server_tol):
+            j = int(np.argmax(np.maximum(-raw_servers, over)))
+            self._record(
+                "server_bounds", period, t,
+                f"IDC {j}: {raw_servers[j]:.3f} servers outside "
+                f"[0, {self._max_servers[j]:.0f}]",
+                magnitude=float(np.max(np.maximum(-raw_servers, over))))
+        self._check()
+        frac = np.abs(raw_servers - np.round(raw_servers))
+        if np.any(frac > self.server_tol):
+            j = int(np.argmax(frac))
+            self._record("server_integrality", period, t,
+                         f"IDC {j}: non-integer server count "
+                         f"{raw_servers[j]!r}", magnitude=float(frac[j]))
+
+        # 4. power budgets after the convergence window --------------------
+        # Anything the tracking loop must re-converge after counts as a
+        # disturbance: price adjustments, portal-load steps, and fleet
+        # availability changes (outage start/end).
+        available = np.array([idc.available_servers
+                              for idc in self._cluster.idcs], dtype=float)
+        for prev, now in ((self._prev_prices, prices),
+                          (self._prev_loads, loads),
+                          (self._prev_available, available)):
+            if prev is None or not np.allclose(
+                    np.asarray(now, dtype=float), prev,
+                    rtol=1e-12, atol=1e-9):
+                self._last_disturbance = period
+        self._prev_prices = np.asarray(prices, dtype=float).copy()
+        self._prev_loads = np.asarray(loads, dtype=float).copy()
+        self._prev_available = available
+        if self._budgets is not None:
+            settled = (period - self._last_disturbance
+                       >= self.budget_grace_periods)
+            if settled:
+                self._check()
+                powers = np.asarray(powers_watts, dtype=float).ravel()
+                limit = self._budgets * (1.0 + self.budget_rtol)
+                mask = np.isfinite(self._budgets) & (powers > limit)
+                if np.any(mask):
+                    j = int(np.argmax(powers - limit))
+                    self._record(
+                        "budget", period, t,
+                        f"IDC {j}: power {powers[j] / 1e6:.4f} MW exceeds "
+                        f"budget {self._budgets[j] / 1e6:.4f} MW "
+                        f"{period - self._last_disturbance} periods after "
+                        "the last disturbance",
+                        magnitude=float((powers[j] - self._budgets[j])
+                                        / max(self._budgets[j], 1.0)))
+
+            # 5. reference-clamp correctness (no grace: the clamp is
+            #    what *creates* convergence, so it must always hold).
+            ref = decision.diagnostics.get("reference_powers_mw") \
+                if isinstance(decision.diagnostics, dict) else None
+            if ref is not None:
+                self._check()
+                ref_watts = np.asarray(ref, dtype=float).ravel() * 1e6
+                limit = self._budgets * (1.0 + self.budget_rtol)
+                mask = np.isfinite(self._budgets) & (ref_watts > limit)
+                if np.any(mask):
+                    j = int(np.argmax(ref_watts - limit))
+                    self._record(
+                        "reference_clamp", period, t,
+                        f"IDC {j}: reference {ref_watts[j] / 1e6:.4f} MW "
+                        f"above budget {self._budgets[j] / 1e6:.4f} MW — "
+                        "clamp failed",
+                        magnitude=float((ref_watts[j] - self._budgets[j])
+                                        / max(self._budgets[j], 1.0)))

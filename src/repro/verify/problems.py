@@ -1,0 +1,135 @@
+"""Serializable captures of LP/QP problem instances.
+
+The differential oracles and the regression corpus need problems as
+*data*: a captured MPC quadratic program can be re-solved by every
+backend, cross-checked against scipy, and — when it exposes a bug —
+committed verbatim as a JSON seed under ``tests/seeds/``.  These
+containers hold exactly the arguments the solvers take, with lossless
+``to_dict``/``from_dict`` round-tripping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QPProblem", "LPProblem", "problem_from_dict"]
+
+
+def _opt(a) -> list | None:
+    return None if a is None else np.asarray(a, dtype=float).tolist()
+
+
+def _arr(a) -> np.ndarray | None:
+    return None if a is None else np.asarray(a, dtype=float)
+
+
+@dataclass
+class QPProblem:
+    """``min 0.5 x'Px + q'x`` s.t. ``A_eq x = b_eq``, ``A_ineq x <= b_ineq``.
+
+    Mirrors :func:`repro.optim.solve_qp`'s signature; ``label`` tags the
+    capture site (e.g. ``"mpc-step-17"``).
+    """
+
+    P: np.ndarray
+    q: np.ndarray
+    A_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    A_ineq: np.ndarray | None = None
+    b_ineq: np.ndarray | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.P = np.atleast_2d(np.asarray(self.P, dtype=float))
+        self.q = np.asarray(self.q, dtype=float).ravel()
+        self.A_eq, self.b_eq = _arr(self.A_eq), _arr(self.b_eq)
+        self.A_ineq, self.b_ineq = _arr(self.A_ineq), _arr(self.b_ineq)
+
+    @property
+    def n(self) -> int:
+        return self.q.size
+
+    def objective(self, x) -> float:
+        x = np.asarray(x, dtype=float).ravel()
+        return float(0.5 * x @ self.P @ x + self.q @ x)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "qp", "label": self.label,
+            "P": self.P.tolist(), "q": self.q.tolist(),
+            "A_eq": _opt(self.A_eq), "b_eq": _opt(self.b_eq),
+            "A_ineq": _opt(self.A_ineq), "b_ineq": _opt(self.b_ineq),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QPProblem":
+        return cls(P=data["P"], q=data["q"],
+                   A_eq=data.get("A_eq"), b_eq=data.get("b_eq"),
+                   A_ineq=data.get("A_ineq"), b_ineq=data.get("b_ineq"),
+                   label=data.get("label", ""))
+
+
+@dataclass
+class LPProblem:
+    """``min c'x`` with the :func:`repro.optim.linprog` calling convention.
+
+    ``bounds`` keeps ``linprog``'s format: ``None`` (all variables in
+    ``[0, inf)``), a single ``(lb, ub)`` pair, or one pair per variable
+    with ``None`` entries meaning unbounded.
+    """
+
+    c: np.ndarray
+    A_ub: np.ndarray | None = None
+    b_ub: np.ndarray | None = None
+    A_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    bounds: list | tuple | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float).ravel()
+        self.A_ub, self.b_ub = _arr(self.A_ub), _arr(self.b_ub)
+        self.A_eq, self.b_eq = _arr(self.A_eq), _arr(self.b_eq)
+
+    @property
+    def n(self) -> int:
+        return self.c.size
+
+    def objective(self, x) -> float:
+        return float(self.c @ np.asarray(x, dtype=float).ravel())
+
+    def to_dict(self) -> dict:
+        bounds = self.bounds
+        if bounds is not None:
+            bounds = [list(p) if hasattr(p, "__len__") else p
+                      for p in bounds]
+        return {
+            "kind": "lp", "label": self.label,
+            "c": self.c.tolist(),
+            "A_ub": _opt(self.A_ub), "b_ub": _opt(self.b_ub),
+            "A_eq": _opt(self.A_eq), "b_eq": _opt(self.b_eq),
+            "bounds": bounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LPProblem":
+        bounds = data.get("bounds")
+        if bounds is not None:
+            bounds = [tuple(p) if hasattr(p, "__len__") else p
+                      for p in bounds]
+        return cls(c=data["c"],
+                   A_ub=data.get("A_ub"), b_ub=data.get("b_ub"),
+                   A_eq=data.get("A_eq"), b_eq=data.get("b_eq"),
+                   bounds=bounds, label=data.get("label", ""))
+
+
+def problem_from_dict(data: dict) -> QPProblem | LPProblem:
+    """Rehydrate a captured problem by its ``kind`` tag."""
+    kind = data.get("kind")
+    if kind == "qp":
+        return QPProblem.from_dict(data)
+    if kind == "lp":
+        return LPProblem.from_dict(data)
+    raise ValueError(f"unknown problem kind {kind!r}")

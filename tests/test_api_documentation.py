@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.analysis",
     "repro.experiments",
+    "repro.verify",
 ]
 
 MODULES_WITH_DOCSTRINGS = SUBPACKAGES + [

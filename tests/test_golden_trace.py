@@ -1,0 +1,52 @@
+"""Golden-trace regression: the paper full-day run must not drift.
+
+The fixture under ``tests/fixtures/`` pins the closed-loop MPC trajectory
+for the paper scenario (24 h at 300 s periods): total cost, and hourly
+samples of per-IDC power and server counts.  Any solver or model change
+that moves the trajectory beyond tolerance fails here first — regenerate
+the fixture deliberately (see the fixture's ``description``) only when
+the change is intended.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CostMPCPolicy, MPCPolicyConfig
+from repro.sim import paper_scenario, run_simulation
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_paper_day.json"
+
+
+@pytest.fixture(scope="module")
+def golden_and_fresh():
+    golden = json.loads(FIXTURE.read_text())
+    scenario = paper_scenario(dt=golden["dt"], duration=golden["duration"])
+    policy = CostMPCPolicy(scenario.cluster,
+                           MPCPolicyConfig(dt=golden["dt"]))
+    result = run_simulation(scenario, policy)
+    return golden, result
+
+
+def test_total_cost_matches(golden_and_fresh):
+    golden, result = golden_and_fresh
+    assert result.total_cost_usd == pytest.approx(
+        golden["total_cost_usd"], rel=1e-6)
+
+
+def test_power_trajectory_matches(golden_and_fresh):
+    golden, result = golden_and_fresh
+    assert list(result.idc_names) == golden["idc_names"]
+    fresh = np.array([result.powers_mw[i]
+                      for i in golden["sample_periods"]])
+    np.testing.assert_allclose(fresh, np.array(golden["powers_mw"]),
+                               rtol=1e-5, atol=1e-6)
+
+
+def test_server_trajectory_matches(golden_and_fresh):
+    golden, result = golden_and_fresh
+    fresh = np.array([result.servers[i] for i in golden["sample_periods"]])
+    # integer counts must match exactly — a off-by-one server is drift
+    np.testing.assert_array_equal(fresh, np.array(golden["servers"]))

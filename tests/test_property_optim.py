@@ -1,0 +1,161 @@
+"""Property-based tests for the projection operators and LSQ bridge.
+
+Projections onto convex sets must be idempotent (``P(P(x)) = P(x)``),
+non-expansive (``‖P(x) − P(y)‖ ≤ ‖x − y‖``) and land inside the set;
+the least-squares bridge must satisfy the normal equations (residual
+orthogonality) on unconstrained problems.  Hypothesis searches for
+counterexamples instead of trusting a handful of fixed vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import solve_qp
+from repro.optim.lsq import solve_constrained_lsq, weighted_lsq_to_qp
+from repro.optim.projections import (
+    project_box,
+    project_capped_simplex,
+    project_nonnegative,
+    project_simplex,
+)
+
+_coords = st.floats(min_value=-50.0, max_value=50.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+def _vectors(min_size=1, max_size=8):
+    return st.lists(_coords, min_size=min_size, max_size=max_size) \
+        .map(lambda v: np.array(v, dtype=float))
+
+
+def _vector_pairs(min_size=1, max_size=8):
+    """Two vectors of the same (drawn) dimension."""
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.lists(_coords, min_size=n, max_size=n),
+            st.lists(_coords, min_size=n, max_size=n))
+    ).map(lambda p: (np.array(p[0]), np.array(p[1])))
+
+
+class TestNonnegativeProjection:
+    @given(x=_vectors())
+    def test_idempotent_and_feasible(self, x):
+        p = project_nonnegative(x)
+        assert np.all(p >= 0.0)
+        np.testing.assert_array_equal(project_nonnegative(p), p)
+
+    @given(pair=_vector_pairs())
+    def test_non_expansive(self, pair):
+        x, y = pair
+        assert np.linalg.norm(project_nonnegative(x)
+                              - project_nonnegative(y)) \
+            <= np.linalg.norm(x - y) + 1e-12
+
+
+class TestBoxProjection:
+    @given(x=_vectors(), lo=st.floats(-10.0, 0.0), width=st.floats(0.0, 10.0))
+    def test_idempotent_and_feasible(self, x, lo, width):
+        hi = lo + width
+        p = project_box(x, lo, hi)
+        assert np.all(p >= lo - 1e-12) and np.all(p <= hi + 1e-12)
+        np.testing.assert_array_equal(project_box(p, lo, hi), p)
+
+    @given(pair=_vector_pairs(), lo=st.floats(-10.0, 0.0),
+           width=st.floats(0.0, 10.0))
+    def test_non_expansive(self, pair, lo, width):
+        x, y = pair
+        hi = lo + width
+        assert np.linalg.norm(project_box(x, lo, hi)
+                              - project_box(y, lo, hi)) \
+            <= np.linalg.norm(x - y) + 1e-12
+
+
+class TestSimplexProjection:
+    @given(x=_vectors(), total=st.floats(0.1, 100.0))
+    def test_feasible(self, x, total):
+        p = project_simplex(x, total)
+        assert np.all(p >= -1e-9)
+        assert np.sum(p) == pytest.approx(total, rel=1e-6, abs=1e-6)
+
+    @given(x=_vectors(), total=st.floats(0.1, 100.0))
+    @settings(max_examples=50)
+    def test_idempotent(self, x, total):
+        p = project_simplex(x, total)
+        np.testing.assert_allclose(project_simplex(p, total), p, atol=1e-8)
+
+    @given(pair=_vector_pairs(), total=st.floats(0.1, 100.0))
+    @settings(max_examples=50)
+    def test_non_expansive(self, pair, total):
+        x, y = pair
+        assert np.linalg.norm(project_simplex(x, total)
+                              - project_simplex(y, total)) \
+            <= np.linalg.norm(x - y) + 1e-8
+
+    @given(x=_vectors())
+    def test_matches_euclidean_qp(self, x):
+        """The projection is the argmin of ‖p − x‖² on the simplex."""
+        n = x.size
+        res = solve_qp(np.eye(n), -x,
+                       A_eq=np.ones((1, n)), b_eq=np.array([1.0]),
+                       A_ineq=-np.eye(n), b_ineq=np.zeros(n))
+        np.testing.assert_allclose(project_simplex(x, 1.0), res.x,
+                                   atol=1e-6)
+
+
+class TestCappedSimplexProjection:
+    @given(x=_vectors(min_size=2), caps_seed=st.integers(0, 2**31 - 1),
+           frac=st.floats(0.05, 0.95))
+    @settings(max_examples=50)
+    def test_feasible(self, x, caps_seed, frac):
+        rng = np.random.default_rng(caps_seed)
+        caps = rng.uniform(0.5, 5.0, size=x.size)
+        total = frac * caps.sum()
+        p = project_capped_simplex(x, caps, total)
+        assert np.all(p >= -1e-8)
+        assert np.all(p <= caps + 1e-8)
+        assert np.sum(p) == pytest.approx(total, abs=1e-6)
+
+    @given(x=_vectors(min_size=2), caps_seed=st.integers(0, 2**31 - 1),
+           frac=st.floats(0.05, 0.95))
+    @settings(max_examples=25)
+    def test_idempotent(self, x, caps_seed, frac):
+        rng = np.random.default_rng(caps_seed)
+        caps = rng.uniform(0.5, 5.0, size=x.size)
+        total = frac * caps.sum()
+        p = project_capped_simplex(x, caps, total)
+        np.testing.assert_allclose(
+            project_capped_simplex(p, caps, total), p, atol=1e-6)
+
+
+class TestLsqBridge:
+    @given(seed=st.integers(0, 2**31 - 1),
+           reg=st.floats(1e-4, 10.0))
+    @settings(max_examples=50)
+    def test_unconstrained_residual_orthogonality(self, seed, reg):
+        """Normal equations: AᵀQ(Ax − b) + Rx = 0 at the optimum."""
+        rng = np.random.default_rng(seed)
+        m, n = 8, 4
+        A = rng.normal(size=(m, n))
+        b = rng.normal(size=m)
+        Q = np.diag(rng.uniform(0.5, 2.0, size=m))
+        R = reg * np.eye(n)
+        res = solve_constrained_lsq(A, b, Q=Q, reg=R)
+        grad = A.T @ Q @ (A @ res.x - b) + R @ res.x
+        np.testing.assert_allclose(grad, np.zeros(n), atol=1e-6)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_qp_form_objective_matches_residual(self, seed):
+        """0.5 x'Px + q'x + c0 must equal the weighted LSQ objective."""
+        rng = np.random.default_rng(seed)
+        m, n = 6, 3
+        A = rng.normal(size=(m, n))
+        b = rng.normal(size=m)
+        Q = np.diag(rng.uniform(0.5, 2.0, size=m))
+        P, q, c0 = weighted_lsq_to_qp(A, b, Q=Q)
+        x = rng.normal(size=n)
+        direct = (A @ x - b) @ Q @ (A @ x - b)  # ‖Ax−b‖²_Q, no ½
+        via_qp = 0.5 * x @ P @ x + q @ x + c0
+        assert via_qp == pytest.approx(direct, rel=1e-9, abs=1e-9)

@@ -1,0 +1,134 @@
+"""KKT certificate checkers: true optima certify, corruptions are caught."""
+
+import numpy as np
+import pytest
+
+from repro.optim import linprog, solve_qp
+from repro.verify import check_kkt_lp, check_kkt_qp
+
+
+def _random_qp(seed, n=6, m_eq=2, m_ineq=4):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(n, n))
+    P = M @ M.T + n * np.eye(n)
+    q = rng.normal(size=n)
+    A_eq = rng.normal(size=(m_eq, n))
+    x_feas = rng.normal(size=n)
+    b_eq = A_eq @ x_feas
+    A_ineq = rng.normal(size=(m_ineq, n))
+    b_ineq = A_ineq @ x_feas + rng.uniform(0.1, 2.0, size=m_ineq)
+    return P, q, A_eq, b_eq, A_ineq, b_ineq
+
+
+class TestQPCertificate:
+    def test_certifies_solver_optimum_with_duals(self):
+        P, q, A_eq, b_eq, A_in, b_in = _random_qp(0)
+        res = solve_qp(P, q, A_eq=A_eq, b_eq=b_eq, A_ineq=A_in, b_ineq=b_in)
+        cert = check_kkt_qp(P, q, res.x, A_eq=A_eq, b_eq=b_eq,
+                            A_ineq=A_in, b_ineq=b_in,
+                            dual_eq=res.dual_eq, dual_ineq=res.dual_ineq)
+        assert cert.ok, str(cert)
+        assert not cert.duals_estimated
+        assert cert.violated_eq == () and cert.violated_ineq == ()
+
+    def test_certifies_without_duals_by_estimation(self):
+        P, q, A_eq, b_eq, A_in, b_in = _random_qp(1)
+        res = solve_qp(P, q, A_eq=A_eq, b_eq=b_eq, A_ineq=A_in, b_ineq=b_in)
+        cert = check_kkt_qp(P, q, res.x, A_eq=A_eq, b_eq=b_eq,
+                            A_ineq=A_in, b_ineq=b_in)
+        assert cert.ok, str(cert)
+        assert cert.duals_estimated
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_corrupted_solution_is_caught(self, seed):
+        """The acceptance criterion: a perturbed optimum must FAIL."""
+        P, q, A_eq, b_eq, A_in, b_in = _random_qp(seed)
+        res = solve_qp(P, q, A_eq=A_eq, b_eq=b_eq, A_ineq=A_in, b_ineq=b_in)
+        rng = np.random.default_rng(100 + seed)
+        bad = res.x + 0.1 * rng.normal(size=res.x.size)
+        cert = check_kkt_qp(P, q, bad, A_eq=A_eq, b_eq=b_eq,
+                            A_ineq=A_in, b_ineq=b_in)
+        assert not cert.ok
+        assert cert.message
+
+    def test_infeasible_point_reports_violated_rows(self):
+        P = np.eye(2)
+        q = np.zeros(2)
+        A_in = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b_in = np.array([1.0, 1.0])
+        cert = check_kkt_qp(P, q, np.array([2.0, 0.5]),
+                            A_ineq=A_in, b_ineq=b_in)
+        assert not cert.ok
+        assert 0 in cert.violated_ineq and 1 not in cert.violated_ineq
+
+    def test_wrong_duals_fail_even_at_the_right_point(self):
+        P, q, A_eq, b_eq, A_in, b_in = _random_qp(2)
+        res = solve_qp(P, q, A_eq=A_eq, b_eq=b_eq, A_ineq=A_in, b_ineq=b_in)
+        wrong = res.dual_ineq + 5.0
+        cert = check_kkt_qp(P, q, res.x, A_eq=A_eq, b_eq=b_eq,
+                            A_ineq=A_in, b_ineq=b_in,
+                            dual_eq=res.dual_eq, dual_ineq=wrong)
+        assert not cert.ok
+
+    def test_negative_multiplier_is_a_dual_violation(self):
+        P = 2.0 * np.eye(1)
+        q = np.array([-2.0])          # optimum x=1, constraint inactive
+        A_in = np.array([[1.0]])
+        b_in = np.array([5.0])
+        cert = check_kkt_qp(P, q, np.array([1.0]), A_ineq=A_in, b_ineq=b_in,
+                            dual_ineq=np.array([-1.0]))
+        assert not cert.ok
+        assert cert.dual_feas > 0
+
+    def test_unconstrained_qp(self):
+        P = np.diag([2.0, 4.0])
+        q = np.array([-2.0, -4.0])
+        cert = check_kkt_qp(P, q, np.array([1.0, 1.0]))
+        assert cert.ok
+
+
+class TestLPCertificate:
+    def test_certifies_simplex_solution(self):
+        # max x+y s.t. x+2y<=4, 3x+y<=6, x,y>=0  (min form)
+        c = np.array([-1.0, -1.0])
+        A_ub = np.array([[1.0, 2.0], [3.0, 1.0]])
+        b_ub = np.array([4.0, 6.0])
+        res = linprog(c, A_ub=A_ub, b_ub=b_ub)
+        cert = check_kkt_lp(c, res.x, A_ub=A_ub, b_ub=b_ub)
+        assert cert.ok, str(cert)
+        assert cert.duals_estimated  # simplex reports no duals
+
+    def test_non_vertex_point_fails(self):
+        c = np.array([-1.0, -1.0])
+        A_ub = np.array([[1.0, 2.0], [3.0, 1.0]])
+        b_ub = np.array([4.0, 6.0])
+        cert = check_kkt_lp(c, np.array([0.5, 0.5]), A_ub=A_ub, b_ub=b_ub)
+        assert not cert.ok
+
+    def test_default_bounds_are_enforced(self):
+        # x >= 0 is implicit, so a negative coordinate must fail primal.
+        c = np.array([1.0])
+        cert = check_kkt_lp(c, np.array([-1.0]))
+        assert not cert.ok
+        assert cert.primal_ineq > 0
+
+    def test_explicit_bounds_and_equalities(self):
+        # min x1 + x2  s.t. x1 + x2 = 1, 0.2 <= x <= 1
+        c = np.array([1.0, 2.0])
+        A_eq = np.array([[1.0, 1.0]])
+        b_eq = np.array([1.0])
+        bounds = [(0.2, 1.0), (0.2, 1.0)]
+        res = linprog(c, A_eq=A_eq, b_eq=b_eq, bounds=bounds)
+        cert = check_kkt_lp(c, res.x, A_eq=A_eq, b_eq=b_eq, bounds=bounds)
+        assert cert.ok, str(cert)
+        np.testing.assert_allclose(res.x, [0.8, 0.2], atol=1e-8)
+
+    def test_simplex_meta_reports_phase_split(self):
+        c = np.array([-1.0, -1.0])
+        A_ub = np.array([[1.0, 2.0], [3.0, 1.0]])
+        b_ub = np.array([4.0, 6.0])
+        res = linprog(c, A_ub=A_ub, b_ub=b_ub)
+        assert res.meta["phase1_iterations"] >= 0
+        assert res.meta["phase2_iterations"] >= 0
+        assert (res.meta["phase1_iterations"]
+                + res.meta["phase2_iterations"]) == res.iterations >= 1

@@ -1,0 +1,236 @@
+"""Closed-loop invariant monitor: violations are caught, clean runs pass."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimalInstantaneousPolicy
+from repro.core import CostMPCPolicy, MPCPolicyConfig
+from repro.core.reference_opt import solve_optimal_allocation
+from repro.exceptions import InvariantViolationError
+from repro.sim import paper_scenario, run_simulation
+from repro.sim.policy import AllocationDecision
+from repro.verify import InvariantMonitor
+
+
+def _scenario(**kw):
+    kw.setdefault("dt", 30.0)
+    kw.setdefault("duration", 300.0)
+    return paper_scenario(**kw)
+
+
+def _good_decision(scenario):
+    """A conservation-satisfying allocation at the scenario's start point."""
+    cluster = scenario.cluster
+    loads = cluster.portals.loads_at(0)
+    prices = scenario.prices_at(scenario.start_time)
+    alloc = solve_optimal_allocation(cluster, prices, loads)
+    servers = np.round(alloc.servers).astype(int)
+    return loads, prices, alloc, AllocationDecision(
+        u=alloc.u, servers=servers, diagnostics={})
+
+
+def _observe(mon, scenario, decision, *, loads, prices, period=0,
+             powers=None):
+    cluster = scenario.cluster
+    workloads = cluster.idc_workloads(np.maximum(decision.u, 0.0))
+    if powers is None:
+        powers = np.full(cluster.n_idcs, 1e6)
+    mon.observe(period=period, time_seconds=scenario.start_time,
+                loads=loads, prices=prices, decision=decision,
+                workloads=workloads, powers_watts=powers,
+                servers=np.asarray(decision.servers),
+                latencies=np.full(cluster.n_idcs, 1e-4))
+
+
+class TestObserve:
+    def test_clean_decision_passes(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert mon.ok
+        assert mon.counters()["invariant_checks"] > 0
+        assert mon.counters()["invariant_violations"] == 0
+
+    def test_dropped_workload_is_a_conservation_violation(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.u = decision.u * 0.9  # drop 10 % of every portal's load
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert not mon.ok
+        assert mon.counters()["invariant_conservation"] >= 1
+
+    def test_fractional_servers_caught_before_engine_truncation(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.servers = decision.servers + 0.5
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert mon.counters()["invariant_server_integrality"] == 1
+
+    def test_server_count_above_fleet_is_caught(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.servers = decision.servers.astype(float)
+        decision.servers[0] = scenario.cluster.idcs[0].config.max_servers + 1
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert mon.counters()["invariant_server_bounds"] == 1
+
+    def test_nan_state_short_circuits(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.u = decision.u.copy()
+        decision.u[0] = np.nan
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        counts = mon.counters()
+        assert counts["invariant_nan_state"] == 1
+        # NaN stops the period's remaining checks (they would all drown).
+        assert counts["invariant_violations"] == 1
+
+    def test_infinite_latency_is_legal(self):
+        scenario = _scenario()
+        mon = InvariantMonitor()
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        cluster = scenario.cluster
+        mon.observe(period=0, time_seconds=0.0, loads=loads, prices=prices,
+                    decision=decision,
+                    workloads=cluster.idc_workloads(decision.u),
+                    powers_watts=np.full(cluster.n_idcs, 1e6),
+                    servers=np.asarray(decision.servers),
+                    latencies=np.full(cluster.n_idcs, np.inf))
+        assert mon.ok
+
+    def test_raise_mode_aborts_on_first_violation(self):
+        scenario = _scenario()
+        mon = InvariantMonitor(raise_on_violation=True)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.u = decision.u * 0.5
+        with pytest.raises(InvariantViolationError) as exc_info:
+            _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert exc_info.value.violation.kind == "conservation"
+
+    def test_observe_requires_begin_run(self):
+        mon = InvariantMonitor()
+        with pytest.raises(RuntimeError):
+            mon.observe(period=0, time_seconds=0.0, loads=np.zeros(1),
+                        prices=np.zeros(1), decision=None,
+                        workloads=np.zeros(1), powers_watts=np.zeros(1),
+                        servers=np.zeros(1), latencies=np.zeros(1))
+
+
+class TestBudgetInvariant:
+    def test_over_budget_power_caught_after_grace(self):
+        """The acceptance criterion: a deliberately over-budget allocation."""
+        scenario = _scenario(with_budgets=True)
+        mon = InvariantMonitor(budget_grace_periods=2)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        over = np.asarray(scenario.budgets_watts, dtype=float) * 1.5
+        for period in range(4):
+            _observe(mon, scenario, decision, loads=loads, prices=prices,
+                     period=period, powers=over)
+        # periods 0-1 are inside the grace window, 2-3 are checked
+        assert mon.counters()["invariant_budget"] == 2
+
+    def test_transient_overshoot_inside_grace_window_is_tolerated(self):
+        scenario = _scenario(with_budgets=True)
+        mon = InvariantMonitor(budget_grace_periods=10)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        over = np.asarray(scenario.budgets_watts, dtype=float) * 1.5
+        for period in range(5):
+            _observe(mon, scenario, decision, loads=loads, prices=prices,
+                     period=period, powers=over)
+        assert mon.ok
+
+    def test_load_step_resets_the_grace_window(self):
+        scenario = _scenario(with_budgets=True)
+        mon = InvariantMonitor(budget_grace_periods=3)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        over = np.asarray(scenario.budgets_watts, dtype=float) * 1.5
+        for period in range(6):
+            step_loads = loads * (1.1 if period == 4 else 1.0)
+            if period == 4:
+                # keep conservation clean for the perturbed loads
+                step_decision = AllocationDecision(
+                    u=decision.u * 1.1, servers=decision.servers,
+                    diagnostics={})
+            else:
+                step_decision = decision
+            _observe(mon, scenario, step_decision, loads=step_loads,
+                     prices=prices, period=period, powers=over)
+        # checked at periods 3 (first window) only; 4 reset the clock
+        assert mon.counters()["invariant_budget"] == 1
+
+    def test_reference_clamp_has_no_grace(self):
+        scenario = _scenario(with_budgets=True)
+        mon = InvariantMonitor(budget_grace_periods=100)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        budgets = np.asarray(scenario.budgets_watts, dtype=float)
+        decision.diagnostics = {
+            "reference_powers_mw": budgets / 1e6 * 2.0}
+        _observe(mon, scenario, decision, loads=loads, prices=prices)
+        assert mon.counters()["invariant_reference_clamp"] == 1
+
+
+class TestEngineIntegration:
+    def test_clean_paper_run_reports_zero_violations(self):
+        scenario = _scenario(with_budgets=True, duration=600.0)
+        policy = CostMPCPolicy(scenario.cluster, MPCPolicyConfig(
+            dt=scenario.dt, budgets_watts=scenario.budgets_watts))
+        # The paper budgets sit exactly on the tracking asymptote, so
+        # reaching budget*(1+rtol) takes ~11 periods from cold start.
+        mon = InvariantMonitor(budget_grace_periods=12)
+        result = run_simulation(scenario, policy, monitor=mon)
+        counters = result.perf["counters"]
+        assert counters["invariant_violations"] == 0
+        assert counters["invariant_checks"] > 0
+        assert mon.summary().startswith("invariants OK")
+
+    def test_corrupting_policy_is_caught_through_the_engine(self):
+        scenario = _scenario()
+
+        class LossyPolicy(OptimalInstantaneousPolicy):
+            def decide(self, obs):
+                decision = super().decide(obs)
+                decision.u = decision.u * 0.8  # silently shed 20 %
+                return decision
+
+        mon = InvariantMonitor()
+        result = run_simulation(scenario, LossyPolicy(scenario.cluster),
+                                monitor=mon)
+        # every period silently drops load, so every period is flagged
+        assert result.perf["counters"]["invariant_conservation"] \
+            == result.n_periods
+        assert not mon.ok
+
+    def test_monitorless_run_untouched(self):
+        scenario = _scenario()
+        policy = OptimalInstantaneousPolicy(scenario.cluster)
+        result = run_simulation(scenario, policy)
+        assert "invariant_checks" not in result.perf.get("counters", {})
+
+    def test_stored_violations_are_bounded_but_counts_are_not(self):
+        scenario = _scenario()
+        mon = InvariantMonitor(max_violations=3)
+        mon.begin_run(scenario)
+        loads, prices, _alloc, decision = _good_decision(scenario)
+        decision.u = decision.u * 0.5
+        for period in range(7):
+            _observe(mon, scenario, decision, loads=loads, prices=prices,
+                     period=period)
+        assert len(mon.violations) == 3
+        assert mon.n_violations == 7
+        assert "more not stored" in mon.summary()

@@ -1,0 +1,96 @@
+"""Differential oracles: every backend must agree with scipy and each other."""
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    LPProblem,
+    QPProblem,
+    cross_check,
+    cross_check_lp,
+    cross_check_qp,
+    problem_from_dict,
+)
+from repro.verify.oracles import QP_BACKENDS
+
+
+def _random_qp_problem(seed, n=6, m_eq=2, m_ineq=4):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(n, n))
+    P = M @ M.T + n * np.eye(n)
+    q = rng.normal(size=n)
+    A_eq = rng.normal(size=(m_eq, n))
+    x_feas = rng.normal(size=n)
+    b_eq = A_eq @ x_feas
+    A_ineq = rng.normal(size=(m_ineq, n))
+    b_ineq = A_ineq @ x_feas + rng.uniform(0.1, 2.0, size=m_ineq)
+    return QPProblem(P=P, q=q, A_eq=A_eq, b_eq=b_eq,
+                     A_ineq=A_ineq, b_ineq=b_ineq, label=f"rand-{seed}")
+
+
+class TestQPOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_backends_agree_with_scipy(self, seed):
+        """The acceptance criterion: every backend + scipy, one objective."""
+        report = cross_check_qp(_random_qp_problem(seed))
+        assert report.ok, report.failures()
+        names = {r.backend for r in report.runs}
+        assert set(QP_BACKENDS) <= names
+        assert "scipy_trust_constr" in names
+        assert report.reference_objective is not None
+        assert report.objective_spread <= 1e-4
+
+    def test_infeasible_qp_agrees_with_scipy_phase1(self):
+        # x >= 1 and x <= 0 simultaneously.
+        p = QPProblem(P=np.eye(1), q=np.zeros(1),
+                      A_ineq=np.array([[-1.0], [1.0]]),
+                      b_ineq=np.array([-1.0, 0.0]), label="empty")
+        report = cross_check_qp(p)
+        assert report.ok
+        assert report.runs[0].infeasible
+
+    def test_equality_only_qp(self):
+        p = QPProblem(P=np.diag([2.0, 2.0]), q=np.zeros(2),
+                      A_eq=np.array([[1.0, 1.0]]), b_eq=np.array([2.0]))
+        report = cross_check_qp(p)
+        assert report.ok, report.failures()
+
+    def test_roundtrip_through_dict_preserves_verdict(self):
+        p = _random_qp_problem(7)
+        clone = problem_from_dict(p.to_dict())
+        assert isinstance(clone, QPProblem)
+        r1, r2 = cross_check_qp(p), cross_check_qp(clone)
+        assert r1.ok == r2.ok
+        np.testing.assert_allclose(
+            [r.objective for r in r1.runs if r.error is None],
+            [r.objective for r in r2.runs if r.error is None])
+
+
+class TestLPOracle:
+    def test_simplex_agrees_with_highs(self):
+        p = LPProblem(c=[-1.0, -1.0],
+                      A_ub=[[1.0, 2.0], [3.0, 1.0]], b_ub=[4.0, 6.0],
+                      label="toy")
+        report = cross_check_lp(p)
+        assert report.ok, report.failures()
+        assert report.reference_objective == pytest.approx(-2.8)
+
+    def test_infeasible_lp_agreement(self):
+        p = LPProblem(c=[1.0], A_ub=[[1.0], [-1.0]], b_ub=[0.0, -1.0])
+        report = cross_check_lp(p)
+        assert report.agree
+        assert report.runs[0].infeasible
+
+    def test_unbounded_lp_agreement(self):
+        p = LPProblem(c=[-1.0], bounds=[(None, None)])
+        report = cross_check_lp(p)
+        assert report.agree
+        assert report.runs[0].status == "unbounded"
+
+    def test_dispatcher(self):
+        qp = _random_qp_problem(11)
+        lp = LPProblem(c=[1.0, 1.0], A_eq=[[1.0, 1.0]], b_eq=[1.0])
+        assert cross_check(qp).kind == "qp"
+        assert cross_check(lp).kind == "lp"
+        with pytest.raises(TypeError):
+            cross_check({"not": "a problem"})
