@@ -3,7 +3,7 @@
 from repro.experiments import full_day
 
 
-def test_bench_full_day(macro, capsys):
+def test_bench_full_day(macro, benchmark, capsys):
     data = macro(full_day.run)
     rows = {r["policy"]: r for r in data["rows"]}
 
@@ -39,6 +39,18 @@ def test_bench_full_day(macro, capsys):
     # warm-started active set needs only a few working-set changes/period
     assert perf["qp_iterations"] < 5 * n_periods
     assert perf["ref_cache_hits"] > 10 * perf["ref_cache_misses"]
+
+    # The MPC runs with the fallback ladder armed; on a healthy day every
+    # period must resolve on the first (warm) rung with zero failures.
+    assert perf["ladder_rung_warm"] == n_periods
+    for rung in ("cold", "admm", "reference", "hold"):
+        assert perf.get(f"ladder_rung_{rung}", 0) == 0
+    assert not any(k.startswith("ladder_failures_") and v
+                   for k, v in perf.items())
+    # Record the per-rung counters in the emitted BENCH_full_day.json so
+    # a CI run that silently starts falling back is visible in artifacts.
+    benchmark.extra_info["ladder_counters"] = {
+        k: v for k, v in sorted(perf.items()) if k.startswith("ladder_")}
 
     with capsys.disabled():
         print()

@@ -9,7 +9,10 @@ Commands
 ``compare``             run several policies and print the comparison
 ``verify``              fuzz closed-loop scenarios under the invariant
                         monitor with KKT certificates and differential
-                        oracles (exit 1 on any failure)
+                        oracles (exit 1 on any failure); ``--chaos``
+                        additionally injects solver faults, telemetry
+                        dropouts and total outages and requires the
+                        supervised loop to recover to NOMINAL
 
 The CLI is a thin layer over :mod:`repro.experiments` and
 :mod:`repro.sim`; everything it prints is produced by the same functions
@@ -129,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="captured QPs cross-checked per run (default 2)")
     ver.add_argument("--no-shrink", action="store_true",
                      help="skip shrinking failing seeds")
+    ver.add_argument("--chaos", action="store_true",
+                     help="chaos mode: inject solver faults, telemetry "
+                          "dropouts and total outages; fail on any "
+                          "unrecovered degradation, NaN or crash")
     ver.add_argument("--json", metavar="PATH",
                      help="write the full report (incl. minimal repros) "
                           "as JSON")
@@ -211,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         repros = []
         for k in range(args.seeds):
             seed = args.base_seed + k
-            outcome = run_spec(generate_spec(seed),
+            outcome = run_spec(generate_spec(seed, chaos=args.chaos),
                                oracle_samples=args.oracle_samples)
             outcomes.append(outcome)
             print(outcome.describe())
@@ -222,11 +229,24 @@ def main(argv: list[str] | None = None) -> int:
                     repros.append(minimal)
                     print("  minimal repro: "
                           f"{json.dumps(minimal, sort_keys=True)}")
-        total_certs = sum(o.certificates_checked for o in outcomes)
-        total_oracles = sum(o.oracle_problems for o in outcomes)
-        print(f"\n{args.seeds - n_failed}/{args.seeds} seeds clean, "
-              f"{total_certs} KKT certificates, "
-              f"{total_oracles} oracle cross-checks")
+        if args.chaos:
+            unrecovered = sum(1 for o in outcomes if not o.recovered)
+            rungs: dict[str, int] = {}
+            for o in outcomes:
+                for key, val in o.rung_counters.items():
+                    rungs[key] = rungs.get(key, 0) + val
+            rung_text = ", ".join(
+                f"{k.removeprefix('ladder_rung_')}={v}"
+                for k, v in sorted(rungs.items())
+                if k.startswith("ladder_rung_")) or "none"
+            print(f"\n{args.seeds - n_failed}/{args.seeds} chaos seeds "
+                  f"clean, {unrecovered} unrecovered, rungs: {rung_text}")
+        else:
+            total_certs = sum(o.certificates_checked for o in outcomes)
+            total_oracles = sum(o.oracle_problems for o in outcomes)
+            print(f"\n{args.seeds - n_failed}/{args.seeds} seeds clean, "
+                  f"{total_certs} KKT certificates, "
+                  f"{total_oracles} oracle cross-checks")
         if args.json:
             from pathlib import Path
             report = {
@@ -235,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
                 "outcomes": [o.to_dict() for o in outcomes],
                 "minimal_repros": repros,
             }
+            if args.chaos:
+                report["chaos"] = True
+                report["unrecovered"] = sum(
+                    1 for o in outcomes if not o.recovered)
             Path(args.json).write_text(json.dumps(report, indent=2))
             print(f"report written to {args.json}")
         return 1 if n_failed else 0

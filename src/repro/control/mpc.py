@@ -27,7 +27,8 @@ from typing import Literal
 
 import numpy as np
 
-from ..exceptions import ConvergenceError, InfeasibleProblemError, ModelError
+from ..exceptions import ConvergenceError, DeadlineExceededError, \
+    InfeasibleProblemError, ModelError
 from ..optim import (
     ADMMFactorCache,
     boxed_constraints,
@@ -229,6 +230,12 @@ class ModelPredictiveController:
         self._warm: dict | None = None
         self._admm_cache = ADMMFactorCache()
         self._kkt_cache = KKTFactorCache()
+        #: fault-injection seam: an optional callable invoked with a
+        #: stage name (``"solve"``, ``"soften"``, ``"admm_fallback"``)
+        #: immediately before each QP backend call.  Chaos testing (see
+        #: :mod:`repro.verify.fuzz`) installs a hook that raises solver
+        #: exceptions probabilistically; production leaves it ``None``.
+        self.fault_hook = None
 
     def reset_warm_start(self) -> None:
         """Drop carried solver state (previous solution, working set)."""
@@ -401,18 +408,25 @@ class ModelPredictiveController:
     # ------------------------------------------------------------------
     def _solve(self, P, q, A_eq, b_eq, A_in, b_in, max_iter: int = 500,
                x0=None, working_set0=None, y0=None, use_cache: bool = True,
-               structure: MPCConstraintOperator | None = None):
+               structure: MPCConstraintOperator | None = None,
+               deadline_seconds: float | None = None,
+               stage: str = "solve"):
+        if self.fault_hook is not None:
+            self.fault_hook(stage)
         if self.backend == "active_set":
             return solve_qp(P, q, A_eq=A_eq, b_eq=b_eq,
                             A_ineq=A_in, b_ineq=b_in, max_iter=max_iter,
                             x0=x0, working_set0=working_set0,
-                            kkt_cache=self._kkt_cache if use_cache else None)
+                            kkt_cache=self._kkt_cache if use_cache else None,
+                            deadline_seconds=deadline_seconds)
         A, low, high = boxed_constraints(q.size, A_eq, b_eq, A_in, b_in)
         return solve_qp_admm(P, q, A, low, high, x0=x0, y0=y0,
                              cache=self._admm_cache if use_cache else None,
-                             structure=structure)
+                             structure=structure,
+                             deadline_seconds=deadline_seconds)
 
-    def _solve_softened(self, P, q, A_eq, b_eq, A_in, b_in):
+    def _solve_softened(self, P, q, A_eq, b_eq, A_in, b_in,
+                        deadline_seconds: float | None = None):
         """Relax inequalities with quadratically penalized slacks ≥ 0."""
         n = q.size
         m = 0 if A_in is None else A_in.shape[0]
@@ -445,16 +459,22 @@ class ModelPredictiveController:
             res = self._solve(P_big, q_big, A_eq_big, b_eq,
                               A_in_big, b_in_big,
                               max_iter=max(2000, 20 * (n + m)),
-                              use_cache=False)
+                              use_cache=False,
+                              deadline_seconds=deadline_seconds,
+                              stage="soften")
+        except DeadlineExceededError:
+            raise
         except ConvergenceError:
             A, low, high = boxed_constraints(n + m, A_eq_big, b_eq,
                                              A_in_big, b_in_big)
             res = solve_qp_admm(P_big, q_big, A, low, high,
-                                rho=10.0, max_iter=50_000)
+                                rho=10.0, max_iter=50_000,
+                                deadline_seconds=deadline_seconds)
         res.x = res.x[:n]
         return res
 
-    def control(self, x, u_prev, reference) -> MPCSolution:
+    def control(self, x, u_prev, reference,
+                deadline_seconds: float | None = None) -> MPCSolution:
         """Compute the next input for state ``x`` and reference trajectory.
 
         Parameters
@@ -467,6 +487,13 @@ class ModelPredictiveController:
             Target outputs over the prediction horizon: shape
             ``(β₁, n_outputs)``, or a single output vector to hold
             constant, or a scalar for single-output models.
+        deadline_seconds:
+            Optional wall-clock budget threaded into every QP backend
+            call this step makes.  On expiry the active-set path raises
+            :class:`repro.exceptions.DeadlineExceededError` (propagated —
+            a blown deadline must surface to the fallback ladder, not be
+            retried with a slower method); the ADMM path returns its best
+            iterate with ``meta["deadline_exceeded"]`` set.
         """
         x = np.asarray(x, dtype=float).ravel()
         u_prev = np.asarray(u_prev, dtype=float).ravel()
@@ -507,19 +534,28 @@ class ModelPredictiveController:
         try:
             res = self._solve(P, q, A_eq, b_eq, A_in, b_in,
                               x0=x0, working_set0=working_set0, y0=y0,
-                              structure=operator)
+                              structure=operator,
+                              deadline_seconds=deadline_seconds)
         except InfeasibleProblemError:
             if not self.soften_infeasible:
                 raise
-            res = self._solve_softened(P, q, A_eq, b_eq, A_in, b_in)
+            res = self._solve_softened(P, q, A_eq, b_eq, A_in, b_in,
+                                       deadline_seconds=deadline_seconds)
             softened = True
+        except DeadlineExceededError:
+            # Out of time: escalating to a *slower* recovery method would
+            # only dig deeper; the fallback ladder owns what happens next.
+            raise
         except ConvergenceError:
             # Degenerate vertex made the active set cycle: fall back to
             # ADMM, which trades exactness for unconditional progress.
+            if self.fault_hook is not None:
+                self.fault_hook("admm_fallback")
             A, low, high = boxed_constraints(q.size, A_eq, b_eq,
                                              A_in, b_in)
             res = solve_qp_admm(P, q, A, low, high, rho=10.0,
-                                max_iter=50_000, structure=operator)
+                                max_iter=50_000, structure=operator,
+                                deadline_seconds=deadline_seconds)
             solved_by = "admm"
         self._store_warm_state(
             res, softened,

@@ -34,6 +34,8 @@ from ..exceptions import (
     ConfigurationError,
     InfeasibleProblemError,
 )
+from ..resilience import DeadlineBudget, FallbackLadder, Rung, \
+    project_allocation
 from ..sim.policy import AllocationDecision, PolicyObservation
 from ..sim.profiling import PerfStats
 from .constraints import build_constraints
@@ -118,6 +120,20 @@ class MPCPolicyConfig:
         :class:`repro.verify.QPProblem` instances, exposed through
         :attr:`CostMPCPolicy.captured_problems`) for offline
         differential cross-checking.
+    fallback_ladder:
+        Run every MPC solve through the degradation ladder of
+        :mod:`repro.resilience` (warm → cold restart → ADMM → reference
+        LP → hold-and-project).  A rung failure falls to the next rung
+        instead of raising, the winning rung is reported in
+        ``diagnostics["rung"]`` and per-rung counters
+        (``ladder_rung_*`` / ``ladder_failures_*`` / ``ladder_skipped_*``)
+        land in the perf snapshot.  Off by default: the nominal path then
+        behaves exactly as before, raising on solver failure.
+    deadline_seconds:
+        Per-control-step wall-clock budget shared by all ladder rungs
+        (and threaded into the plain solve when the ladder is off).  On
+        exhaustion, solver rungs are skipped and the solver-free
+        projection rung answers.  ``None`` = unbounded.
     """
 
     dt: float = 30.0
@@ -138,10 +154,14 @@ class MPCPolicyConfig:
     power_schedule_watts: np.ndarray | None = None
     certify: bool = False
     capture_problems: int = 0
+    fallback_ladder: bool = False
+    deadline_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
             raise ConfigurationError("dt must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
         if self.horizon_ctrl > self.horizon_pred or self.horizon_ctrl < 1:
             raise ConfigurationError("need 1 <= horizon_ctrl <= horizon_pred")
         if self.r_weight <= 0:
@@ -169,6 +189,12 @@ class CostMPCPolicy:
         self.name = "mpc"
         self._budgets = normalize_budgets(self.config.budgets_watts,
                                           cluster.n_idcs)
+        #: fault-injection seam forwarded to the MPC core each period
+        #: (see ModelPredictiveController.fault_hook); chaos testing
+        #: installs a hook here, production leaves it None.  Deliberately
+        #: outside reset(): the engine resets the policy at run start,
+        #: and an installed hook must survive that.
+        self.solver_fault_hook = None
         self.reset()
 
     #: bound on the reference-LP memo (distinct price/load pairs kept).
@@ -192,6 +218,31 @@ class CostMPCPolicy:
         # LRU memo of reference-LP solutions keyed by (prices, loads).
         self._ref_cache: OrderedDict = OrderedDict()
         self.perf = PerfStats()
+
+    def reset_solver_state(self) -> None:
+        """Drop carried solver state (warm starts, working sets).
+
+        Called by the policy supervisor before retrying a failed period:
+        a stale warm start is the most common way one bad solve poisons
+        the next.  Model and reference caches survive — they are pure
+        functions of their keys.
+        """
+        if self._mpc is not None:
+            self._mpc.reset_warm_start()
+
+    def on_availability_change(self) -> None:
+        """React to the fleet's availability changing under the policy.
+
+        The engine calls this when an outage starts, deepens or clears.
+        Two pieces of carried state silently assume fixed availability
+        and must be dropped: the MPC warm start (the constraint stack's
+        capacity rows — and with a total outage, its *row pattern* —
+        change) and the reference-LP memo (keyed by (prices, loads) only;
+        its allocations were solved against the old fleet).
+        """
+        self.reset_solver_state()
+        self._ref_cache.clear()
+        self.perf.count("availability_resets")
 
     def perf_snapshot(self) -> dict:
         """Perf counters + stage timings accumulated since :meth:`reset`.
@@ -388,6 +439,7 @@ class CostMPCPolicy:
             else:
                 self._mpc.update_model(model)
                 self._mpc.constraints = constraints
+            self._mpc.fault_hook = self.solver_fault_hook
         self._last_prices = prices
 
         # 4. references from the optimizer, clamped at the budgets
@@ -401,10 +453,23 @@ class CostMPCPolicy:
                                               period=obs.period,
                                               prices_seq=prices_seq)
 
-        # 5. solve the MPC step
+        # 5. solve the MPC step — through the degradation ladder when
+        #    configured, else the plain (raise-on-failure) path
         with self.perf.stage("mpc_solve"):
-            sol = self._mpc.control(self._x, self._u_prev, reference)
-        u = np.maximum(sol.u, 0.0)
+            if cfg.fallback_ladder:
+                step = self._solve_with_ladder(obs, prices, reference)
+            else:
+                sol = self._mpc.control(
+                    self._x, self._u_prev, reference,
+                    deadline_seconds=cfg.deadline_seconds)
+                step = {
+                    "u": np.maximum(sol.u, 0.0),
+                    "qp_status": sol.status,
+                    "qp_iterations": sol.solver_iterations,
+                    "softened": sol.softened,
+                    "mpc_cost": sol.cost,
+                }
+        u = step["u"]
 
         # 6. integer server counts for the commanded allocation
         lam_new = self.cluster.idc_workloads(u)
@@ -420,18 +485,89 @@ class CostMPCPolicy:
         ref_powers = self._reference_powers_mw(prices, loads_seq,
                                                period=obs.period,
                                                prices_seq=prices_seq)
-        return AllocationDecision(
-            u=u,
-            servers=servers,
-            diagnostics={
-                "qp_status": sol.status,
-                "qp_iterations": sol.solver_iterations,
-                "softened": sol.softened,
-                "reference_powers_mw": ref_powers[0].copy(),
-                "powers_mw": self.builder.powers_mw(u, servers),
-                "mpc_cost": sol.cost,
-            },
-        )
+        diagnostics = {
+            "reference_powers_mw": ref_powers[0].copy(),
+            "powers_mw": self.builder.powers_mw(u, servers),
+        }
+        diagnostics.update(
+            {k: v for k, v in step.items() if k != "u"})
+        return AllocationDecision(u=u, servers=servers,
+                                  diagnostics=diagnostics)
+
+    # ------------------------------------------------------------------
+    # degradation ladder (repro.resilience)
+    # ------------------------------------------------------------------
+    def _mpc_step(self, reference: np.ndarray,
+                  deadline_seconds: float | None) -> dict:
+        """One MPC solve packaged as a ladder-rung result dict."""
+        sol = self._mpc.control(self._x, self._u_prev, reference,
+                                deadline_seconds=deadline_seconds)
+        return {
+            "u": np.maximum(sol.u, 0.0),
+            "qp_status": sol.status,
+            "qp_iterations": sol.solver_iterations,
+            "softened": sol.softened,
+            "mpc_cost": sol.cost,
+        }
+
+    def _rung_cold(self, reference: np.ndarray,
+                   deadline_seconds: float | None) -> dict:
+        self._mpc.reset_warm_start()
+        return self._mpc_step(reference, deadline_seconds)
+
+    def _rung_admm(self, reference: np.ndarray,
+                   deadline_seconds: float | None) -> dict:
+        saved = self._mpc.backend
+        self._mpc.backend = "admm"
+        self._mpc.reset_warm_start()
+        try:
+            return self._mpc_step(reference, deadline_seconds)
+        finally:
+            self._mpc.backend = saved
+
+    def _rung_reference(self, obs: PolicyObservation,
+                        prices: np.ndarray) -> dict:
+        alloc = solve_optimal_allocation(
+            self.cluster, prices, np.asarray(obs.loads, dtype=float))
+        return {"u": alloc.u, "qp_status": "reference_lp"}
+
+    def _rung_hold(self, obs: PolicyObservation) -> dict:
+        u_prev = (self._u_prev if self._u_prev is not None
+                  else np.asarray(obs.prev_u, dtype=float))
+        u, shed = project_allocation(self.cluster, u_prev, obs.loads)
+        return {"u": u, "qp_status": "hold_projection",
+                "shed_requests": float(shed)}
+
+    def _solve_with_ladder(self, obs: PolicyObservation,
+                           prices: np.ndarray,
+                           reference: np.ndarray) -> dict:
+        """Run the MPC step through the warm→cold→ADMM→LP→hold ladder.
+
+        Returns the winning rung's result dict with the rung name and
+        accumulated failures attached; per-rung counters go to
+        ``self.perf``.  The terminal projection rung cannot fail (it
+        sheds instead), so this only raises under injected faults that
+        break *every* rung — which is exactly what the policy
+        supervisor's SAFE_MODE handles.
+        """
+        ladder = FallbackLadder([
+            Rung("warm", lambda dl: self._mpc_step(reference, dl)),
+            Rung("cold", lambda dl: self._rung_cold(reference, dl)),
+            Rung("admm", lambda dl: self._rung_admm(reference, dl)),
+            Rung("reference", lambda dl: self._rung_reference(obs, prices)),
+            Rung("hold", lambda dl: self._rung_hold(obs),
+                 needs_solver=False),
+        ], count=self.perf.count)
+        outcome = ladder.run(DeadlineBudget(self.config.deadline_seconds))
+        step = dict(outcome.value)
+        step["rung"] = outcome.rung
+        if outcome.failures:
+            step["ladder_failures"] = list(outcome.failures)
+        if outcome.rung in ("reference", "hold"):
+            # The MPC did not produce this allocation; its carried
+            # solution no longer matches what the plant will apply.
+            self._mpc.reset_warm_start()
+        return step
 
     def _servers_for_loads(self, lam: np.ndarray) -> np.ndarray:
         """Eq. 35 per IDC, capped at the fleet size.

@@ -34,6 +34,37 @@ class ConvergenceError(SolverError):
     """An iterative solver hit its iteration limit before converging."""
 
 
+class DeadlineExceededError(ConvergenceError):
+    """A solver ran out of its wall-clock deadline budget.
+
+    Raised by :func:`repro.optim.solve_qp` (and surfaced through
+    :meth:`repro.control.mpc.ModelPredictiveController.control`) when a
+    ``deadline_seconds`` budget expires mid-solve.  Subclasses
+    :class:`ConvergenceError` so legacy handlers still treat it as a
+    solver failure, but the resilience ladder distinguishes it: a blown
+    deadline means *stop trying harder*, not *iterate more*.
+    """
+
+
+class TelemetryError(ReproError):
+    """A telemetry stream (price feed, workload sensor) is unusable.
+
+    Raised by :class:`repro.resilience.TelemetryGuard` when a gap cannot
+    be bridged — e.g. a feed that has been stale longer than the
+    configured hard limit, leaving no defensible estimate.
+    """
+
+
+class DegradedOperationError(ReproError):
+    """Every rung of the solver fallback ladder failed.
+
+    Raised by :class:`repro.resilience.FallbackLadder` when not even the
+    last-known-good projection could produce an allocation.  The policy
+    supervisor turns this into SAFE_MODE instead of letting it abort the
+    run; seeing it propagate means the supervisor is not attached.
+    """
+
+
 class FactorizationError(SolverError):
     """A matrix factorization failed or lost positive definiteness.
 

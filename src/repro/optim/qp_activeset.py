@@ -36,10 +36,12 @@ incremental path is observable.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from ..exceptions import ConvergenceError, FactorizationError, \
-    InfeasibleProblemError
+from ..exceptions import ConvergenceError, DeadlineExceededError, \
+    FactorizationError, InfeasibleProblemError
 from .linalg import IncrementalKKT, KKTFactorCache
 from .linprog_simplex import linprog
 from .result import OptimizeResult, Status
@@ -95,7 +97,8 @@ def _kkt_step_dense(P: np.ndarray, g: np.ndarray, A_w: np.ndarray) -> tuple[np.n
 
 def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
              x0=None, working_set0=None, max_iter: int = 500,
-             kkt_cache: KKTFactorCache | None = None) -> OptimizeResult:
+             kkt_cache: KKTFactorCache | None = None,
+             deadline_seconds: float | None = None) -> OptimizeResult:
     """Solve a strictly convex QP with the primal active-set method.
 
     Parameters
@@ -126,6 +129,13 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         seeded working set equals the cached final working set (the
         common receding-horizon case), the solve starts from the fully
         factored KKT state — no O(n³) work at all.
+    deadline_seconds:
+        Optional wall-clock budget for this solve.  Checked once per
+        working-set iteration; on expiry the solve aborts with
+        :class:`repro.exceptions.DeadlineExceededError` instead of
+        running to ``max_iter``.  A deadline-bounded controller (see
+        :mod:`repro.resilience`) uses this to guarantee a per-step
+        latency budget regardless of QP degeneracy.
 
     Raises
     ------
@@ -133,7 +143,10 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
         When no feasible point exists.
     ConvergenceError
         When the working set keeps changing past ``max_iter``.
+    DeadlineExceededError
+        When ``deadline_seconds`` elapses before optimality.
     """
+    t_start = time.monotonic()
     P = np.atleast_2d(np.asarray(P, dtype=float))
     q = np.asarray(q, dtype=float).ravel()
     n = q.size
@@ -256,10 +269,16 @@ def solve_qp(P, q, A_eq=None, b_eq=None, A_ineq=None, b_ineq=None,
                     (kkt.refactorizations - refactor0)
                     if kkt is not None else 0,
                 "kkt_dense_steps": dense_steps,
+                "solve_seconds": time.monotonic() - t_start,
             },
         )
 
     for it in range(1, max_iter + 1):
+        if deadline_seconds is not None and \
+                time.monotonic() - t_start > deadline_seconds:
+            raise DeadlineExceededError(
+                f"active-set QP blew its {deadline_seconds * 1e3:.1f} ms "
+                f"deadline after {it - 1} iterations")
         use_bland = it > bland_after
         g = P @ x + q
         if kkt_ok:

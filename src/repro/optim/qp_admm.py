@@ -37,6 +37,8 @@ supplied and the dense path otherwise.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .linalg import MPCConstraintOperator
@@ -118,7 +120,8 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
                   max_iter: int = 20_000, x0=None, y0=None,
                   cache: ADMMFactorCache | None = None,
                   method: str = "auto",
-                  structure: MPCConstraintOperator | None = None
+                  structure: MPCConstraintOperator | None = None,
+                  deadline_seconds: float | None = None
                   ) -> OptimizeResult:
     """Solve ``min 0.5 x'Px + q'x  s.t.  l <= Ax <= u`` by ADMM.
 
@@ -148,14 +151,22 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
         Optional :class:`~repro.optim.linalg.MPCConstraintOperator` whose
         dense form equals ``A``.  The reduced path then assembles ``AᵀA``
         from the block pattern and applies ``A``/``Aᵀ`` matrix-free.
+    deadline_seconds:
+        Optional wall-clock budget.  ADMM always has a best-so-far
+        iterate, so on expiry the solve *returns* it (status
+        ``iteration_limit``, ``meta["deadline_exceeded"] = 1``) instead
+        of raising — the caller decides whether a truncated iterate is
+        acceptable.
 
     Returns
     -------
     OptimizeResult
         ``status`` is ``optimal`` on residual convergence, otherwise
         ``iteration_limit``; the best iterate is returned either way.
-        ``meta["kkt_method"]`` records the factorization path taken.
+        ``meta["kkt_method"]`` records the factorization path taken and
+        ``meta["solve_seconds"]`` the wall time spent.
     """
+    t_start = time.monotonic()
     P = np.atleast_2d(np.asarray(P, dtype=float))
     q = np.asarray(q, dtype=float).ravel()
     n = q.size
@@ -222,6 +233,7 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
     else:
         y = np.zeros(m)
     status = Status.ITERATION_LIMIT
+    deadline_hit = False
     it = 0
     for it in range(1, max_iter + 1):
         if method == "reduced":
@@ -257,12 +269,19 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
             if r_prim <= eps_prim and r_dual <= eps_dual:
                 status = Status.OPTIMAL
                 break
+            if deadline_seconds is not None and \
+                    time.monotonic() - t_start > deadline_seconds:
+                deadline_hit = True
+                break
 
     return OptimizeResult(
         x=x, fun=float(0.5 * x @ P @ x + q @ x), status=status,
         iterations=it, dual_ineq=y.copy(),
         message="" if status == Status.OPTIMAL else
-        "ADMM hit iteration limit; returning best iterate",
+        ("ADMM deadline expired; returning best iterate" if deadline_hit
+         else "ADMM hit iteration limit; returning best iterate"),
         meta={"kkt_method": method,
-              "factor_cached": int(factor_cached)},
+              "factor_cached": int(factor_cached),
+              "deadline_exceeded": int(deadline_hit),
+              "solve_seconds": time.monotonic() - t_start},
     )

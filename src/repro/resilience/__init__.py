@@ -1,0 +1,30 @@
+"""Degradation-aware control runtime.
+
+Everything a production deployment of the paper's controller needs when
+the clean-room assumptions break: a solver fallback ladder with
+wall-clock deadline budgets (:mod:`~repro.resilience.ladder`,
+:mod:`~repro.resilience.deadline`), gap-filling telemetry guards for
+price-feed dropouts and workload-sensor gaps
+(:mod:`~repro.resilience.telemetry`), and a policy supervisor running a
+NOMINAL → DEGRADED → SAFE_MODE → RECOVERING health state machine
+(:mod:`~repro.resilience.supervisor`).  See the "Degradation ladder"
+section of ``docs/architecture.md``.
+"""
+
+from .deadline import DeadlineBudget
+from .ladder import RUNG_ORDER, FallbackLadder, Rung, RungOutcome, \
+    project_allocation
+from .supervisor import HealthState, PolicySupervisor
+from .telemetry import TelemetryGuard
+
+__all__ = [
+    "DeadlineBudget",
+    "FallbackLadder",
+    "HealthState",
+    "PolicySupervisor",
+    "RUNG_ORDER",
+    "Rung",
+    "RungOutcome",
+    "TelemetryGuard",
+    "project_allocation",
+]

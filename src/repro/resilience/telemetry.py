@@ -1,0 +1,179 @@
+"""Fault-tolerant telemetry: price-feed dropouts and workload-sensor gaps.
+
+The engine's control loop needs a price vector and a portal-load vector
+every period; a real deployment's RTP feed drops samples and workload
+sensors go dark.  :class:`TelemetryGuard` sits between the measured
+(possibly incomplete) streams and the policy:
+
+* **prices** — hold-last-value with *staleness decay*: a freshly dropped
+  sample is best estimated by the last one seen, but as the gap grows the
+  estimate relaxes toward that region's running mean
+  (``est = mean + (last − mean)·decay^staleness``), because RTP prices
+  are strongly mean-reverting at the hourly scale (Pan et al.'s "When
+  Market Prices Drive the Load" documents exactly the failure mode of
+  trusting a stale extreme price);
+* **loads** — predictor-based gap filling: each portal carries an online
+  RLS-AR predictor (:class:`repro.workload.ARWorkloadPredictor`) trained
+  on the observed samples; during a sensor gap the guard substitutes the
+  predictor's forecast (falling back to hold-last-value while the
+  predictor is still warming up).
+
+The guard never emits NaN.  A feed stale past ``max_staleness`` raises
+:class:`repro.exceptions.TelemetryError` — by then the estimate is
+indefensible and the supervisor should be in SAFE_MODE anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import TelemetryError
+from ..workload.predictor import ARWorkloadPredictor
+
+__all__ = ["TelemetryGuard"]
+
+#: Price assumed when a region's feed has never delivered a sample
+#: ($/MWh, the ballpark of the paper's Table III day-time prices).
+_DEFAULT_PRICE = 40.0
+
+
+class TelemetryGuard:
+    """Gap-filling filter for the engine's price and load streams.
+
+    Parameters
+    ----------
+    n_prices, n_loads:
+        Stream widths (number of market regions / portals).
+    price_decay:
+        Per-period decay of a stale price toward the running mean,
+        in (0, 1].  ``1.0`` reproduces pure hold-last-value.
+    max_staleness:
+        Hard limit on consecutive missing periods per channel; exceeding
+        it raises :class:`TelemetryError`.  ``None`` disables the limit.
+    predictor_order:
+        AR order of the per-portal gap-filling predictors.
+    """
+
+    def __init__(self, n_prices: int, n_loads: int, *,
+                 price_decay: float = 0.9,
+                 max_staleness: int | None = None,
+                 predictor_order: int = 3) -> None:
+        if not 0.0 < price_decay <= 1.0:
+            raise ValueError("price_decay must be in (0, 1]")
+        self.n_prices = int(n_prices)
+        self.n_loads = int(n_loads)
+        self.price_decay = float(price_decay)
+        self.max_staleness = (None if max_staleness is None
+                              else int(max_staleness))
+        self.predictor_order = int(predictor_order)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all history (fresh simulation run)."""
+        self._last_price = np.full(self.n_prices, np.nan)
+        self._price_mean = np.full(self.n_prices, np.nan)
+        self._price_samples = np.zeros(self.n_prices)
+        self._price_stale = np.zeros(self.n_prices, dtype=int)
+        self._last_load = np.full(self.n_loads, np.nan)
+        self._load_stale = np.zeros(self.n_loads, dtype=int)
+        self._predictors = [
+            ARWorkloadPredictor(order=self.predictor_order)
+            for _ in range(self.n_loads)
+        ]
+        self.counters: dict[str, int] = {
+            "telemetry_price_dropouts": 0,
+            "telemetry_load_gaps": 0,
+            "telemetry_predictor_fills": 0,
+            "telemetry_hold_fills": 0,
+            "telemetry_max_staleness": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _bump_staleness(self, stale: np.ndarray, channel: int,
+                        what: str) -> None:
+        stale[channel] += 1
+        worst = int(stale[channel])
+        if worst > self.counters["telemetry_max_staleness"]:
+            self.counters["telemetry_max_staleness"] = worst
+        if self.max_staleness is not None and worst > self.max_staleness:
+            raise TelemetryError(
+                f"{what} channel {channel} stale for {worst} periods "
+                f"(limit {self.max_staleness})")
+
+    def filter_prices(self, prices: np.ndarray,
+                      ok: np.ndarray) -> np.ndarray:
+        """Return a complete price vector given a visibility mask.
+
+        ``prices`` carries the true feed values; entries where ``ok`` is
+        False are treated as missing (their values are never read, so
+        the caller may pass NaN there).
+        """
+        prices = np.asarray(prices, dtype=float).ravel()
+        ok = np.asarray(ok, dtype=bool).ravel()
+        out = np.empty(self.n_prices)
+        for j in range(self.n_prices):
+            if ok[j] and np.isfinite(prices[j]):
+                value = float(prices[j])
+                # running mean over delivered samples only
+                n = self._price_samples[j] + 1.0
+                prev = self._price_mean[j] if n > 1 else 0.0
+                self._price_mean[j] = prev + (value - prev) / n
+                self._price_samples[j] = n
+                self._last_price[j] = value
+                self._price_stale[j] = 0
+                out[j] = value
+                continue
+            self.counters["telemetry_price_dropouts"] += 1
+            self._bump_staleness(self._price_stale, j, "price")
+            if np.isnan(self._last_price[j]):
+                # Never seen this region: borrow the visible regions'
+                # average, else a nominal default — never NaN.
+                visible = prices[ok & np.isfinite(prices)]
+                out[j] = float(visible.mean()) if visible.size \
+                    else _DEFAULT_PRICE
+            else:
+                mean = self._price_mean[j]
+                w = self.price_decay ** self._price_stale[j]
+                out[j] = mean + (self._last_price[j] - mean) * w
+            self.counters["telemetry_hold_fills"] += 1
+        return out
+
+    def filter_loads(self, loads: np.ndarray, ok: np.ndarray) -> np.ndarray:
+        """Return a complete portal-load vector given a visibility mask.
+
+        Observed samples train the per-portal AR predictors; gaps are
+        filled with the predictor's one-step forecast once it has enough
+        history, hold-last-value before that, and 0.0 for a portal that
+        has never reported (a silent portal offers no load).
+        """
+        loads = np.asarray(loads, dtype=float).ravel()
+        ok = np.asarray(ok, dtype=bool).ravel()
+        out = np.empty(self.n_loads)
+        for i in range(self.n_loads):
+            pred = self._predictors[i]
+            if ok[i] and np.isfinite(loads[i]):
+                value = float(loads[i])
+                pred.observe(value)
+                self._last_load[i] = value
+                self._load_stale[i] = 0
+                out[i] = value
+                continue
+            self.counters["telemetry_load_gaps"] += 1
+            self._bump_staleness(self._load_stale, i, "load")
+            if np.isnan(self._last_load[i]):
+                out[i] = 0.0
+                self.counters["telemetry_hold_fills"] += 1
+            elif pred.ready:
+                forecast = float(np.asarray(pred.predict(1)).ravel()[0])
+                if not np.isfinite(forecast):
+                    forecast = float(self._last_load[i])
+                out[i] = max(forecast, 0.0)
+                self.counters["telemetry_predictor_fills"] += 1
+            else:
+                out[i] = float(self._last_load[i])
+                self.counters["telemetry_hold_fills"] += 1
+            # The predictor keeps integrating its own estimate so a
+            # multi-period gap extrapolates the trend instead of
+            # repeating the one-step forecast.
+            pred.observe(float(out[i]))
+        return out

@@ -1,7 +1,14 @@
 """Simulation engine, scenarios (Tables I–III), recording and results."""
 
 from .engine import run_simulation, simulate_policies
-from .faults import FleetOutage, apply_faults
+from .faults import (
+    FleetOutage,
+    PriceFeedDropout,
+    SensorGap,
+    apply_faults,
+    split_faults,
+    telemetry_visibility,
+)
 from .policy import AllocationDecision, Policy, PolicyObservation
 from .profiling import PerfStats
 from .recorder import SimulationRecorder
@@ -24,7 +31,11 @@ __all__ = [
     "run_parallel",
     "PerfStats",
     "FleetOutage",
+    "PriceFeedDropout",
+    "SensorGap",
     "apply_faults",
+    "split_faults",
+    "telemetry_visibility",
     "Policy",
     "PolicyObservation",
     "AllocationDecision",

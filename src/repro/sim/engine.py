@@ -21,7 +21,7 @@ import numpy as np
 from ..datacenter.queueing import simplified_latency
 from ..exceptions import ModelError
 from ..workload.predictor import ARWorkloadPredictor
-from .faults import apply_faults
+from .faults import apply_faults, split_faults, telemetry_visibility
 from .policy import AllocationDecision, Policy, PolicyObservation
 from .recorder import SimulationRecorder
 from .results import ComparisonResult, SimulationResult
@@ -46,7 +46,8 @@ def run_simulation(scenario: Scenario, policy: Policy,
                    predictor_order: int = 3,
                    prediction_horizon: int = 3,
                    price_forecaster=None,
-                   monitor=None) -> SimulationResult:
+                   monitor=None,
+                   telemetry_guard=None) -> SimulationResult:
     """Run one policy through a scenario.
 
     Parameters
@@ -66,6 +67,14 @@ def run_simulation(scenario: Scenario, policy: Policy,
         its ``begin_run``/``observe``/``counters`` protocol).  It sees
         every period's raw decision and measured plant state; its
         counters are folded into ``SimulationResult.perf["counters"]``.
+    telemetry_guard:
+        Optional :class:`repro.resilience.TelemetryGuard` that gap-fills
+        the price/load streams the *policy* sees when the scenario
+        carries telemetry faults (:class:`~repro.sim.faults.
+        PriceFeedDropout` / :class:`~repro.sim.faults.SensorGap`).  A
+        default guard is created automatically when such faults are
+        present; billing, the recorder and the monitor always use the
+        true streams.
 
     Raises
     ------
@@ -92,19 +101,48 @@ def run_simulation(scenario: Scenario, policy: Policy,
         predictors = [ARWorkloadPredictor(order=predictor_order)
                       for _ in range(cluster.n_portals)]
 
+    has_telemetry_faults = False
+    if scenario.faults:
+        _, price_faults, sensor_faults = split_faults(scenario.faults)
+        has_telemetry_faults = bool(price_faults or sensor_faults)
+    if telemetry_guard is None and has_telemetry_faults:
+        from ..resilience import TelemetryGuard
+        telemetry_guard = TelemetryGuard(cluster.n_idcs, cluster.n_portals)
+    if telemetry_guard is not None:
+        telemetry_guard.reset()
+
     u_prev = np.zeros(cluster.n_allocations)
     servers_prev = cluster.server_counts()
+    avail_prev = None
 
     for k in range(scenario.n_periods):
         t = scenario.start_time + k * scenario.dt
         if scenario.faults:
             apply_faults(cluster, scenario.faults, t)
+            avail_now = tuple(idc.available_servers for idc in cluster.idcs)
+            if avail_prev is not None and avail_now != avail_prev:
+                # Constraint geometry changed under the policy's feet;
+                # let it drop carried solver state (stale warm starts,
+                # cached working sets) before the next solve.
+                hook = getattr(policy, "on_availability_change", None)
+                if hook is not None:
+                    hook()
+            avail_prev = avail_now
         loads = cluster.portals.loads_at(k)
         prices = scenario.prices_at(t)
 
+        # What the controller *sees* — identical to the truth unless
+        # telemetry faults are active this period.
+        obs_loads, obs_prices = loads, prices
+        if telemetry_guard is not None:
+            prices_ok, loads_ok = telemetry_visibility(
+                cluster, scenario.faults or [], t)
+            obs_prices = telemetry_guard.filter_prices(prices, prices_ok)
+            obs_loads = telemetry_guard.filter_loads(loads, loads_ok)
+
         predicted = None
         if predictors is not None:
-            for p, value in zip(predictors, loads):
+            for p, value in zip(predictors, obs_loads):
                 p.observe(float(value))
             predicted = np.column_stack([
                 p.predict(prediction_horizon) for p in predictors
@@ -113,13 +151,13 @@ def run_simulation(scenario: Scenario, policy: Policy,
         predicted_prices = None
         if price_forecaster is not None:
             hour = t / 3600.0
-            price_forecaster.observe(prices, hour)
+            price_forecaster.observe(obs_prices, hour)
             step_hours = scenario.dt / 3600.0
             predicted_prices = price_forecaster.predict(
                 prediction_horizon, hour + step_hours, step_hours)
 
         obs = PolicyObservation(
-            period=k, time_seconds=t, loads=loads, prices=prices,
+            period=k, time_seconds=t, loads=obs_loads, prices=obs_prices,
             prev_u=u_prev.copy(), prev_servers=servers_prev.copy(),
             predicted_loads=predicted,
             predicted_prices=predicted_prices,
@@ -139,9 +177,11 @@ def run_simulation(scenario: Scenario, policy: Policy,
         latencies = _measure_latencies(cluster, workloads, servers)
         if monitor is not None:
             # The monitor sees the *raw* decision (pre-integer-cast
-            # servers) next to the measured plant state.
+            # servers) next to the measured plant state.  Conservation is
+            # checked against the loads the policy was shown — under a
+            # sensor gap the controller can only route what it saw.
             monitor.observe(
-                period=k, time_seconds=t, loads=loads, prices=prices,
+                period=k, time_seconds=t, loads=obs_loads, prices=prices,
                 decision=decision, workloads=workloads,
                 powers_watts=powers, servers=servers,
                 latencies=latencies)
@@ -157,6 +197,9 @@ def run_simulation(scenario: Scenario, policy: Policy,
 
     arrays = recorder.as_arrays()
     perf = policy.perf_snapshot() if hasattr(policy, "perf_snapshot") else {}
+    if telemetry_guard is not None:
+        from .profiling import fold_counters
+        perf = fold_counters(perf, telemetry_guard.counters)
     if monitor is not None:
         from .profiling import fold_counters
         perf = fold_counters(perf, monitor.counters())

@@ -7,16 +7,33 @@ outages at the start of every control period, and every capacity-aware
 component (reference LP, MPC constraints, baselines, the sleep loop)
 already reads ``IDC.available_servers``, so policies react by
 reallocating to the surviving sites.
+
+Telemetry faults model the *information* layer failing while the plant
+keeps running: a :class:`PriceFeedDropout` blinds the controller to one
+region's RTP feed, a :class:`SensorGap` silences one portal's workload
+sensor.  The engine turns active telemetry faults into visibility masks
+(:func:`telemetry_visibility`) and routes the masked streams through a
+:class:`repro.resilience.TelemetryGuard`, so the policy decides on
+gap-filled estimates while billing and invariant checking keep using the
+true values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..datacenter.cluster import IDCCluster
 from ..exceptions import ConfigurationError
 
-__all__ = ["FleetOutage", "apply_faults"]
+__all__ = ["FleetOutage", "PriceFeedDropout", "SensorGap", "apply_faults",
+           "split_faults", "telemetry_visibility"]
+
+
+def _check_window(start_seconds: float, end_seconds: float) -> None:
+    if end_seconds <= start_seconds:
+        raise ConfigurationError("fault must end after it starts")
 
 
 @dataclass(frozen=True)
@@ -41,32 +58,131 @@ class FleetOutage:
     available_fraction: float
 
     def __post_init__(self) -> None:
-        if self.end_seconds <= self.start_seconds:
-            raise ConfigurationError("outage must end after it starts")
+        _check_window(self.start_seconds, self.end_seconds)
         if not 0.0 <= self.available_fraction <= 1.0:
             raise ConfigurationError(
                 "available_fraction must be in [0, 1]")
 
     def active_at(self, t_seconds: float) -> bool:
+        """Whether the outage window covers simulation time ``t_seconds``."""
         return self.start_seconds <= t_seconds < self.end_seconds
 
 
-def apply_faults(cluster: IDCCluster, faults: list[FleetOutage],
+@dataclass(frozen=True)
+class PriceFeedDropout:
+    """An RTP price feed going dark for one IDC's market region.
+
+    While active, the engine masks that IDC's price entry from the
+    policy's observation; the telemetry guard substitutes a hold-last /
+    staleness-decayed estimate.  The market itself (billing) always uses
+    the true price — a blind controller still pays real money.
+    """
+
+    idc_name: str
+    start_seconds: float
+    end_seconds: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_seconds, self.end_seconds)
+
+    def active_at(self, t_seconds: float) -> bool:
+        """Whether the dropout window covers simulation time ``t_seconds``."""
+        return self.start_seconds <= t_seconds < self.end_seconds
+
+
+@dataclass(frozen=True)
+class SensorGap:
+    """A front portal's workload sensor going silent.
+
+    While active, the engine masks that portal's load measurement from
+    the policy; the telemetry guard fills the gap with its AR
+    predictor's forecast.  The recorder still logs the portal's *true*
+    load, so a gap shows up as a routed-vs-offered discrepancy in the
+    results rather than silently vanishing.
+    """
+
+    portal_index: int
+    start_seconds: float
+    end_seconds: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_seconds, self.end_seconds)
+        if self.portal_index < 0:
+            raise ConfigurationError("portal_index must be >= 0")
+
+    def active_at(self, t_seconds: float) -> bool:
+        """Whether the gap window covers simulation time ``t_seconds``."""
+        return self.start_seconds <= t_seconds < self.end_seconds
+
+
+def split_faults(faults: list) -> tuple[list, list, list]:
+    """Split a mixed fault list into (outages, price faults, sensor faults).
+
+    Raises :class:`ConfigurationError` on an object of unknown type, so a
+    typo'd fault never silently does nothing.
+    """
+    outages, price_faults, sensor_faults = [], [], []
+    for fault in faults:
+        if isinstance(fault, FleetOutage):
+            outages.append(fault)
+        elif isinstance(fault, PriceFeedDropout):
+            price_faults.append(fault)
+        elif isinstance(fault, SensorGap):
+            sensor_faults.append(fault)
+        else:
+            raise ConfigurationError(
+                f"unknown fault type {type(fault).__name__!r}")
+    return outages, price_faults, sensor_faults
+
+
+def apply_faults(cluster: IDCCluster, faults: list,
                  t_seconds: float) -> None:
     """Set every IDC's availability according to the active outages.
 
     Overlapping outages on the same IDC compose by taking the *minimum*
     surviving fraction.  IDCs with no active outage are fully restored.
+    Telemetry faults in the list are ignored here (they affect what the
+    policy *sees*, not the plant); unknown fault types raise
+    :class:`ConfigurationError`.
     """
+    outages, _, _ = split_faults(faults)
     by_name = {idc.config.name: idc for idc in cluster.idcs}
-    for fault in faults:
+    for fault in outages:
         if fault.idc_name not in by_name:
             raise ConfigurationError(
                 f"outage references unknown IDC {fault.idc_name!r}")
     fractions = {name: 1.0 for name in by_name}
-    for fault in faults:
+    for fault in outages:
         if fault.active_at(t_seconds):
             fractions[fault.idc_name] = min(fractions[fault.idc_name],
                                             fault.available_fraction)
     for name, idc in by_name.items():
         idc.set_availability(int(fractions[name] * idc.config.max_servers))
+
+
+def telemetry_visibility(cluster: IDCCluster, faults: list,
+                         t_seconds: float):
+    """Visibility masks for the price and load streams at time ``t``.
+
+    Returns ``(prices_ok, loads_ok)`` boolean arrays (True = the sample
+    arrived).  Raises :class:`ConfigurationError` when a telemetry fault
+    references an unknown IDC or an out-of-range portal.
+    """
+    _, price_faults, sensor_faults = split_faults(faults)
+    name_index = {name: j for j, name in enumerate(cluster.idc_names)}
+    prices_ok = np.ones(cluster.n_idcs, dtype=bool)
+    loads_ok = np.ones(cluster.n_portals, dtype=bool)
+    for fault in price_faults:
+        if fault.idc_name not in name_index:
+            raise ConfigurationError(
+                f"price dropout references unknown IDC {fault.idc_name!r}")
+        if fault.active_at(t_seconds):
+            prices_ok[name_index[fault.idc_name]] = False
+    for fault in sensor_faults:
+        if fault.portal_index >= cluster.n_portals:
+            raise ConfigurationError(
+                f"sensor gap references portal {fault.portal_index} but "
+                f"the cluster has {cluster.n_portals} portals")
+        if fault.active_at(t_seconds):
+            loads_ok[fault.portal_index] = False
+    return prices_ok, loads_ok

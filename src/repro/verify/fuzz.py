@@ -38,11 +38,12 @@ import numpy as np
 from ..core import CostMPCPolicy, MPCPolicyConfig
 from ..core.reference_opt import solve_optimal_allocation
 from ..datacenter import IDCCluster, IDCConfig, LinearPowerModel
-from ..exceptions import ReproError
+from ..exceptions import ConvergenceError, DeadlineExceededError, ReproError
 from ..pricing import PriceTrace, RealTimeMarket, RegionMarketConfig
 from ..pricing.traces import paper_price_traces
+from ..resilience import HealthState, PolicySupervisor
 from ..sim.engine import run_simulation
-from ..sim.faults import FleetOutage
+from ..sim.faults import FleetOutage, PriceFeedDropout, SensorGap
 from ..sim.scenario import (
     PAPER_IDC_SPECS,
     PAPER_IDLE_WATTS,
@@ -62,6 +63,15 @@ __all__ = ["generate_spec", "build_scenario", "run_spec", "shrink",
 #: Offered load is kept below this fraction of worst-case capacity.
 _CAPACITY_HEADROOM = 0.85
 
+#: Chaos runs keep the last this-many periods fault-free so the
+#: supervisor's bounded-window recovery (DEGRADED/SAFE_MODE → RECOVERING
+#: → NOMINAL) can be asserted rather than hoped for.
+_CHAOS_RECOVERY_MARGIN = 6
+
+#: Seed perturbation for the chaos fault injector's own RNG stream, so
+#: injected solver faults are independent of the scenario draws.
+_CHAOS_SEED_SALT = 0xC4A05
+
 
 @dataclass
 class Outcome:
@@ -76,9 +86,14 @@ class Outcome:
     oracle_failures: list[str] = field(default_factory=list)
     oracle_problems: int = 0
     monitor_summary: str = ""
+    chaos: bool = False
+    recovered: bool = True
+    final_state: str = ""
+    nan_detected: bool = False
+    rung_counters: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "spec": self.spec, "ok": self.ok, "error": self.error,
             "violations": self.violations,
             "certificate_failures": self.certificate_failures,
@@ -86,15 +101,35 @@ class Outcome:
             "oracle_failures": self.oracle_failures,
             "oracle_problems": self.oracle_problems,
         }
+        if self.chaos:
+            out.update({
+                "chaos": True,
+                "recovered": self.recovered,
+                "final_state": self.final_state,
+                "nan_detected": self.nan_detected,
+                "rung_counters": self.rung_counters,
+            })
+        return out
 
     def describe(self) -> str:
         if self.ok:
+            if self.chaos:
+                rungs = sum(v for k, v in self.rung_counters.items()
+                            if k.startswith("ladder_rung_"))
+                return (f"seed {self.spec.get('seed')}: OK (chaos: "
+                        f"{rungs} ladder decisions, final state "
+                        f"{self.final_state or 'nominal'})")
             return (f"seed {self.spec.get('seed')}: OK "
                     f"({self.certificates_checked} certificates, "
                     f"{self.oracle_problems} oracle problems)")
         parts = []
         if self.error:
             parts.append(f"error: {self.error}")
+        if self.nan_detected:
+            parts.append("NaN in result arrays")
+        if self.chaos and not self.recovered:
+            parts.append(f"did not recover (final state "
+                         f"{self.final_state!r})")
         if self.violations:
             parts.append(f"{len(self.violations)} invariant violation(s), "
                          f"first: {self.violations[0]['message']}")
@@ -121,15 +156,25 @@ def _worst_case_capacity(faults: list[dict]) -> float:
     return total
 
 
-def generate_spec(seed: int) -> dict:
+def generate_spec(seed: int, *, chaos: bool = False) -> dict:
     """Deterministically generate one scenario spec from an integer seed.
 
     The returned dict is plain JSON data — every array is explicit, so a
     failing spec can be shrunk and committed verbatim.
+
+    With ``chaos=True`` the spec additionally carries a ``"chaos"`` block
+    (injected solver-fault / deadline-exhaustion rates, price-feed
+    dropouts, workload-sensor gaps, and possibly a total single-IDC
+    outage) and drops budgets — chaos runs assert survival and recovery,
+    and a budget sized for the healthy fleet is unfalsifiable under
+    injected faults.  Every fault window ends at least
+    ``_CHAOS_RECOVERY_MARGIN`` periods before the run does, so the
+    supervisor is *expected* to finish NOMINAL.
     """
     rng = np.random.default_rng(int(seed))
     dt = float(rng.choice([30.0, 60.0, 120.0]))
-    n_periods = int(rng.integers(8, 25))
+    n_periods = (int(rng.integers(16, 31)) if chaos
+                 else int(rng.integers(8, 25)))
     start_hour = float(np.round(rng.uniform(0.0, 22.0), 3))
 
     # Prices: the paper's traces, rescaled per region, occasionally with
@@ -154,17 +199,28 @@ def generate_spec(seed: int) -> dict:
     hard_budgets = False
     budget_mode = "lp"
     faults: list[dict] = []
-    if roll < 0.35:
+    # Chaos: fault windows must clear early enough to assert recovery.
+    last_fault_period = (n_periods - _CHAOS_RECOVERY_MARGIN if chaos
+                         else n_periods)
+    if not chaos and roll < 0.35:
         budget_fraction = float(np.round(rng.uniform(1.02, 1.4), 3))
         hard_budgets = bool(rng.random() < 0.5)
         budget_mode = "clamp" if rng.random() < 0.3 else "lp"
     elif roll < 0.65:
         idc = str(rng.choice([name for name, _m, _mu in PAPER_IDC_SPECS]))
-        a = int(rng.integers(1, max(2, n_periods - 2)))
-        b = int(rng.integers(a + 1, n_periods + 1))
+        a = int(rng.integers(1, max(2, last_fault_period - 2)))
+        b = int(rng.integers(a + 1, last_fault_period + 1))
         faults = [{"idc": idc, "start_period": a, "end_period": b,
                    "available_fraction":
                        float(np.round(rng.uniform(0.6, 0.9), 3))}]
+    if chaos and rng.random() < 0.4:
+        # A mid-run *total* outage of one IDC: available_fraction 0.0
+        # forces the surviving sites to absorb everything.
+        idc = str(rng.choice([name for name, _m, _mu in PAPER_IDC_SPECS]))
+        a = int(rng.integers(2, max(3, last_fault_period - 3)))
+        b = min(a + int(rng.integers(2, 5)), last_fault_period)
+        faults.append({"idc": idc, "start_period": a, "end_period": b,
+                       "available_fraction": 0.0})
 
     # Portal workloads: rescaled Table I loads, piecewise constant with
     # at most one step, occasionally a dead portal (zero workload).
@@ -191,7 +247,7 @@ def generate_spec(seed: int) -> dict:
 
     horizon_pred = int(rng.integers(3, 11))
     horizon_ctrl = int(rng.integers(1, min(horizon_pred, 4) + 1))
-    return {
+    spec = {
         "seed": int(seed),
         "dt": dt,
         "n_periods": n_periods,
@@ -208,6 +264,34 @@ def generate_spec(seed: int) -> dict:
         "backend": str(rng.choice(["active_set", "admm"])),
         "slow_period": int(rng.choice([1, 1, 2])),
     }
+    if chaos:
+        names = [name for name, _m, _mu in PAPER_IDC_SPECS]
+        n_portals = len(PAPER_PORTAL_LOADS)
+
+        def window() -> tuple[int, int]:
+            a = int(rng.integers(1, max(2, last_fault_period - 1)))
+            b = int(rng.integers(a + 1, last_fault_period + 1))
+            return a, b
+
+        price_dropouts = []
+        for _ in range(int(rng.integers(0, 3))):
+            a, b = window()
+            price_dropouts.append({"idc": str(rng.choice(names)),
+                                   "start_period": a, "end_period": b})
+        sensor_gaps = []
+        for _ in range(int(rng.integers(0, 3))):
+            a, b = window()
+            sensor_gaps.append({"portal": int(rng.integers(0, n_portals)),
+                                "start_period": a, "end_period": b})
+        spec["chaos"] = {
+            "solver_fault_rate": float(np.round(rng.uniform(0.05, 0.3), 3)),
+            "deadline_exhaust_rate":
+                float(np.round(rng.uniform(0.0, 0.15), 3)),
+            "price_dropouts": price_dropouts,
+            "sensor_gaps": sensor_gaps,
+            "quiet_after_period": int(last_fault_period),
+        }
+    return spec
 
 
 # ---------------------------------------------------------------------------
@@ -259,12 +343,24 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
             end_seconds=start_time + f["end_period"] * dt,
             available_fraction=f["available_fraction"])
         for f in spec.get("faults", [])
-    ] or None
+    ]
+    chaos = spec.get("chaos")
+    if chaos:
+        for f in chaos.get("price_dropouts", []):
+            faults.append(PriceFeedDropout(
+                idc_name=f["idc"],
+                start_seconds=start_time + f["start_period"] * dt,
+                end_seconds=start_time + f["end_period"] * dt))
+        for f in chaos.get("sensor_gaps", []):
+            faults.append(SensorGap(
+                portal_index=int(f["portal"]),
+                start_seconds=start_time + f["start_period"] * dt,
+                end_seconds=start_time + f["end_period"] * dt))
 
     scenario = Scenario(
         cluster=cluster, market=market, dt=dt,
         duration=spec["n_periods"] * dt, start_time=start_time,
-        budgets_watts=budgets, faults=faults,
+        budgets_watts=budgets, faults=faults or None,
         name=f"fuzz-{spec.get('seed', '?')}")
     config = MPCPolicyConfig(
         dt=dt,
@@ -276,8 +372,13 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
         hard_budget_constraints=bool(spec.get("hard_budgets", False)),
         backend=spec.get("backend", "active_set"),
         slow_period=int(spec.get("slow_period", 1)),
-        certify=True,
-        capture_problems=8,
+        # Chaos injects solver failures on purpose: route every solve
+        # through the fallback ladder under a (generous) deadline budget
+        # instead of certifying optimality of solves meant to fail.
+        certify=not chaos,
+        capture_problems=0 if chaos else 8,
+        fallback_ladder=bool(chaos),
+        deadline_seconds=10.0 if chaos else None,
     )
     return scenario, config
 
@@ -285,6 +386,67 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
+class _ChaosInjector:
+    """Probabilistic solver-fault hook driven by its own seeded RNG.
+
+    Installed as ``CostMPCPolicy.solver_fault_hook``; fires before every
+    QP backend call and raises :class:`ConvergenceError` (forced
+    non-convergence) or :class:`DeadlineExceededError` (simulated
+    deadline exhaustion) at the spec's rates.  Injection stops after
+    ``quiet_after_period`` so the run's tail is clean and recovery to
+    NOMINAL is a hard requirement, not luck.  The current period is fed
+    in by :class:`_PeriodTap`.
+    """
+
+    def __init__(self, seed: int, fault_rate: float, deadline_rate: float,
+                 quiet_after_period: int) -> None:
+        self.rng = np.random.default_rng(int(seed) ^ _CHAOS_SEED_SALT)
+        self.fault_rate = float(fault_rate)
+        self.deadline_rate = float(deadline_rate)
+        self.quiet_after_period = int(quiet_after_period)
+        self.period = 0
+        self.injected = 0
+
+    def __call__(self, stage: str) -> None:
+        if self.period >= self.quiet_after_period:
+            return
+        r = self.rng.random()
+        if r < self.fault_rate:
+            self.injected += 1
+            raise ConvergenceError(
+                f"chaos: forced non-convergence at stage {stage!r}")
+        if r < self.fault_rate + self.deadline_rate:
+            self.injected += 1
+            raise DeadlineExceededError(
+                f"chaos: simulated deadline exhaustion at stage {stage!r}")
+
+
+class _PeriodTap:
+    """Policy wrapper that tells the chaos injector the current period."""
+
+    def __init__(self, inner, injector: _ChaosInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.name = inner.name
+
+    def decide(self, obs):
+        """Record the period for the injector, then delegate."""
+        self.injector.period = int(obs.period)
+        return self.inner.decide(obs)
+
+    def reset(self) -> None:
+        """Delegate to the wrapped policy."""
+        self.inner.reset()
+
+    def perf_snapshot(self) -> dict:
+        """Delegate to the wrapped policy."""
+        return self.inner.perf_snapshot()
+
+    def on_availability_change(self) -> None:
+        """Delegate to the wrapped policy."""
+        self.inner.on_availability_change()
+
+
 def run_spec(spec: dict, *, oracle_samples: int = 2,
              monitor: InvariantMonitor | None = None) -> Outcome:
     """Run one spec through the full verification stack.
@@ -293,13 +455,42 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
     per-step KKT certificate fails, the differential oracle finds a
     cross-backend disagreement on a sampled captured QP, or the
     simulation itself raises.
+
+    A chaos spec (``spec["chaos"]`` present) instead runs the policy
+    under a :class:`~repro.resilience.PolicySupervisor` with an injected
+    solver-fault hook; it fails when the loop raises, any result array
+    contains NaN, the monitor records a violation, or the supervisor has
+    not returned to NOMINAL by the end of the run.
     """
-    outcome = Outcome(spec=spec)
+    chaos = spec.get("chaos")
+    outcome = Outcome(spec=spec, chaos=bool(chaos))
+    supervisor = None
     try:
         scenario, config = build_scenario(spec)
         policy = CostMPCPolicy(scenario.cluster, config)
-        mon = monitor if monitor is not None else InvariantMonitor()
-        result = run_simulation(scenario, policy, monitor=mon)
+        if monitor is not None:
+            mon = monitor
+        elif chaos:
+            # Chaos decisions may come from the ADMM rung (first-order
+            # accurate) or clip tiny negative QP entries at zero, so the
+            # conservation check runs at a correspondingly looser — but
+            # still tight — tolerance.
+            mon = InvariantMonitor(conservation_rtol=1e-5)
+        else:
+            mon = InvariantMonitor()
+        if chaos:
+            injector = _ChaosInjector(
+                spec.get("seed", 0),
+                chaos.get("solver_fault_rate", 0.0),
+                chaos.get("deadline_exhaust_rate", 0.0),
+                chaos.get("quiet_after_period", spec["n_periods"]))
+            policy.solver_fault_hook = injector
+            supervisor = PolicySupervisor(policy, scenario.cluster,
+                                          recovery_periods=3)
+            runner = _PeriodTap(supervisor, injector)
+            result = run_simulation(scenario, runner, monitor=mon)
+        else:
+            result = run_simulation(scenario, policy, monitor=mon)
     except ReproError as exc:
         outcome.ok = False
         outcome.error = f"{type(exc).__name__}: {exc}"
@@ -312,6 +503,22 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
         "certificates_checked", 0))
     outcome.certificate_failures = int(counters.get(
         "certificate_failures", 0))
+
+    if chaos:
+        outcome.nan_detected = any(
+            np.any(np.isnan(np.asarray(arr, dtype=float)))
+            for arr in (result.allocations, result.powers_watts,
+                        result.servers, result.workloads,
+                        result.cost_usd, result.energy_mwh))
+        outcome.final_state = supervisor.state.value
+        outcome.recovered = supervisor.state is HealthState.NOMINAL
+        outcome.rung_counters = {
+            k: int(v) for k, v in counters.items()
+            if k.startswith(("ladder_", "supervisor_"))}
+        outcome.ok = (not outcome.violations
+                      and not outcome.nan_detected
+                      and outcome.recovered)
+        return outcome
 
     captured = policy.captured_problems
     if oracle_samples > 0 and captured:
@@ -341,6 +548,20 @@ def _shrink_candidates(spec: dict) -> list[tuple[str, dict]]:
         cand.update(changes)
         out.append((name, cand))
 
+    chaos = spec.get("chaos")
+    if chaos:
+        variant("drop_chaos", chaos=None)
+        if chaos.get("solver_fault_rate") or chaos.get(
+                "deadline_exhaust_rate"):
+            calm = dict(chaos)
+            calm["solver_fault_rate"] = 0.0
+            calm["deadline_exhaust_rate"] = 0.0
+            variant("drop_solver_faults", chaos=calm)
+        if chaos.get("price_dropouts") or chaos.get("sensor_gaps"):
+            quiet = dict(chaos)
+            quiet["price_dropouts"] = []
+            quiet["sensor_gaps"] = []
+            variant("drop_telemetry_faults", chaos=quiet)
     if spec.get("faults"):
         variant("drop_faults", faults=[])
     if spec.get("budget_fraction") is not None:
@@ -418,23 +639,28 @@ def shrink(spec: dict, *, is_failing=None, max_rounds: int = 20) -> dict:
 # ---------------------------------------------------------------------------
 def fuzz_many(n_seeds: int, base_seed: int = 0, *,
               oracle_samples: int = 2,
-              shrink_failures: bool = True) -> dict:
+              shrink_failures: bool = True,
+              chaos: bool = False) -> dict:
     """Run ``n_seeds`` consecutive seeds; shrink whatever fails.
 
     Returns a JSON-able report: per-seed outcomes, the failure count,
     and a minimal repro spec per failure (ready for ``tests/seeds/``).
+    With ``chaos=True`` every seed runs in chaos mode (injected solver
+    faults, telemetry dropouts, total outages — see
+    :func:`generate_spec`) and the report aggregates the fallback-rung
+    counters across seeds.
     """
     outcomes: list[Outcome] = []
     shrunk: list[dict] = []
     for k in range(int(n_seeds)):
         seed = int(base_seed) + k
-        outcome = run_spec(generate_spec(seed),
+        outcome = run_spec(generate_spec(seed, chaos=chaos),
                            oracle_samples=oracle_samples)
         outcomes.append(outcome)
         if not outcome.ok and shrink_failures:
             shrunk.append(shrink(outcome.spec))
     n_failed = sum(1 for o in outcomes if not o.ok)
-    return {
+    report = {
         "n_seeds": int(n_seeds),
         "base_seed": int(base_seed),
         "n_failed": n_failed,
@@ -444,3 +670,12 @@ def fuzz_many(n_seeds: int, base_seed: int = 0, *,
                                     for o in outcomes),
         "oracle_problems": sum(o.oracle_problems for o in outcomes),
     }
+    if chaos:
+        totals: dict[str, int] = {}
+        for o in outcomes:
+            for k, v in o.rung_counters.items():
+                totals[k] = totals.get(k, 0) + v
+        report["chaos"] = True
+        report["rung_counters"] = totals
+        report["unrecovered"] = sum(1 for o in outcomes if not o.recovered)
+    return report

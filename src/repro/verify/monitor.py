@@ -76,6 +76,12 @@ class InvariantMonitor:
         budget, so exact comparison would flag solver-tolerance noise).
     conservation_rtol:
         Relative tolerance on per-portal workload conservation.
+    conservation_atol:
+        Absolute floor on the conservation tolerance, in req/s.  On a
+        zero-load portal the relative term vanishes, but a first-order
+        solver (ADMM) legitimately leaves coordinate residuals around
+        1e-5 req/s there; the floor sits above solver precision and far
+        below anything physical (one request every ~3 hours).
     server_tol:
         Absolute tolerance on server-count integrality.
     raise_on_violation:
@@ -92,6 +98,7 @@ class InvariantMonitor:
                  budget_grace_periods: int = 8,
                  budget_rtol: float = 5e-3,
                  conservation_rtol: float = 1e-6,
+                 conservation_atol: float = 1e-4,
                  server_tol: float = 1e-6,
                  raise_on_violation: bool = False,
                  max_violations: int = 1000) -> None:
@@ -100,6 +107,7 @@ class InvariantMonitor:
         self.budget_grace_periods = int(budget_grace_periods)
         self.budget_rtol = float(budget_rtol)
         self.conservation_rtol = float(conservation_rtol)
+        self.conservation_atol = float(conservation_atol)
         self.server_tol = float(server_tol)
         self.raise_on_violation = bool(raise_on_violation)
         self.max_violations = int(max_violations)
@@ -109,6 +117,9 @@ class InvariantMonitor:
     def _reset_state(self) -> None:
         self.violations: list[InvariantViolation] = []
         self._counts = {kind: 0 for kind in self.KINDS}
+        self._rung_counts: dict[str, int] = {}
+        self._state_counts: dict[str, int] = {}
+        self._shed_periods = 0
         self._checks = 0
         self._periods = 0
         self._cluster = None
@@ -145,6 +156,14 @@ class InvariantMonitor:
                "invariant_violations": self.n_violations}
         for kind, n in self._counts.items():
             out[f"invariant_{kind}"] = n
+        # Degradation bookkeeping (populated only when policies report a
+        # fallback rung / health state in their diagnostics).
+        for rung, n in sorted(self._rung_counts.items()):
+            out[f"monitor_rung_{rung}"] = n
+        for state, n in sorted(self._state_counts.items()):
+            out[f"monitor_state_{state}"] = n
+        if self._shed_periods:
+            out["monitor_shed_periods"] = self._shed_periods
         return out
 
     def summary(self) -> str:
@@ -194,6 +213,18 @@ class InvariantMonitor:
         t = float(time_seconds)
         u = np.asarray(decision.u, dtype=float).ravel()
         raw_servers = np.asarray(decision.servers, dtype=float).ravel()
+        diag = (decision.diagnostics
+                if isinstance(decision.diagnostics, dict) else {})
+        rung = diag.get("rung")
+        if rung is not None:
+            self._rung_counts[rung] = self._rung_counts.get(rung, 0) + 1
+        health = diag.get("health_state")
+        if health is not None:
+            self._state_counts[health] = \
+                self._state_counts.get(health, 0) + 1
+        shed = float(diag.get("shed_requests", 0.0) or 0.0)
+        if shed > 0.0:
+            self._shed_periods += 1
 
         # 1. non-NaN state propagation -------------------------------------
         self._check()
@@ -211,16 +242,36 @@ class InvariantMonitor:
             return  # everything below would drown in NaN comparisons
 
         # 2. workload conservation (eq. 2) ---------------------------------
+        # A SAFE_MODE projection may legitimately serve less than the
+        # offered load when the surviving fleet physically cannot carry
+        # it; the policy declares the amount in ``shed_requests``.  Shed
+        # periods still may not over-route, and the total routed gap must
+        # match the declared shed — only then is under-routing excused.
         self._check()
         lam = self._cluster.vector_to_matrix(np.maximum(u, 0.0))
         loads = np.asarray(loads, dtype=float).ravel()
-        resid = np.abs(lam.sum(axis=1) - loads)
-        tol = self.conservation_rtol * (1.0 + np.abs(loads))
+        served = lam.sum(axis=1)
+        resid = np.abs(served - loads)
+        tol = (self.conservation_rtol * (1.0 + np.abs(loads))
+               + self.conservation_atol)
+        if shed > 0.0:
+            gap = float(np.sum(loads - served))
+            if abs(gap - shed) <= self.conservation_rtol * \
+                    (1.0 + float(np.sum(loads))) + self.conservation_atol:
+                # Declared shed accounts for the total gap: only flag
+                # portals that routed *more* than their offered load.
+                resid = np.maximum(served - loads, 0.0)
+            else:
+                self._record(
+                    "conservation", period, t,
+                    f"declared shed {shed:.6f} req/s does not match the "
+                    f"routed gap {gap:.6f} req/s",
+                    magnitude=float(abs(gap - shed)))
         worst = int(np.argmax(resid - tol))
         if resid[worst] > tol[worst]:
             self._record(
                 "conservation", period, t,
-                f"portal {worst}: routed {lam.sum(axis=1)[worst]:.6f} of "
+                f"portal {worst}: routed {served[worst]:.6f} of "
                 f"load {loads[worst]:.6f} req/s "
                 f"(|Σλ - L| = {resid[worst]:.3e})",
                 magnitude=float(resid[worst]))

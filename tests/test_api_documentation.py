@@ -23,9 +23,14 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.verify",
+    "repro.resilience",
 ]
 
 MODULES_WITH_DOCSTRINGS = SUBPACKAGES + [
+    "repro.resilience.deadline",
+    "repro.resilience.ladder",
+    "repro.resilience.supervisor",
+    "repro.resilience.telemetry",
     "repro.io",
     "repro.cli",
     "repro.exceptions",

@@ -8,10 +8,14 @@ from repro.core import CostMPCPolicy, MPCPolicyConfig
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.sim import (
     FleetOutage,
+    PriceFeedDropout,
+    SensorGap,
     apply_faults,
     paper_cluster,
     paper_scenario,
     run_simulation,
+    split_faults,
+    telemetry_visibility,
 )
 
 
@@ -95,6 +99,174 @@ class TestFleetOutage:
         cluster = paper_cluster()
         with pytest.raises(ConfigurationError):
             apply_faults(cluster, [FleetOutage("mars", 0, 1, 0.5)], 0.5)
+
+    def test_unknown_fault_type_rejected(self):
+        cluster = paper_cluster()
+        with pytest.raises(ConfigurationError):
+            apply_faults(cluster, ["not a fault"], 0.0)
+
+    def test_adjacent_windows_compose_without_gap_or_overlap(self):
+        # Two back-to-back outages: the boundary instant belongs to the
+        # second window only (end is exclusive, start inclusive), so the
+        # handover never double-applies or briefly restores the fleet.
+        cluster = paper_cluster()
+        faults = [
+            FleetOutage("michigan", 0.0, 100.0, 0.5),
+            FleetOutage("michigan", 100.0, 200.0, 0.25),
+        ]
+        apply_faults(cluster, faults, 99.9)
+        assert cluster.idcs[0].available_servers == 15000
+        apply_faults(cluster, faults, 100.0)
+        assert cluster.idcs[0].available_servers == 7500
+        apply_faults(cluster, faults, 200.0)
+        assert cluster.idcs[0].available_servers == 30000
+
+    def test_total_outage_fraction_zero(self):
+        cluster = paper_cluster()
+        apply_faults(cluster, [FleetOutage("michigan", 0.0, 10.0, 0.0)],
+                     5.0)
+        assert cluster.idcs[0].available_servers == 0
+        assert cluster.idcs[0].servers_on == 0
+
+
+class TestTelemetryFaults:
+    def test_split_faults_partitions_by_type(self):
+        faults = [
+            FleetOutage("michigan", 0.0, 1.0, 0.5),
+            PriceFeedDropout("michigan", 0.0, 1.0),
+            SensorGap(0, 0.0, 1.0),
+        ]
+        outages, price_faults, sensor_faults = split_faults(faults)
+        assert outages == [faults[0]]
+        assert price_faults == [faults[1]]
+        assert sensor_faults == [faults[2]]
+
+    def test_split_faults_rejects_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            split_faults([object()])
+
+    def test_telemetry_fault_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriceFeedDropout("x", 5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            SensorGap(-1, 0.0, 1.0)
+
+    def test_visibility_masks(self):
+        cluster = paper_cluster()
+        faults = [
+            PriceFeedDropout("minnesota", 100.0, 200.0),
+            SensorGap(2, 100.0, 200.0),
+        ]
+        prices_ok, loads_ok = telemetry_visibility(cluster, faults, 150.0)
+        assert list(prices_ok) == [True, False, True]
+        assert list(loads_ok) == [True, True, False, True, True]
+        prices_ok, loads_ok = telemetry_visibility(cluster, faults, 250.0)
+        assert prices_ok.all() and loads_ok.all()
+
+    def test_visibility_rejects_unknown_idc_and_portal(self):
+        cluster = paper_cluster()
+        with pytest.raises(ConfigurationError):
+            telemetry_visibility(
+                cluster, [PriceFeedDropout("mars", 0.0, 1.0)], 0.5)
+        with pytest.raises(ConfigurationError):
+            telemetry_visibility(cluster, [SensorGap(99, 0.0, 1.0)], 0.5)
+
+    def _scenario_with(self, faults_fn, duration=600.0):
+        sc = paper_scenario(dt=60.0, duration=duration, start_hour=12.0)
+        return sc.__class__(**{**sc.__dict__,
+                               "faults": faults_fn(sc.start_time)})
+
+    def test_price_dropout_blinds_policy_but_not_billing(self):
+        sc_clean = paper_scenario(dt=60.0, duration=600.0, start_hour=12.0)
+        clean = run_simulation(sc_clean,
+                               OptimalInstantaneousPolicy(sc_clean.cluster))
+        sc = self._scenario_with(lambda t0: [
+            PriceFeedDropout("michigan", t0 + 120.0, t0 + 360.0)])
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        counters = run.perf["counters"]
+        assert counters["telemetry_price_dropouts"] == 4
+        assert counters["telemetry_hold_fills"] == 4
+        # The recorder (and hence billing) still saw the true prices.
+        np.testing.assert_array_equal(run.prices, clean.prices)
+        # The loop stays healthy: every period's load fully served.
+        np.testing.assert_allclose(run.workloads.sum(axis=1),
+                                   run.loads.sum(axis=1), rtol=1e-6)
+
+    def test_sensor_gap_is_gap_filled_and_recorded_truthfully(self):
+        sc = self._scenario_with(lambda t0: [
+            SensorGap(0, t0 + 240.0, t0 + 420.0)])
+        true_loads = sc.cluster.portals.loads_at(0)
+        run = run_simulation(sc, OptimalInstantaneousPolicy(sc.cluster))
+        counters = run.perf["counters"]
+        assert counters["telemetry_load_gaps"] == 3
+        # The recorder logs the offered (true) loads, not the estimates.
+        np.testing.assert_allclose(run.loads[5], true_loads, rtol=1e-9)
+        assert np.all(np.isfinite(run.allocations))
+
+
+class TestAvailabilityChangeHook:
+    class _HookSpy:
+        """Minimal policy recording when the engine signals a change."""
+
+        name = "hook-spy"
+
+        def __init__(self, cluster):
+            self.cluster = cluster
+            self.calls: list[int] = []
+            self.k = 0
+
+        def reset(self):
+            self.k = 0
+
+        def on_availability_change(self):
+            self.calls.append(self.k)
+
+        def decide(self, obs):
+            from repro.sim import AllocationDecision
+            self.k = obs.period
+            lam = np.zeros((self.cluster.n_portals, self.cluster.n_idcs))
+            available = np.array([idc.available_capacity
+                                  for idc in self.cluster.idcs])
+            j = int(np.argmax(available))
+            lam[:, j] = np.asarray(obs.loads, dtype=float)
+            return AllocationDecision(
+                u=self.cluster.matrix_to_vector(lam),
+                servers=np.array([idc.available_servers
+                                  for idc in self.cluster.idcs]))
+
+    def test_hook_fires_on_outage_start_and_end_only(self):
+        sc = paper_scenario(dt=60.0, duration=600.0, start_hour=12.0)
+        start = sc.start_time + 180.0
+        sc = sc.__class__(**{**sc.__dict__,
+                             "faults": [FleetOutage("michigan", start,
+                                                    start + 240.0, 0.5)]})
+        spy = self._HookSpy(sc.cluster)
+        run_simulation(sc, spy)
+        # Fires when the outage begins (period 3) and lifts (period 7);
+        # the spy records the *previous* decided period each time.
+        assert spy.calls == [2, 6]
+
+    def test_mpc_resets_solver_state_on_midday_outage(self):
+        # Regression: the reference cache is keyed by (prices, loads)
+        # but its values depend on availability — without the
+        # availability-change hook a mid-day outage with unchanged
+        # prices served stale (infeasible) references from the cache.
+        sc = paper_scenario(dt=60.0, duration=600.0, start_hour=12.0)
+        start = sc.start_time + 180.0
+        sc = sc.__class__(**{**sc.__dict__,
+                             "faults": [FleetOutage("michigan", start,
+                                                    start + 240.0, 0.3)]})
+        policy = CostMPCPolicy(sc.cluster, MPCPolicyConfig(dt=60.0))
+        run = run_simulation(sc, policy)
+        counters = run.perf["counters"]
+        # Once at outage start, once at restoration.
+        assert counters["availability_resets"] == 2
+        # The rebuilt references respect the outage: workload is
+        # conserved and Michigan's servers stay within availability.
+        np.testing.assert_allclose(run.workloads.sum(axis=1),
+                                   run.loads.sum(axis=1), rtol=1e-6)
+        for k in range(3, 7):
+            assert run.servers[k, 0] <= 9000
 
 
 class TestOutageInClosedLoop:

@@ -103,3 +103,68 @@ class TestSoundness:
             peak = float(np.max(np.sum(spec["portal_traces"], axis=0)))
             # round-to-0.1 in the generator can add up to 0.05 per portal
             assert peak <= cap * _CAPACITY_HEADROOM + 0.5
+
+
+class TestChaos:
+    def test_chaos_spec_is_deterministic_and_json_plain(self):
+        import json
+        spec = generate_spec(7, chaos=True)
+        assert spec == generate_spec(7, chaos=True)
+        assert json.loads(json.dumps(spec)) == spec
+        assert "chaos" in spec
+        assert spec["budget_fraction"] is None  # never budgets in chaos
+
+    def test_chaos_fault_windows_leave_recovery_margin(self):
+        from repro.verify.fuzz import _CHAOS_RECOVERY_MARGIN
+
+        for seed in range(30):
+            spec = generate_spec(seed, chaos=True)
+            limit = spec["n_periods"] - _CHAOS_RECOVERY_MARGIN
+            for f in spec["faults"]:
+                assert f["end_period"] <= limit
+            ch = spec["chaos"]
+            for window in ch["price_dropouts"] + ch["sensor_gaps"]:
+                assert window["end_period"] <= limit
+            assert ch["quiet_after_period"] <= limit
+
+    def test_chaos_build_arms_the_resilience_stack(self):
+        spec = generate_spec(3, chaos=True)
+        scenario, cfg = build_scenario(spec)
+        assert cfg.fallback_ladder
+        assert cfg.deadline_seconds is not None
+        assert not cfg.certify  # degraded iterates aren't KKT-optimal
+
+    def test_chaos_run_is_deterministic(self):
+        a = run_spec(generate_spec(1, chaos=True))
+        b = run_spec(generate_spec(1, chaos=True))
+        assert a.to_dict() == b.to_dict()
+
+    def test_chaos_seed_zero_survives_and_recovers(self):
+        outcome = run_spec(generate_spec(0, chaos=True))
+        assert outcome.ok, outcome.describe()
+        assert outcome.chaos
+        assert outcome.recovered
+        assert not outcome.nan_detected
+        assert outcome.final_state == "nominal"
+        # Every period either resolved on a ladder rung or (when every
+        # rung failed) got the supervisor's safe decision.
+        total_rungs = sum(v for k, v in outcome.rung_counters.items()
+                          if k.startswith("ladder_rung_"))
+        safe = outcome.rung_counters.get("supervisor_safe_decisions", 0)
+        assert total_rungs + safe == outcome.spec["n_periods"]
+
+    def test_chaos_fuzz_many_aggregates_rungs(self):
+        report = fuzz_many(2, oracle_samples=0, shrink_failures=False,
+                           chaos=True)
+        assert report["chaos"] is True
+        assert report["unrecovered"] == 0
+        assert sum(v for k, v in report["rung_counters"].items()
+                   if k.startswith("ladder_rung_")) > 0
+
+    def test_chaos_shrink_candidates_strip_injection_layers(self):
+        from repro.verify.fuzz import _shrink_candidates
+
+        spec = generate_spec(0, chaos=True)
+        names = [name for name, _ in _shrink_candidates(spec)]
+        assert "drop_chaos" in names
+        assert "drop_solver_faults" in names
