@@ -1,5 +1,10 @@
 """Full 24-hour day: every policy, daily bill / peak / ramp."""
 
+import time
+
+import numpy as np
+import pytest
+
 from repro.experiments import full_day
 
 
@@ -55,3 +60,71 @@ def test_bench_full_day(macro, benchmark, capsys):
     with capsys.disabled():
         print()
         print(full_day.report())
+
+
+def test_bench_crash_resume_overhead(macro, benchmark, tmp_path):
+    """Cost of the durable control plane on a 6-hour MPC window.
+
+    Three flavours of the same deterministic run: plain, with the
+    write-ahead log + checkpoints armed (the steady-state overhead a
+    durable deployment pays every period), and killed-at-half-then
+    resumed (the recovery path).  The resumed trajectory must be
+    bit-exact, and the relative overheads land in
+    ``benchmark.extra_info`` so the emitted BENCH_full_day.json tracks
+    them across CI runs.
+    """
+    from repro.core import CostMPCPolicy, MPCPolicyConfig
+    from repro.resilience import CrashInjector, SimulatedCrashError
+    from repro.sim import paper_scenario, run_simulation
+
+    def make():
+        sc = paper_scenario(dt=300.0, duration=6 * 3600.0, start_hour=6.0)
+        return sc, CostMPCPolicy(sc.cluster, MPCPolicyConfig(dt=300.0))
+
+    t0 = time.perf_counter()
+    sc, policy = make()
+    plain = run_simulation(sc, policy)
+    t_plain = time.perf_counter() - t0
+
+    wal = str(tmp_path / "bench.wal")
+    t0 = time.perf_counter()
+    sc, policy = make()
+    durable = run_simulation(sc, policy, wal_path=wal, checkpoint_every=6)
+    t_durable = time.perf_counter() - t0
+
+    crash_at = sc.n_periods // 2
+    wal2 = str(tmp_path / "crash.wal")
+    t0 = time.perf_counter()
+    sc, policy = make()
+    with pytest.raises(SimulatedCrashError):
+        run_simulation(sc, CrashInjector(policy, crash_at),
+                       wal_path=wal2, checkpoint_every=6)
+
+    def resume():
+        sc2, policy2 = make()
+        return run_simulation(sc2, policy2, resume_from=wal2)
+
+    resumed = macro(resume)
+    t_crash_resume = time.perf_counter() - t0
+
+    # Durability must not change the control trajectory ...
+    np.testing.assert_array_equal(durable.servers, plain.servers)
+    np.testing.assert_array_equal(durable.cost_usd, plain.cost_usd)
+    # ... and the killed-and-resumed run must be bit-exact too.
+    np.testing.assert_array_equal(resumed.servers, plain.servers)
+    np.testing.assert_array_equal(resumed.cost_usd, plain.cost_usd)
+    counters = resumed.perf["counters"]
+    assert counters["wal_tail_mismatches"] == 0
+    assert counters["resumed_from_period"] > 0
+
+    benchmark.extra_info["crash_resume"] = {
+        "n_periods": int(sc.n_periods),
+        "crash_at_period": int(crash_at),
+        "plain_seconds": round(t_plain, 4),
+        "wal_checkpoint_seconds": round(t_durable, 4),
+        "killed_and_resumed_seconds": round(t_crash_resume, 4),
+        "durability_overhead_ratio": round(t_durable / t_plain, 4),
+        "wal_bytes": int(durable.perf["counters"]["wal_bytes"]),
+        "checkpoints_written":
+            int(durable.perf["counters"]["checkpoints_written"]),
+    }

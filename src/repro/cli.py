@@ -11,8 +11,11 @@ Commands
                         monitor with KKT certificates and differential
                         oracles (exit 1 on any failure); ``--chaos``
                         additionally injects solver faults, telemetry
-                        dropouts and total outages and requires the
-                        supervised loop to recover to NOMINAL
+                        dropouts, actuation faults and total outages,
+                        kills the run mid-flight and resumes it from its
+                        checkpoint + WAL, and requires the supervised
+                        loop to recover to NOMINAL; ``--report PATH``
+                        (alias of ``--json``) writes the CI artifact
 
 The CLI is a thin layer over :mod:`repro.experiments` and
 :mod:`repro.sim`; everything it prints is produced by the same functions
@@ -136,9 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos mode: inject solver faults, telemetry "
                           "dropouts and total outages; fail on any "
                           "unrecovered degradation, NaN or crash")
-    ver.add_argument("--json", metavar="PATH",
-                     help="write the full report (incl. minimal repros) "
-                          "as JSON")
+    ver.add_argument("--json", "--report", dest="json", metavar="PATH",
+                     help="write the full report (incl. minimal repros and,"
+                          " in chaos mode, crash-resume and fallback-rung "
+                          "counters) as JSON")
     return parser
 
 
@@ -239,8 +243,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{k.removeprefix('ladder_rung_')}={v}"
                 for k, v in sorted(rungs.items())
                 if k.startswith("ladder_rung_")) or "none"
+            drills = sum(1 for o in outcomes if o.crash_resume)
+            mismatches = sum(o.crash_resume.get("wal_tail_mismatches", 0)
+                             for o in outcomes)
             print(f"\n{args.seeds - n_failed}/{args.seeds} chaos seeds "
-                  f"clean, {unrecovered} unrecovered, rungs: {rung_text}")
+                  f"clean, {unrecovered} unrecovered, {drills} crash-resume "
+                  f"drills ({mismatches} WAL mismatches), rungs: {rung_text}")
         else:
             total_certs = sum(o.certificates_checked for o in outcomes)
             total_oracles = sum(o.oracle_problems for o in outcomes)
@@ -259,6 +267,15 @@ def main(argv: list[str] | None = None) -> int:
                 report["chaos"] = True
                 report["unrecovered"] = sum(
                     1 for o in outcomes if not o.recovered)
+                rung_totals: dict[str, int] = {}
+                resume_totals: dict[str, int] = {}
+                for o in outcomes:
+                    for key, val in o.rung_counters.items():
+                        rung_totals[key] = rung_totals.get(key, 0) + val
+                    for key, val in o.crash_resume.items():
+                        resume_totals[key] = resume_totals.get(key, 0) + val
+                report["rung_counters"] = rung_totals
+                report["crash_resume"] = resume_totals
             Path(args.json).write_text(json.dumps(report, indent=2))
             print(f"report written to {args.json}")
         return 1 if n_failed else 0

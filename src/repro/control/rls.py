@@ -101,3 +101,19 @@ class RecursiveLeastSquares:
         self.theta = np.zeros(self.n_params)
         self.P = np.eye(self.n_params) * float(initial_covariance)
         self.n_updates = 0
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the estimator state (for checkpoints)."""
+        return {"theta": self.theta.copy(), "P": self.P.copy(),
+                "n_updates": int(self.n_updates)}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; the snapshot stays reusable."""
+        theta = np.asarray(state["theta"], dtype=float).ravel()
+        if theta.size != self.n_params:
+            raise ModelError(
+                f"snapshot has {theta.size} parameters, estimator has "
+                f"{self.n_params}")
+        self.theta = theta.copy()
+        self.P = np.asarray(state["P"], dtype=float).copy()
+        self.n_updates = int(state["n_updates"])

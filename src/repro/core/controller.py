@@ -20,6 +20,7 @@ cumulative-energy references the MPC tracks.
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Literal
@@ -225,10 +226,76 @@ class CostMPCPolicy:
         Called by the policy supervisor before retrying a failed period:
         a stale warm start is the most common way one bad solve poisons
         the next.  Model and reference caches survive — they are pure
-        functions of their keys.
+        functions of their keys.  Deliberately narrow: the controller's
+        *dynamic* state (``_x``, ``_pending``, the adopted server
+        counts) and any predictor history must never be cleared by a
+        retry — losing them silently desynchronizes the internal model
+        from the plant.  Recovering that state is what
+        :meth:`snapshot`/:meth:`restore` are for.
         """
         if self._mpc is not None:
             self._mpc.reset_warm_start()
+
+    #: bumped when the snapshot layout changes incompatibly.
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> dict:
+        """Deep, picklable copy of every piece of carried state.
+
+        Captures the dynamic state ([C̄, E], the pending integration
+        pair, adopted server counts), the full MPC core (warm start,
+        working set, factorization caches — so a restored run solves the
+        identical iterate path, not just the identical optimum), the
+        reference-LP memo and the perf counters.  The installed
+        ``solver_fault_hook`` is *not* captured: hooks are process-local
+        wiring, re-installed by whoever owns the restored policy.
+        """
+        mpc_copy = None
+        if self._mpc is not None:
+            hook = self._mpc.fault_hook
+            self._mpc.fault_hook = None
+            try:
+                mpc_copy = copy.deepcopy(self._mpc)
+            finally:
+                self._mpc.fault_hook = hook
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "x": self._x.copy(),
+            "u_prev": None if self._u_prev is None else self._u_prev.copy(),
+            "servers": self._servers.copy(),
+            "pending": None if self._pending is None else
+                (self._pending[0].copy(), self._pending[1].copy()),
+            "last_prices": self._last_prices.copy(),
+            "ref_cache": OrderedDict(
+                (k, v.copy()) for k, v in self._ref_cache.items()),
+            "mpc": mpc_copy,
+            "perf": copy.deepcopy(self.perf),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; the snapshot stays reusable.
+
+        The restored policy continues bit-exact from the captured
+        period.  Raises :class:`~repro.exceptions.CheckpointError` on a
+        snapshot from an incompatible layout version.
+        """
+        if state.get("version") != self.SNAPSHOT_VERSION:
+            from ..exceptions import CheckpointError
+            raise CheckpointError(
+                f"policy snapshot version {state.get('version')!r} not "
+                f"supported (expected {self.SNAPSHOT_VERSION})")
+        self._x = state["x"].copy()
+        self._u_prev = (None if state["u_prev"] is None
+                        else state["u_prev"].copy())
+        self._servers = state["servers"].copy()
+        self._pending = (None if state["pending"] is None else
+                         (state["pending"][0].copy(),
+                          state["pending"][1].copy()))
+        self._last_prices = state["last_prices"].copy()
+        self._ref_cache = OrderedDict(
+            (k, v.copy()) for k, v in state["ref_cache"].items())
+        self._mpc = copy.deepcopy(state["mpc"])
+        self.perf = copy.deepcopy(state["perf"])
 
     def on_availability_change(self) -> None:
         """React to the fleet's availability changing under the policy.
@@ -272,6 +339,33 @@ class CostMPCPolicy:
     # ------------------------------------------------------------------
     # internal state integration (mirrors the plant deterministically)
     # ------------------------------------------------------------------
+    def _reconcile_actuation(self, obs: PolicyObservation) -> None:
+        """Adopt the server counts the plant *actually* ran last period.
+
+        The eq.-35 command can be dropped, delayed or partially applied
+        by the actuation layer (:mod:`repro.sim.faults`); the engine
+        reports the applied counts back through ``obs.prev_servers``.
+        When they differ from what this policy commanded, the pending
+        integration pair and the adopted slow-loop state are rewritten
+        to the plant's truth, so the internal [C̄, E] state integrates
+        the power that was actually drawn — not the power that was
+        merely ordered.  A faithful plant makes this a no-op.
+        """
+        if self._pending is None:
+            return
+        applied = np.asarray(obs.prev_servers).astype(int).ravel()
+        u_pending, m_pending = self._pending
+        if applied.size != m_pending.size:
+            return
+        commanded = m_pending.astype(int)
+        if np.array_equal(applied, commanded):
+            return
+        self._pending = (u_pending, applied.copy())
+        self._servers = applied.copy()
+        self.perf.count("actuation_reconciliations")
+        self.perf.count("actuation_server_gap",
+                        int(np.abs(applied - commanded).sum()))
+
     def _integrate_pending(self, prices: np.ndarray) -> None:
         """Advance [C̄, E] by the period that just elapsed."""
         if self._pending is None:
@@ -400,7 +494,9 @@ class CostMPCPolicy:
         cfg = self.config
         prices = np.asarray(obs.prices, dtype=float).ravel()
 
-        # 0. account for the period that just elapsed
+        # 0. reconcile against the plant, then account for the period
+        #    that just elapsed
+        self._reconcile_actuation(obs)
         self._integrate_pending(prices)
 
         # 1. warm start at the optimal operating point (first period)

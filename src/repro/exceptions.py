@@ -104,6 +104,18 @@ class ConfigurationError(ReproError):
     """A scenario or controller configuration is invalid."""
 
 
+class CheckpointError(ReproError):
+    """A controller checkpoint or write-ahead log cannot be trusted.
+
+    Raised by :mod:`repro.resilience.durability` when a checkpoint fails
+    its checksum/version validation, a write-ahead log belongs to a
+    different run (fingerprint mismatch), or a resumed run's recomputed
+    decisions diverge from the logged ones during WAL tail replay.  Each
+    of these means silently continuing would corrupt the run, so the
+    loader refuses instead.
+    """
+
+
 class CapacityError(ReproError):
     """Total workload exceeds the aggregate capacity of all IDCs.
 

@@ -7,24 +7,47 @@ wall-clock deadline budgets (:mod:`~repro.resilience.ladder`,
 price-feed dropouts and workload-sensor gaps
 (:mod:`~repro.resilience.telemetry`), and a policy supervisor running a
 NOMINAL → DEGRADED → SAFE_MODE → RECOVERING health state machine
-(:mod:`~repro.resilience.supervisor`).  See the "Degradation ladder"
-section of ``docs/architecture.md``.
+(:mod:`~repro.resilience.supervisor`).  The durable control plane
+(:mod:`~repro.resilience.durability`) adds checksummed controller
+checkpoints, a write-ahead decision log and verified crash-resume.  See
+the "Degradation ladder" and "Durable control plane" sections of
+``docs/architecture.md``.
 """
 
 from .deadline import DeadlineBudget
+from .durability import (
+    ControllerCheckpoint,
+    CrashInjector,
+    ResumeState,
+    SimulatedCrashError,
+    WriteAheadLog,
+    array_digest,
+    checkpoint_path_for,
+    load_resume_state,
+    read_wal,
+)
 from .ladder import RUNG_ORDER, FallbackLadder, Rung, RungOutcome, \
     project_allocation
 from .supervisor import HealthState, PolicySupervisor
 from .telemetry import TelemetryGuard
 
 __all__ = [
+    "ControllerCheckpoint",
+    "CrashInjector",
     "DeadlineBudget",
     "FallbackLadder",
     "HealthState",
     "PolicySupervisor",
     "RUNG_ORDER",
+    "ResumeState",
     "Rung",
     "RungOutcome",
+    "SimulatedCrashError",
     "TelemetryGuard",
+    "WriteAheadLog",
+    "array_digest",
+    "checkpoint_path_for",
+    "load_resume_state",
     "project_allocation",
+    "read_wal",
 ]

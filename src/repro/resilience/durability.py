@@ -1,0 +1,376 @@
+"""Durable control plane: checkpoints, write-ahead decision log, resume.
+
+A controller process crash must not cost the day.  The slow/fast
+controller of the paper is stateful — RLS-identified AR coefficients,
+the pending price-integration accumulator, warm-start working sets, the
+supervisor's health machine — and all of it lives in process memory.
+This module makes that state durable:
+
+* :class:`ControllerCheckpoint` — a versioned, checksummed envelope
+  (JSON header + pickled payload, written atomically via temp + rename)
+  holding one :func:`snapshot` of every stateful component the engine
+  carries.  A corrupted or foreign checkpoint raises
+  :class:`~repro.exceptions.CheckpointError` instead of restoring
+  garbage.
+* :class:`WriteAheadLog` — a JSONL decision log with a configurable
+  fsync cadence.  The engine appends one record per control period
+  *before* actuating the decision, so after a crash the log tells
+  exactly which decisions reached the plant.  Records carry SHA-256
+  digests of the observation and decision, which is what makes resume
+  *verifiable*: the resumed run re-executes the tail deterministically
+  and every recomputed decision must reproduce the logged digest
+  bit-exact.
+* :func:`load_resume_state` — reads a (possibly torn) WAL plus its
+  sibling checkpoint back into a :class:`ResumeState` for
+  ``run_simulation(..., resume_from=...)``.
+* :class:`CrashInjector` — a policy wrapper that kills the run at a
+  chosen period by raising :class:`SimulatedCrashError`; the chaos
+  fuzzer uses it to exercise the checkpoint → kill → resume path on
+  every seed.
+
+The engine (not this module) decides *what* goes into a checkpoint; see
+``run_simulation``'s ``checkpoint_every`` parameter.  The format here is
+deliberately component-agnostic: a payload is any picklable dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "WAL_VERSION",
+    "ControllerCheckpoint",
+    "CrashInjector",
+    "ResumeState",
+    "SimulatedCrashError",
+    "WriteAheadLog",
+    "array_digest",
+    "checkpoint_path_for",
+    "load_resume_state",
+    "read_wal",
+]
+
+#: Version stamp of the checkpoint envelope; bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Version stamp of the WAL record schema.
+WAL_VERSION = 1
+
+_MAGIC = b"RPRCKPT1"
+
+
+class SimulatedCrashError(Exception):
+    """An injected controller crash (not a real failure).
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: nothing
+    in the control stack — not the supervisor, not the fuzzer's generic
+    failure handling — may swallow it.  A crash ends the process; only
+    the test harness that injected it catches it.
+    """
+
+
+def array_digest(*arrays) -> str:
+    """SHA-256 over the dtype, shape and bytes of each array, chained.
+
+    The digest is a function of the exact binary contents, so two runs
+    produce the same digest iff their arrays are bit-identical — the
+    property WAL tail replay verifies.
+    """
+    h = hashlib.sha256()
+    for arr in arrays:
+        a = np.ascontiguousarray(np.asarray(arr))
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def checkpoint_path_for(wal_path: str) -> str:
+    """Sibling checkpoint file of a WAL (``<wal>.ckpt``)."""
+    return str(wal_path) + ".ckpt"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint envelope
+# ---------------------------------------------------------------------------
+@dataclass
+class ControllerCheckpoint:
+    """One versioned, checksummed snapshot of the control plane.
+
+    ``state`` is an opaque picklable dict assembled by the engine (one
+    entry per stateful component); ``period`` is the next period to
+    execute after restoring — everything *before* it is already folded
+    into the snapshot.
+    """
+
+    period: int
+    state: dict
+    version: int = CHECKPOINT_VERSION
+
+    def save(self, path: str) -> int:
+        """Write atomically (temp file + rename); returns bytes written.
+
+        Layout: ``magic | header_len (u32 LE) | header JSON | payload``
+        where the header carries the version, the period and the SHA-256
+        of the pickled payload.  A crash mid-write leaves either the old
+        checkpoint or a stray temp file — never a torn checkpoint.
+        """
+        payload = pickle.dumps(self.state, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps({
+            "version": int(self.version),
+            "period": int(self.period),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        }).encode()
+        blob = _MAGIC + struct.pack("<I", len(header)) + header + payload
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return len(blob)
+
+    @classmethod
+    def load(cls, path: str) -> "ControllerCheckpoint":
+        """Read and validate a checkpoint; raises :class:`CheckpointError`.
+
+        Every failure mode — missing file, wrong magic, unsupported
+        version, truncated payload, checksum mismatch — raises rather
+        than returning a partially trusted snapshot.
+        """
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+        if len(blob) < len(_MAGIC) + 4 or not blob.startswith(_MAGIC):
+            raise CheckpointError(
+                f"{path} is not a controller checkpoint (bad magic)")
+        (header_len,) = struct.unpack_from("<I", blob, len(_MAGIC))
+        start = len(_MAGIC) + 4
+        try:
+            header = json.loads(blob[start:start + header_len])
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"{path}: unreadable header: {exc}")
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint version {header.get('version')!r} "
+                f"not supported (expected {CHECKPOINT_VERSION})")
+        payload = blob[start + header_len:]
+        if len(payload) != header.get("payload_bytes"):
+            raise CheckpointError(
+                f"{path}: truncated payload ({len(payload)} of "
+                f"{header.get('payload_bytes')} bytes)")
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("sha256"):
+            raise CheckpointError(
+                f"{path}: payload checksum mismatch — the checkpoint is "
+                "corrupt")
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:  # pickle raises many unrelated types
+            raise CheckpointError(f"{path}: cannot unpickle payload: {exc}")
+        return cls(period=int(header["period"]), state=state)
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead decision log
+# ---------------------------------------------------------------------------
+class WriteAheadLog:
+    """Append-only JSONL decision log with a configurable fsync cadence.
+
+    Parameters
+    ----------
+    path:
+        Log file.  Created (truncated) unless ``append=True``, which a
+        resumed run uses to keep the original prefix.
+    fsync_every:
+        Call ``fsync`` after every this-many appended records (1 =
+        maximum durability, every decision reaches the disk before the
+        plant; larger values trade the tail of the log for throughput).
+
+    Counters (``wal_records``, ``wal_fsyncs``, ``wal_bytes``) are folded
+    into the engine's perf snapshot.
+    """
+
+    def __init__(self, path: str, *, fsync_every: int = 1,
+                 append: bool = False) -> None:
+        if fsync_every < 1:
+            raise CheckpointError("fsync_every must be >= 1")
+        self.path = str(path)
+        self.fsync_every = int(fsync_every)
+        self._fh = open(self.path, "ab" if append else "wb")
+        self._since_sync = 0
+        self.counters = {"wal_records": 0, "wal_fsyncs": 0, "wal_bytes": 0}
+
+    def append(self, record: dict) -> None:
+        """Write one record; durability follows the fsync cadence."""
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")).encode() + b"\n"
+        self._fh.write(line)
+        self.counters["wal_records"] += 1
+        self.counters["wal_bytes"] += len(line)
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered records to stable storage now."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.counters["wal_fsyncs"] += 1
+        self._since_sync = 0
+
+    def close(self) -> None:
+        """Final sync and close; safe to call twice."""
+        if not self._fh.closed:
+            if self._since_sync:
+                self.sync()
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_wal(path: str) -> list[dict]:
+    """Parse a WAL, tolerating a torn final line.
+
+    A crash can interrupt the log mid-record; the trailing partial line
+    is dropped (it never reached the plant — the log is written *before*
+    actuation, so an incomplete record means the decision was not
+    applied).  A torn line anywhere *else* means real corruption and
+    raises :class:`CheckpointError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read WAL {path}: {exc}")
+    records: list[dict] = []
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if i >= len(lines) - 2:  # torn tail (last non-empty line)
+                break
+            raise CheckpointError(
+                f"{path}: corrupt WAL record at line {i + 1}")
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Resume loading
+# ---------------------------------------------------------------------------
+@dataclass
+class ResumeState:
+    """Everything :func:`load_resume_state` recovered from disk."""
+
+    header: dict | None
+    checkpoint: ControllerCheckpoint | None
+    #: decision records (all of them, oldest first, duplicates resolved
+    #: in favour of the latest append — a re-logged tail wins).
+    decisions: dict[int, dict] = field(default_factory=dict)
+
+    def tail_after(self, period: int) -> dict[int, dict]:
+        """Decision records at or after ``period`` (the replay tail)."""
+        return {k: r for k, r in self.decisions.items() if k >= period}
+
+
+def load_resume_state(wal_path: str,
+                      checkpoint_path: str | None = None) -> ResumeState:
+    """Read a WAL and its sibling checkpoint into a :class:`ResumeState`.
+
+    The checkpoint is optional on disk — a run killed before its first
+    checkpoint resumes from period 0 with the WAL serving purely as the
+    determinism oracle.  A missing *WAL* is an error: ``resume_from``
+    names the WAL.
+    """
+    records = read_wal(wal_path)
+    header = None
+    decisions: dict[int, dict] = {}
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "begin" and header is None:
+            header = rec
+        elif kind == "decision":
+            decisions[int(rec["period"])] = rec  # latest append wins
+    if checkpoint_path is None:
+        checkpoint_path = checkpoint_path_for(wal_path)
+    checkpoint = None
+    if os.path.exists(checkpoint_path):
+        checkpoint = ControllerCheckpoint.load(checkpoint_path)
+    return ResumeState(header=header, checkpoint=checkpoint,
+                       decisions=decisions)
+
+
+# ---------------------------------------------------------------------------
+# Crash injection
+# ---------------------------------------------------------------------------
+class CrashInjector:
+    """Policy wrapper that simulates a controller crash at one period.
+
+    Transparent until ``crash_at_period``, where :meth:`decide` raises
+    :class:`SimulatedCrashError` *before* consulting the wrapped policy —
+    the crashed period never decides, never logs, never actuates, which
+    is exactly the state a killed process leaves behind.  All other
+    policy protocol methods (including ``snapshot``/``restore``, so
+    checkpointing sees through the wrapper) delegate.
+    """
+
+    def __init__(self, inner, crash_at_period: int) -> None:
+        self.inner = inner
+        self.crash_at_period = int(crash_at_period)
+        self.name = inner.name
+
+    def decide(self, obs):
+        """Crash at the configured period, else delegate."""
+        if int(obs.period) == self.crash_at_period:
+            raise SimulatedCrashError(
+                f"injected crash at period {obs.period}")
+        return self.inner.decide(obs)
+
+    def reset(self) -> None:
+        """Delegate to the wrapped policy."""
+        self.inner.reset()
+
+    def perf_snapshot(self) -> dict:
+        """Delegate to the wrapped policy."""
+        return self.inner.perf_snapshot()
+
+    def on_availability_change(self) -> None:
+        """Delegate to the wrapped policy (when it has the hook)."""
+        hook = getattr(self.inner, "on_availability_change", None)
+        if hook is not None:
+            hook()
+
+    def snapshot(self) -> dict:
+        """Delegate so checkpoints capture the wrapped policy's state."""
+        return self.inner.snapshot()
+
+    def restore(self, state: dict) -> None:
+        """Delegate to the wrapped policy."""
+        self.inner.restore(state)

@@ -122,6 +122,39 @@ class PolicySupervisor:
         if hook is not None:
             hook()
 
+    def snapshot(self) -> dict:
+        """Picklable copy of supervisor + wrapped-policy state.
+
+        The health machine, clean-streak counter, last-known-good
+        allocation and all counters round-trip, so a restored supervisor
+        continues its state history bit-exact — including the recovery
+        window position.  The wrapped policy contributes its own
+        snapshot when it supports one.
+        """
+        inner = getattr(self.policy, "snapshot", None)
+        return {
+            "policy": None if inner is None else inner(),
+            "state": self.state.value,
+            "state_history": [s.value for s in self.state_history],
+            "clean_streak": int(self._clean_streak),
+            "last_good_u": (None if self._last_good_u is None
+                            else self._last_good_u.copy()),
+            "counters": dict(self.counters),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; the snapshot stays reusable."""
+        if state["policy"] is not None:
+            self.policy.restore(state["policy"])
+        self.state = HealthState(state["state"])
+        self.state_history = [HealthState(s)
+                              for s in state["state_history"]]
+        self._clean_streak = int(state["clean_streak"])
+        self._last_good_u = (None if state["last_good_u"] is None
+                             else np.asarray(state["last_good_u"],
+                                             dtype=float).copy())
+        self.counters = dict(state["counters"])
+
     def perf_snapshot(self) -> dict:
         """Wrapped policy's perf snapshot plus supervisor counters."""
         snap = (self.policy.perf_snapshot()

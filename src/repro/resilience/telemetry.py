@@ -88,6 +88,32 @@ class TelemetryGuard:
             "telemetry_max_staleness": 0,
         }
 
+    def snapshot(self) -> dict:
+        """Picklable copy of all gap-filling state (for checkpoints)."""
+        return {
+            "last_price": self._last_price.copy(),
+            "price_mean": self._price_mean.copy(),
+            "price_samples": self._price_samples.copy(),
+            "price_stale": self._price_stale.copy(),
+            "last_load": self._last_load.copy(),
+            "load_stale": self._load_stale.copy(),
+            "predictors": [p.snapshot() for p in self._predictors],
+            "counters": dict(self.counters),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` (continues bit-exact from there)."""
+        self._last_price = np.asarray(state["last_price"], float).copy()
+        self._price_mean = np.asarray(state["price_mean"], float).copy()
+        self._price_samples = np.asarray(state["price_samples"],
+                                         float).copy()
+        self._price_stale = np.asarray(state["price_stale"], int).copy()
+        self._last_load = np.asarray(state["last_load"], float).copy()
+        self._load_stale = np.asarray(state["load_stale"], int).copy()
+        for pred, snap in zip(self._predictors, state["predictors"]):
+            pred.restore(snap)
+        self.counters = dict(state["counters"])
+
     # ------------------------------------------------------------------
     def _bump_staleness(self, stale: np.ndarray, channel: int,
                         what: str) -> None:

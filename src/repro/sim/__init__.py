@@ -2,7 +2,11 @@
 
 from .engine import run_simulation, simulate_policies
 from .faults import (
+    ActuationChannel,
+    ActuationLag,
+    CommandDrop,
     FleetOutage,
+    PartialApply,
     PriceFeedDropout,
     SensorGap,
     apply_faults,
@@ -30,7 +34,11 @@ __all__ = [
     "run_many",
     "run_parallel",
     "PerfStats",
+    "ActuationChannel",
+    "ActuationLag",
+    "CommandDrop",
     "FleetOutage",
+    "PartialApply",
     "PriceFeedDropout",
     "SensorGap",
     "apply_faults",

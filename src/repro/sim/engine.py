@@ -6,12 +6,21 @@ Each control period the engine:
 2. (optionally) updates online workload predictors and produces a
    forecast for the policy,
 3. asks the policy for an allocation + server decision,
-4. applies it to the plant (cluster), measures power and latency,
-5. records everything and reports the demand back to the market so the
+4. logs the decision to the write-ahead log (when configured) *before*
+   anything touches the plant,
+5. routes the eq.-35 server command through the actuation channel
+   (faults may drop, delay or partially apply it), applies the result to
+   the plant (cluster), measures power and latency,
+6. records everything and reports the demand back to the market so the
    price feedback (when enabled) sees it.
 
 The engine is deliberately synchronous and deterministic: all
-stochasticity lives in the scenario inputs (traces, price noise).
+stochasticity lives in the scenario inputs (traces, price noise).  That
+determinism is what makes the durable control plane work: a run killed
+mid-scenario resumes from its last checkpoint
+(``checkpoint_every=``/``wal_path=``/``resume_from=``), re-executes the
+tail, and every recomputed decision is verified bit-exact against the
+write-ahead log.
 """
 
 from __future__ import annotations
@@ -19,9 +28,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..datacenter.queueing import simplified_latency
-from ..exceptions import ModelError
+from ..exceptions import CheckpointError, ConfigurationError, ModelError
 from ..workload.predictor import ARWorkloadPredictor
-from .faults import apply_faults, split_faults, telemetry_visibility
+from .faults import (
+    ActuationChannel,
+    apply_faults,
+    split_faults,
+    telemetry_visibility,
+)
 from .policy import AllocationDecision, Policy, PolicyObservation
 from .recorder import SimulationRecorder
 from .results import ComparisonResult, SimulationResult
@@ -41,13 +55,35 @@ def _measure_latencies(cluster, workloads, servers) -> np.ndarray:
     return out
 
 
+def _run_fingerprint(scenario: Scenario, policy) -> dict:
+    """Identity of a (scenario, policy) pairing for WAL/checkpoint checks.
+
+    Deliberately coarse — enough to catch resuming the wrong run (or the
+    right run with a reconfigured world), cheap enough to embed in every
+    log header.
+    """
+    return {
+        "scenario": str(scenario.name),
+        "dt": float(scenario.dt),
+        "n_periods": int(scenario.n_periods),
+        "n_idcs": int(scenario.cluster.n_idcs),
+        "n_portals": int(scenario.cluster.n_portals),
+        "policy": str(getattr(policy, "name", type(policy).__name__)),
+    }
+
+
 def run_simulation(scenario: Scenario, policy: Policy,
                    predict_loads: bool = False,
                    predictor_order: int = 3,
                    prediction_horizon: int = 3,
                    price_forecaster=None,
                    monitor=None,
-                   telemetry_guard=None) -> SimulationResult:
+                   telemetry_guard=None,
+                   checkpoint_every: int | None = None,
+                   wal_path=None,
+                   wal_fsync_every: int = 1,
+                   resume_from=None,
+                   resume_strict: bool = True) -> SimulationResult:
     """Run one policy through a scenario.
 
     Parameters
@@ -62,6 +98,8 @@ def run_simulation(scenario: Scenario, policy: Policy,
         Optional :class:`repro.pricing.MultiRegionForecaster` fed the
         realized prices each period; its forecasts are passed to the
         policy as ``predicted_prices`` (region order = cluster order).
+        On resume, the checkpointed forecaster replaces the one passed
+        in (its learned state belongs to the interrupted run).
     monitor:
         Optional :class:`repro.verify.InvariantMonitor` (or anything with
         its ``begin_run``/``observe``/``counters`` protocol).  It sees
@@ -75,15 +113,53 @@ def run_simulation(scenario: Scenario, policy: Policy,
         default guard is created automatically when such faults are
         present; billing, the recorder and the monitor always use the
         true streams.
+    checkpoint_every:
+        Write a :class:`repro.resilience.ControllerCheckpoint` (next to
+        the WAL, ``<wal_path>.ckpt``) after every this-many completed
+        periods.  Requires ``wal_path``.  The checkpoint captures every
+        stateful component — policy (via its ``snapshot()``),
+        predictors, telemetry guard, price forecaster, monitor,
+        actuation channel, recorder, market — so a resumed run continues
+        bit-exact.
+    wal_path:
+        Write-ahead decision log (JSONL).  Each period's observation and
+        decision digests are appended *before* the decision touches the
+        plant; ``wal_fsync_every`` sets the fsync cadence (1 = every
+        record reaches stable storage before actuation).
+    resume_from:
+        Path of a previous run's WAL.  The engine restores the sibling
+        checkpoint (when one exists), re-executes the remaining periods,
+        and verifies every re-executed decision that the old log already
+        recorded against its digests — a mismatch means the resumed run
+        diverged and raises :class:`~repro.exceptions.CheckpointError`
+        (or is only counted, with ``resume_strict=False``).  The
+        returned result always covers the *full* run: the checkpointed
+        recorder carries the pre-crash periods.
+    resume_strict:
+        Whether a WAL-tail digest mismatch aborts the resume (default)
+        or is merely counted in ``perf["counters"]["wal_tail_mismatches"]``.
 
     Raises
     ------
     ReproError subclasses
         Propagated from the policy (e.g. :class:`CapacityError` when the
-        scenario overloads the cluster), and
+        scenario overloads the cluster),
         :class:`repro.exceptions.InvariantViolationError` from a monitor
-        in ``raise_on_violation`` mode.
+        in ``raise_on_violation`` mode, and
+        :class:`repro.exceptions.CheckpointError` from the durability
+        layer (corrupt checkpoint, foreign WAL, non-deterministic
+        resume).
     """
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be >= 1")
+    if checkpoint_every is not None and wal_path is None \
+            and resume_from is None:
+        raise ConfigurationError(
+            "checkpoint_every needs wal_path (the checkpoint lives next "
+            "to the write-ahead log)")
+    if wal_path is None and resume_from is not None:
+        wal_path = resume_from  # keep appending to the same log
+
     cluster = scenario.cluster
     scenario.market.reset()
     for idc in cluster.idcs:
@@ -102,9 +178,13 @@ def run_simulation(scenario: Scenario, policy: Policy,
                       for _ in range(cluster.n_portals)]
 
     has_telemetry_faults = False
+    actuation = None
     if scenario.faults:
-        _, price_faults, sensor_faults = split_faults(scenario.faults)
-        has_telemetry_faults = bool(price_faults or sensor_faults)
+        groups = split_faults(scenario.faults)
+        has_telemetry_faults = bool(groups.price_faults
+                                    or groups.sensor_faults)
+        if groups.actuation_faults:
+            actuation = ActuationChannel(cluster, scenario.faults)
     if telemetry_guard is None and has_telemetry_faults:
         from ..resilience import TelemetryGuard
         telemetry_guard = TelemetryGuard(cluster.n_idcs, cluster.n_portals)
@@ -114,95 +194,262 @@ def run_simulation(scenario: Scenario, policy: Policy,
     u_prev = np.zeros(cluster.n_allocations)
     servers_prev = cluster.server_counts()
     avail_prev = None
+    if actuation is not None:
+        actuation.reset(servers_prev)
 
-    for k in range(scenario.n_periods):
-        t = scenario.start_time + k * scenario.dt
-        if scenario.faults:
-            apply_faults(cluster, scenario.faults, t)
-            avail_now = tuple(idc.available_servers for idc in cluster.idcs)
-            if avail_prev is not None and avail_now != avail_prev:
-                # Constraint geometry changed under the policy's feet;
-                # let it drop carried solver state (stale warm starts,
-                # cached working sets) before the next solve.
-                hook = getattr(policy, "on_availability_change", None)
-                if hook is not None:
-                    hook()
-            avail_prev = avail_now
-        loads = cluster.portals.loads_at(k)
-        prices = scenario.prices_at(t)
-
-        # What the controller *sees* — identical to the truth unless
-        # telemetry faults are active this period.
-        obs_loads, obs_prices = loads, prices
-        if telemetry_guard is not None:
-            prices_ok, loads_ok = telemetry_visibility(
-                cluster, scenario.faults or [], t)
-            obs_prices = telemetry_guard.filter_prices(prices, prices_ok)
-            obs_loads = telemetry_guard.filter_loads(loads, loads_ok)
-
-        predicted = None
-        if predictors is not None:
-            for p, value in zip(predictors, obs_loads):
-                p.observe(float(value))
-            predicted = np.column_stack([
-                p.predict(prediction_horizon) for p in predictors
-            ])
-
-        predicted_prices = None
-        if price_forecaster is not None:
-            hour = t / 3600.0
-            price_forecaster.observe(obs_prices, hour)
-            step_hours = scenario.dt / 3600.0
-            predicted_prices = price_forecaster.predict(
-                prediction_horizon, hour + step_hours, step_hours)
-
-        obs = PolicyObservation(
-            period=k, time_seconds=t, loads=obs_loads, prices=obs_prices,
-            prev_u=u_prev.copy(), prev_servers=servers_prev.copy(),
-            predicted_loads=predicted,
-            predicted_prices=predicted_prices,
+    # -- durability: resume, then (re)open the WAL ----------------------
+    fingerprint = _run_fingerprint(scenario, policy)
+    start_period = 0
+    wal_tail: dict[int, dict] = {}
+    durability = {"checkpoints_written": 0, "wal_tail_replayed": 0,
+                  "wal_tail_mismatches": 0}
+    wal = None
+    ckpt_path = None
+    if resume_from is not None:
+        from ..resilience.durability import load_resume_state
+        on_disk = load_resume_state(resume_from)
+        if on_disk.header is None:
+            raise CheckpointError(
+                f"{resume_from}: WAL has no begin record — not a log "
+                "this engine wrote")
+        if on_disk.header.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"{resume_from}: WAL belongs to a different run "
+                f"(logged {on_disk.header.get('fingerprint')!r}, "
+                f"resuming {fingerprint!r})")
+        if on_disk.checkpoint is not None:
+            state = on_disk.checkpoint.state
+            if state.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    "checkpoint belongs to a different run")
+            start_period = int(on_disk.checkpoint.period)
+            u_prev = np.asarray(state["u_prev"], dtype=float).copy()
+            servers_prev = np.asarray(state["servers_prev"]).astype(int)
+            avail_prev = (None if state["avail_prev"] is None
+                          else tuple(state["avail_prev"]))
+            recorder = state["recorder"]
+            scenario.market = state["market"]
+            if state["policy"] is not None:
+                restore = getattr(policy, "restore", None)
+                if restore is None:
+                    raise CheckpointError(
+                        f"checkpoint carries policy state but policy "
+                        f"{policy.name!r} has no restore()")
+                restore(state["policy"])
+            elif hasattr(policy, "snapshot"):
+                raise CheckpointError(
+                    f"policy {policy.name!r} is stateful but the "
+                    "checkpoint carries no policy state")
+            if predictors is not None and state.get("predictors"):
+                for p, snap in zip(predictors, state["predictors"]):
+                    p.restore(snap)
+            if telemetry_guard is not None and state.get("telemetry_guard"):
+                telemetry_guard.restore(state["telemetry_guard"])
+            if state.get("price_forecaster") is not None:
+                price_forecaster = state["price_forecaster"]
+            if monitor is not None and state.get("monitor") is not None \
+                    and hasattr(monitor, "restore"):
+                monitor.restore(state["monitor"])
+            if actuation is not None and state.get("actuation") is not None:
+                actuation.restore(state["actuation"])
+        wal_tail = on_disk.tail_after(start_period)
+        durability["resumed_from_period"] = start_period
+    if wal_path is not None:
+        from ..resilience.durability import (
+            WAL_VERSION,
+            WriteAheadLog,
+            array_digest,
+            checkpoint_path_for,
         )
-        decision = policy.decide(obs)
-        if not isinstance(decision, AllocationDecision):
-            raise ModelError(
-                f"policy {policy.name!r} returned {type(decision).__name__}, "
-                "expected AllocationDecision")
+        ckpt_path = checkpoint_path_for(wal_path)
+        wal = WriteAheadLog(wal_path, fsync_every=wal_fsync_every,
+                            append=resume_from is not None)
+        if resume_from is None:
+            wal.append({"type": "begin", "wal_version": WAL_VERSION,
+                        "fingerprint": fingerprint})
+        else:
+            wal.append({"type": "resume", "period": start_period,
+                        "tail_records": len(wal_tail)})
 
-        servers = np.asarray(decision.servers).astype(int)
-        for idc, m in zip(cluster.idcs, servers):
-            idc.set_servers(int(m))
-        workloads = cluster.apply_allocation(decision.u)
+    def write_checkpoint(next_period: int) -> None:
+        from ..resilience.durability import ControllerCheckpoint
+        state = {
+            "fingerprint": fingerprint,
+            "u_prev": u_prev.copy(),
+            "servers_prev": np.asarray(servers_prev).astype(int).copy(),
+            "avail_prev": (None if avail_prev is None
+                           else [int(a) for a in avail_prev]),
+            "recorder": recorder,
+            "market": scenario.market,
+            "policy": (policy.snapshot()
+                       if hasattr(policy, "snapshot") else None),
+            "predictors": (None if predictors is None
+                           else [p.snapshot() for p in predictors]),
+            "telemetry_guard": (None if telemetry_guard is None
+                                else telemetry_guard.snapshot()),
+            "price_forecaster": price_forecaster,
+            "monitor": (monitor.snapshot()
+                        if monitor is not None
+                        and hasattr(monitor, "snapshot") else None),
+            "actuation": (None if actuation is None
+                          else actuation.snapshot()),
+        }
+        ControllerCheckpoint(period=next_period, state=state).save(ckpt_path)
+        durability["checkpoints_written"] += 1
 
-        powers = cluster.powers_watts()
-        latencies = _measure_latencies(cluster, workloads, servers)
-        if monitor is not None:
-            # The monitor sees the *raw* decision (pre-integer-cast
-            # servers) next to the measured plant state.  Conservation is
-            # checked against the loads the policy was shown — under a
-            # sensor gap the controller can only route what it saw.
-            monitor.observe(
-                period=k, time_seconds=t, loads=obs_loads, prices=prices,
-                decision=decision, workloads=workloads,
-                powers_watts=powers, servers=servers,
-                latencies=latencies)
-        recorder.record(
-            time_seconds=t, powers_watts=powers, servers=servers,
-            workloads=workloads, latencies=latencies, prices=prices,
-            loads=loads, allocation=decision.u,
-            diagnostics=decision.diagnostics)
+    try:
+        for k in range(start_period, scenario.n_periods):
+            t = scenario.start_time + k * scenario.dt
+            if scenario.faults:
+                apply_faults(cluster, scenario.faults, t)
+                avail_now = tuple(idc.available_servers
+                                  for idc in cluster.idcs)
+                if avail_prev is not None and avail_now != avail_prev:
+                    # Constraint geometry changed under the policy's feet;
+                    # let it drop carried solver state (stale warm starts,
+                    # cached working sets) before the next solve.
+                    hook = getattr(policy, "on_availability_change", None)
+                    if hook is not None:
+                        hook()
+                avail_prev = avail_now
+            loads = cluster.portals.loads_at(k)
+            prices = scenario.prices_at(t)
 
-        scenario.market.record_demand(powers / 1e6)
-        u_prev = np.asarray(decision.u, dtype=float)
-        servers_prev = servers
+            # What the controller *sees* — identical to the truth unless
+            # telemetry faults are active this period.
+            obs_loads, obs_prices = loads, prices
+            if telemetry_guard is not None:
+                prices_ok, loads_ok = telemetry_visibility(
+                    cluster, scenario.faults or [], t)
+                obs_prices = telemetry_guard.filter_prices(prices, prices_ok)
+                obs_loads = telemetry_guard.filter_loads(loads, loads_ok)
+
+            predicted = None
+            if predictors is not None:
+                for p, value in zip(predictors, obs_loads):
+                    p.observe(float(value))
+                predicted = np.column_stack([
+                    p.predict(prediction_horizon) for p in predictors
+                ])
+
+            predicted_prices = None
+            if price_forecaster is not None:
+                hour = t / 3600.0
+                price_forecaster.observe(obs_prices, hour)
+                step_hours = scenario.dt / 3600.0
+                predicted_prices = price_forecaster.predict(
+                    prediction_horizon, hour + step_hours, step_hours)
+
+            obs = PolicyObservation(
+                period=k, time_seconds=t, loads=obs_loads, prices=obs_prices,
+                prev_u=u_prev.copy(), prev_servers=servers_prev.copy(),
+                predicted_loads=predicted,
+                predicted_prices=predicted_prices,
+            )
+            decision = policy.decide(obs)
+            if not isinstance(decision, AllocationDecision):
+                raise ModelError(
+                    f"policy {policy.name!r} returned "
+                    f"{type(decision).__name__}, expected AllocationDecision")
+
+            commanded = np.asarray(decision.servers).astype(int)
+            if actuation is not None:
+                available = np.array([idc.available_servers
+                                      for idc in cluster.idcs], dtype=int)
+                applied = actuation.apply(commanded, t, available)
+            else:
+                applied = commanded
+
+            # Write-ahead: the decision reaches stable storage before it
+            # reaches the plant, so after a crash the log is an upper
+            # bound on what was actuated (the torn last record, if any,
+            # never actuated).
+            if wal is not None:
+                diag = (decision.diagnostics
+                        if isinstance(decision.diagnostics, dict) else {})
+                record = {
+                    "type": "decision", "period": k, "time_seconds": t,
+                    "obs_sha256": array_digest(
+                        np.asarray(obs_loads, dtype=float),
+                        np.asarray(obs_prices, dtype=float)),
+                    "decision_sha256": array_digest(
+                        np.asarray(decision.u, dtype=float),
+                        commanded, applied),
+                    "servers": commanded.tolist(),
+                    "applied": applied.tolist(),
+                    "u_total": float(np.sum(decision.u)),
+                }
+                for key in ("qp_status", "rung", "health_state"):
+                    if key in diag:
+                        record[key] = str(diag[key])
+                tail = wal_tail.pop(k, None)
+                if tail is not None:
+                    durability["wal_tail_replayed"] += 1
+                    if (tail.get("obs_sha256") != record["obs_sha256"]
+                            or tail.get("decision_sha256")
+                            != record["decision_sha256"]):
+                        durability["wal_tail_mismatches"] += 1
+                        if resume_strict:
+                            raise CheckpointError(
+                                f"resume diverged from the WAL at period "
+                                f"{k}: recomputed decision does not "
+                                "reproduce the logged digests")
+                wal.append(record)
+
+            for idc, m in zip(cluster.idcs, applied):
+                idc.set_servers(int(m))
+            workloads = cluster.apply_allocation(decision.u)
+
+            powers = cluster.powers_watts()
+            latencies = _measure_latencies(cluster, workloads, applied)
+            if monitor is not None:
+                # The monitor sees the *raw* decision (pre-integer-cast
+                # servers) next to the measured plant state.  Conservation
+                # is checked against the loads the policy was shown —
+                # under a sensor gap the controller can only route what it
+                # saw.
+                monitor.observe(
+                    period=k, time_seconds=t, loads=obs_loads,
+                    prices=prices, decision=decision, workloads=workloads,
+                    powers_watts=powers, servers=commanded,
+                    latencies=latencies,
+                    applied_servers=(applied if actuation is not None
+                                     else None))
+            if actuation is not None \
+                    and isinstance(decision.diagnostics, dict) \
+                    and not np.array_equal(applied, commanded):
+                decision.diagnostics["applied_servers"] = applied.tolist()
+            recorder.record(
+                time_seconds=t, powers_watts=powers, servers=applied,
+                workloads=workloads, latencies=latencies, prices=prices,
+                loads=loads, allocation=decision.u,
+                diagnostics=decision.diagnostics)
+
+            scenario.market.record_demand(powers / 1e6)
+            u_prev = np.asarray(decision.u, dtype=float)
+            servers_prev = applied
+
+            if ckpt_path is not None and checkpoint_every is not None \
+                    and (k + 1) % checkpoint_every == 0 \
+                    and k + 1 < scenario.n_periods:
+                write_checkpoint(k + 1)
+    finally:
+        if wal is not None:
+            wal.close()
 
     arrays = recorder.as_arrays()
     perf = policy.perf_snapshot() if hasattr(policy, "perf_snapshot") else {}
+    from .profiling import fold_counters
     if telemetry_guard is not None:
-        from .profiling import fold_counters
         perf = fold_counters(perf, telemetry_guard.counters)
     if monitor is not None:
-        from .profiling import fold_counters
         perf = fold_counters(perf, monitor.counters())
+    if actuation is not None:
+        perf = fold_counters(perf, actuation.counters)
+    if wal is not None or resume_from is not None:
+        if wal is not None:
+            perf = fold_counters(perf, wal.counters)
+        perf = fold_counters(perf, durability)
     return SimulationResult(
         policy_name=policy.name,
         dt=scenario.dt,

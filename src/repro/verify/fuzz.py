@@ -38,12 +38,29 @@ import numpy as np
 from ..core import CostMPCPolicy, MPCPolicyConfig
 from ..core.reference_opt import solve_optimal_allocation
 from ..datacenter import IDCCluster, IDCConfig, LinearPowerModel
-from ..exceptions import ConvergenceError, DeadlineExceededError, ReproError
+from ..exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DeadlineExceededError,
+    ReproError,
+)
 from ..pricing import PriceTrace, RealTimeMarket, RegionMarketConfig
 from ..pricing.traces import paper_price_traces
-from ..resilience import HealthState, PolicySupervisor
+from ..resilience import (
+    CrashInjector,
+    HealthState,
+    PolicySupervisor,
+    SimulatedCrashError,
+)
 from ..sim.engine import run_simulation
-from ..sim.faults import FleetOutage, PriceFeedDropout, SensorGap
+from ..sim.faults import (
+    ActuationLag,
+    CommandDrop,
+    FleetOutage,
+    PartialApply,
+    PriceFeedDropout,
+    SensorGap,
+)
 from ..sim.scenario import (
     PAPER_IDC_SPECS,
     PAPER_IDLE_WATTS,
@@ -91,6 +108,7 @@ class Outcome:
     final_state: str = ""
     nan_detected: bool = False
     rung_counters: dict = field(default_factory=dict)
+    crash_resume: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         out = {
@@ -108,6 +126,7 @@ class Outcome:
                 "final_state": self.final_state,
                 "nan_detected": self.nan_detected,
                 "rung_counters": self.rung_counters,
+                "crash_resume": self.crash_resume,
             })
         return out
 
@@ -283,13 +302,29 @@ def generate_spec(seed: int, *, chaos: bool = False) -> dict:
             a, b = window()
             sensor_gaps.append({"portal": int(rng.integers(0, n_portals)),
                                 "start_period": a, "end_period": b})
+        actuation_faults = []
+        for _ in range(int(rng.integers(0, 3))):
+            a, b = window()
+            kind = str(rng.choice(["drop", "lag", "partial"]))
+            entry = {"kind": kind, "idc": str(rng.choice(names)),
+                     "start_period": a, "end_period": b}
+            if kind == "lag":
+                entry["delay_periods"] = int(rng.integers(1, 3))
+            elif kind == "partial":
+                entry["fraction"] = float(np.round(rng.uniform(0.3, 0.8), 3))
+            actuation_faults.append(entry)
         spec["chaos"] = {
             "solver_fault_rate": float(np.round(rng.uniform(0.05, 0.3), 3)),
             "deadline_exhaust_rate":
                 float(np.round(rng.uniform(0.0, 0.15), 3)),
             "price_dropouts": price_dropouts,
             "sensor_gaps": sensor_gaps,
+            "actuation_faults": actuation_faults,
             "quiet_after_period": int(last_fault_period),
+            # Every chaos run is also a durability drill: kill the loop
+            # mid-run and require the checkpoint/WAL resume to finish it.
+            "crash_at_period": int(rng.integers(2, n_periods - 1)),
+            "checkpoint_every": int(rng.integers(1, 5)),
         }
     return spec
 
@@ -356,6 +391,23 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
                 portal_index=int(f["portal"]),
                 start_seconds=start_time + f["start_period"] * dt,
                 end_seconds=start_time + f["end_period"] * dt))
+        for f in chaos.get("actuation_faults", []):
+            kind = f.get("kind", "drop")
+            a = start_time + f["start_period"] * dt
+            b = start_time + f["end_period"] * dt
+            if kind == "drop":
+                faults.append(CommandDrop(f["idc"], a, b))
+            elif kind == "lag":
+                faults.append(ActuationLag(
+                    f["idc"], a, b,
+                    delay_periods=int(f.get("delay_periods", 1))))
+            elif kind == "partial":
+                faults.append(PartialApply(
+                    f["idc"], a, b,
+                    fraction=float(f.get("fraction", 0.5))))
+            else:
+                raise ConfigurationError(
+                    f"unknown actuation fault kind {kind!r}")
 
     scenario = Scenario(
         cluster=cluster, market=market, dt=dt,
@@ -387,30 +439,43 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
 # Execution
 # ---------------------------------------------------------------------------
 class _ChaosInjector:
-    """Probabilistic solver-fault hook driven by its own seeded RNG.
+    """Probabilistic solver-fault hook driven by counter-mode RNG.
 
     Installed as ``CostMPCPolicy.solver_fault_hook``; fires before every
     QP backend call and raises :class:`ConvergenceError` (forced
     non-convergence) or :class:`DeadlineExceededError` (simulated
     deadline exhaustion) at the spec's rates.  Injection stops after
     ``quiet_after_period`` so the run's tail is clean and recovery to
-    NOMINAL is a hard requirement, not luck.  The current period is fed
-    in by :class:`_PeriodTap`.
+    NOMINAL is a hard requirement, not luck.
+
+    The injector is deliberately *stateless* across periods: each draw is
+    keyed on ``(seed, period, call_index_within_period)``, so a run
+    resumed from a checkpoint at period *p* replays exactly the faults
+    the uninterrupted run would have seen from *p* on — which is what
+    lets the engine verify the resumed decisions against the write-ahead
+    log bit-exact.  The current period is fed in by :class:`_PeriodTap`.
     """
 
     def __init__(self, seed: int, fault_rate: float, deadline_rate: float,
                  quiet_after_period: int) -> None:
-        self.rng = np.random.default_rng(int(seed) ^ _CHAOS_SEED_SALT)
+        self.seed = int(seed) ^ _CHAOS_SEED_SALT
         self.fault_rate = float(fault_rate)
         self.deadline_rate = float(deadline_rate)
         self.quiet_after_period = int(quiet_after_period)
         self.period = 0
+        self.calls_this_period = 0
         self.injected = 0
+
+    def begin_period(self, period: int) -> None:
+        self.period = int(period)
+        self.calls_this_period = 0
 
     def __call__(self, stage: str) -> None:
         if self.period >= self.quiet_after_period:
             return
-        r = self.rng.random()
+        call = self.calls_this_period
+        self.calls_this_period += 1
+        r = np.random.default_rng([self.seed, self.period, call]).random()
         if r < self.fault_rate:
             self.injected += 1
             raise ConvergenceError(
@@ -430,8 +495,8 @@ class _PeriodTap:
         self.name = inner.name
 
     def decide(self, obs):
-        """Record the period for the injector, then delegate."""
-        self.injector.period = int(obs.period)
+        """Re-key the injector for this period, then delegate."""
+        self.injector.begin_period(int(obs.period))
         return self.inner.decide(obs)
 
     def reset(self) -> None:
@@ -446,6 +511,71 @@ class _PeriodTap:
         """Delegate to the wrapped policy."""
         self.inner.on_availability_change()
 
+    def snapshot(self) -> dict:
+        """Delegate to the wrapped policy (the injector has no state)."""
+        return self.inner.snapshot()
+
+    def restore(self, state: dict) -> None:
+        """Delegate to the wrapped policy."""
+        self.inner.restore(state)
+
+
+def _make_chaos_stack(spec: dict):
+    """Fresh (scenario, supervisor-wrapped runner) pair for a chaos spec."""
+    chaos = spec["chaos"]
+    scenario, config = build_scenario(spec)
+    policy = CostMPCPolicy(scenario.cluster, config)
+    injector = _ChaosInjector(
+        spec.get("seed", 0),
+        chaos.get("solver_fault_rate", 0.0),
+        chaos.get("deadline_exhaust_rate", 0.0),
+        chaos.get("quiet_after_period", spec["n_periods"]))
+    policy.solver_fault_hook = injector
+    supervisor = PolicySupervisor(policy, scenario.cluster,
+                                  recovery_periods=3)
+    return scenario, supervisor, _PeriodTap(supervisor, injector)
+
+
+def _run_chaos_with_crash(spec: dict, mon: InvariantMonitor,
+                          crash_at: int):
+    """Kill a chaos run mid-flight, then resume it from its checkpoint.
+
+    Phase 1 runs the full stack under a :class:`CrashInjector` with a
+    write-ahead log and periodic checkpoints; phase 2 rebuilds *every*
+    component from scratch (fresh scenario, policy, supervisor, fault
+    injector — as a restarted process would) and resumes from the WAL.
+    The engine verifies each re-executed decision against the logged
+    digests, so a non-deterministic resume fails the seed.  Returns the
+    final result and the phase that produced it.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    chaos = spec["chaos"]
+    every = int(chaos.get("checkpoint_every", 2))
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    wal_path = os.path.join(tmpdir, "run.wal")
+    try:
+        scenario, supervisor, runner = _make_chaos_stack(spec)
+        crashed = True
+        try:
+            result = run_simulation(
+                scenario, CrashInjector(runner, crash_at_period=crash_at),
+                monitor=mon, wal_path=wal_path, checkpoint_every=every)
+            crashed = False  # crash period beyond the (shrunk) run
+        except SimulatedCrashError:
+            pass
+        if not crashed:
+            return result, supervisor
+        scenario2, supervisor2, runner2 = _make_chaos_stack(spec)
+        result = run_simulation(scenario2, runner2, monitor=mon,
+                                resume_from=wal_path,
+                                checkpoint_every=every)
+        return result, supervisor2
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
 
 def run_spec(spec: dict, *, oracle_samples: int = 2,
              monitor: InvariantMonitor | None = None) -> Outcome:
@@ -458,7 +588,11 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
 
     A chaos spec (``spec["chaos"]`` present) instead runs the policy
     under a :class:`~repro.resilience.PolicySupervisor` with an injected
-    solver-fault hook; it fails when the loop raises, any result array
+    solver-fault hook (plus any actuation faults the spec carries); when
+    the spec schedules a crash (``chaos["crash_at_period"]``), the run is
+    killed at that period and resumed from its checkpoint + write-ahead
+    log by a freshly built stack.  It fails when the loop raises
+    (including a resume that diverges from the WAL), any result array
     contains NaN, the monitor records a violation, or the supervisor has
     not returned to NOMINAL by the end of the run.
     """
@@ -466,8 +600,6 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
     outcome = Outcome(spec=spec, chaos=bool(chaos))
     supervisor = None
     try:
-        scenario, config = build_scenario(spec)
-        policy = CostMPCPolicy(scenario.cluster, config)
         if monitor is not None:
             mon = monitor
         elif chaos:
@@ -479,17 +611,16 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
         else:
             mon = InvariantMonitor()
         if chaos:
-            injector = _ChaosInjector(
-                spec.get("seed", 0),
-                chaos.get("solver_fault_rate", 0.0),
-                chaos.get("deadline_exhaust_rate", 0.0),
-                chaos.get("quiet_after_period", spec["n_periods"]))
-            policy.solver_fault_hook = injector
-            supervisor = PolicySupervisor(policy, scenario.cluster,
-                                          recovery_periods=3)
-            runner = _PeriodTap(supervisor, injector)
-            result = run_simulation(scenario, runner, monitor=mon)
+            crash_at = chaos.get("crash_at_period")
+            if crash_at is not None:
+                result, supervisor = _run_chaos_with_crash(
+                    spec, mon, int(crash_at))
+            else:
+                scenario, supervisor, runner = _make_chaos_stack(spec)
+                result = run_simulation(scenario, runner, monitor=mon)
         else:
+            scenario, config = build_scenario(spec)
+            policy = CostMPCPolicy(scenario.cluster, config)
             result = run_simulation(scenario, policy, monitor=mon)
     except ReproError as exc:
         outcome.ok = False
@@ -515,9 +646,16 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
         outcome.rung_counters = {
             k: int(v) for k, v in counters.items()
             if k.startswith(("ladder_", "supervisor_"))}
+        outcome.crash_resume = {
+            k: int(counters[k]) for k in (
+                "resumed_from_period", "checkpoints_written",
+                "wal_tail_replayed", "wal_tail_mismatches")
+            if k in counters}
         outcome.ok = (not outcome.violations
                       and not outcome.nan_detected
-                      and outcome.recovered)
+                      and outcome.recovered
+                      and not outcome.crash_resume.get(
+                          "wal_tail_mismatches", 0))
         return outcome
 
     captured = policy.captured_problems
@@ -562,6 +700,14 @@ def _shrink_candidates(spec: dict) -> list[tuple[str, dict]]:
             quiet["price_dropouts"] = []
             quiet["sensor_gaps"] = []
             variant("drop_telemetry_faults", chaos=quiet)
+        if chaos.get("crash_at_period") is not None:
+            uninterrupted = dict(chaos)
+            uninterrupted["crash_at_period"] = None
+            variant("drop_crash", chaos=uninterrupted)
+        if chaos.get("actuation_faults"):
+            healthy = dict(chaos)
+            healthy["actuation_faults"] = []
+            variant("drop_actuation_faults", chaos=healthy)
     if spec.get("faults"):
         variant("drop_faults", faults=[])
     if spec.get("budget_fraction") is not None:

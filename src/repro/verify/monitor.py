@@ -92,7 +92,8 @@ class InvariantMonitor:
 
     #: Invariant kinds, in check order.
     KINDS = ("nan_state", "conservation", "server_bounds",
-             "server_integrality", "budget", "reference_clamp")
+             "server_integrality", "actuation", "budget",
+             "reference_clamp")
 
     def __init__(self, budgets_watts=None, *,
                  budget_grace_periods: int = 8,
@@ -120,6 +121,8 @@ class InvariantMonitor:
         self._rung_counts: dict[str, int] = {}
         self._state_counts: dict[str, int] = {}
         self._shed_periods = 0
+        self._actuation_gap_periods = 0
+        self._actuation_gap_servers = 0
         self._checks = 0
         self._periods = 0
         self._cluster = None
@@ -139,6 +142,55 @@ class InvariantMonitor:
         self._max_servers = np.array(
             [idc.config.max_servers for idc in scenario.cluster.idcs],
             dtype=float)
+
+    def snapshot(self) -> dict:
+        """Picklable copy of all accumulated monitoring state.
+
+        The cluster binding is deliberately excluded (live plant object);
+        :meth:`restore` assumes :meth:`begin_run` re-bound the monitor to
+        the resumed scenario first.
+        """
+        def _arr(a):
+            return None if a is None else np.asarray(a).copy()
+
+        return {
+            "violations": [v.to_dict() for v in self.violations],
+            "counts": dict(self._counts),
+            "rung_counts": dict(self._rung_counts),
+            "state_counts": dict(self._state_counts),
+            "shed_periods": int(self._shed_periods),
+            "actuation_gap_periods": int(self._actuation_gap_periods),
+            "actuation_gap_servers": int(self._actuation_gap_servers),
+            "checks": int(self._checks),
+            "periods": int(self._periods),
+            "budgets": _arr(self._budgets),
+            "prev_prices": _arr(self._prev_prices),
+            "prev_loads": _arr(self._prev_loads),
+            "prev_available": _arr(self._prev_available),
+            "last_disturbance": int(self._last_disturbance),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` on top of a fresh :meth:`begin_run`."""
+        def _arr(a):
+            return None if a is None else np.asarray(a, dtype=float).copy()
+
+        self.violations = [InvariantViolation(**v)
+                           for v in state["violations"]]
+        self._counts = {kind: 0 for kind in self.KINDS}
+        self._counts.update(state["counts"])
+        self._rung_counts = dict(state["rung_counts"])
+        self._state_counts = dict(state["state_counts"])
+        self._shed_periods = int(state["shed_periods"])
+        self._actuation_gap_periods = int(state["actuation_gap_periods"])
+        self._actuation_gap_servers = int(state["actuation_gap_servers"])
+        self._checks = int(state["checks"])
+        self._periods = int(state["periods"])
+        self._budgets = _arr(state["budgets"])
+        self._prev_prices = _arr(state["prev_prices"])
+        self._prev_loads = _arr(state["prev_loads"])
+        self._prev_available = _arr(state["prev_available"])
+        self._last_disturbance = int(state["last_disturbance"])
 
     # ------------------------------------------------------------------
     @property
@@ -164,6 +216,11 @@ class InvariantMonitor:
             out[f"monitor_state_{state}"] = n
         if self._shed_periods:
             out["monitor_shed_periods"] = self._shed_periods
+        if self._actuation_gap_periods:
+            out["monitor_actuation_gap_periods"] = \
+                self._actuation_gap_periods
+            out["monitor_actuation_gap_servers"] = \
+                self._actuation_gap_servers
         return out
 
     def summary(self) -> str:
@@ -200,12 +257,21 @@ class InvariantMonitor:
     def observe(self, *, period: int, time_seconds: float,
                 loads: np.ndarray, prices: np.ndarray, decision,
                 workloads: np.ndarray, powers_watts: np.ndarray,
-                servers: np.ndarray, latencies: np.ndarray) -> None:
+                servers: np.ndarray, latencies: np.ndarray,
+                applied_servers: np.ndarray | None = None) -> None:
         """Check every invariant for one applied control period.
 
         ``decision`` is the policy's raw :class:`AllocationDecision` —
         deliberately *before* the engine's ``astype(int)`` cast, so a
         fractional server count is caught instead of silently truncated.
+        ``applied_servers``, when given, carries the counts the plant
+        actually ran after the actuation layer (command drops, lag,
+        partial application); they are held to the same bounds and
+        integrality as the commanded counts, a commanded/applied gap is
+        registered as a disturbance for the budget-grace clock (the
+        tracking loop must re-converge around the plant's true state),
+        and the gap totals surface as ``monitor_actuation_gap_*``
+        counters.
         """
         if self._cluster is None:
             raise RuntimeError("begin_run() must be called before observe()")
@@ -299,12 +365,43 @@ class InvariantMonitor:
                          f"IDC {j}: non-integer server count "
                          f"{raw_servers[j]!r}", magnitude=float(frac[j]))
 
-        # 4. power budgets after the convergence window --------------------
-        # Anything the tracking loop must re-converge after counts as a
-        # disturbance: price adjustments, portal-load steps, and fleet
-        # availability changes (outage start/end).
+        # 4. commanded/applied reconciliation (actuation layer) ------------
         available = np.array([idc.available_servers
                               for idc in self._cluster.idcs], dtype=float)
+        actuation_gap = 0
+        if applied_servers is not None:
+            self._check()
+            applied = np.asarray(applied_servers, dtype=float).ravel()
+            frac = np.abs(applied - np.round(applied))
+            over = applied - available
+            if np.any(applied < -self.server_tol) or \
+                    np.any(over > self.server_tol):
+                j = int(np.argmax(np.maximum(-applied, over)))
+                self._record(
+                    "actuation", period, t,
+                    f"IDC {j}: applied count {applied[j]:.3f} outside "
+                    f"available [0, {available[j]:.0f}]",
+                    magnitude=float(np.max(np.maximum(-applied, over))))
+            elif np.any(frac > self.server_tol):
+                j = int(np.argmax(frac))
+                self._record(
+                    "actuation", period, t,
+                    f"IDC {j}: non-integer applied count {applied[j]!r}",
+                    magnitude=float(frac[j]))
+            actuation_gap = int(np.sum(np.abs(
+                np.round(applied) - np.round(raw_servers))))
+            if actuation_gap:
+                self._actuation_gap_periods += 1
+                self._actuation_gap_servers += actuation_gap
+
+        # 5. power budgets after the convergence window --------------------
+        # Anything the tracking loop must re-converge after counts as a
+        # disturbance: price adjustments, portal-load steps, fleet
+        # availability changes (outage start/end), and a commanded vs
+        # applied actuation gap (the plant is not where the controller
+        # put it, so tracking has to pull it back first).
+        if actuation_gap:
+            self._last_disturbance = period
         for prev, now in ((self._prev_prices, prices),
                           (self._prev_loads, loads),
                           (self._prev_available, available)):
@@ -334,7 +431,7 @@ class InvariantMonitor:
                         magnitude=float((powers[j] - self._budgets[j])
                                         / max(self._budgets[j], 1.0)))
 
-            # 5. reference-clamp correctness (no grace: the clamp is
+            # 6. reference-clamp correctness (no grace: the clamp is
             #    what *creates* convergence, so it must always hold).
             ref = decision.diagnostics.get("reference_powers_mw") \
                 if isinstance(decision.diagnostics, dict) else None

@@ -91,6 +91,23 @@ class ARWorkloadPredictor:
             lags.appendleft(pred)
         return out
 
+    def snapshot(self) -> dict:
+        """Picklable copy of the predictor state (history + RLS)."""
+        return {"history": list(self._history),
+                "n_observed": int(self.n_observed),
+                "rls": self._rls.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` (continues bit-exact from there)."""
+        history = list(state["history"])
+        if len(history) > self.order:
+            raise ModelError(
+                f"snapshot history has {len(history)} entries, order is "
+                f"{self.order}")
+        self._history = deque(history, maxlen=self.order)
+        self.n_observed = int(state["n_observed"])
+        self._rls.restore(state["rls"])
+
     def observe_series(self, series: np.ndarray) -> np.ndarray:
         """Feed a whole series; returns one-step-ahead prediction errors.
 

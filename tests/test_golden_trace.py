@@ -50,3 +50,42 @@ def test_server_trajectory_matches(golden_and_fresh):
     fresh = np.array([result.servers[i] for i in golden["sample_periods"]])
     # integer counts must match exactly — a off-by-one server is drift
     np.testing.assert_array_equal(fresh, np.array(golden["servers"]))
+
+
+def test_crash_resume_reproduces_golden_trace(golden_and_fresh, tmp_path):
+    """Kill the golden run mid-day, resume it, demand bit-exactness.
+
+    The resumed run restores from the last checkpoint, re-executes the
+    tail, and must reproduce the uninterrupted full-day trajectory
+    bit-for-bit — servers, powers, allocations and total cost.  The
+    checkpoint cadence (7) deliberately does not divide the crash period,
+    so a few already-logged decisions are re-executed and verified
+    against their WAL digests.
+    """
+    from repro.resilience import CrashInjector, SimulatedCrashError
+
+    golden, uninterrupted = golden_and_fresh
+    wal = str(tmp_path / "golden.wal")
+    scenario = paper_scenario(dt=golden["dt"], duration=golden["duration"])
+    crash_at = scenario.n_periods // 2
+    policy = CostMPCPolicy(scenario.cluster, MPCPolicyConfig(dt=golden["dt"]))
+    with pytest.raises(SimulatedCrashError):
+        run_simulation(scenario, CrashInjector(policy, crash_at),
+                       wal_path=wal, checkpoint_every=7)
+
+    scenario2 = paper_scenario(dt=golden["dt"], duration=golden["duration"])
+    policy2 = CostMPCPolicy(scenario2.cluster,
+                            MPCPolicyConfig(dt=golden["dt"]))
+    resumed = run_simulation(scenario2, policy2, resume_from=wal)
+
+    counters = resumed.perf["counters"]
+    assert counters["resumed_from_period"] == crash_at - crash_at % 7
+    assert counters["wal_tail_replayed"] == crash_at % 7
+    assert counters["wal_tail_mismatches"] == 0
+    np.testing.assert_array_equal(resumed.servers, uninterrupted.servers)
+    np.testing.assert_array_equal(resumed.powers_watts,
+                                  uninterrupted.powers_watts)
+    np.testing.assert_array_equal(resumed.allocations,
+                                  uninterrupted.allocations)
+    np.testing.assert_array_equal(resumed.cost_usd, uninterrupted.cost_usd)
+    assert resumed.total_cost_usd == uninterrupted.total_cost_usd

@@ -136,10 +136,11 @@ class TestTelemetryFaults:
             PriceFeedDropout("michigan", 0.0, 1.0),
             SensorGap(0, 0.0, 1.0),
         ]
-        outages, price_faults, sensor_faults = split_faults(faults)
-        assert outages == [faults[0]]
-        assert price_faults == [faults[1]]
-        assert sensor_faults == [faults[2]]
+        groups = split_faults(faults)
+        assert groups.outages == [faults[0]]
+        assert groups.price_faults == [faults[1]]
+        assert groups.sensor_faults == [faults[2]]
+        assert groups.actuation_faults == []
 
     def test_split_faults_rejects_unknown_type(self):
         with pytest.raises(ConfigurationError):
