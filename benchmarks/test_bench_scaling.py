@@ -1,8 +1,12 @@
-"""Scaling benchmark for the structure-exploiting linear-algebra kernels.
+"""Scaling benchmarks: linear-algebra kernels and the fleet engine.
 
-Sweeps the two size axes of the paper's problem — the number of IDCs
-``N`` and the prediction horizon ``β₁`` — and times each structured
-kernel against the dense path it replaces on the same condensed MPC QP:
+Two independent sweeps land in ``BENCH_scaling.json`` (each test merges
+its own section, preserving the other's):
+
+**Kernel scaling** sweeps the two size axes of the paper's problem — the
+number of IDCs ``N`` and the prediction horizon ``β₁`` — and times each
+structured kernel against the dense path it replaces on the same
+condensed MPC QP:
 
 * ADMM with the reduced (Schur-complement + matrix-free constraint
   operator) KKT back-end vs the dense (n+m)×(n+m) LU back-end, at a
@@ -16,19 +20,28 @@ kernel against the dense path it replaces on the same condensed MPC QP:
 * Horizon stacking via the β₁ distinct Toeplitz blocks vs the legacy
   per-block Python copy loop.
 
-Results land in ``BENCH_scaling.json`` at the repo root (see
-``scripts/bench_smoke.sh``).  The hard assertion is the headline claim:
-at the largest configuration the structured ADMM path must beat the
-dense one by at least 3× per solve.
+The hard assertion is the headline claim: at the largest configuration
+the structured ADMM path must beat the dense one by at least 3× per
+solve.
+
+**Scenario scaling** sweeps the fleet width ``S`` of a Monte-Carlo
+study: ``S`` price/workload-perturbed replicas of the paper's
+price-step experiment, run once as ``S`` looped scalar simulations and
+once through the batched engine (:func:`repro.sim.run_batch`), with
+per-lane total costs cross-checked.  Acceptance: batched beats looped
+by ≥ 5× at S = 100, and a 1000-scenario fleet costs no more than 3×
+one scalar full-day run.
 """
 
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.control import DiscreteStateSpace, build_horizon
+from repro.core import CostMPCPolicy, MPCPolicyConfig
 from repro.optim import (
     KKTFactorCache,
     MPCConstraintOperator,
@@ -36,11 +49,32 @@ from repro.optim import (
     solve_qp,
     solve_qp_admm,
 )
+from repro.sim import (
+    monte_carlo_scenarios,
+    paper_scenario,
+    run_batch,
+    run_simulation,
+)
 
 CONFIGS = [(n, b1) for n in (3, 10, 30) for b1 in (5, 15, 30)]
 ADMM_ITERS = 60       # fixed per-solve work for a fair dense/reduced race
 REPEATS = 3
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+SCENARIO_SWEEP = (1, 10, 100)   # looped-vs-batched comparison widths
+MC_FLEET = 1000                 # headline batched-only fleet width
+
+
+def _write_sections(update: dict) -> None:
+    """Merge ``update`` into BENCH_scaling.json, keeping other sections."""
+    data = {}
+    if OUTPUT.exists():
+        try:
+            data = json.loads(OUTPUT.read_text())
+        except ValueError:
+            data = {}
+    data.update(update)
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _best_of(fn, repeats=REPEATS):
@@ -177,9 +211,9 @@ def _bench_config(n_idcs, horizon_pred):
 
 def test_bench_kernel_scaling():
     rows = [_bench_config(n, b1) for n, b1 in CONFIGS]
-    OUTPUT.write_text(json.dumps(
+    _write_sections(
         {"benchmark": "kernel_scaling", "admm_fixed_iterations": ADMM_ITERS,
-         "configs": rows}, indent=2) + "\n")
+         "configs": rows})
 
     for row in rows:
         # The two ADMM back-ends run the same iteration — any divergence
@@ -214,3 +248,80 @@ def test_bench_scaling_trend_is_monotone():
     small = _bench_config(3, 5)
     large = _bench_config(30, 30)
     assert large["admm"]["speedup"] > small["admm"]["speedup"]
+
+
+# ---------------------------------------------------------------------------
+# Scenario-axis sweep: the batched fleet engine
+# ---------------------------------------------------------------------------
+def _run_looped(scenarios, cfg):
+    out = []
+    for sc in scenarios:
+        policy = CostMPCPolicy(sc.cluster, replace(cfg, dt=float(sc.dt)))
+        out.append(run_simulation(sc, policy))
+    return out
+
+
+def test_bench_scenario_scaling():
+    cfg = MPCPolicyConfig(dt=30.0)
+
+    # reference unit of work: one scalar full-day closed-loop run
+    day = paper_scenario(dt=30.0, duration=24 * 3600.0)
+    t0 = time.perf_counter()
+    run_simulation(day, CostMPCPolicy(day.cluster, cfg))
+    t_day = time.perf_counter() - t0
+
+    rows = []
+    for width in SCENARIO_SWEEP:
+        scens_l = monte_carlo_scenarios(width, seed=0)
+        t0 = time.perf_counter()
+        looped = _run_looped(scens_l, cfg)
+        t_loop = time.perf_counter() - t0
+
+        scens_b = monte_carlo_scenarios(width, seed=0)
+        t0 = time.perf_counter()
+        # "exact" warm start = per-lane scalar LP at period 0, the
+        # trajectory-equivalent mode — this sweep asserts agreement, so
+        # it must not compare across the LP's degenerate-split freedom
+        batched = run_batch(scens_b, cfg, warm_start="exact")
+        t_batch = time.perf_counter() - t0
+
+        cost_gap = max(
+            abs(b.total_cost_usd - l.total_cost_usd)
+            / max(abs(l.total_cost_usd), 1e-12)
+            for b, l in zip(batched, looped))
+        rows.append({
+            "n_scenarios": width,
+            "n_periods": scens_b[0].n_periods,
+            "looped_seconds": t_loop,
+            "batched_seconds": t_batch,
+            "speedup": t_loop / t_batch,
+            "max_cost_reldiff": cost_gap,
+        })
+
+    scens = monte_carlo_scenarios(MC_FLEET, seed=0)
+    t0 = time.perf_counter()
+    fleet = run_batch(scens, cfg, warm_start="waterfill")
+    t_fleet = time.perf_counter() - t0
+    costs = np.array([r.total_cost_usd for r in fleet])
+
+    _write_sections({"scenario_scaling": {
+        "full_day_scalar_seconds": t_day,
+        "sweep": rows,
+        "fleet": {
+            "n_scenarios": MC_FLEET,
+            "batched_seconds": t_fleet,
+            "vs_full_day": t_fleet / t_day,
+            "cost_mean_usd": float(costs.mean()),
+            "cost_std_usd": float(costs.std()),
+        },
+    }})
+
+    # the batched path is a pure perf transformation — per-lane totals
+    # must agree with the looped scalar runs at every width
+    for row in rows:
+        assert row["max_cost_reldiff"] < 1e-3, row
+    # headline acceptance: >= 5x over looped at S=100, and a
+    # 1000-scenario Monte Carlo within 3x of one scalar full day
+    assert rows[-1]["n_scenarios"] == 100
+    assert rows[-1]["speedup"] >= 5.0, rows[-1]
+    assert t_fleet <= 3.0 * t_day, (t_fleet, t_day)

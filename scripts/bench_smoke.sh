@@ -33,4 +33,14 @@ for row in data["configs"]:
               a=row["admm"]["speedup"],
               w=row["active_set"]["speedup"],
               h=row["horizon_assembly"]["speedup"], **row))
+
+sc = data["scenario_scaling"]
+print("BENCH_scaling.json (batched fleet engine vs looped scalar):")
+for row in sc["sweep"]:
+    print("  S={n_scenarios}: batched x{speedup:.1f} "
+          "(cost agreement {max_cost_reldiff:.1e})".format(**row))
+fleet = sc["fleet"]
+print("  S={n} fleet: {t:.2f} s = {r:.2f}x one scalar full day".format(
+    n=fleet["n_scenarios"], t=fleet["batched_seconds"],
+    r=fleet["vs_full_day"]))
 EOF

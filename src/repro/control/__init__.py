@@ -28,9 +28,10 @@ from .reference import (
     constant_reference,
     first_order_approach,
     integrate_rates,
+    integrate_rates_batch,
     ramp_reference,
 )
-from .rls import RecursiveLeastSquares
+from .rls import BatchRecursiveLeastSquares, RecursiveLeastSquares
 from .stability import (
     estimate_contraction,
     is_schur_stable,
@@ -62,12 +63,14 @@ __all__ = [
     "MPCSolution",
     "InputConstraintSet",
     "RecursiveLeastSquares",
+    "BatchRecursiveLeastSquares",
     "KalmanFilter",
     "local_linear_trend_model",
     "constant_reference",
     "ramp_reference",
     "clamp_reference",
     "integrate_rates",
+    "integrate_rates_batch",
     "first_order_approach",
     "spectral_radius",
     "is_schur_stable",

@@ -119,6 +119,19 @@ class HorizonMatrices:
         u_prev = np.asarray(u_prev, dtype=float).ravel()
         return self.F_x @ x + self.F_u @ u_prev + self.f_w
 
+    def free_response_batch(self, X, U_prev) -> np.ndarray:
+        """Stacked free responses for ``S`` scenarios, shape ``(S, β₁ny)``.
+
+        ``X`` is ``(S, n_states)`` states and ``U_prev`` ``(S, nu)``
+        previous inputs; the operators — shared across the batch — are
+        applied as two matmuls over the scenario axis.  Lane ``s``
+        equals ``free_response(X[s], U_prev[s])`` (same elementwise
+        products, summed in the same order by the underlying GEMM).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        U_prev = np.atleast_2d(np.asarray(U_prev, dtype=float))
+        return X @ self.F_x.T + U_prev @ self.F_u.T + self.f_w
+
 
 @lru_cache(maxsize=256)
 def _move_selector_cached(n_inputs: int, horizon_ctrl: int,

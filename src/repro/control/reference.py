@@ -17,6 +17,7 @@ __all__ = [
     "ramp_reference",
     "clamp_reference",
     "integrate_rates",
+    "integrate_rates_batch",
     "first_order_approach",
 ]
 
@@ -67,6 +68,26 @@ def integrate_rates(initial, rates, dt: float) -> np.ndarray:
     if dt <= 0:
         raise ModelError("dt must be positive")
     return initial + dt * np.cumsum(rates, axis=0)
+
+
+def integrate_rates_batch(initial, rates, dt: float) -> np.ndarray:
+    """Batched :func:`integrate_rates` over a leading scenario axis.
+
+    ``initial`` is ``(S, ny)`` cumulative states and ``rates`` is
+    ``(S, β₁, ny)`` per-scenario rate targets; returns the stacked
+    cumulative references ``initial[:, None] + dt * cumsum(rates,
+    axis=1)``.  Lane ``s`` equals ``integrate_rates(initial[s],
+    rates[s], dt)``.
+    """
+    rates = np.asarray(rates, dtype=float)
+    initial = np.atleast_2d(np.asarray(initial, dtype=float))
+    if rates.ndim != 3:
+        raise ModelError("rates must have shape (S, horizon, ny)")
+    if initial.shape != (rates.shape[0], rates.shape[2]):
+        raise ModelError("initial and rates dimension mismatch")
+    if dt <= 0:
+        raise ModelError("dt must be positive")
+    return initial[:, None, :] + dt * np.cumsum(rates, axis=1)
 
 
 def first_order_approach(current, target, horizon: int,

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..exceptions import ModelError
 
-__all__ = ["RecursiveLeastSquares"]
+__all__ = ["RecursiveLeastSquares", "BatchRecursiveLeastSquares"]
 
 
 class RecursiveLeastSquares:
@@ -114,6 +114,85 @@ class RecursiveLeastSquares:
             raise ModelError(
                 f"snapshot has {theta.size} parameters, estimator has "
                 f"{self.n_params}")
+        self.theta = theta.copy()
+        self.P = np.asarray(state["P"], dtype=float).copy()
+        self.n_updates = int(state["n_updates"])
+
+
+class BatchRecursiveLeastSquares:
+    """``B`` independent RLS estimators advanced in lockstep.
+
+    The fleet-scale batch engine runs one AR(p) workload tracker per
+    (scenario, portal) channel; updating them one Python object at a
+    time dominates the vectorized hot loop.  This estimator stacks the
+    ``B`` channels — ``theta`` is ``(B, p)``, the covariances ``(B, p,
+    p)`` — and advances every gain update with batched einsum
+    contractions.  Each channel's algebra is the scalar covariance form
+    of :class:`RecursiveLeastSquares` (same update, same forgetting,
+    same symmetrization); channels never interact.
+    """
+
+    def __init__(self, n_channels: int, n_params: int,
+                 forgetting: float = 0.98,
+                 initial_covariance: float = 1e4) -> None:
+        if n_channels < 1:
+            raise ModelError("n_channels must be >= 1")
+        if n_params < 1:
+            raise ModelError("n_params must be >= 1")
+        if not 0.0 < forgetting <= 1.0:
+            raise ModelError(f"forgetting must be in (0, 1], got {forgetting}")
+        if initial_covariance <= 0:
+            raise ModelError("initial_covariance must be positive")
+        self.n_channels = int(n_channels)
+        self.n_params = int(n_params)
+        self.forgetting = float(forgetting)
+        self._p0 = float(initial_covariance)
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero parameters, reset every channel's covariance."""
+        B, p = self.n_channels, self.n_params
+        self.theta = np.zeros((B, p))
+        self.P = np.broadcast_to(np.eye(p) * self._p0, (B, p, p)).copy()
+        self.n_updates = 0
+
+    def predict(self, Phi: np.ndarray) -> np.ndarray:
+        """Per-channel model outputs ``Phi[b] @ theta[b]``, shape (B,)."""
+        Phi = np.asarray(Phi, dtype=float).reshape(self.n_channels,
+                                                   self.n_params)
+        return np.einsum("bp,bp->b", Phi, self.theta)
+
+    def update(self, Phi: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """One gain update across all channels; returns a-priori errors.
+
+        ``Phi`` is ``(B, p)`` regressors, ``y`` the ``(B,)`` targets.
+        """
+        Phi = np.asarray(Phi, dtype=float).reshape(self.n_channels,
+                                                   self.n_params)
+        y = np.asarray(y, dtype=float).ravel()
+        err = y - np.einsum("bp,bp->b", Phi, self.theta)
+        PPhi = np.einsum("bpq,bq->bp", self.P, Phi)
+        denom = self.forgetting + np.einsum("bp,bp->b", Phi, PPhi)
+        K = PPhi / denom[:, None]
+        self.theta = self.theta + K * err[:, None]
+        self.P = (self.P - K[:, :, None] * PPhi[:, None, :]) \
+            / self.forgetting
+        self.P = 0.5 * (self.P + np.swapaxes(self.P, 1, 2))
+        self.n_updates += 1
+        return err
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the stacked estimator state."""
+        return {"theta": self.theta.copy(), "P": self.P.copy(),
+                "n_updates": int(self.n_updates)}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; the snapshot stays reusable."""
+        theta = np.asarray(state["theta"], dtype=float)
+        if theta.shape != (self.n_channels, self.n_params):
+            raise ModelError(
+                f"snapshot theta has shape {theta.shape}, estimator is "
+                f"({self.n_channels}, {self.n_params})")
         self.theta = theta.copy()
         self.P = np.asarray(state["P"], dtype=float).copy()
         self.n_updates = int(state["n_updates"])

@@ -12,6 +12,11 @@ from .constraints import (
     capacity_rhs,
     conservation_matrix,
 )
+from .batch_controller import (
+    BatchAllocationDecision,
+    BatchCostMPCPolicy,
+    batch_incompatibility,
+)
 from .controller import CostMPCPolicy, MPCPolicyConfig
 from .deferral import BatchQueue, DeferralConfig, DeferralPolicy
 from .green import GreenAllocation, GreenOptimalPolicy, solve_green_allocation
@@ -22,7 +27,12 @@ from .peak_shaving import (
     clamp_powers,
     normalize_budgets,
 )
-from .reference_opt import OptimalAllocation, solve_optimal_allocation
+from .reference_opt import (
+    BatchOptimalAllocation,
+    OptimalAllocation,
+    solve_optimal_allocation,
+    solve_optimal_allocation_batch,
+)
 
 __all__ = [
     "CostModelBuilder",
@@ -33,13 +43,18 @@ __all__ = [
     "capacity_rhs",
     "build_constraints",
     "solve_optimal_allocation",
+    "solve_optimal_allocation_batch",
     "OptimalAllocation",
+    "BatchOptimalAllocation",
     "clamp_powers",
     "normalize_budgets",
     "budget_violations",
     "BudgetViolation",
     "CostMPCPolicy",
     "MPCPolicyConfig",
+    "BatchCostMPCPolicy",
+    "BatchAllocationDecision",
+    "batch_incompatibility",
     "DeferralPolicy",
     "DeferralConfig",
     "BatchQueue",

@@ -1,0 +1,536 @@
+"""Batched fleet-scale variant of the electricity-cost MPC.
+
+:class:`BatchCostMPCPolicy` advances ``S`` *independent* scenarios of
+the paper's controller (:class:`repro.core.CostMPCPolicy`) as stacked
+tensors in one process.  The key structural facts that make this cheap:
+
+* In the default configuration (``output="energy"``,
+  ``model_mode="sleep_substituted"``) the C-projected horizon operators
+  ``Θ, F_x, F_u, f_w`` from :func:`repro.control.build_horizon` are
+  *price-invariant* — the state matrix has only its cost row nonzero, so
+  ``A² = 0`` and the energy-output projections collapse to constants.
+  One structural build therefore serves every scenario; only the linear
+  term, the constraint right-hand sides, and the states vary per lane.
+* The stacked-QP Hessian ``P = 2Θ'QΘ + 2R`` and the ΔU-space constraint
+  matrix are likewise shared, so the batched ADMM solver
+  (:func:`repro.optim.solve_qp_admm_batch`) runs every scenario's
+  iterates through **one** Cholesky factorization, with per-lane
+  vectors as the only per-scenario state.
+* The budget-free reference LP has a closed-form waterfill solution
+  (:func:`repro.core.solve_optimal_allocation_batch`), so all lanes'
+  reference trajectories come from a few vectorized passes instead of
+  ``S`` simplex solves.
+
+Lanes whose ADMM iterates fail to converge ("stragglers") fall back to
+the exact scalar :class:`repro.control.ModelPredictiveController`
+(active-set backend) one lane at a time — correctness never depends on
+the batched path converging.
+
+Configurations outside the shared-structure regime (finite budgets,
+power schedules, fallback ladder, certification, ``fixed_servers``
+mode …) are rejected by :func:`batch_incompatibility`; the batch engine
+routes such scenarios through the scalar engine instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..control import ModelPredictiveController, build_horizon, \
+    integrate_rates_batch, move_selector
+from ..control.mpc import InputConstraintSet
+from ..datacenter.cluster import IDCCluster
+from ..exceptions import ConfigurationError
+from ..optim import prepare_batch_admm, solve_qp_admm_batch
+from ..sim.policy import AllocationDecision
+from ..sim.profiling import BatchPerfStats
+from .constraints import capacity_matrix, capacity_rhs, conservation_matrix
+from .controller import MPCPolicyConfig
+from .model import CostModelBuilder
+from .peak_shaving import normalize_budgets
+from .reference_opt import (
+    solve_optimal_allocation,
+    solve_optimal_allocation_batch,
+)
+
+__all__ = ["BatchAllocationDecision", "BatchCostMPCPolicy",
+           "batch_incompatibility"]
+
+
+def batch_incompatibility(config: MPCPolicyConfig) -> str | None:
+    """Why ``config`` cannot run on the batched hot path (None = it can).
+
+    The batched controller shares the horizon operators, Hessian and
+    constraint matrices across scenarios; every config feature that
+    breaks that sharing (or needs the scalar solver's machinery every
+    period) is rejected here, and the batch engine falls back to the
+    scalar engine for such lanes.
+    """
+    if config.output != "energy":
+        return f"output mode {config.output!r} (batched path needs 'energy')"
+    if config.model_mode != "sleep_substituted":
+        return (f"model mode {config.model_mode!r} (batched path needs "
+                "'sleep_substituted')")
+    if config.budgets_watts is not None:
+        raw = ([config.budgets_watts] if np.isscalar(config.budgets_watts)
+               else list(config.budgets_watts))
+        budgets = normalize_budgets(raw, len(raw))
+        if np.any(np.isfinite(budgets)):
+            return ("finite power budgets (reference waterfill is "
+                    "budget-free)")
+    if config.power_schedule_watts is not None:
+        return "power schedule tracking"
+    if config.hard_budget_constraints:
+        return "hard budget constraint rows"
+    if config.fallback_ladder:
+        return "fallback ladder"
+    if config.certify:
+        return "KKT certification"
+    if config.capture_problems:
+        return "QP capture"
+    if config.deadline_seconds is not None:
+        return "per-step deadline"
+    return None
+
+
+@dataclass
+class BatchAllocationDecision:
+    """One control period's decisions for all ``S`` scenarios.
+
+    Attributes
+    ----------
+    u:
+        Allocations, shape ``(S, N·C)``.
+    servers:
+        Integer server commands, shape ``(S, N)``.
+    powers_mw:
+        Model power draw of the commanded operating point, ``(S, N)``.
+    diagnostics:
+        Per-lane diagnostics dicts (same keys as the scalar policy's).
+    """
+
+    u: np.ndarray
+    servers: np.ndarray
+    powers_mw: np.ndarray
+    diagnostics: list
+
+    def lane(self, index: int) -> AllocationDecision:
+        """The scalar-engine view of one lane's decision."""
+        return AllocationDecision(u=self.u[index],
+                                  servers=self.servers[index],
+                                  diagnostics=self.diagnostics[index])
+
+
+class BatchCostMPCPolicy:
+    """``S`` independent cost-MPC controllers advanced in lockstep.
+
+    Parameters
+    ----------
+    cluster:
+        A *representative* cluster: every batched scenario must share its
+        structure (IDC count, portals, power coefficients, service
+        rates, latency bounds, fleet sizes) — the batch engine groups
+        scenarios by exactly that signature.
+    config:
+        The shared controller tuning; must pass
+        :func:`batch_incompatibility`.
+    n_scenarios:
+        The batch width ``S``.
+    perf:
+        Optional shared :class:`repro.sim.BatchPerfStats`; one is
+        created when omitted.
+    warm_start:
+        Period-0 warm-start construction.  ``"exact"`` (default) solves
+        the scalar reference LP per lane so the batch starts from the
+        *identical simplex vertex* the scalar policy starts from —
+        required for batched-vs-looped trajectory equivalence, because
+        the LP optimum is split-degenerate and the closed loop is
+        split-sensitive.  ``"waterfill"`` uses the vectorized greedy
+        solution (same per-IDC totals, canonical per-portal split) —
+        equally optimal and ~1000× cheaper at Monte-Carlo widths, for
+        sweeps that never compare against looped runs step-by-step.
+    """
+
+    #: bound on the batched reference memo (distinct price/load keys).
+    REF_CACHE_SIZE = 4096
+
+    def __init__(self, cluster: IDCCluster,
+                 config: MPCPolicyConfig | None = None,
+                 n_scenarios: int = 1,
+                 perf: BatchPerfStats | None = None,
+                 warm_start: str = "exact") -> None:
+        self.cluster = cluster
+        self.config = config or MPCPolicyConfig()
+        reason = batch_incompatibility(self.config)
+        if reason is not None:
+            raise ConfigurationError(
+                f"config not batchable: {reason}; run it through the "
+                "scalar engine instead")
+        if n_scenarios < 1:
+            raise ConfigurationError("n_scenarios must be >= 1")
+        if warm_start not in ("exact", "waterfill"):
+            raise ConfigurationError(
+                f"warm_start must be 'exact' or 'waterfill', "
+                f"got {warm_start!r}")
+        self.warm_start = warm_start
+        self.n_scenarios = int(n_scenarios)
+        self.builder = CostModelBuilder(cluster)
+        self.name = "mpc_batch"
+        n = cluster.n_idcs
+        self._b1 = np.array([idc.config.power_model.b1
+                             for idc in cluster.idcs])
+        self._b0 = np.array([idc.config.power_model.b0
+                             for idc in cluster.idcs])
+        self._mu = np.array([idc.config.service_rate
+                             for idc in cluster.idcs])
+        self._inv_d = np.array([1.0 / idc.config.latency_bound
+                                for idc in cluster.idcs])
+        self._fleet = np.array([idc.available_servers
+                                for idc in cluster.idcs], dtype=float)
+        self._n, self._c = n, cluster.n_portals
+        self.perf = perf if perf is not None \
+            else BatchPerfStats(self.n_scenarios)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every lane to the pre-simulation state."""
+        S = self.n_scenarios
+        self._X = np.tile(self.builder.initial_state(), (S, 1))
+        self._U_prev: np.ndarray | None = None
+        self._servers = np.tile(
+            np.array([idc.servers_on for idc in self.cluster.idcs]), (S, 1))
+        self._pending: tuple[np.ndarray, np.ndarray] | None = None
+        self._ops: dict | None = None
+        self._ref_cache: OrderedDict = OrderedDict()
+        self._warm: tuple[np.ndarray, np.ndarray] | None = None
+        self._fallback: ModelPredictiveController | None = None
+
+    # ------------------------------------------------------------------
+    # vectorized counterparts of the scalar policy's state updates
+    # ------------------------------------------------------------------
+    def _idc_workloads(self, U: np.ndarray) -> np.ndarray:
+        """Per-IDC totals ``λ_j`` for stacked allocations, ``(S, N)``."""
+        return U.reshape(-1, self._n, self._c).sum(axis=2)
+
+    def _powers_mw(self, lam: np.ndarray, servers: np.ndarray) -> np.ndarray:
+        """Model power (MW) of stacked operating points, ``(S, N)``."""
+        return (self._b1 * lam + self._b0 * np.round(servers)) * 1e-6
+
+    def _servers_for_loads(self, lam: np.ndarray) -> np.ndarray:
+        """Eq. 35 per (lane, IDC), capped at the fleet (CapacityError →
+        whole fleet, matching the scalar policy's fallback)."""
+        m = np.ceil(lam / self._mu + self._inv_d / self._mu - 1e-9)
+        m = np.maximum(m, 1.0)
+        return np.where(m > self._fleet, self._fleet, m).astype(int)
+
+    def _integrate_pending(self, prices: np.ndarray) -> None:
+        """Advance every lane's [C̄, E] by the period that just elapsed."""
+        if self._pending is None:
+            return
+        U, M = self._pending
+        powers_mw = self._powers_mw(self._idc_workloads(U), M)
+        dt = self.config.dt
+        self._X[:, 0] += np.sum(prices * (self._X[:, 1:] / 3600.0),
+                                axis=1) * dt
+        self._X[:, 1:] += powers_mw * dt
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # shared structural operators (built once per batch)
+    # ------------------------------------------------------------------
+    def _shared_operators(self, prices_row: np.ndarray) -> dict:
+        """Horizon/Hessian/constraint stacks shared by every lane.
+
+        Valid because the energy-output, sleep-substituted horizon
+        projections are price-invariant (see the module docstring); the
+        representative lane's prices only seed the builder's cache key.
+        """
+        if self._ops is not None:
+            return self._ops
+        cfg = self.config
+        model = self.builder.discrete(prices_row, self._servers[0], cfg.dt,
+                                      output=cfg.output, mode=cfg.model_mode)
+        H = build_horizon(model, cfg.horizon_pred, cfg.horizon_ctrl)
+        ny, nu = H.n_outputs, H.n_inputs
+        ndu = nu * cfg.horizon_ctrl
+        q_diag = np.full(cfg.horizon_pred * ny, cfg.q_weight)
+        ThetaT_2Q = 2.0 * (H.Theta.T * q_diag)
+        P = ThetaT_2Q @ H.Theta + 2.0 * cfg.r_weight * np.eye(ndu)
+        P = 0.5 * (P + P.T)
+        Hc = conservation_matrix(self.cluster)
+        Psi = capacity_matrix(self.cluster)
+        phi = capacity_rhs(self.cluster, None)
+        eq_blocks, in_blocks = [], []
+        for i in range(cfg.horizon_ctrl):
+            T = move_selector(nu, cfg.horizon_ctrl, i)
+            eq_blocks.append(Hc @ T)
+            in_blocks.append(Psi @ T)
+            in_blocks.append(-T)           # lower bound U >= 0
+        A_eq_stack = np.vstack(eq_blocks)
+        A_in_stack = np.vstack(in_blocks)
+        A_box = np.vstack([A_eq_stack, A_in_stack])
+        with self.perf.shared.stage("batch_factorize"):
+            setup = prepare_batch_admm(P, A_box,
+                                       n_eq=A_eq_stack.shape[0])
+        self._ops = {
+            "horizon": H, "ny": ny, "nu": nu, "ndu": ndu,
+            "q_diag": q_diag, "ThetaT_2Q": ThetaT_2Q, "P": P,
+            "Hc": Hc, "Psi": Psi, "phi": phi,
+            "A_box": A_box, "n_eq": A_eq_stack.shape[0],
+            "n_in": A_in_stack.shape[0], "setup": setup,
+        }
+        return self._ops
+
+    # ------------------------------------------------------------------
+    # reference construction (batched waterfill + memo)
+    # ------------------------------------------------------------------
+    def _reference_powers_mw(self, prices: np.ndarray,
+                             loads_seq: np.ndarray,
+                             uniform: bool = False) -> np.ndarray:
+        """Reference power targets for all lanes, shape ``(S, β₁, N)``.
+
+        Distinct (prices, loads) keys are memoized exactly like the
+        scalar policy's LRU; all misses across the whole batch are
+        solved in **one** vectorized waterfill call.  ``uniform`` marks
+        that every horizon step shares the lane's measured loads (no
+        forecast), collapsing the key loop to one lookup per lane.
+        """
+        S = self.n_scenarios
+        beta1 = self.config.horizon_pred
+        rows = 1 if uniform else loads_seq.shape[1]
+        steps = range(1) if uniform else range(beta1)
+        out = np.empty((S, beta1, self._n))
+        keys = np.empty((S, rows if uniform else beta1), dtype=object)
+        missing: OrderedDict = OrderedDict()
+        prices_r = np.round(prices, 6)
+        loads_r = np.round(loads_seq, 3)
+        for s in range(S):
+            pk = prices_r[s].tobytes()
+            for step in steps:
+                row = min(step, rows - 1)
+                key = (pk, loads_r[s, row].tobytes())
+                keys[s, step] = key
+                if key not in self._ref_cache and key not in missing:
+                    missing[key] = (prices[s], loads_seq[s, row])
+        if missing:
+            self.perf.shared.count("ref_cache_misses", len(missing))
+            mp = np.array([v[0] for v in missing.values()])
+            ml = np.array([v[1] for v in missing.values()])
+            alloc = solve_optimal_allocation_batch(self.cluster, mp, ml)
+            for key, powers in zip(missing,
+                                   alloc.powers_watts_relaxed / 1e6):
+                self._ref_cache[key] = powers
+                if len(self._ref_cache) > self.REF_CACHE_SIZE:
+                    self._ref_cache.popitem(last=False)
+        hits = 0
+        for s in range(S):
+            for step in steps:
+                row = self._ref_cache[keys[s, step]]
+                if uniform:
+                    out[s, :] = row
+                else:
+                    out[s, step] = row
+                hits += 1
+        self.perf.shared.count("ref_cache_hits",
+                               hits - len(missing) if missing else hits)
+        return out
+
+    def _loads_sequence(self, loads: np.ndarray,
+                        predicted_loads: np.ndarray | None) -> np.ndarray:
+        """Per-step portal loads over the horizon, shape ``(S, β₂, C)``."""
+        S, b2 = self.n_scenarios, self.config.horizon_ctrl
+        if predicted_loads is None:
+            return np.broadcast_to(loads[:, None, :],
+                                   (S, b2, self._c)).copy()
+        seq = np.asarray(predicted_loads, dtype=float)
+        if seq.ndim == 2:
+            seq = seq[:, None, :]
+        out = np.empty((S, b2, self._c))
+        out[:, 0] = loads               # step 0 uses the *measured* loads
+        for step in range(1, b2):
+            out[:, step] = seq[:, min(step - 1, seq.shape[1] - 1)]
+        return out
+
+    # ------------------------------------------------------------------
+    # the batched QP hot path + per-lane exact fallback
+    # ------------------------------------------------------------------
+    def _fallback_solve(self, ops: dict, lane: int, prices_lane: np.ndarray,
+                        loads_seq_lane: np.ndarray, ref_lane: np.ndarray):
+        """Exact scalar active-set solve for one straggler lane."""
+        cfg = self.config
+        model = self.builder.discrete(prices_lane, self._servers[lane],
+                                      cfg.dt, output=cfg.output,
+                                      mode=cfg.model_mode)
+        cs = InputConstraintSet(A_eq=ops["Hc"], b_eq=loads_seq_lane,
+                                A_ineq=ops["Psi"], b_ineq=ops["phi"],
+                                lower=0.0)
+        if self._fallback is None:
+            self._fallback = ModelPredictiveController(
+                model, cfg.horizon_pred, cfg.horizon_ctrl,
+                q_weight=np.full(ops["ny"], cfg.q_weight),
+                r_weight=cfg.r_weight, constraints=cs,
+                backend="active_set", warm_start=False)
+        else:
+            self._fallback.update_model(model)
+            self._fallback.constraints = cs
+        return self._fallback.control(self._X[lane], self._U_prev[lane],
+                                      ref_lane)
+
+    def _solve(self, ops: dict, prices: np.ndarray, loads_seq: np.ndarray,
+               refs: np.ndarray) -> tuple[np.ndarray, list]:
+        """One stacked QP solve; returns (new allocations, diagnostics)."""
+        cfg = self.config
+        S, nu, ndu = self.n_scenarios, ops["nu"], ops["ndu"]
+        H = ops["horizon"]
+        free = H.free_response_batch(self._X, self._U_prev)
+        targets = refs.reshape(S, -1) - free
+        Qlin = -(targets @ ops["ThetaT_2Q"].T)
+        c0 = (targets ** 2 * ops["q_diag"]).sum(axis=1)
+
+        HU = self._U_prev @ ops["Hc"].T                       # (S, C)
+        lamU = self._idc_workloads(self._U_prev)              # (S, N)
+        b_eq = (loads_seq - HU[:, None, :]).reshape(S, -1)
+        step_in = np.concatenate([ops["phi"] - lamU, self._U_prev], axis=1)
+        b_in = np.tile(step_in, (1, cfg.horizon_ctrl))
+        L = np.concatenate(
+            [b_eq, np.full((S, b_in.shape[1]), -np.inf)], axis=1)
+        U_box = np.concatenate([b_eq, b_in], axis=1)
+
+        X0 = Y0 = None
+        if cfg.warm_start_solver and self._warm is not None:
+            prev_X, prev_Y = self._warm
+            X0 = np.zeros((S, ndu))
+            if cfg.horizon_ctrl > 1:
+                X0[:, :ndu - nu] = prev_X[:, nu:]
+            Y0 = prev_Y
+        res = solve_qp_admm_batch(ops["P"], Qlin, ops["A_box"], L, U_box,
+                                  X0=X0, Y0=Y0, setup=ops["setup"])
+        if cfg.warm_start_solver:
+            self._warm = (res.X.copy(), res.Y.copy())
+        self.perf.shared.count("qp_solves")
+        self.perf.shared.count("qp_iterations", int(res.iterations.max()))
+
+        U_new = np.maximum(self._U_prev + res.X[:, :nu], 0.0)
+        # Exact conservation repair: ADMM meets the Σ_j u_ij = L_i rows
+        # only to solver tolerance (~1e-6 relative), while the scalar
+        # active-set path satisfies them to machine precision — enough
+        # of a gap for the invariant monitor to flag stressed periods.
+        # Rescaling each portal's split onto its observed load closes it
+        # without moving the split proportions the QP chose.
+        target = loads_seq[:, 0, :]
+        split = U_new.reshape(S, self._n, self._c)
+        sums = split.sum(axis=1)
+        scale = np.divide(target, sums, out=np.ones_like(sums),
+                          where=sums > 0)
+        U_new = (split * scale[:, None, :]).reshape(S, nu)
+        diags = [
+            {"qp_status": "optimal" if res.converged[s] else "straggler",
+             "qp_iterations": int(res.iterations[s]),
+             "softened": False,
+             "mpc_cost": float(res.fun[s] + c0[s])}
+            for s in range(S)
+        ]
+        for lane in np.nonzero(~res.converged)[0]:
+            sol = self._fallback_solve(self._ops, int(lane), prices[lane],
+                                       loads_seq[lane],
+                                       refs[lane])
+            U_new[lane] = np.maximum(sol.u, 0.0)
+            diags[lane] = {
+                "qp_status": str(sol.status),
+                "qp_iterations": int(sol.solver_iterations),
+                "softened": bool(sol.softened),
+                "mpc_cost": float(sol.cost),
+                "straggler_fallback": True,
+            }
+            self.perf.lane(int(lane)).count("straggler_fallbacks")
+            if self._warm is not None:
+                # the batched iterate diverged — don't carry it forward
+                self._warm[0][lane] = 0.0
+                self._warm[1][lane] = 0.0
+        return U_new, diags
+
+    # ------------------------------------------------------------------
+    def decide_batch(self, period: int, prices: np.ndarray,
+                     loads: np.ndarray,
+                     predicted_loads: np.ndarray | None = None
+                     ) -> BatchAllocationDecision:
+        """One receding-horizon step for all lanes.
+
+        Parameters
+        ----------
+        period:
+            The control period index (shared across lanes — batched
+            scenarios march in lockstep).
+        prices, loads:
+            Stacked observed prices ``(S, N)`` and portal loads
+            ``(S, C)`` — what each lane's controller *sees* (the batch
+            engine applies telemetry gap-filling before this call).
+        predicted_loads:
+            Optional stacked forecasts ``(S, horizon, C)``.
+        """
+        cfg = self.config
+        S = self.n_scenarios
+        prices = np.asarray(prices, dtype=float).reshape(S, self._n)
+        loads = np.asarray(loads, dtype=float).reshape(S, self._c)
+
+        self._integrate_pending(prices)
+
+        if self._U_prev is None:
+            if not cfg.warm_start_optimal:
+                self._U_prev = np.zeros((S, self.cluster.n_allocations))
+            elif self.warm_start == "exact":
+                # Per-lane *scalar* LP, not the batched waterfill: the
+                # LP optimum is split-degenerate (any per-portal split
+                # with the same per-IDC totals is optimal) and the
+                # closed loop is split-sensitive (the ΔU penalty is
+                # anchored at the warm start), so the batch path must
+                # start from the exact simplex vertex the scalar policy
+                # starts from or the trajectories diverge.  Period 0
+                # only — every later step warm-starts from U_prev.
+                self._U_prev = np.empty((S, self.cluster.n_allocations))
+                self._servers = np.empty((S, self._n), dtype=int)
+                for s in range(S):
+                    alloc = solve_optimal_allocation(self.cluster,
+                                                     prices[s], loads[s])
+                    self._U_prev[s] = alloc.u
+                    self._servers[s] = alloc.servers.astype(int)
+            else:
+                alloc = solve_optimal_allocation_batch(self.cluster,
+                                                       prices, loads)
+                self._U_prev = alloc.u
+                self._servers = alloc.servers.astype(int)
+
+        if period % cfg.slow_period == 0:
+            self._servers = self._servers_for_loads(
+                self._idc_workloads(self._U_prev))
+
+        with self.perf.shared.stage("model"):
+            ops = self._shared_operators(prices[0])
+        loads_seq = self._loads_sequence(loads, predicted_loads)
+        with self.perf.shared.stage("reference"):
+            power_refs = self._reference_powers_mw(
+                prices, loads_seq, uniform=predicted_loads is None)
+            refs = integrate_rates_batch(self._X[:, 1:], power_refs, cfg.dt)
+        with self.perf.shared.stage("mpc_solve"):
+            U_new, diags = self._solve(ops, prices, loads_seq, refs)
+
+        lam_new = self._idc_workloads(U_new)
+        servers = self._servers_for_loads(lam_new)
+        self._U_prev = U_new
+        self._servers = servers
+        self._pending = (U_new.copy(), servers.copy())
+
+        powers_mw = self._powers_mw(lam_new, servers)
+        diagnostics = []
+        for s in range(S):
+            d = {"reference_powers_mw": power_refs[s, 0].copy(),
+                 "powers_mw": powers_mw[s].copy()}
+            d.update(diags[s])
+            diagnostics.append(d)
+        return BatchAllocationDecision(u=U_new, servers=servers,
+                                       powers_mw=powers_mw,
+                                       diagnostics=diagnostics)

@@ -27,7 +27,8 @@ from ..exceptions import InfeasibleProblemError, ModelError
 from ..optim import linprog
 from .constraints import capacity_matrix, conservation_matrix
 
-__all__ = ["OptimalAllocation", "solve_optimal_allocation"]
+__all__ = ["OptimalAllocation", "BatchOptimalAllocation",
+           "solve_optimal_allocation", "solve_optimal_allocation_batch"]
 
 
 @dataclass
@@ -175,4 +176,108 @@ def solve_optimal_allocation(cluster: IDCCluster, prices: np.ndarray,
         powers_watts=powers_int,
         powers_watts_relaxed=powers_relaxed,
         cost_rate_usd_per_hour=cost_rate,
+    )
+
+
+@dataclass
+class BatchOptimalAllocation:
+    """Stacked reference optima for ``S`` scenarios (see the batch solver).
+
+    Every array carries the scenario axis first: ``u`` is ``(S, N·C)``,
+    ``idc_workloads``/``servers_continuous``/``servers``/
+    ``powers_watts_relaxed`` are ``(S, N)``.
+    """
+
+    u: np.ndarray
+    idc_workloads: np.ndarray
+    servers_continuous: np.ndarray
+    servers: np.ndarray
+    powers_watts_relaxed: np.ndarray
+
+
+def solve_optimal_allocation_batch(cluster: IDCCluster, prices: np.ndarray,
+                                   loads: np.ndarray
+                                   ) -> BatchOptimalAllocation:
+    """Vectorized reference optimum for ``S`` (prices, loads) scenarios.
+
+    The budget-free reference LP has a closed-form greedy solution: with
+    the latency constraint active at the optimum (``μ_j m_j = λ_j +
+    1/D_j`` — idle servers cost money), eliminating ``m`` gives the
+    effective cost rate ``Pr_j (b1_j + b0_j/μ_j)`` per unit workload,
+    and the LP reduces to *waterfilling* the total offered load into the
+    IDCs in increasing effective-cost order up to each IDC's capacity
+    ``μ_j M_j − 1/D_j``.  This reproduces the simplex solution's per-IDC
+    totals ``λ_j`` (and hence the reference powers) to solver precision,
+    at a few vectorized passes over an ``(S, N)`` tensor instead of
+    ``S`` simplex solves.
+
+    The per-portal split of ``u`` fills portals in index order within
+    the cost order.  A vertex LP solution may split differently among
+    equal-cost routings; all such splits share the same ``λ_j`` totals
+    and therefore the same powers, costs, and server counts.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When any scenario's total load exceeds the fleet capacity.
+    """
+    n, c = cluster.n_idcs, cluster.n_portals
+    prices = np.atleast_2d(np.asarray(prices, dtype=float))
+    loads = np.atleast_2d(np.asarray(loads, dtype=float))
+    S = prices.shape[0]
+    if prices.shape != (S, n) or loads.shape != (S, c):
+        raise ModelError(
+            f"need prices (S, {n}) and loads (S, {c}); got "
+            f"{prices.shape} and {loads.shape}")
+    if np.any(loads < 0):
+        raise ModelError("portal workloads cannot be negative")
+
+    b1 = np.array([idc.config.power_model.b1 for idc in cluster.idcs])
+    b0 = np.array([idc.config.power_model.b0 for idc in cluster.idcs])
+    mu = np.array([idc.config.service_rate for idc in cluster.idcs])
+    inv_d = np.array([1.0 / idc.config.latency_bound
+                      for idc in cluster.idcs])
+    fleet = np.array([idc.available_servers for idc in cluster.idcs],
+                     dtype=float)
+    caps = np.maximum(mu * fleet - inv_d, 0.0)        # workload capacity
+
+    c_eff = prices * (b1 + b0 / mu)                   # (S, N)
+    order = np.argsort(c_eff, axis=1, kind="stable")  # cheapest first
+
+    # λ waterfill: pour the total load into IDCs in cost order.
+    lam = np.zeros((S, n))
+    remaining = loads.sum(axis=1)
+    rows = np.arange(S)
+    for r in range(n):
+        j = order[:, r]
+        take = np.minimum(remaining, caps[j])
+        lam[rows, j] = take
+        remaining = remaining - take
+    if np.any(remaining > 1e-6):
+        bad = int(np.argmax(remaining))
+        raise InfeasibleProblemError(
+            f"scenario {bad}: offered workload exceeds the "
+            "latency-bounded capacity by "
+            f"{float(remaining[bad]):.1f} req/s")
+
+    # Per-portal split: portals in index order fill the cost order.
+    U = np.zeros((S, c, n))                           # λ_ij matrix layout
+    rem_load = loads.copy()
+    cap_left = np.broadcast_to(caps, (S, n)).copy()
+    for r in range(n):
+        j = order[:, r]
+        for i in range(c):
+            take = np.minimum(rem_load[:, i], cap_left[rows, j])
+            U[rows, i, j] = take
+            rem_load[:, i] -= take
+            cap_left[rows, j] -= take
+    # flat IDC-grouped ordering, lane-wise cluster.matrix_to_vector
+    u = U.transpose(0, 2, 1).reshape(S, n * c)
+
+    m_cont = (lam + inv_d) / mu
+    m_int = np.minimum(np.ceil(m_cont - 1e-9), fleet).astype(int)
+    powers_relaxed = b1 * lam + b0 * m_cont
+    return BatchOptimalAllocation(
+        u=u, idc_workloads=lam, servers_continuous=m_cont,
+        servers=m_int, powers_watts_relaxed=powers_relaxed,
     )

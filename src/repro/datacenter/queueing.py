@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..exceptions import ModelError
 
 __all__ = [
     "simplified_latency",
+    "simplified_latency_batch",
     "erlang_c",
     "mmn_wait_time",
     "mmn_response_time",
@@ -51,6 +54,27 @@ def simplified_latency(workload: float, n_servers: int,
         raise ModelError(
             f"unstable queue: λ={workload} >= mμ={n_servers * service_rate}")
     return 1.0 / (n_servers * service_rate - workload)
+
+
+def simplified_latency_batch(workloads, servers, service_rates) -> np.ndarray:
+    """Vectorized eq. 14 over stacked operating points.
+
+    All arguments broadcast together (typically ``(S, N)`` workloads and
+    server counts against ``(N,)`` service rates).  Unstable queues
+    (``λ ≥ m μ``, including ``m = 0``) report ``np.inf`` instead of
+    raising — a fleet measurement must not abort because one lane
+    overloaded one IDC; callers treat infinite latency as the constraint
+    violation it is.  Negative workloads still raise, matching the
+    scalar :func:`simplified_latency`.
+    """
+    lam = np.asarray(workloads, dtype=float)
+    if np.any(lam < 0):
+        raise ModelError("workload must be nonnegative")
+    slack = np.asarray(servers, dtype=float) \
+        * np.asarray(service_rates, dtype=float) - lam
+    out = np.full(np.broadcast(lam, slack).shape, np.inf)
+    np.divide(1.0, slack, out=out, where=slack > 0)
+    return out
 
 
 def erlang_c(n_servers: int, offered_load: float) -> float:

@@ -23,7 +23,17 @@ from .projections import (
     project_simplex,
 )
 from .qp_activeset import find_feasible_point, solve_qp
-from .qp_admm import ADMMFactorCache, boxed_constraints, solve_qp_admm
+from .qp_admm import (
+    AUTO_REDUCED_MIN_VARS,
+    ADMMFactorCache,
+    BatchADMMSetup,
+    BatchQPResult,
+    boxed_constraints,
+    prepare_batch_admm,
+    reduced_admm_factor,
+    solve_qp_admm,
+    solve_qp_admm_batch,
+)
 from .result import OptimizeResult, Status
 
 __all__ = [
@@ -31,7 +41,13 @@ __all__ = [
     "to_standard_form",
     "solve_qp",
     "solve_qp_admm",
+    "solve_qp_admm_batch",
+    "prepare_batch_admm",
+    "reduced_admm_factor",
+    "AUTO_REDUCED_MIN_VARS",
     "ADMMFactorCache",
+    "BatchADMMSetup",
+    "BatchQPResult",
     "boxed_constraints",
     "find_feasible_point",
     "UpdatableCholesky",

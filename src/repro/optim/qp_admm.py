@@ -32,19 +32,40 @@ Two KKT back-ends are available (``method=``):
     applies ``A``/``Aᵀ`` matrix-free per iteration.
 
 ``method="auto"`` selects ``"reduced"`` when a structure operator is
-supplied and the dense path otherwise.
+supplied *and* the problem is large enough for the structured path to
+win: on tiny problems (n below :data:`AUTO_REDUCED_MIN_VARS`) dense BLAS
+beats the per-iteration Python overhead of the matrix-free operator —
+the scaling benchmark measures the reduced path at 0.6–0.8× dense for
+n ≤ 30 and ≥ 1.2× from n ≈ 50 — so auto stays dense below the
+crossover.
+
+:func:`solve_qp_admm_batch` runs the same reduced iteration for a whole
+*batch* of problems that share ``(P, A)`` — the fleet-scale Monte-Carlo
+hot path.  One Cholesky factorization of the Schur complement is shared
+across all scenarios; the iterates are stacked ``(S, n)`` / ``(S, m)``
+tensors advanced by level-3 BLAS, with per-scenario residual checks and
+lane freezing so converged scenarios stop paying for stragglers.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from .linalg import MPCConstraintOperator
 from .result import OptimizeResult, Status
 
-__all__ = ["solve_qp_admm", "boxed_constraints", "ADMMFactorCache"]
+__all__ = ["solve_qp_admm", "solve_qp_admm_batch", "boxed_constraints",
+           "ADMMFactorCache", "BatchQPResult", "BatchADMMSetup",
+           "prepare_batch_admm", "reduced_admm_factor",
+           "AUTO_REDUCED_MIN_VARS"]
+
+#: ``method="auto"`` crossover: the reduced/matrix-free path must have at
+#: least this many primal variables before it outruns dense LU (measured
+#: on the scaling benchmark: 0.60×–0.84× at n=15–30, ≥1.24× at n=50).
+AUTO_REDUCED_MIN_VARS = 48
 
 
 class ADMMFactorCache:
@@ -146,7 +167,8 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
         ``"dense"`` (full KKT LU), ``"reduced"`` (Schur-complement
         Cholesky of ``P + σI + ρAᵀA`` — algebraically the same iteration,
         see module docstring) or ``"auto"`` (reduced when ``structure``
-        is given).
+        is given and ``n >= AUTO_REDUCED_MIN_VARS``; below the crossover
+        dense BLAS wins and auto keeps the dense path).
     structure:
         Optional :class:`~repro.optim.linalg.MPCConstraintOperator` whose
         dense form equals ``A``.  The reduced path then assembles ``AᵀA``
@@ -188,7 +210,8 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
     if method not in ("auto", "dense", "reduced"):
         raise ValueError(f"unknown KKT method {method!r}")
     if method == "auto":
-        method = "reduced" if structure is not None else "dense"
+        method = ("reduced" if structure is not None
+                  and n >= AUTO_REDUCED_MIN_VARS else "dense")
     if structure is not None and structure.shape != A.shape:
         raise ValueError(
             f"structure operator shape {structure.shape} does not match "
@@ -285,3 +308,326 @@ def solve_qp_admm(P, q, A=None, l=None, u=None, rho: float = 1.0,
               "deadline_exceeded": int(deadline_hit),
               "solve_seconds": time.monotonic() - t_start},
     )
+
+
+def reduced_admm_factor(P, A, rho: float = 1.0, sigma: float = 1e-6,
+                        structure: MPCConstraintOperator | None = None):
+    """Cholesky factor of the reduced ADMM KKT ``P + σI + ρAᵀA``.
+
+    The factor depends only on ``(P, A, rho, sigma)`` — for a batch of
+    scenarios sharing the constraint geometry it is computed once and
+    passed to every :func:`solve_qp_admm_batch` call.
+    """
+    import scipy.linalg as sla
+    P = np.atleast_2d(np.asarray(P, dtype=float))
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    n = P.shape[0]
+    AtA = structure.gram() if structure is not None else A.T @ A
+    return sla.cho_factor(P + sigma * np.eye(n) + rho * AtA)
+
+
+@dataclass
+class BatchQPResult:
+    """Stacked result of :func:`solve_qp_admm_batch`.
+
+    ``X``/``Y`` hold every scenario's primal iterate and constraint
+    dual; ``iterations`` records the iteration at which each lane's
+    residuals converged (``max_iter`` for stragglers, whose
+    ``converged`` entry is ``False`` — callers re-solve those lanes
+    through an exact scalar backend).
+    """
+
+    X: np.ndarray
+    Y: np.ndarray
+    fun: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def n_stragglers(self) -> int:
+        return int(np.sum(~self.converged))
+
+
+class BatchADMMSetup:
+    """Shared, mutable state of the batched ADMM across solves.
+
+    Holds the Ruiz-equilibrated problem matrices, the diagonal scalings
+    ``(D, E, c)``, the per-constraint penalty vector (equality rows get
+    ``rho_eq_scale × rho``, the OSQP convention) and the Cholesky factor
+    of the reduced KKT matrix.  The MPC problem is badly scaled — portal
+    workloads are O(1e4) req/s while the energy-cost rows of the Hessian
+    are O(1e-6) — and unequilibrated ADMM needs thousands of iterations
+    where the scaled iteration needs tens.
+
+    The setup is *stateful on purpose*: :func:`solve_qp_admm_batch`
+    adapts ``rho`` from the observed primal/dual residual balance and
+    re-factors in place (an O(n³) = 45³ triviality next to one batched
+    iteration), so the tuned penalty carries over to the next control
+    period instead of being re-learned every solve.
+    """
+
+    def __init__(self, P, A, n_eq: int = 0, rho: float = 0.1,
+                 sigma: float = 1e-6, rho_eq_scale: float = 1e3,
+                 scaling_iters: int = 10) -> None:
+        P = np.atleast_2d(np.asarray(P, dtype=float))
+        A = np.atleast_2d(np.asarray(A, dtype=float))
+        n = P.shape[0]
+        m = A.shape[0]
+        self.n = n
+        self.m = m
+        self.n_eq = int(n_eq)
+        self.sigma = float(sigma)
+        self.rho_eq_scale = float(rho_eq_scale)
+
+        # Modified Ruiz equilibration of [[P, Aᵀ], [A, 0]] plus OSQP's
+        # cost normalization: iterate D/E toward unit ∞-norm rows/cols.
+        P_s = P.copy()
+        A_s = A.copy()
+        D = np.ones(n)
+        E = np.ones(m)
+        c = 1.0
+        for _ in range(int(scaling_iters)):
+            col_p = np.max(np.abs(P_s), axis=0) if n else np.zeros(0)
+            col_a = np.max(np.abs(A_s), axis=0) if m else np.zeros(n)
+            col = np.maximum(col_p, col_a)
+            d = np.where(col > 1e-12, 1.0 / np.sqrt(np.maximum(col, 1e-12)),
+                         1.0)
+            row = np.max(np.abs(A_s), axis=1) if m else np.zeros(0)
+            e = np.where(row > 1e-12, 1.0 / np.sqrt(np.maximum(row, 1e-12)),
+                         1.0)
+            P_s = d[:, None] * P_s * d[None, :]
+            A_s = e[:, None] * A_s * d[None, :]
+            D *= d
+            E *= e
+            mean_col = float(np.mean(np.max(np.abs(P_s), axis=0)))
+            gamma = 1.0 / max(mean_col, 1e-12)
+            P_s *= gamma
+            c *= gamma
+        self.P_s = P_s
+        self.A_s = A_s
+        self.A_sT = np.ascontiguousarray(A_s.T)
+        self.D = D
+        self.E = E
+        self.c = c
+        self.refactorizations = 0
+        self._set_rho(float(rho))
+
+    def _set_rho(self, rho: float) -> None:
+        import scipy.linalg as sla
+        self.rho = float(rho)
+        rho_vec = np.full(self.m, self.rho)
+        rho_vec[:self.n_eq] *= self.rho_eq_scale
+        self.rho_vec = rho_vec
+        self.rho_inv = 1.0 / rho_vec
+        K = self.P_s + self.sigma * np.eye(self.n) \
+            + self.A_s.T @ (rho_vec[:, None] * self.A_s)
+        self.factor = sla.cho_factor(K)
+        # Explicit inverse of the reduced KKT: after equilibration K is
+        # well conditioned, and one GEMM against K⁻¹ on an (S, n) block
+        # beats two batched triangular solves at these sizes.
+        kinv = sla.cho_solve(self.factor, np.eye(self.n))
+        self.Kinv = np.ascontiguousarray(0.5 * (kinv + kinv.T))
+        self.refactorizations += 1
+
+    def maybe_adapt_rho(self, ratio: float) -> bool:
+        """OSQP rho rule: adopt ``rho × ratio`` when off by more than 5×."""
+        new_rho = float(np.clip(self.rho * ratio, 1e-6, 1e6))
+        if new_rho > 5.0 * self.rho or new_rho < self.rho / 5.0:
+            self._set_rho(new_rho)
+            return True
+        return False
+
+
+def prepare_batch_admm(P, A, n_eq: int = 0, rho: float = 0.1,
+                       sigma: float = 1e-6,
+                       scaling_iters: int = 10) -> BatchADMMSetup:
+    """Build the shared :class:`BatchADMMSetup` for a scenario batch.
+
+    ``n_eq`` marks how many *leading* rows of ``A`` are equalities
+    (``l == u``); those rows get the stiffer OSQP equality penalty.
+    """
+    return BatchADMMSetup(P, A, n_eq=n_eq, rho=rho, sigma=sigma,
+                          scaling_iters=scaling_iters)
+
+
+def solve_qp_admm_batch(P, Q, A, L, U, rho: float = 0.1,
+                        sigma: float = 1e-6, alpha: float = 1.6,
+                        eps_abs: float = 1e-6, eps_rel: float = 1e-6,
+                        max_iter: int = 20_000, X0=None, Y0=None,
+                        setup: BatchADMMSetup | None = None,
+                        n_eq: int = 0,
+                        adaptive_rho: bool = True) -> BatchQPResult:
+    """Solve ``S`` QPs sharing ``(P, A)`` with stacked ADMM iterates.
+
+    Each scenario ``s`` solves ``min 0.5 x'Px + Q[s]'x`` subject to
+    ``L[s] <= A x <= U[s]`` — identical Hessian and constraint matrix,
+    per-scenario linear terms and bounds.  This is exactly the fleet
+    Monte-Carlo structure: the condensed MPC operators are shared across
+    price/workload noise (see ``repro.core.batch_controller``) while the
+    targets and right-hand sides vary per lane.
+
+    The iteration is the reduced (Schur-complement) update of
+    :func:`solve_qp_admm` applied to all lanes at once — the shared
+    Cholesky back-solve runs on an ``(n, S)`` right-hand-side block
+    (level-3 BLAS), the projection/dual steps are elementwise on
+    ``(S, m)`` tensors — with three OSQP refinements the scalar path
+    does not need at its problem sizes:
+
+    * **Ruiz equilibration** of ``(P, A)`` with cost normalization (the
+      raw MPC stack mixes req/s-scale constraint rows with 1e-6-scale
+      cost curvature; unscaled ADMM crawls),
+    * a **per-constraint penalty** with stiff equality rows,
+    * **shared adaptive rho** — the penalty follows the primal/dual
+      residual balance aggregated across active lanes, re-factoring the
+      45×45 reduced KKT in place (trivial next to one batched sweep).
+
+    Residuals are checked *unscaled* per lane (iteration 1, then every
+    5); converged lanes are frozen — their iterates stop changing and
+    stop costing work — so one straggler cannot perturb or slow the
+    rest.
+
+    Parameters
+    ----------
+    P, A:
+        Shared Hessian ``(n, n)`` and constraint matrix ``(m, n)``.
+    Q:
+        Per-scenario linear terms, shape ``(S, n)``.
+    L, U:
+        Constraint bounds, shape ``(S, m)`` (or ``(m,)`` to share).
+    X0, Y0:
+        Optional per-scenario warm starts (unscaled), shapes ``(S, n)``
+        / ``(S, m)``.
+    setup:
+        Optional precomputed (and reused) :func:`prepare_batch_admm`
+        state; built here from ``(P, A, n_eq, rho, sigma)`` when absent.
+    n_eq:
+        Leading equality-row count, used only when ``setup`` is absent.
+    adaptive_rho:
+        Adapt the shared penalty from the residual balance (on by
+        default; disable for bitwise-reproducible iterate studies).
+    """
+    import scipy.linalg as sla
+    P = np.atleast_2d(np.asarray(P, dtype=float))
+    P = 0.5 * (P + P.T)
+    Q = np.atleast_2d(np.asarray(Q, dtype=float))
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    S, n = Q.shape
+    m = A.shape[0]
+    L = np.broadcast_to(np.asarray(L, dtype=float), (S, m))
+    U = np.broadcast_to(np.asarray(U, dtype=float), (S, m))
+    if setup is None:
+        setup = BatchADMMSetup(P, A, n_eq=n_eq, rho=rho, sigma=sigma)
+
+    A_s = setup.A_s
+    P_s = setup.P_s
+    D, E, c = setup.D, setup.E, setup.c
+    Einv = 1.0 / E
+    cD = c * D
+    sigma = setup.sigma
+
+    # scale the per-lane data into equilibrated coordinates
+    Qs = (Q * D) * c
+    Ls = L * E
+    Us = U * E
+    if X0 is not None:
+        X = np.array(X0, dtype=float).reshape(S, n) / D
+    else:
+        X = np.zeros((S, n))
+    Z = np.clip(X @ A_s.T, Ls, Us)
+    if Y0 is not None:
+        Y = np.array(Y0, dtype=float).reshape(S, m) * (c * Einv)
+    else:
+        Y = np.zeros((S, m))
+
+    iters = np.full(S, max_iter, dtype=int)
+    converged = np.zeros(S, dtype=bool)
+    q_norm = np.max(np.abs(Q), axis=1) if n else np.zeros(S)
+
+    # Compacted working blocks: frozen lanes are *removed* from the
+    # iterate tensors (their final values scattered back into X/Z/Y)
+    # instead of being masked per iteration — the hot loop then runs
+    # gather-free on contiguous arrays.
+    idx = np.arange(S)
+    x, z, y = X, Z, Y
+    qs, q_u, qn = Qs, Q, q_norm
+    ls, us = Ls, Us
+    # hot-loop scratch (sliced to the live lane count after compaction);
+    # every elementwise step below runs in place to keep the per-iteration
+    # cost memory-bound on three GEMMs, not on a dozen (S, m) temporaries.
+    BM = np.empty((S, m))
+    BN = np.empty((S, n))
+    BN2 = np.empty((S, n))
+    it = 0
+    while idx.size and it < max_iter:
+        it += 1
+        k = idx.size
+        rho_vec = setup.rho_vec
+        bm, bn, bn2 = BM[:k], BN[:k], BN2[:k]
+        np.multiply(z, rho_vec, out=bm)
+        bm -= y
+        np.matmul(bm, A_s, out=bn)           # rhs = Aᵀ(ρz − y)
+        np.multiply(x, sigma, out=bn2)
+        bn += bn2
+        bn -= qs
+        np.matmul(bn, setup.Kinv, out=bn2)   # x̃ = K⁻¹ rhs  (K⁻¹ symmetric)
+        np.matmul(bn2, setup.A_sT, out=bm)   # z̃ = A x̃
+        x *= 1.0 - alpha
+        bn2 *= alpha
+        x += bn2
+        z *= 1.0 - alpha                     # z becomes z_relax below
+        bm *= alpha
+        z += bm
+        np.multiply(y, setup.rho_inv, out=bm)
+        bm += z
+        np.clip(bm, ls, us, out=bm)          # bm is z_next
+        z -= bm                              # z_relax − z_next
+        z *= rho_vec
+        y += z
+        np.copyto(z, bm)
+
+        if it % 5 == 0 or it == 1:
+            # residuals in the *original* (unscaled) coordinates
+            Ax = (x @ A_s.T) * Einv
+            z_u = z * Einv
+            Px = (x @ P_s) / cD
+            Aty = (y @ A_s) / cD
+            r_prim = np.max(np.abs(Ax - z_u), axis=1) if m else \
+                np.zeros(idx.size)
+            r_dual = np.max(np.abs(Px + q_u + Aty), axis=1)
+            prim_scale = np.maximum(
+                np.max(np.abs(Ax), axis=1) if m else 0.0,
+                np.max(np.abs(z_u), axis=1) if m else 0.0)
+            dual_scale = np.maximum(
+                np.maximum(np.max(np.abs(Px), axis=1),
+                           np.max(np.abs(Aty), axis=1) if m else 0.0),
+                qn)
+            done = (r_prim <= eps_abs + eps_rel * prim_scale) & \
+                (r_dual <= eps_abs + eps_rel * dual_scale)
+            live = ~done
+            if np.any(done):
+                lanes = idx[done]
+                iters[lanes] = it
+                converged[lanes] = True
+                X[lanes], Z[lanes], Y[lanes] = x[done], z[done], y[done]
+                idx = idx[live]
+                x, z, y = x[live], z[live], y[live]
+                qs, q_u, qn = qs[live], q_u[live], qn[live]
+                ls, us = ls[live], us[live]
+            if adaptive_rho and idx.size:
+                num = r_prim[live] / np.maximum(prim_scale[live], 1e-12)
+                den = r_dual[live] / np.maximum(dual_scale[live], 1e-12)
+                ratio = np.sqrt(np.maximum(num, 1e-12)
+                                / np.maximum(den, 1e-12))
+                agg = float(np.exp(np.mean(np.log(ratio))))
+                setup.maybe_adapt_rho(agg)
+    if idx.size:        # stragglers: scatter the last iterate back
+        X[idx], Z[idx], Y[idx] = x, z, y
+
+    # unscale the returned iterates: x = D x̄, y = E ȳ / c
+    X = X * D
+    Y = Y * (E / c)
+    PX = X @ P
+    fun = 0.5 * np.einsum("sn,sn->s", X, PX) \
+        + np.einsum("sn,sn->s", Q, X)
+    return BatchQPResult(X=X, Y=Y, fun=fun, iterations=iters,
+                         converged=converged)

@@ -1,5 +1,6 @@
 """Simulation engine, scenarios (Tables I–III), recording and results."""
 
+from .batch import batch_signature, run_batch, scenario_incompatibility
 from .engine import run_simulation, simulate_policies
 from .faults import (
     ActuationChannel,
@@ -14,15 +15,16 @@ from .faults import (
     telemetry_visibility,
 )
 from .policy import AllocationDecision, Policy, PolicyObservation
-from .profiling import PerfStats
+from .profiling import BatchPerfStats, PerfStats
 from .recorder import SimulationRecorder
 from .results import ComparisonResult, SimulationResult
-from .runner import run_many, run_parallel
+from .runner import run_many, run_monte_carlo, run_parallel
 from .scenario import (
     PAPER_BUDGETS_WATTS,
     PAPER_IDC_SPECS,
     PAPER_PORTAL_LOADS,
     Scenario,
+    monte_carlo_scenarios,
     paper_cluster,
     paper_scenario,
     price_step_scenario,
@@ -31,9 +33,14 @@ from .scenario import (
 __all__ = [
     "run_simulation",
     "simulate_policies",
+    "run_batch",
     "run_many",
+    "run_monte_carlo",
     "run_parallel",
+    "batch_signature",
+    "scenario_incompatibility",
     "PerfStats",
+    "BatchPerfStats",
     "ActuationChannel",
     "ActuationLag",
     "CommandDrop",
@@ -53,6 +60,7 @@ __all__ = [
     "Scenario",
     "paper_scenario",
     "price_step_scenario",
+    "monte_carlo_scenarios",
     "paper_cluster",
     "PAPER_BUDGETS_WATTS",
     "PAPER_PORTAL_LOADS",

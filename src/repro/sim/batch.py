@@ -1,0 +1,344 @@
+"""Fleet-scale batched simulation: ``S`` scenarios as stacked tensors.
+
+:func:`run_batch` advances a fleet of *independent* closed-loop
+scenarios through one process, stepping every scenario once per control
+period on ``(S, …)`` tensors instead of looping the scalar engine ``S``
+times.  The heavy per-period work — RLS/AR prediction, the reference
+optimum, the MPC QP — is shared structurally across the batch (one
+horizon build, one KKT factorization, vectorized ADMM iterates; see
+:class:`repro.core.BatchCostMPCPolicy`), so a 1000-scenario Monte Carlo
+costs roughly as much wall-clock as a handful of scalar runs.
+
+Not every scenario can ride the hot path.  Lanes are partitioned:
+
+* **Batchable lanes** share a structural signature
+  (:func:`batch_signature`: IDC coefficients, fleet sizes, portal
+  count, ``dt``, period count), carry at most *telemetry* faults
+  (price-feed dropouts / sensor gaps — these only change what the
+  controller sees, per lane), and use pure-trace markets (γ = 0).
+  Groups of at least ``min_batch`` such lanes step together.
+* **Everything else** — plant-mutating faults (outages, actuation),
+  demand-coupled markets, configs rejected by
+  :func:`repro.core.batch_incompatibility`, or a group of one — runs
+  through the scalar :func:`repro.sim.engine.run_simulation` unchanged.
+  A single-lane "batch" in particular is defined to be the scalar
+  engine: there is nothing to vectorize, and the scalar path is the
+  reference semantics (bit-exact against the golden traces).
+
+Either way the caller gets one :class:`~repro.sim.results.
+SimulationResult` per scenario, in input order, with per-lane
+counters isolated through :class:`~repro.sim.profiling.BatchPerfStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..datacenter.queueing import simplified_latency_batch
+from ..exceptions import ConfigurationError
+from .engine import run_simulation
+from .faults import split_faults, telemetry_visibility
+from .profiling import BatchPerfStats
+from .results import SimulationResult
+from .scenario import Scenario
+
+__all__ = ["run_batch", "batch_signature", "scenario_incompatibility"]
+
+_JOULES_PER_MWH = 3.6e9
+
+
+def scenario_incompatibility(scenario: Scenario) -> str | None:
+    """Why ``scenario`` cannot ride the batched hot path (None = it can).
+
+    Config-level compatibility is :func:`repro.core.
+    batch_incompatibility`'s job; this checks the *scenario*: faults
+    that mutate the plant (changing per-lane constraint geometry) and
+    markets whose prices depend on the lane's own demand history.
+    """
+    if scenario.faults:
+        groups = split_faults(scenario.faults)
+        if groups.outages:
+            return "fleet outages (per-lane constraint geometry)"
+        if groups.actuation_faults:
+            return "actuation faults (per-lane plant channel)"
+    for cfg in scenario.market.regions.values():
+        if cfg.demand_sensitivity != 0.0:
+            return "demand-coupled market (γ > 0)"
+    return None
+
+
+def batch_signature(scenario: Scenario) -> tuple:
+    """Structural identity lanes must share to batch together.
+
+    Everything the shared horizon operators, Hessian, constraint stacks
+    and lockstep period loop depend on: plant coefficients and fleet
+    sizes per IDC, portal count, the control period and the number of
+    periods.  Prices, portal loads and the trace start offset may vary
+    freely per lane — they enter only as per-lane vectors.
+    """
+    cl = scenario.cluster
+    idcs = tuple(
+        (idc.config.service_rate, idc.config.latency_bound,
+         idc.config.power_model.b1, idc.config.power_model.b0,
+         idc.config.max_servers, idc.available_servers, idc.servers_on)
+        for idc in cl.idcs)
+    return (cl.n_idcs, cl.n_portals, idcs, float(scenario.dt),
+            int(scenario.n_periods))
+
+
+def run_batch(scenarios, config=None, *,
+              predict_loads: bool = False,
+              predictor_order: int = 3,
+              prediction_horizon: int = 3,
+              monitors=None,
+              warm_start: str = "exact",
+              min_batch: int = 2) -> list[SimulationResult]:
+    """Run many scenarios under the cost MPC, batched where possible.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenario fleet.  Lanes sharing a :func:`batch_signature`
+        (and passing the compatibility checks) step together as stacked
+        tensors; the rest run through the scalar engine.
+    config:
+        Shared :class:`repro.core.MPCPolicyConfig` (default-constructed
+        when omitted).  Its ``dt`` is overridden per lane/group by the
+        scenario's ``dt``.  A config rejected by
+        :func:`repro.core.batch_incompatibility` routes *every* lane
+        through the scalar engine.
+    predict_loads, predictor_order, prediction_horizon:
+        As in :func:`repro.sim.engine.run_simulation`; batched groups
+        use the stacked :class:`repro.workload.BatchARWorkloadPredictor`
+        (one AR channel per (lane, portal)).
+    monitors:
+        Optional per-scenario invariant monitors (aligned with
+        ``scenarios``; entries may be ``None``).  Each monitor sees its
+        own lane's decisions and measurements exactly as under the
+        scalar engine, and its counters land in that lane's
+        ``result.perf`` only.
+    warm_start:
+        Period-0 warm start of batched groups — ``"exact"`` (per-lane
+        scalar reference LP; trajectory-equivalent to looped runs) or
+        ``"waterfill"`` (vectorized, for Monte-Carlo widths).  See
+        :class:`repro.core.BatchCostMPCPolicy`.
+    min_batch:
+        Smallest group that steps batched (default 2 — a group of one
+        has nothing to vectorize and runs scalar).
+
+    Returns
+    -------
+    list of SimulationResult
+        One per scenario, in input order.  Scalar-fallback lanes carry
+        ``perf["counters"]["batch_scalar_fallback"] = 1`` and the
+        routing reason under ``perf["batch_fallback_reason"]``.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ConfigurationError("run_batch needs at least one scenario")
+    if monitors is not None and len(monitors) != len(scenarios):
+        raise ConfigurationError(
+            f"got {len(monitors)} monitors for {len(scenarios)} scenarios")
+
+    from ..core import CostMPCPolicy, MPCPolicyConfig, batch_incompatibility
+    base_cfg = config if config is not None else MPCPolicyConfig()
+    cfg_reason = batch_incompatibility(base_cfg)
+
+    results: list[SimulationResult | None] = [None] * len(scenarios)
+    groups: dict[tuple, list[int]] = {}
+    scalar_lanes: list[tuple[int, str]] = []
+    for i, sc in enumerate(scenarios):
+        reason = cfg_reason or scenario_incompatibility(sc)
+        if reason is not None:
+            scalar_lanes.append((i, reason))
+        else:
+            groups.setdefault(batch_signature(sc), []).append(i)
+    for sig in list(groups):
+        if len(groups[sig]) < min_batch:
+            for i in groups.pop(sig):
+                scalar_lanes.append(
+                    (i, f"batch group smaller than {min_batch}"))
+
+    for i, reason in scalar_lanes:
+        sc = scenarios[i]
+        policy = CostMPCPolicy(sc.cluster, replace(base_cfg, dt=float(sc.dt)))
+        res = run_simulation(
+            sc, policy, predict_loads=predict_loads,
+            predictor_order=predictor_order,
+            prediction_horizon=prediction_horizon,
+            monitor=None if monitors is None else monitors[i])
+        res.perf.setdefault("counters", {})["batch_scalar_fallback"] = 1
+        res.perf["batch_fallback_reason"] = reason
+        results[i] = res
+
+    for lanes in groups.values():
+        group = _run_batch_group(
+            [scenarios[i] for i in lanes], base_cfg,
+            predict_loads=predict_loads, predictor_order=predictor_order,
+            prediction_horizon=prediction_horizon,
+            monitors=(None if monitors is None
+                      else [monitors[i] for i in lanes]),
+            warm_start=warm_start)
+        for i, res in zip(lanes, group):
+            results[i] = res
+    return results
+
+
+def _run_batch_group(scens: list[Scenario], base_cfg, *,
+                     predict_loads: bool, predictor_order: int,
+                     prediction_horizon: int, monitors,
+                     warm_start: str) -> list[SimulationResult]:
+    """Advance one signature-sharing group in lockstep."""
+    from ..core import BatchCostMPCPolicy
+
+    S = len(scens)
+    rep = scens[0]
+    T = rep.n_periods
+    dt = float(rep.dt)
+    cluster = rep.cluster
+    n, c = cluster.n_idcs, cluster.n_portals
+    cfg = replace(base_cfg, dt=dt)
+
+    for sc in scens:
+        sc.market.reset()
+        for idc in sc.cluster.idcs:
+            idc.restore_availability()
+
+    perf = BatchPerfStats(S)
+    policy = BatchCostMPCPolicy(cluster, cfg, n_scenarios=S, perf=perf,
+                                warm_start=warm_start)
+    policy.reset()
+
+    b1 = np.array([idc.config.power_model.b1 for idc in cluster.idcs])
+    b0 = np.array([idc.config.power_model.b0 for idc in cluster.idcs])
+    mu = np.array([idc.config.service_rate for idc in cluster.idcs])
+
+    # γ = 0 for every lane (checked by scenario_incompatibility), so each
+    # lane's whole price trajectory is a trace-table lookup — vectorize it
+    # over periods up front instead of S·N·T Python calls in the loop.
+    start_times = np.array([float(sc.start_time) for sc in scens])
+    period_times = np.arange(T) * dt
+    prices_traj = np.empty((T, S, n))
+    for s, sc in enumerate(scens):
+        hours = np.floor((sc.start_time + period_times) / 3600.0).astype(int)
+        for j, region in enumerate(sc.cluster.regions):
+            trace = sc.market.regions[region].trace
+            prices_traj[:, s, j] = trace.hourly[hours % trace.n_hours]
+
+    loads_traj = np.empty((T, S, c))
+    for s, sc in enumerate(scens):
+        portals = sc.cluster.portals.portals
+        if all(p.trace is None and p.rate_fn is None for p in portals):
+            loads_traj[:, s, :] = [p.rate for p in portals]
+        else:
+            for k in range(T):
+                loads_traj[k, s] = sc.cluster.portals.loads_at(k)
+
+    guards: dict[int, object] = {}
+    for s, sc in enumerate(scens):
+        if sc.faults:
+            fam = split_faults(sc.faults)
+            if fam.price_faults or fam.sensor_faults:
+                from ..resilience import TelemetryGuard
+                guards[s] = TelemetryGuard(n, c)
+
+    predictor = None
+    if predict_loads:
+        from ..workload.predictor import BatchARWorkloadPredictor
+        predictor = BatchARWorkloadPredictor(S * c, order=predictor_order)
+
+    if monitors is not None:
+        for s, mon in enumerate(monitors):
+            if mon is not None:
+                mon.begin_run(scens[s])
+
+    powers_rec = np.empty((S, T, n))
+    servers_rec = np.empty((S, T, n))
+    lam_rec = np.empty((S, T, n))
+    lat_rec = np.empty((S, T, n))
+    prices_rec = np.empty((S, T, n))
+    loads_rec = np.empty((S, T, c))
+    alloc_rec = np.empty((S, T, n * c))
+    diags: list[list[dict]] = [[] for _ in range(S)]
+    energy_j = np.zeros((S, n))
+    cost_usd = np.zeros((S, n))
+    paper_cost = np.zeros((S, n))
+
+    for k in range(T):
+        t = start_times + k * dt
+        prices = prices_traj[k]
+        loads = loads_traj[k]
+
+        # What each lane's controller *sees* — identical to the truth
+        # unless that lane carries telemetry faults this period.
+        obs_prices, obs_loads = prices, loads
+        if guards:
+            obs_prices = prices.copy()
+            obs_loads = loads.copy()
+            for s, guard in guards.items():
+                prices_ok, loads_ok = telemetry_visibility(
+                    scens[s].cluster, scens[s].faults, float(t[s]))
+                obs_prices[s] = guard.filter_prices(prices[s], prices_ok)
+                obs_loads[s] = guard.filter_loads(loads[s], loads_ok)
+
+        predicted = None
+        if predictor is not None:
+            predictor.observe(obs_loads.reshape(-1))
+            predicted = predictor.predict(prediction_horizon) \
+                .reshape(S, c, prediction_horizon).transpose(0, 2, 1)
+
+        decision = policy.decide_batch(k, obs_prices, obs_loads, predicted)
+        servers = decision.servers.astype(float)                 # (S, N)
+        lam = decision.u.reshape(S, n, c).sum(axis=2)            # (S, N)
+        powers = b1 * lam + b0 * servers                         # watts
+        lats = simplified_latency_batch(lam, servers, mu)
+
+        if monitors is not None:
+            for s, mon in enumerate(monitors):
+                if mon is None:
+                    continue
+                mon.observe(
+                    period=k, time_seconds=float(t[s]), loads=obs_loads[s],
+                    prices=prices[s], decision=decision.lane(s),
+                    workloads=lam[s], powers_watts=powers[s],
+                    servers=decision.servers[s], latencies=lats[s],
+                    applied_servers=None)
+
+        powers_rec[:, k] = powers
+        servers_rec[:, k] = servers
+        lam_rec[:, k] = lam
+        lat_rec[:, k] = lats
+        prices_rec[:, k] = prices
+        loads_rec[:, k] = loads
+        alloc_rec[:, k] = decision.u
+        for s in range(S):
+            diags[s].append(decision.diagnostics[s])
+
+        # vectorized EnergyMeter.record, same order of operations:
+        # the paper cost bills the energy accumulated *before* this period
+        paper_cost += prices * (energy_j / _JOULES_PER_MWH) * dt
+        step = powers * dt
+        energy_j += step
+        cost_usd += prices * (step / _JOULES_PER_MWH)
+        # demand reporting is skipped: γ = 0 markets never read it
+
+    times = start_times[:, None] + period_times[None, :]
+    out = []
+    for s in range(S):
+        if s in guards:
+            perf.fold_lane_counters(s, guards[s].counters)
+        if monitors is not None and monitors[s] is not None:
+            perf.fold_lane_counters(s, monitors[s].counters())
+        out.append(SimulationResult(
+            policy_name=policy.name, dt=dt, times=times[s],
+            powers_watts=powers_rec[s], servers=servers_rec[s],
+            workloads=lam_rec[s], latencies=lat_rec[s],
+            prices=prices_rec[s], loads=loads_rec[s],
+            allocations=alloc_rec[s],
+            energy_mwh=energy_j[s] / _JOULES_PER_MWH,
+            cost_usd=cost_usd[s].copy(), paper_cost=paper_cost[s].copy(),
+            idc_names=scens[s].cluster.idc_names,
+            diagnostics=diags[s], perf=perf.lane_snapshot(s)))
+    return out

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..datacenter.queueing import simplified_latency
+from ..datacenter.queueing import simplified_latency_batch
 from ..exceptions import CheckpointError, ConfigurationError, ModelError
 from ..workload.predictor import ARWorkloadPredictor
 from .faults import (
@@ -45,14 +45,9 @@ __all__ = ["run_simulation", "simulate_policies"]
 
 
 def _measure_latencies(cluster, workloads, servers) -> np.ndarray:
-    out = np.empty(len(cluster.idcs))
-    for j, (idc, lam, m) in enumerate(zip(cluster.idcs, workloads, servers)):
-        try:
-            out[j] = simplified_latency(float(lam), int(m),
-                                        idc.config.service_rate)
-        except ModelError:
-            out[j] = np.inf  # overloaded: report unbounded latency
-    return out
+    rates = np.array([idc.config.service_rate for idc in cluster.idcs])
+    return simplified_latency_batch(np.asarray(workloads, dtype=float),
+                                    np.asarray(servers, dtype=float), rates)
 
 
 def _run_fingerprint(scenario: Scenario, policy) -> dict:

@@ -27,7 +27,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["PerfStats", "fold_counters"]
+__all__ = ["PerfStats", "BatchPerfStats", "fold_counters"]
 
 
 def fold_counters(perf: dict, extra: dict) -> dict:
@@ -114,3 +114,64 @@ class PerfStats:
         for name in sorted(self.counters):
             lines.append(f"{name} = {self.counters[name]}")
         return "\n".join(lines)
+
+
+class BatchPerfStats:
+    """Per-scenario counter isolation for batched runs.
+
+    A batch engine advances ``S`` scenarios through *shared* stages (one
+    model build, one stacked QP solve), but per-scenario events —
+    telemetry dropouts, invariant violations, ``ladder_rung_*`` /
+    ``invariant_*`` counters, straggler fallbacks — belong to exactly
+    one scenario's :attr:`SimulationResult.perf`.  Folding them through
+    a single shared :class:`PerfStats` (or a shared dict via
+    :func:`fold_counters`, whose semantics are *overwrite*) would bleed
+    one lane's counts into every other lane's result.
+
+    ``BatchPerfStats`` therefore keeps one shared :class:`PerfStats`
+    for batch-level stage timings plus an isolated :class:`PerfStats`
+    per lane.  :meth:`lane_snapshot` produces the dict that goes into
+    one scenario's result — shared stages annotated as batch-level,
+    lane counters strictly the lane's own — and :meth:`rollup` the
+    whole-batch aggregate for dashboards.
+    """
+
+    def __init__(self, n_lanes: int) -> None:
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        self.n_lanes = int(n_lanes)
+        #: batch-level stage timings (model/reference/qp across all lanes).
+        self.shared = PerfStats()
+        self._lanes = [PerfStats() for _ in range(self.n_lanes)]
+
+    def lane(self, index: int) -> PerfStats:
+        """The isolated per-scenario stats object for lane ``index``."""
+        return self._lanes[index]
+
+    def fold_lane_counters(self, index: int, extra: dict) -> None:
+        """Overwrite-fold a flat counter dict into one lane only."""
+        self._lanes[index].update_counters(extra)
+
+    def lane_snapshot(self, index: int) -> dict:
+        """``perf_snapshot()``-style dict for one scenario's result.
+
+        Shared stage timings are included under ``batch_*`` names (they
+        time the whole batch, not this lane) so per-lane counters can
+        never be confused with batch-level wall clock.
+        """
+        out = self._lanes[index].as_dict()
+        out["batch_stage_seconds"] = dict(self.shared.stage_seconds)
+        out["batch_stage_calls"] = dict(self.shared.stage_calls)
+        out["batch_n_scenarios"] = self.n_lanes
+        for name, value in self.shared.counters.items():
+            out["counters"][f"batch_{name}"] = int(value)
+        return out
+
+    def rollup(self) -> PerfStats:
+        """Whole-batch aggregate: shared stages + summed lane counters."""
+        total = PerfStats()
+        total.merge(self.shared)
+        for lane in self._lanes:
+            for k, v in lane.counters.items():
+                total.counters[k] = total.counters.get(k, 0) + v
+        return total

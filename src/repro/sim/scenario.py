@@ -25,8 +25,8 @@ from ..pricing import RealTimeMarket, RegionMarketConfig, paper_price_traces
 from ..workload import PortalSet
 
 __all__ = ["Scenario", "paper_scenario", "price_step_scenario",
-           "PAPER_BUDGETS_WATTS", "paper_cluster", "PAPER_PORTAL_LOADS",
-           "PAPER_IDC_SPECS"]
+           "monte_carlo_scenarios", "PAPER_BUDGETS_WATTS", "paper_cluster",
+           "PAPER_PORTAL_LOADS", "PAPER_IDC_SPECS"]
 
 #: Sec. V-C budgets, converted from the paper's "MWH" figures to watts.
 PAPER_BUDGETS_WATTS = np.array([5.13e6, 10.26e6, 4.275e6])
@@ -108,8 +108,14 @@ class Scenario:
         return replace(self, budgets_watts=budgets_watts)
 
 
-def paper_cluster(initial_servers: list[int] | None = None) -> IDCCluster:
-    """The Table I + Table II plant."""
+def paper_cluster(initial_servers: list[int] | None = None,
+                  portal_loads=None) -> IDCCluster:
+    """The Table I + Table II plant.
+
+    ``portal_loads`` overrides the Table I constant portal rates (same
+    portal count) — used by :func:`monte_carlo_scenarios` to build
+    workload-perturbed copies of the paper plant.
+    """
     configs = []
     for name, fleet, mu in PAPER_IDC_SPECS:
         configs.append(IDCConfig(
@@ -118,7 +124,9 @@ def paper_cluster(initial_servers: list[int] | None = None) -> IDCCluster:
             power_model=LinearPowerModel.from_idle_peak(
                 PAPER_IDLE_WATTS, PAPER_PEAK_WATTS, service_rate=mu),
         ))
-    portals = PortalSet.constant(list(PAPER_PORTAL_LOADS))
+    if portal_loads is None:
+        portal_loads = list(PAPER_PORTAL_LOADS)
+    portals = PortalSet.constant(list(portal_loads))
     return IDCCluster.from_configs(configs, portals,
                                    initial_servers=initial_servers)
 
@@ -183,3 +191,70 @@ def price_step_scenario(dt: float = 30.0, duration: float = 600.0,
                               demand_sensitivity=demand_sensitivity)
     return replace(scenario, start_time=7 * 3600.0 - lead_seconds,
                    name="paper-price-step")
+
+
+def monte_carlo_scenarios(n: int, *, seed: int = 0, dt: float = 30.0,
+                          duration: float = 600.0,
+                          lead_seconds: float = 240.0,
+                          price_noise: float = 0.1,
+                          load_noise: float = 0.15,
+                          max_utilization: float = 0.85) -> list[Scenario]:
+    """``n`` noisy replicas of the price-step experiment (fleet MC).
+
+    Each scenario perturbs the Sec. V setup with *scenario-constant*
+    multiplicative noise: every region's hourly price trace is scaled by
+    ``1 + price_noise·N(0,1)`` and every portal's constant workload by
+    ``1 + load_noise·N(0,1)`` (clipped to [0.3, 1.2]), then the portal
+    loads are rescaled if needed so the total stays below
+    ``max_utilization`` of the latency-bounded fleet capacity — the
+    reference LP must stay feasible in every lane.  All replicas share
+    the plant *structure* (Table II), so the whole set rides the batched
+    engine (:func:`repro.sim.run_batch`) as one group.
+
+    The window is the Figs. 4–7 price-step window: the run starts
+    ``lead_seconds`` before 7:00 so the 6H→7H adjustment (scaled per
+    scenario) lands inside every lane's horizon.
+    """
+    if n < 1:
+        raise ConfigurationError("need at least one scenario")
+    from ..pricing import PriceTrace
+    rng = np.random.default_rng(seed)
+    region_names = [name for name, _fleet, _mu in PAPER_IDC_SPECS]
+    base_traces = paper_price_traces()
+    base_loads = np.asarray(PAPER_PORTAL_LOADS, dtype=float)
+    capacity = sum(mu * fleet - 1.0 / PAPER_LATENCY_BOUND
+                   for _name, fleet, mu in PAPER_IDC_SPECS)
+    limit = max_utilization * capacity
+
+    price_scales = np.clip(
+        1.0 + price_noise * rng.standard_normal((n, len(region_names))),
+        0.05, None)
+    load_scales = np.clip(
+        1.0 + load_noise * rng.standard_normal((n, base_loads.size)),
+        0.3, 1.2)
+
+    scenarios = []
+    for s in range(n):
+        loads = base_loads * load_scales[s]
+        total = float(loads.sum())
+        if total > limit:
+            loads *= limit / total
+        market = RealTimeMarket({
+            name: RegionMarketConfig(
+                trace=PriceTrace(
+                    region=name,
+                    hourly=base_traces[name].hourly * price_scales[s, j]),
+                demand_sensitivity=0.0,
+                nominal_power_mw=5.0,
+            )
+            for j, name in enumerate(region_names)
+        })
+        scenarios.append(Scenario(
+            cluster=paper_cluster(portal_loads=loads),
+            market=market,
+            dt=dt,
+            duration=duration,
+            start_time=7 * 3600.0 - lead_seconds,
+            name=f"mc-{s:04d}",
+        ))
+    return scenarios

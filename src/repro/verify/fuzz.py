@@ -74,8 +74,8 @@ from ..workload.portal import PortalWorkload
 from .monitor import InvariantMonitor
 from .oracles import cross_check_qp
 
-__all__ = ["generate_spec", "build_scenario", "run_spec", "shrink",
-           "fuzz_many", "Outcome"]
+__all__ = ["generate_spec", "generate_batch_specs", "build_scenario",
+           "run_spec", "shrink", "fuzz_many", "Outcome"]
 
 #: Offered load is kept below this fraction of worst-case capacity.
 _CAPACITY_HEADROOM = 0.85
@@ -329,6 +329,82 @@ def generate_spec(seed: int, *, chaos: bool = False) -> dict:
     return spec
 
 
+#: Seed salt for the per-lane noise stream of :func:`generate_batch_specs`,
+#: independent of the base geometry draws.
+_BATCH_SEED_SALT = 0xBA7C4
+
+
+def generate_batch_specs(seed: int, n_lanes: int, *,
+                         telemetry_faults: bool = False) -> list[dict]:
+    """A fleet of structurally identical, batch-compatible scenario specs.
+
+    Draws ONE base geometry (dt, period count, horizons, weights, traces)
+    from ``seed`` via :func:`generate_spec`, strips everything the
+    batched hot path cannot express (budgets, outages — the scalar
+    engine's territory), then emits ``n_lanes`` variations that scale
+    every region's hourly prices and every portal's workload trace by
+    lane-specific factors, capacity-guarded like the base generator.
+    All lanes therefore share a :func:`repro.sim.batch_signature` and
+    ride :func:`repro.sim.run_batch` as one group, while differing in
+    exactly the per-lane vectors the batched controller must keep
+    isolated.
+
+    With ``telemetry_faults=True`` every third lane carries a price-feed
+    dropout or workload-sensor gap window — telemetry faults are
+    batch-compatible (they only change what that lane's controller
+    sees), so the differential fuzz check covers the per-lane
+    :class:`~repro.resilience.TelemetryGuard` path too.
+
+    Each spec runs through :func:`build_scenario` as usual; the
+    ``"batch"`` marker makes the resulting config batch-compatible
+    (no per-step certificates, no QP capture).
+    """
+    if n_lanes < 1:
+        raise ConfigurationError("need at least one lane")
+    base = generate_spec(int(seed))
+    base["budget_fraction"] = None
+    base["hard_budgets"] = False
+    base["faults"] = []
+    base["batch"] = True
+
+    rng = np.random.default_rng([int(seed), _BATCH_SEED_SALT])
+    n_periods = int(base["n_periods"])
+    names = [name for name, _m, _mu in PAPER_IDC_SPECS]
+    capacity = _worst_case_capacity([])
+    specs = []
+    for lane in range(n_lanes):
+        spec = json.loads(json.dumps(base))  # deep copy, plain data only
+        spec["lane"] = lane
+        for name in names:
+            scale = float(np.clip(1.0 + 0.1 * rng.standard_normal(),
+                                  0.5, 1.5))
+            spec["prices_hourly"][name] = [
+                float(np.round(v * scale, 2))
+                for v in spec["prices_hourly"][name]]
+        loads = np.asarray(spec["portal_traces"], dtype=float)
+        scales = np.clip(1.0 + 0.15 * rng.standard_normal(loads.shape[0]),
+                         0.3, 1.2)
+        loads = loads * scales[:, None]
+        worst = float(loads.sum(axis=0).max())
+        if worst > _CAPACITY_HEADROOM * capacity:
+            loads *= _CAPACITY_HEADROOM * capacity / worst
+        spec["portal_traces"] = [[float(np.round(v, 1)) for v in row]
+                                 for row in loads]
+        if telemetry_faults and lane % 3 == 0 and n_periods > 4:
+            a = int(rng.integers(1, n_periods - 2))
+            b = int(rng.integers(a + 1, n_periods))
+            if rng.random() < 0.5:
+                spec["telemetry"] = {"price_dropouts": [
+                    {"idc": str(rng.choice(names)),
+                     "start_period": a, "end_period": b}]}
+            else:
+                spec["telemetry"] = {"sensor_gaps": [
+                    {"portal": int(rng.integers(0, loads.shape[0])),
+                     "start_period": a, "end_period": b}]}
+        specs.append(spec)
+    return specs
+
+
 # ---------------------------------------------------------------------------
 # Scenario construction
 # ---------------------------------------------------------------------------
@@ -379,6 +455,20 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
             available_fraction=f["available_fraction"])
         for f in spec.get("faults", [])
     ]
+    telem = spec.get("telemetry")
+    if telem:
+        # Standalone telemetry faults (batch-compatible — unlike the
+        # chaos block they imply no ladder/deadline config).
+        for f in telem.get("price_dropouts", []):
+            faults.append(PriceFeedDropout(
+                idc_name=f["idc"],
+                start_seconds=start_time + f["start_period"] * dt,
+                end_seconds=start_time + f["end_period"] * dt))
+        for f in telem.get("sensor_gaps", []):
+            faults.append(SensorGap(
+                portal_index=int(f["portal"]),
+                start_seconds=start_time + f["start_period"] * dt,
+                end_seconds=start_time + f["end_period"] * dt))
     chaos = spec.get("chaos")
     if chaos:
         for f in chaos.get("price_dropouts", []):
@@ -427,8 +517,10 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
         # Chaos injects solver failures on purpose: route every solve
         # through the fallback ladder under a (generous) deadline budget
         # instead of certifying optimality of solves meant to fail.
-        certify=not chaos,
-        capture_problems=0 if chaos else 8,
+        # Batch specs drop certificates/capture too — both are per-solve
+        # instrumentation the stacked hot path cannot express.
+        certify=not chaos and not spec.get("batch"),
+        capture_problems=0 if chaos or spec.get("batch") else 8,
         fallback_ladder=bool(chaos),
         deadline_seconds=10.0 if chaos else None,
     )

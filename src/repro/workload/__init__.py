@@ -12,6 +12,7 @@ from .mmpp import MMPP
 from .portal import PortalSet, PortalWorkload
 from .predictor import (
     ARWorkloadPredictor,
+    BatchARWorkloadPredictor,
     LastValuePredictor,
     PerfectPredictor,
     evaluate_predictor,
@@ -31,6 +32,7 @@ __all__ = [
     "MMPP",
     "MAP",
     "ARWorkloadPredictor",
+    "BatchARWorkloadPredictor",
     "KalmanWorkloadPredictor",
     "LastValuePredictor",
     "PerfectPredictor",

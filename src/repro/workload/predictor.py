@@ -12,11 +12,11 @@ from collections import deque
 
 import numpy as np
 
-from ..control.rls import RecursiveLeastSquares
+from ..control.rls import BatchRecursiveLeastSquares, RecursiveLeastSquares
 from ..exceptions import ModelError
 
-__all__ = ["ARWorkloadPredictor", "LastValuePredictor", "PerfectPredictor",
-           "evaluate_predictor"]
+__all__ = ["ARWorkloadPredictor", "BatchARWorkloadPredictor",
+           "LastValuePredictor", "PerfectPredictor", "evaluate_predictor"]
 
 
 class ARWorkloadPredictor:
@@ -120,6 +120,107 @@ class ARWorkloadPredictor:
             if err is not None:
                 errors[k] = err
         return errors
+
+
+class BatchARWorkloadPredictor:
+    """``B`` lockstep AR(p) predictors sharing one vectorized update.
+
+    The fleet-scale batch engine tracks one workload channel per
+    (scenario, portal) pair; stepping ``B`` scalar
+    :class:`ARWorkloadPredictor` objects per period costs more Python
+    overhead than the whole batched MPC solve.  This predictor keeps the
+    lag history as a ``(B, p)`` matrix (column 0 = most recent sample,
+    matching the scalar deque layout) on top of
+    :class:`~repro.control.rls.BatchRecursiveLeastSquares`, so observing
+    and forecasting all channels is a handful of einsum contractions.
+
+    Channels never interact; each channel runs the same covariance-form
+    update and recursive multi-step forecast as the scalar predictor.
+    All channels share the warm-up schedule (they observe in lockstep),
+    which is exactly the batch-engine situation — every scenario lane
+    sees a sample every period.
+    """
+
+    def __init__(self, n_channels: int, order: int = 3,
+                 forgetting: float = 0.98,
+                 nonnegative: bool = True) -> None:
+        if n_channels < 1:
+            raise ModelError("n_channels must be >= 1")
+        if order < 1:
+            raise ModelError("order must be >= 1")
+        self.n_channels = int(n_channels)
+        self.order = int(order)
+        self.nonnegative = bool(nonnegative)
+        self._rls = BatchRecursiveLeastSquares(self.n_channels, self.order,
+                                               forgetting=forgetting)
+        self._history = np.zeros((self.n_channels, self.order))
+        self.n_observed = 0
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough samples have arrived to form regressors."""
+        return self.n_observed >= self.order
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Current per-channel AR coefficients, shape ``(B, p)``."""
+        return self._rls.theta.copy()
+
+    def observe(self, values: np.ndarray) -> np.ndarray | None:
+        """Feed one ``(B,)`` sample vector; a-priori errors once ready."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size != self.n_channels:
+            raise ModelError(
+                f"need {self.n_channels} samples, got {values.size}")
+        err = None
+        if self.ready:
+            err = self._rls.update(self._history, values)
+        self._history[:, 1:] = self._history[:, :-1]
+        self._history[:, 0] = values
+        self.n_observed += 1
+        return err
+
+    def predict(self, steps: int = 1) -> np.ndarray:
+        """Forecast ``steps`` values per channel, shape ``(B, steps)``.
+
+        Mirrors the scalar fallbacks: zero before any sample, persistence
+        of the latest sample until the estimator has updated at least
+        once, then the recursive AR forecast.
+        """
+        if steps < 1:
+            raise ModelError("steps must be >= 1")
+        if self.n_observed == 0:
+            return np.zeros((self.n_channels, steps))
+        if not self.ready or self._rls.n_updates == 0:
+            return np.tile(self._history[:, :1], (1, steps))
+        lags = self._history.copy()
+        out = np.empty((self.n_channels, steps))
+        theta = self._rls.theta
+        for s in range(steps):
+            pred = np.einsum("bp,bp->b", lags, theta)
+            if self.nonnegative:
+                np.maximum(pred, 0.0, out=pred)
+            out[:, s] = pred
+            lags[:, 1:] = lags[:, :-1]
+            lags[:, 0] = pred
+        return out
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the stacked predictor state."""
+        return {"history": self._history.copy(),
+                "n_observed": int(self.n_observed),
+                "rls": self._rls.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` (continues bit-exact from there)."""
+        history = np.asarray(state["history"], dtype=float)
+        if history.shape != (self.n_channels, self.order):
+            raise ModelError(
+                f"snapshot history has shape {history.shape}, predictor "
+                f"is ({self.n_channels}, {self.order})")
+        self._history = history.copy()
+        self.n_observed = int(state["n_observed"])
+        self._rls.restore(state["rls"])
 
 
 class LastValuePredictor:

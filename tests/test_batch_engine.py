@@ -1,0 +1,321 @@
+"""Batched fleet engine vs the looped scalar engine.
+
+The batched path (:func:`repro.sim.run_batch`) must be a pure
+performance transformation: every scenario's trajectory, billing,
+invariant verdicts and per-lane counters must match what ``S``
+independent scalar runs produce.  The S=1 case is the strongest form —
+a singleton fleet routes through the scalar engine itself, so the
+golden full-day trace replays bit-exact by construction, and the test
+pins that routing contract.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import CostMPCPolicy, MPCPolicyConfig
+from repro.datacenter.queueing import simplified_latency_batch
+from repro.exceptions import ConfigurationError, ModelError
+from repro.optim.qp_admm import (
+    prepare_batch_admm,
+    solve_qp_admm,
+    solve_qp_admm_batch,
+)
+from repro.sim import (
+    FleetOutage,
+    batch_signature,
+    monte_carlo_scenarios,
+    paper_scenario,
+    run_batch,
+    run_monte_carlo,
+    run_simulation,
+    scenario_incompatibility,
+)
+from repro.sim.profiling import BatchPerfStats
+from repro.verify import InvariantMonitor
+from repro.verify.fuzz import build_scenario, generate_batch_specs
+from repro.workload import ARWorkloadPredictor, BatchARWorkloadPredictor
+
+
+def _looped(scenarios, cfg, **kwargs):
+    out = []
+    for sc in scenarios:
+        policy = CostMPCPolicy(sc.cluster, replace(cfg, dt=float(sc.dt)))
+        out.append(run_simulation(sc, policy, **kwargs))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# S = 1: singleton fleets are the scalar engine, bit for bit
+# ---------------------------------------------------------------------------
+def test_singleton_batch_replays_scalar_bit_exact():
+    cfg = MPCPolicyConfig(dt=30.0)
+    sc_batch = paper_scenario(dt=30.0, duration=600.0)
+    sc_scalar = paper_scenario(dt=30.0, duration=600.0)
+
+    batch = run_batch([sc_batch], cfg)
+    scalar = run_simulation(
+        sc_scalar, CostMPCPolicy(sc_scalar.cluster, cfg))
+
+    b = batch[0]
+    assert b.perf["counters"]["batch_scalar_fallback"] == 1
+    assert "smaller than" in b.perf["batch_fallback_reason"]
+    np.testing.assert_array_equal(b.servers, scalar.servers)
+    np.testing.assert_array_equal(b.powers_watts, scalar.powers_watts)
+    np.testing.assert_array_equal(b.allocations, scalar.allocations)
+    np.testing.assert_array_equal(b.cost_usd, scalar.cost_usd)
+    np.testing.assert_array_equal(b.paper_cost, scalar.paper_cost)
+    assert b.total_cost_usd == scalar.total_cost_usd
+
+
+def test_singleton_batch_replays_golden_day_fixture():
+    """The golden full-day trace, replayed through the batch entry point."""
+    import json
+    from pathlib import Path
+
+    fixture = (Path(__file__).parent / "fixtures"
+               / "golden_paper_day.json")
+    golden = json.loads(fixture.read_text())
+    scenario = paper_scenario(dt=golden["dt"], duration=golden["duration"])
+    result = run_batch([scenario], MPCPolicyConfig(dt=golden["dt"]))[0]
+
+    assert result.total_cost_usd == pytest.approx(
+        golden["total_cost_usd"], rel=1e-6)
+    fresh = np.array([result.servers[i] for i in golden["sample_periods"]])
+    np.testing.assert_array_equal(fresh, np.array(golden["servers"]))
+
+
+# ---------------------------------------------------------------------------
+# S > 1: batched lockstep vs looped scalar runs
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n_scenarios", [4, 16])
+def test_batch_matches_looped(n_scenarios):
+    cfg = MPCPolicyConfig(dt=30.0)
+    scens_b = monte_carlo_scenarios(n_scenarios, seed=3, duration=600.0)
+    scens_l = monte_carlo_scenarios(n_scenarios, seed=3, duration=600.0)
+
+    batch = run_batch(scens_b, cfg, warm_start="exact")
+    looped = _looped(scens_l, cfg)
+
+    for b, l in zip(batch, looped):
+        assert b.policy_name == "mpc_batch"
+        assert "batch_fallback_reason" not in b.perf
+        np.testing.assert_array_equal(b.times, l.times)
+        np.testing.assert_array_equal(b.prices, l.prices)
+        np.testing.assert_array_equal(b.loads, l.loads)
+        # trajectories agree to solver tolerance; the integer server
+        # command may flip ±1 where the QP lands a hair from a ceiling
+        assert b.total_cost_usd == pytest.approx(
+            l.total_cost_usd, rel=1e-4)
+        np.testing.assert_allclose(b.paper_cost, l.paper_cost, rtol=1e-4)
+        np.testing.assert_allclose(b.energy_mwh, l.energy_mwh, rtol=1e-4)
+        np.testing.assert_allclose(b.allocations, l.allocations,
+                                   rtol=1e-3, atol=1.0)
+        assert np.mean(b.servers != l.servers) < 0.05
+        same = b.servers == l.servers
+        np.testing.assert_allclose(b.latencies[same], l.latencies[same],
+                                   rtol=1e-3)
+
+
+def test_batch_matches_looped_with_monitors():
+    """Invariant verdicts must be identical under both execution paths."""
+    cfg = MPCPolicyConfig(dt=30.0)
+    n = 4
+    scens_b = monte_carlo_scenarios(n, seed=11, duration=600.0)
+    scens_l = monte_carlo_scenarios(n, seed=11, duration=600.0)
+    mons_b = [InvariantMonitor() for _ in range(n)]
+    mons_l = [InvariantMonitor() for _ in range(n)]
+
+    batch = run_batch(scens_b, cfg, monitors=mons_b, warm_start="exact")
+    looped = []
+    for sc, mon in zip(scens_l, mons_l):
+        policy = CostMPCPolicy(sc.cluster, replace(cfg, dt=float(sc.dt)))
+        looped.append(run_simulation(sc, policy, monitor=mon))
+
+    for b, l, mb, ml in zip(batch, looped, mons_b, mons_l):
+        assert mb.counters()["invariant_checks"] \
+            == ml.counters()["invariant_checks"]
+        assert mb.counters()["invariant_violations"] \
+            == ml.counters()["invariant_violations"] == 0
+        assert b.perf["counters"]["invariant_checks"] \
+            == mb.counters()["invariant_checks"]
+
+
+def test_batch_matches_looped_under_telemetry_faults():
+    """Telemetry-faulted lanes gap-fill per lane, identically to scalar."""
+    specs = generate_batch_specs(29, 6, telemetry_faults=True)
+    assert any("telemetry" in s for s in specs)
+    built_b = [build_scenario(s) for s in specs]
+    built_l = [build_scenario(s) for s in specs]
+    cfg = built_b[0][1]
+
+    batch = run_batch([s for s, _ in built_b], cfg, warm_start="exact")
+    looped = _looped([s for s, _ in built_l], cfg)
+
+    for spec, b, l in zip(specs, batch, looped):
+        assert b.total_cost_usd == pytest.approx(
+            l.total_cost_usd, rel=1e-4)
+        faulted = "telemetry" in spec
+        b_fills = (b.perf["counters"].get("telemetry_hold_fills", 0)
+                   + b.perf["counters"].get("telemetry_predictor_fills", 0))
+        l_fills = (l.perf["counters"].get("telemetry_hold_fills", 0)
+                   + l.perf["counters"].get("telemetry_predictor_fills", 0))
+        assert b_fills == l_fills
+        if not faulted:
+            # counter isolation: a clean lane must not inherit its
+            # neighbours' telemetry events
+            assert b_fills == 0
+
+
+def test_batch_with_load_prediction_matches_looped():
+    cfg = MPCPolicyConfig(dt=30.0)
+    scens_b = monte_carlo_scenarios(4, seed=5, duration=600.0)
+    scens_l = monte_carlo_scenarios(4, seed=5, duration=600.0)
+    batch = run_batch(scens_b, cfg, predict_loads=True, warm_start="exact")
+    looped = _looped(scens_l, cfg, predict_loads=True)
+    for b, l in zip(batch, looped):
+        assert b.total_cost_usd == pytest.approx(l.total_cost_usd, rel=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Routing: what batches, what falls back
+# ---------------------------------------------------------------------------
+def test_outage_scenarios_fall_back_to_scalar():
+    scens = monte_carlo_scenarios(3, seed=1, duration=600.0)
+    sc = scens[0]
+    scens[0] = replace(sc, faults=[FleetOutage(
+        idc_name=sc.cluster.idc_names[0],
+        start_seconds=sc.start_time + 60.0,
+        end_seconds=sc.start_time + 240.0,
+        available_fraction=0.5)])
+    assert "outage" in scenario_incompatibility(scens[0])
+    results = run_batch(scens, MPCPolicyConfig(dt=30.0))
+    assert results[0].perf["counters"].get("batch_scalar_fallback") == 1
+    assert "outage" in results[0].perf["batch_fallback_reason"]
+    for r in results[1:]:
+        assert "batch_fallback_reason" not in r.perf
+        assert r.policy_name == "mpc_batch"
+
+
+def test_demand_coupled_market_falls_back():
+    sc = paper_scenario(dt=30.0, duration=300.0, demand_sensitivity=0.5)
+    assert "demand-coupled" in scenario_incompatibility(sc)
+
+
+def test_incompatible_config_routes_everything_scalar():
+    scens = monte_carlo_scenarios(3, seed=2, duration=300.0)
+    cfg = MPCPolicyConfig(dt=30.0, certify=True)
+    results = run_batch(scens, cfg)
+    for r in results:
+        assert r.perf["counters"].get("batch_scalar_fallback") == 1
+
+
+def test_batch_signature_separates_structures():
+    a, b = monte_carlo_scenarios(2, seed=4, duration=600.0)
+    assert batch_signature(a) == batch_signature(b)
+    c = replace(a, dt=60.0)
+    assert batch_signature(c) != batch_signature(a)
+
+
+def test_run_batch_rejects_empty_and_misaligned_monitors():
+    with pytest.raises(ConfigurationError):
+        run_batch([])
+    scens = monte_carlo_scenarios(2, seed=0, duration=300.0)
+    with pytest.raises(ConfigurationError):
+        run_batch(scens, monitors=[None])
+
+
+def test_run_monte_carlo_dispatch():
+    cfg = MPCPolicyConfig(dt=30.0)
+    batched = run_monte_carlo(
+        monte_carlo_scenarios(3, seed=9, duration=300.0), cfg)
+    pooled = run_monte_carlo(
+        monte_carlo_scenarios(3, seed=9, duration=300.0), cfg,
+        batched=False, n_workers=1)
+    assert [r.policy_name for r in batched] == ["mpc_batch"] * 3
+    for b, p in zip(batched, pooled):
+        assert b.total_cost_usd == pytest.approx(p.total_cost_usd, rel=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+def test_batch_perf_stats_isolates_lanes():
+    perf = BatchPerfStats(3)
+    perf.shared.count("admm_iterations", 42)
+    perf.lane(1).count("telemetry_hold_fills", 5)
+    perf.fold_lane_counters(2, {"invariant_violations": 1})
+
+    snap0 = perf.lane_snapshot(0)
+    snap1 = perf.lane_snapshot(1)
+    snap2 = perf.lane_snapshot(2)
+    assert "telemetry_hold_fills" not in snap0["counters"]
+    assert snap1["counters"]["telemetry_hold_fills"] == 5
+    assert "invariant_violations" not in snap1["counters"]
+    assert snap2["counters"]["invariant_violations"] == 1
+    for snap in (snap0, snap1, snap2):
+        assert snap["counters"]["batch_admm_iterations"] == 42
+        assert snap["batch_n_scenarios"] == 3
+    assert perf.rollup().counters["telemetry_hold_fills"] == 5
+
+
+def test_simplified_latency_batch_matches_scalar_and_flags_overload():
+    rates = np.array([2.0, 1.25])
+    lam = np.array([[10.0, 5.0], [0.0, 100.0]])
+    servers = np.array([[10, 8], [5, 4]])
+    out = simplified_latency_batch(lam, servers, rates)
+    assert out[0, 0] == pytest.approx(1.0 / (10 * 2.0 - 10.0))
+    assert out[1, 0] == pytest.approx(1.0 / (5 * 2.0))
+    assert np.isinf(out[1, 1])  # λ=100 ≥ mμ=5
+    assert np.isinf(simplified_latency_batch([1.0], [0], [2.0])[0])
+    with pytest.raises(ModelError):
+        simplified_latency_batch([-1.0], [3], [2.0])
+
+
+def test_batch_ar_predictor_tracks_scalar_lockstep():
+    rng = np.random.default_rng(17)
+    series = 100.0 + np.cumsum(rng.standard_normal((40, 3)), axis=0)
+    scalars = [ARWorkloadPredictor(order=3) for _ in range(3)]
+    batch = BatchARWorkloadPredictor(3, order=3)
+    for row in series:
+        for p, v in zip(scalars, row):
+            p.observe(float(v))
+        batch.observe(row)
+        expect = np.column_stack([p.predict(4) for p in scalars])
+        got = batch.predict(4).T  # (B, steps) -> (steps, B)
+        # vectorized RLS reorders a few flops vs the scalar loop
+        np.testing.assert_allclose(got, expect, rtol=1e-6, atol=1e-4)
+
+
+def test_solve_qp_admm_batch_matches_scalar():
+    rng = np.random.default_rng(23)
+    n, m, S = 6, 9, 5
+    M = rng.standard_normal((n, n))
+    P = M @ M.T + np.eye(n)
+    A = np.vstack([rng.standard_normal((3, n)), np.eye(n)])
+    Q = rng.standard_normal((S, n))
+    L = np.hstack([np.full((S, 3), -2.0), np.zeros((S, n))])
+    U = np.hstack([np.full((S, 3), 2.0), np.full((S, n), 5.0)])
+
+    setup = prepare_batch_admm(P, A)
+    res = solve_qp_admm_batch(P, Q, A, L, U, setup=setup)
+    assert res.X.shape == (S, n)
+    for s in range(S):
+        ref = solve_qp_admm(P, Q[s], A, L[s], U[s],
+                            eps_abs=1e-9, eps_rel=1e-9)
+        assert ref.success
+        np.testing.assert_allclose(res.X[s], ref.x, rtol=1e-3, atol=1e-4)
+
+
+def test_solve_qp_admm_auto_method_picks_by_size():
+    rng = np.random.default_rng(31)
+    n = 4
+    M = rng.standard_normal((n, n))
+    P = M @ M.T + np.eye(n)
+    q = rng.standard_normal(n)
+    A = np.eye(n)
+    res = solve_qp_admm(P, q, A, np.zeros(n), np.ones(n), method="auto")
+    assert res.success
+    # tiny problem, no structure operator: auto must take the dense path
+    assert res.meta["kkt_method"] == "dense"
