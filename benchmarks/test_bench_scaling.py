@@ -31,6 +31,16 @@ once through the batched engine (:func:`repro.sim.run_batch`), with
 per-lane total costs cross-checked.  Acceptance: batched beats looped
 by ≥ 5× at S = 100, and a 1000-scenario fleet costs no more than 3×
 one scalar full-day run.
+
+**Market coupling** repeats the looped-vs-batched race with γ > 0
+(every lane owns a demand-coupled market, cleared vectorized through
+:class:`repro.pricing.LaneMarketBatch`), then runs the headline
+shared-market experiment: a 1000-controller mixed-policy fleet on one
+demand-coupled regional market for a full day, with herding metrics
+and the stagger/smoothing mitigation comparison recorded.  Acceptance:
+coupled batched ≥ 5× looped at S = 100 with ≤ 1e-6 relative cost
+agreement, and the 1000-lane coupled day within 5× of one scalar
+full-day run.
 """
 
 import json
@@ -49,12 +59,17 @@ from repro.optim import (
     solve_qp,
     solve_qp_admm,
 )
+from repro.optim.qp_admm import AUTO_REDUCED_MIN_VARS
+from repro.pricing import RegionMarketConfig, SharedMarket, paper_price_traces
 from repro.sim import (
     monte_carlo_scenarios,
+    paper_cluster,
     paper_scenario,
     run_batch,
+    run_shared_market_fleet,
     run_simulation,
 )
+from repro.sim.scenario import PAPER_IDC_SPECS, PAPER_PORTAL_LOADS
 
 CONFIGS = [(n, b1) for n in (3, 10, 30) for b1 in (5, 15, 30)]
 ADMM_ITERS = 60       # fixed per-solve work for a fair dense/reduced race
@@ -160,6 +175,12 @@ def _bench_config(n_idcs, horizon_pred):
     iterate_gap = float(np.max(np.abs(res_dense.x - res_reduced.x)))
     t_dense = _best_of(run_dense)
     t_reduced = _best_of(run_reduced)
+    # which back-end "auto" would pick for this problem size — recorded
+    # so the AUTO_REDUCED_MIN_VARS crossover is regression-tested
+    # against the measured speedups in the same file
+    auto_method = solve_qp_admm(
+        P, q, A, low, high, eps_abs=0.0, eps_rel=0.0, max_iter=2,
+        method="auto", structure=op).meta["kkt_method"]
 
     # --- Active-set: cold build vs cached incremental factorization ---
     cache = KKTFactorCache()
@@ -191,6 +212,7 @@ def _bench_config(n_idcs, horizon_pred):
             "reduced_seconds": t_reduced,
             "speedup": t_dense / t_reduced,
             "iterate_gap": iterate_gap,
+            "auto_method": auto_method,
         },
         "active_set": {
             "cold_seconds": t_cold,
@@ -223,6 +245,13 @@ def test_bench_kernel_scaling():
         # factorization work at all: the counters are the proof.
         assert row["active_set"]["warm_meta"]["kkt_refactorizations"] == 0
         assert row["active_set"]["warm_meta"]["kkt_updates"] == 0
+        # "auto" crossover regression: small problems (where this very
+        # sweep measured dense BLAS winning, e.g. 0.58x at N=3/β₁=5)
+        # must stay on the dense back-end, large ones on reduced.
+        expect = ("reduced" if row["n_variables"] >= AUTO_REDUCED_MIN_VARS
+                  else "dense")
+        assert row["admm"]["auto_method"] == expect, row
+    assert rows[0]["admm"]["auto_method"] == "dense"
 
     # Headline acceptance: at the largest configuration the structured
     # paths beat dense by >= 3x per solve (measured ~10x here; the 3x
@@ -325,3 +354,134 @@ def test_bench_scenario_scaling():
     assert rows[-1]["n_scenarios"] == 100
     assert rows[-1]["speedup"] >= 5.0, rows[-1]
     assert t_fleet <= 3.0 * t_day, (t_fleet, t_day)
+
+
+# ---------------------------------------------------------------------------
+# Market-coupling sweep: γ > 0 lanes and the shared-market fleet
+# ---------------------------------------------------------------------------
+COUPLED_GAMMA = 0.4           # per-lane demand sensitivity for the race
+FLEET_GAMMA = 0.05            # shared-market γ (inside the stable regime)
+FLEET_LANES = 1000
+FLEET_PERIODS = 288           # dt = 300 s → one full day
+MITIGATION_GAMMA = 0.6        # herding regime for the mitigation study
+
+
+def _shared_market(gamma: float, n_lanes: int) -> SharedMarket:
+    traces = paper_price_traces()
+    return SharedMarket({
+        name: RegionMarketConfig(
+            trace=traces[name], demand_sensitivity=gamma,
+            nominal_power_mw=5.0 * n_lanes)
+        for name, _fleet, _mu in PAPER_IDC_SPECS})
+
+
+def _fleet_loads(n_lanes: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.asarray(PAPER_PORTAL_LOADS) * np.clip(
+        1.0 + 0.1 * rng.standard_normal((n_lanes, 5)), 0.5, 1.3)
+
+
+def test_bench_market_coupling():
+    cfg = MPCPolicyConfig(dt=30.0)
+
+    # reference unit of work, same as the scenario sweep: one scalar
+    # full-day closed-loop run
+    day = paper_scenario(dt=30.0, duration=24 * 3600.0)
+    t0 = time.perf_counter()
+    run_simulation(day, CostMPCPolicy(day.cluster, cfg))
+    t_day = time.perf_counter() - t0
+
+    # --- independent-coupled race: every lane γ > 0, batched vs looped ---
+    rows = []
+    for width in (10, 100):
+        scens_l = monte_carlo_scenarios(
+            width, seed=0, demand_sensitivity=COUPLED_GAMMA)
+        t0 = time.perf_counter()
+        looped = _run_looped(scens_l, cfg)
+        t_loop = time.perf_counter() - t0
+
+        scens_b = monte_carlo_scenarios(
+            width, seed=0, demand_sensitivity=COUPLED_GAMMA)
+        t0 = time.perf_counter()
+        batched = run_batch(scens_b, cfg, warm_start="exact")
+        t_batch = time.perf_counter() - t0
+
+        cost_gap = max(
+            abs(b.total_cost_usd - l.total_cost_usd)
+            / max(abs(l.total_cost_usd), 1e-12)
+            for b, l in zip(batched, looped))
+        rows.append({
+            "n_scenarios": width,
+            "demand_sensitivity": COUPLED_GAMMA,
+            "looped_seconds": t_loop,
+            "batched_seconds": t_batch,
+            "speedup": t_loop / t_batch,
+            "max_cost_reldiff": cost_gap,
+        })
+
+    # --- headline: 1000-controller shared-market full day ---
+    loads = _fleet_loads(FLEET_LANES)
+    t0 = time.perf_counter()
+    fleet = run_shared_market_fleet(
+        paper_cluster(), _shared_market(FLEET_GAMMA, FLEET_LANES), loads,
+        FLEET_PERIODS, policy_mix=("mpc", "lp", "static"), dt=300.0,
+        start_time=0.0)
+    t_fleet = time.perf_counter() - t0
+    herding = fleet.herding_metrics()
+
+    # --- mitigation study: herding regime, stagger + smoothing R ---
+    mit_loads = _fleet_loads(24, seed=0)
+    mitigation = {}
+    for label, kwargs in (
+            ("herding", dict(policy_mix=("lp",), stagger=1)),
+            ("stagger_4", dict(policy_mix=("lp",), stagger=4)),
+            ("mpc_default_R", dict(policy_mix=("mpc",), stagger=1)),
+            ("mpc_raised_R", dict(policy_mix=("mpc",), stagger=1,
+                                  config=MPCPolicyConfig(r_weight=0.3)))):
+        res = run_shared_market_fleet(
+            paper_cluster(), _shared_market(MITIGATION_GAMMA, 24),
+            mit_loads, 16, dt=300.0, **kwargs)
+        m = res.herding_metrics()
+        mitigation[label] = {
+            "aggregate_ramp_mw_mean": m["aggregate_ramp_mw_mean"],
+            "aggregate_ramp_mw_max": m["aggregate_ramp_mw_max"],
+            "price_oscillation_mean": m["price_oscillation_mean"],
+            "clearing_nonconverged": m["clearing_nonconverged"],
+            "total_cost_usd": res.total_cost_usd,
+        }
+
+    _write_sections({"market_coupling": {
+        "full_day_scalar_seconds": t_day,
+        "independent_coupled_sweep": rows,
+        "shared_fleet": {
+            "n_lanes": FLEET_LANES,
+            "n_periods": FLEET_PERIODS,
+            "dt_seconds": 300.0,
+            "demand_sensitivity": FLEET_GAMMA,
+            "policy_mix": ["mpc", "lp", "static"],
+            "batched_seconds": t_fleet,
+            "vs_full_day": t_fleet / t_day,
+            "total_cost_usd": fleet.total_cost_usd,
+            "herding": herding,
+            "cost_by_policy": fleet.cost_by_policy(),
+        },
+        "mitigation": {
+            "demand_sensitivity": MITIGATION_GAMMA,
+            "n_lanes": 24,
+            "runs": mitigation,
+        },
+    }})
+
+    # γ > 0 no longer splinters the batch: the coupled race must match
+    # the looped engine tightly and still win big at S = 100
+    for row in rows:
+        assert row["max_cost_reldiff"] <= 1e-6, row
+    assert rows[-1]["n_scenarios"] == 100
+    assert rows[-1]["speedup"] >= 5.0, rows[-1]
+    # a 1000-controller coupled day within 5x of one scalar full day
+    assert t_fleet <= 5.0 * t_day, (t_fleet, t_day)
+    # the mitigations actually mitigate (grid-facing ramp metric)
+    assert mitigation["stagger_4"]["aggregate_ramp_mw_mean"] \
+        < mitigation["herding"]["aggregate_ramp_mw_mean"]
+    assert mitigation["mpc_raised_R"]["aggregate_ramp_mw_mean"] \
+        < mitigation["mpc_default_R"]["aggregate_ramp_mw_mean"]

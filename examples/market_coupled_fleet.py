@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Herding and mitigation on a shared demand-coupled market.
+
+When many controllers buy power from the *same* regional markets, the
+price responds to their aggregate demand — and a fleet of individually
+sensible price-chasers becomes a herd: everyone migrates to the cheap
+region at once, the price there spikes, everyone migrates back.  This
+example runs mixed-policy fleets (cost-MPC, instantaneous-LP,
+capacity-proportional static) on one :class:`repro.pricing.SharedMarket`
+through :func:`repro.sim.run_shared_market_fleet`, sweeps the demand
+sensitivity γ across the stability boundary, and compares two
+mitigations in the herding regime:
+
+* **staggered price refresh** — lanes re-read the market on a rotating
+  schedule instead of all at once, so only 1/stagger of the fleet moves
+  each period;
+* **raised smoothing weight R** — the paper's own knob: a heavier move
+  penalty in the MPC objective damps each lane's power swings, and with
+  them the aggregate ramp.
+
+Run:  python examples/market_coupled_fleet.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_chart, render_table
+from repro.core import MPCPolicyConfig
+from repro.pricing import RegionMarketConfig, SharedMarket, paper_price_traces
+from repro.sim import paper_cluster, run_shared_market_fleet
+from repro.sim.scenario import PAPER_IDC_SPECS, PAPER_PORTAL_LOADS
+
+N_LANES = 24
+N_PERIODS = 16          # 16 x 300 s from 6:00 — crosses the 7:00 step
+DT = 300.0
+
+
+def shared_market(gamma: float) -> SharedMarket:
+    traces = paper_price_traces()
+    return SharedMarket({
+        name: RegionMarketConfig(
+            trace=traces[name], demand_sensitivity=gamma,
+            nominal_power_mw=5.0 * N_LANES)
+        for name, _fleet, _mu in PAPER_IDC_SPECS})
+
+
+def lane_loads(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.asarray(PAPER_PORTAL_LOADS) * np.clip(
+        1.0 + 0.1 * rng.standard_normal((N_LANES, 5)), 0.5, 1.3)
+
+
+def run(gamma: float, **kwargs):
+    return run_shared_market_fleet(
+        paper_cluster(), shared_market(gamma), lane_loads(),
+        N_PERIODS, dt=DT, **kwargs)
+
+
+def main() -> None:
+    # --- 1. the stability boundary: sweep γ across it -------------------
+    rows = []
+    for gamma in (0.0, 0.02, 0.05, 0.1, 0.2):
+        res = run(gamma, policy_mix=("mpc", "lp", "static"))
+        m = res.herding_metrics()
+        rows.append([gamma, round(m["clearing_iterations_mean"], 1),
+                     m["clearing_nonconverged"],
+                     round(m["aggregate_ramp_mw_mean"], 2),
+                     round(m["price_oscillation_mean"], 3),
+                     round(res.total_cost_usd, 0)])
+    print(render_table(
+        ["γ", "clearing iters", "non-converged periods",
+         "aggregate ramp (MW)", "price oscillation ($/MWh)",
+         "fleet cost ($)"],
+        rows, title=f"{N_LANES}-lane mixed fleet vs demand sensitivity"))
+    print("Mild coupling clears in a couple of fixed-point iterations; "
+          "past the stability\nboundary the all-or-nothing bids of "
+          "price-chasing lanes cycle and the clearing\nguard reports "
+          "non-convergence — the herding regime.")
+
+    # --- 2. mitigation study in the herding regime ----------------------
+    gamma = 0.6
+    variants = {
+        "herding (lp, stagger=1)": run(gamma, policy_mix=("lp",), stagger=1),
+        "staggered (lp, stagger=4)": run(gamma, policy_mix=("lp",),
+                                         stagger=4),
+        "mpc, default R": run(gamma, policy_mix=("mpc",)),
+        "mpc, raised R (x30)": run(gamma, policy_mix=("mpc",),
+                                   config=MPCPolicyConfig(r_weight=0.3)),
+    }
+    rows = []
+    for label, res in variants.items():
+        m = res.herding_metrics()
+        rows.append([label, round(m["aggregate_ramp_mw_mean"], 2),
+                     round(m["aggregate_ramp_mw_max"], 2),
+                     round(m["regional_peak_concentration"], 3),
+                     round(res.total_cost_usd, 0)])
+    print()
+    print(render_table(
+        ["variant", "ramp mean (MW)", "ramp max (MW)",
+         "peak concentration", "fleet cost ($)"],
+        rows, title=f"Mitigations at γ = {gamma} (herding regime)"))
+    print("Both knobs attack the grid-facing symptom — the aggregate "
+          "ramp: staggering\nmoves only a cohort per period; a raised "
+          "smoothing weight R makes each MPC lane\nreluctant to move at "
+          "all.  Stability costs a little money: the smoothed fleets\n"
+          "chase fewer price dips.")
+
+    # --- 3. what the grid sees ------------------------------------------
+    herd = variants["herding (lp, stagger=1)"]
+    stag = variants["staggered (lp, stagger=4)"]
+    print()
+    print("Aggregate fleet demand (MW) across the 7:00 price step:")
+    print(ascii_chart({
+        "herding": herd.agg_demand_mw.sum(axis=1),
+        "staggered": stag.agg_demand_mw.sum(axis=1),
+    }, height=10))
+    mh, ms = herd.herding_metrics(), stag.herding_metrics()
+    print(f"Worst single-period swing: {mh['aggregate_ramp_mw_max']:.1f} MW "
+          f"herding vs {ms['aggregate_ramp_mw_max']:.1f} MW staggered.")
+
+
+if __name__ == "__main__":
+    main()

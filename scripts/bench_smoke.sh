@@ -43,4 +43,19 @@ fleet = sc["fleet"]
 print("  S={n} fleet: {t:.2f} s = {r:.2f}x one scalar full day".format(
     n=fleet["n_scenarios"], t=fleet["batched_seconds"],
     r=fleet["vs_full_day"]))
+
+mc = data["market_coupling"]
+print("BENCH_scaling.json (market coupling, gamma > 0):")
+for row in mc["independent_coupled_sweep"]:
+    print("  S={n_scenarios} coupled: batched x{speedup:.1f} "
+          "(cost agreement {max_cost_reldiff:.1e})".format(**row))
+shared = mc["shared_fleet"]
+print("  shared-market fleet: {n} lanes x {p} periods in {t:.2f} s "
+      "= {r:.2f}x one scalar full day".format(
+          n=shared["n_lanes"], p=shared["n_periods"],
+          t=shared["batched_seconds"], r=shared["vs_full_day"]))
+runs = mc["mitigation"]["runs"]
+print("  mitigation (aggregate ramp, MW/period): " + ", ".join(
+    "{k}={v:.2f}".format(k=k, v=v["aggregate_ramp_mw_mean"])
+    for k, v in runs.items()))
 EOF

@@ -407,7 +407,14 @@ class BatchCostMPCPolicy:
             if cfg.horizon_ctrl > 1:
                 X0[:, :ndu - nu] = prev_X[:, nu:]
             Y0 = prev_Y
+        # Lockstep mode is compared step-for-step against the scalar
+        # active-set engine; under demand feedback (γ > 0) a solver-
+        # tolerance split difference compounds through the price, so
+        # exact mode runs the iterates an order tighter.  Monte-Carlo
+        # mode keeps the fast default.
+        eps = 1e-8 if self.warm_start == "exact" else 1e-6
         res = solve_qp_admm_batch(ops["P"], Qlin, ops["A_box"], L, U_box,
+                                  eps_abs=eps, eps_rel=eps,
                                   X0=X0, Y0=Y0, setup=ops["setup"])
         if cfg.warm_start_solver:
             self._warm = (res.X.copy(), res.Y.copy())
@@ -452,6 +459,35 @@ class BatchCostMPCPolicy:
                 self._warm[0][lane] = 0.0
                 self._warm[1][lane] = 0.0
         return U_new, diags
+
+    # ------------------------------------------------------------------
+    def demand_response(self, prices: np.ndarray,
+                        loads: np.ndarray) -> np.ndarray:
+        """Bid-curve demand (MW) each lane would draw at candidate prices.
+
+        The shared-market fleet stepper's simultaneous clearing needs
+        the controllers' price→demand map *without* advancing any
+        lane's closed-loop state, so it iterates against the same
+        budget-free waterfill that anchors the reference trajectory:
+        the demand the controller is steering toward at those prices.
+        (The committed :meth:`decide_batch` draw then differs only by
+        the ΔU smoothing — which is exactly the mitigation knob the
+        herding study turns.)  When the market moves under the fleet
+        no operator rebuild is needed either: the horizon projections
+        are price-invariant (module docstring), and the per-period
+        price refresh enters :meth:`decide_batch` purely through the
+        linear term and the reference memo.
+
+        ``prices`` may be one shared row ``(N,)`` — a cleared market —
+        or per-lane rows ``(S, N)``; ``loads`` is ``(S, C)``.  Returns
+        ``(S, N)`` megawatts.
+        """
+        loads = np.asarray(loads, dtype=float)
+        prices = np.asarray(prices, dtype=float)
+        if prices.ndim == 1:
+            prices = np.broadcast_to(prices, (loads.shape[0], self._n))
+        alloc = solve_optimal_allocation_batch(self.cluster, prices, loads)
+        return alloc.powers_watts_relaxed * 1e-6
 
     # ------------------------------------------------------------------
     def decide_batch(self, period: int, prices: np.ndarray,

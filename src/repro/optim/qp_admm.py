@@ -33,11 +33,11 @@ Two KKT back-ends are available (``method=``):
 
 ``method="auto"`` selects ``"reduced"`` when a structure operator is
 supplied *and* the problem is large enough for the structured path to
-win: on tiny problems (n below :data:`AUTO_REDUCED_MIN_VARS`) dense BLAS
-beats the per-iteration Python overhead of the matrix-free operator —
-the scaling benchmark measures the reduced path at 0.6–0.8× dense for
-n ≤ 30 and ≥ 1.2× from n ≈ 50 — so auto stays dense below the
-crossover.
+win: on small problems (n below :data:`AUTO_REDUCED_MIN_VARS`) dense
+BLAS beats the per-iteration Python overhead of the matrix-free
+operator — the scaling benchmark measures the reduced path at
+0.58–0.91× dense through n = 50 and ≥ 2.3× from n = 100 — so auto
+stays dense below the crossover.
 
 :func:`solve_qp_admm_batch` runs the same reduced iteration for a whole
 *batch* of problems that share ``(P, A)`` — the fleet-scale Monte-Carlo
@@ -63,9 +63,12 @@ __all__ = ["solve_qp_admm", "solve_qp_admm_batch", "boxed_constraints",
            "AUTO_REDUCED_MIN_VARS"]
 
 #: ``method="auto"`` crossover: the reduced/matrix-free path must have at
-#: least this many primal variables before it outruns dense LU (measured
-#: on the scaling benchmark: 0.60×–0.84× at n=15–30, ≥1.24× at n=50).
-AUTO_REDUCED_MIN_VARS = 48
+#: least this many primal variables before it outruns dense LU.  The
+#: scaling benchmark (``BENCH_scaling.json``, kernel sweep) measures
+#: reduced at 0.58×–0.91× dense up to n = 50 (N=10, β₁=5) and ≥ 2.3×
+#: from n = 100 (N=10, β₁=15), so auto stays dense through n = 50 and
+#: switches in the n = 50–100 gap.
+AUTO_REDUCED_MIN_VARS = 64
 
 
 class ADMMFactorCache:

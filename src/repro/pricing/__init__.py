@@ -24,7 +24,14 @@ from .forecast import (
     MultiRegionForecaster,
     PersistencePriceForecaster,
 )
-from .market import RealTimeMarket, RegionMarketConfig
+from .market import (
+    LaneMarketBatch,
+    RealTimeMarket,
+    RegionMarketConfig,
+    SharedMarket,
+    clear_fixed_point,
+    clearing_contraction,
+)
 from .renewables import RenewableTrace, SolarProfile, WindModel
 from .stochastic import BidStackPriceModel, DiurnalProfile, OrnsteinUhlenbeck
 from .traces import PAPER_REGIONS, TABLE_III_PRICES, PriceTrace, paper_price_traces
@@ -36,6 +43,10 @@ __all__ = [
     "TABLE_III_PRICES",
     "RealTimeMarket",
     "RegionMarketConfig",
+    "LaneMarketBatch",
+    "SharedMarket",
+    "clear_fixed_point",
+    "clearing_contraction",
     "DiurnalPriceForecaster",
     "PersistencePriceForecaster",
     "MultiRegionForecaster",

@@ -2,6 +2,12 @@
 
 from .batch import batch_signature, run_batch, scenario_incompatibility
 from .engine import run_simulation, simulate_policies
+from .fleet import (
+    POLICY_KINDS,
+    FleetResult,
+    SharedMarketFleet,
+    run_shared_market_fleet,
+)
 from .faults import (
     ActuationChannel,
     ActuationLag,
@@ -34,6 +40,10 @@ __all__ = [
     "run_simulation",
     "simulate_policies",
     "run_batch",
+    "run_shared_market_fleet",
+    "SharedMarketFleet",
+    "FleetResult",
+    "POLICY_KINDS",
     "run_many",
     "run_monte_carlo",
     "run_parallel",

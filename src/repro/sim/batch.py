@@ -13,17 +13,20 @@ Not every scenario can ride the hot path.  Lanes are partitioned:
 
 * **Batchable lanes** share a structural signature
   (:func:`batch_signature`: IDC coefficients, fleet sizes, portal
-  count, ``dt``, period count), carry at most *telemetry* faults
+  count, ``dt``, period count) and carry at most *telemetry* faults
   (price-feed dropouts / sensor gaps — these only change what the
-  controller sees, per lane), and use pure-trace markets (γ = 0).
-  Groups of at least ``min_batch`` such lanes step together.
+  controller sees, per lane).  Demand-coupled markets (γ > 0) batch
+  too: each lane's market clears vectorized against that lane's own
+  demand history through :class:`repro.pricing.LaneMarketBatch`, so a
+  group mixing γ = 0 and γ > 0 lanes no longer splinters.  Groups of
+  at least ``min_batch`` such lanes step together.
 * **Everything else** — plant-mutating faults (outages, actuation),
-  demand-coupled markets, configs rejected by
-  :func:`repro.core.batch_incompatibility`, or a group of one — runs
-  through the scalar :func:`repro.sim.engine.run_simulation` unchanged.
-  A single-lane "batch" in particular is defined to be the scalar
-  engine: there is nothing to vectorize, and the scalar path is the
-  reference semantics (bit-exact against the golden traces).
+  configs rejected by :func:`repro.core.batch_incompatibility`, or a
+  group of one — runs through the scalar
+  :func:`repro.sim.engine.run_simulation` unchanged.  A single-lane
+  "batch" in particular is defined to be the scalar engine: there is
+  nothing to vectorize, and the scalar path is the reference semantics
+  (bit-exact against the golden traces).
 
 Either way the caller gets one :class:`~repro.sim.results.
 SimulationResult` per scenario, in input order, with per-lane
@@ -54,8 +57,10 @@ def scenario_incompatibility(scenario: Scenario) -> str | None:
 
     Config-level compatibility is :func:`repro.core.
     batch_incompatibility`'s job; this checks the *scenario*: faults
-    that mutate the plant (changing per-lane constraint geometry) and
-    markets whose prices depend on the lane's own demand history.
+    that mutate the plant (changing per-lane constraint geometry).
+    Demand-coupled markets (γ > 0) are batch-compatible — each lane's
+    feedback clears vectorized through
+    :class:`repro.pricing.LaneMarketBatch`.
     """
     if scenario.faults:
         groups = split_faults(scenario.faults)
@@ -63,9 +68,6 @@ def scenario_incompatibility(scenario: Scenario) -> str | None:
             return "fleet outages (per-lane constraint geometry)"
         if groups.actuation_faults:
             return "actuation faults (per-lane plant channel)"
-    for cfg in scenario.market.regions.values():
-        if cfg.demand_sensitivity != 0.0:
-            return "demand-coupled market (γ > 0)"
     return None
 
 
@@ -94,7 +96,8 @@ def run_batch(scenarios, config=None, *,
               prediction_horizon: int = 3,
               monitors=None,
               warm_start: str = "exact",
-              min_batch: int = 2) -> list[SimulationResult]:
+              min_batch: int = 2,
+              perf: BatchPerfStats | None = None) -> list[SimulationResult]:
     """Run many scenarios under the cost MPC, batched where possible.
 
     Parameters
@@ -127,6 +130,13 @@ def run_batch(scenarios, config=None, *,
     min_batch:
         Smallest group that steps batched (default 2 — a group of one
         has nothing to vectorize and runs scalar).
+    perf:
+        Optional fleet-level :class:`~repro.sim.profiling.
+        BatchPerfStats` sized to the whole fleet.  When given, every
+        lane's final counters are folded into its lane slot and each
+        scalar fallback is recorded by reason, so ``perf.rollup()``
+        reports how many lanes fell off the batched path and why —
+        without digging through ``len(scenarios)`` result dicts.
 
     Returns
     -------
@@ -141,6 +151,10 @@ def run_batch(scenarios, config=None, *,
     if monitors is not None and len(monitors) != len(scenarios):
         raise ConfigurationError(
             f"got {len(monitors)} monitors for {len(scenarios)} scenarios")
+    if perf is not None and perf.n_lanes != len(scenarios):
+        raise ConfigurationError(
+            f"fleet perf has {perf.n_lanes} lanes for "
+            f"{len(scenarios)} scenarios")
 
     from ..core import CostMPCPolicy, MPCPolicyConfig, batch_incompatibility
     base_cfg = config if config is not None else MPCPolicyConfig()
@@ -172,6 +186,8 @@ def run_batch(scenarios, config=None, *,
         res.perf.setdefault("counters", {})["batch_scalar_fallback"] = 1
         res.perf["batch_fallback_reason"] = reason
         results[i] = res
+        if perf is not None:
+            perf.note_fallback(reason)
 
     for lanes in groups.values():
         group = _run_batch_group(
@@ -183,6 +199,14 @@ def run_batch(scenarios, config=None, *,
             warm_start=warm_start)
         for i, res in zip(lanes, group):
             results[i] = res
+    if perf is not None:
+        for i, res in enumerate(results):
+            # batch_* counters replicate group-level totals into every
+            # lane's snapshot; folding them per lane would multiply them
+            # by the group width in the fleet rollup.
+            perf.fold_lane_counters(i, {
+                k: v for k, v in res.perf.get("counters", {}).items()
+                if not k.startswith("batch_")})
     return results
 
 
@@ -215,9 +239,10 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
     b0 = np.array([idc.config.power_model.b0 for idc in cluster.idcs])
     mu = np.array([idc.config.service_rate for idc in cluster.idcs])
 
-    # γ = 0 for every lane (checked by scenario_incompatibility), so each
-    # lane's whole price trajectory is a trace-table lookup — vectorize it
-    # over periods up front instead of S·N·T Python calls in the loop.
+    # Each lane's *base* price trajectory is a trace-table lookup —
+    # vectorize it over periods up front instead of S·N·T Python calls
+    # in the loop.  Demand feedback (γ > 0 lanes), when present, is a
+    # per-period (S, N) clearing step on top of these base rows.
     start_times = np.array([float(sc.start_time) for sc in scens])
     period_times = np.arange(T) * dt
     prices_traj = np.empty((T, S, n))
@@ -226,6 +251,11 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
         for j, region in enumerate(sc.cluster.regions):
             trace = sc.market.regions[region].trace
             prices_traj[:, s, j] = trace.hourly[hours % trace.n_hours]
+
+    from ..pricing import LaneMarketBatch
+    lane_markets = LaneMarketBatch(
+        (sc.market, sc.cluster.regions) for sc in scens)
+    coupled = lane_markets.any_coupled
 
     loads_traj = np.empty((T, S, c))
     for s, sc in enumerate(scens):
@@ -268,7 +298,11 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
 
     for k in range(T):
         t = start_times + k * dt
-        prices = prices_traj[k]
+        # γ > 0 lanes clear against their own lagged demand, exactly as
+        # S scalar RealTimeMarkets would; γ = 0 lanes pass the base row
+        # through bit-identically (np.where inside effective_prices).
+        prices = lane_markets.effective_prices(prices_traj[k]) \
+            if coupled else prices_traj[k]
         loads = loads_traj[k]
 
         # What each lane's controller *sees* — identical to the truth
@@ -322,8 +356,12 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
         step = powers * dt
         energy_j += step
         cost_usd += prices * (step / _JOULES_PER_MWH)
-        # demand reporting is skipped: γ = 0 markets never read it
+        # same demand report as the scalar engine (division, not *1e-6,
+        # for bit parity); γ = 0 markets never read it back, but their
+        # demand_history must still match a looped run's.
+        lane_markets.record_demand(powers / 1e6)
 
+    lane_markets.flush()
     times = start_times[:, None] + period_times[None, :]
     out = []
     for s in range(S):

@@ -1,0 +1,437 @@
+"""Shared-market fleet stepping: many controllers, one price.
+
+Where :func:`repro.sim.run_batch` advances ``S`` *independent*
+scenarios (each lane owns its market), this module couples the lanes:
+``S`` controller lanes draw from common regional markets
+(:class:`repro.pricing.SharedMarket`) whose price responds to the
+*aggregate* fleet demand.  That is the herding setting of the paper's
+Section I "vicious cycle" at grid scale — many price-chasing
+controllers see the same cheap region, move together, and push the
+price past where any of them wanted to be (cf. Pan et al., "When
+Market Prices Drive the Load").
+
+Per control period the fleet advances through a cross-lane barrier:
+
+1. **Clear** the market — either *lagged* (:meth:`SharedMarket.
+   prices_at`, the :class:`~repro.pricing.RealTimeMarket` convention:
+   this period's price reflects last period's aggregate) or
+   *simultaneous* (:func:`repro.pricing.clear_fixed_point`): a damped
+   fixed-point iteration between the candidate price and the fleet's
+   bid-curve demand response, with per-period iteration counters in
+   :class:`~repro.sim.profiling.BatchPerfStats` and a convergence
+   guard (a non-converged period is counted and the last damped
+   iterate used — persistent oscillation is a *finding*).
+2. **Refresh** each lane's *seen* prices.  With ``stagger > 1`` lane
+   ``s`` only re-reads the market every ``stagger`` periods at offset
+   ``s % stagger`` — the staggered-control-period mitigation: the
+   fleet's reaction to a price move spreads over ``stagger`` periods
+   instead of landing at once.
+3. **Decide** every lane at its seen prices — cost-MPC lanes through
+   one :class:`repro.core.BatchCostMPCPolicy` cohort, instantaneous-LP
+   lanes through the batched waterfill, static lanes through a fixed
+   capacity-proportional split (the price-insensitive control group).
+4. **Report** the summed regional draw back to the market
+   (:meth:`SharedMarket.record_demand`) and bill every lane at the
+   cleared price.
+
+:meth:`SharedMarketFleet.run` may be called repeatedly — the fleet is
+resumable mid-day, and a split run reproduces the single-run price
+trajectory bit for bit (the determinism the regression tests pin).
+:meth:`FleetResult.herding_metrics` reports the grid-level quantities
+the mitigation study compares: aggregate ramp rate, price oscillation
+amplitude, regional peak concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..pricing import SharedMarket, clear_fixed_point
+from .profiling import BatchPerfStats
+
+__all__ = ["SharedMarketFleet", "FleetResult", "run_shared_market_fleet",
+           "POLICY_KINDS"]
+
+#: Lane policy kinds the fleet stepper mixes.
+POLICY_KINDS = ("mpc", "lp", "static")
+
+
+@dataclass
+class FleetResult:
+    """Trajectory of one shared-market fleet run (grid-level view).
+
+    Per-lane closed-loop detail is deliberately *not* stored — at 1000
+    lanes a full :class:`~repro.sim.results.SimulationResult` per lane
+    would dwarf the simulation itself.  The record keeps the market
+    trajectory, the clearing diagnostics, and per-lane cost/energy
+    totals; :meth:`herding_metrics` derives the study's headline
+    numbers from it.
+
+    Attributes
+    ----------
+    dt, times:
+        Control period (s) and per-period absolute times, shape (T,).
+    prices, base_prices:
+        Cleared and exogenous regional prices, shape (T, N).
+    agg_demand_mw:
+        Aggregate fleet draw per region, shape (T, N).
+    clearing_iterations, clearing_converged:
+        Fixed-point diagnostics per period (lagged mode: 0 / True).
+    policy_kinds:
+        Lane policy labels, length S.
+    cost_usd, energy_mwh:
+        Per-lane totals at cleared prices, shapes (S, N).
+    perf:
+        ``BatchPerfStats.rollup().as_dict()`` snapshot.
+    """
+
+    dt: float
+    times: np.ndarray
+    prices: np.ndarray
+    base_prices: np.ndarray
+    agg_demand_mw: np.ndarray
+    clearing_iterations: np.ndarray
+    clearing_converged: np.ndarray
+    policy_kinds: list
+    cost_usd: np.ndarray
+    energy_mwh: np.ndarray
+    perf: dict = field(default_factory=dict)
+
+    @property
+    def n_periods(self) -> int:
+        return int(self.prices.shape[0])
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.cost_usd.shape[0])
+
+    @property
+    def total_cost_usd(self) -> float:
+        return float(self.cost_usd.sum())
+
+    def cost_by_policy(self) -> dict:
+        """Mean per-lane total cost, keyed by policy kind."""
+        kinds = np.asarray(self.policy_kinds)
+        lane_cost = self.cost_usd.sum(axis=1)
+        return {kind: float(lane_cost[kinds == kind].mean())
+                for kind in dict.fromkeys(self.policy_kinds)}
+
+    def herding_metrics(self) -> dict:
+        """Grid-level herding indicators of the recorded trajectory.
+
+        * ``aggregate_ramp_mw_mean`` / ``_max`` — |Δ total fleet draw|
+          between consecutive periods: how violently the fleet moves
+          as one.
+        * ``price_oscillation_mean`` / ``price_swing_max`` — mean
+          per-period |Δ(p − base)| and the worst region's
+          peak-to-trough excursion of the demand-driven price
+          component.  A pure-trace market scores 0 on both.
+        * ``regional_peak_concentration`` — max regional peak over the
+          mean regional peak (≥ 1): how much the fleet piles onto one
+          region.
+        * ``clearing_iterations_mean`` / ``clearing_nonconverged`` —
+          how hard the simultaneous clearing worked.
+        """
+        total = self.agg_demand_mw.sum(axis=1)
+        ramps = np.abs(np.diff(total))
+        dev = self.prices - self.base_prices
+        osc = np.abs(np.diff(dev, axis=0))
+        peaks = self.agg_demand_mw.max(axis=0)
+        return {
+            "aggregate_ramp_mw_mean": float(ramps.mean()) if ramps.size
+            else 0.0,
+            "aggregate_ramp_mw_max": float(ramps.max()) if ramps.size
+            else 0.0,
+            "price_oscillation_mean": float(osc.mean()) if osc.size
+            else 0.0,
+            "price_swing_max": float(
+                (dev.max(axis=0) - dev.min(axis=0)).max()),
+            "regional_peak_concentration": float(
+                peaks.max() / peaks.mean()),
+            "clearing_iterations_mean": float(
+                self.clearing_iterations.mean()),
+            "clearing_nonconverged": int(
+                (~self.clearing_converged).sum()),
+        }
+
+
+class SharedMarketFleet:
+    """``S`` controller lanes coupled through common regional markets.
+
+    Parameters
+    ----------
+    cluster:
+        The representative plant every lane runs (structure shared, as
+        in :class:`repro.core.BatchCostMPCPolicy`).
+    market:
+        The :class:`repro.pricing.SharedMarket`; its regions must match
+        the cluster's region order, and ``nominal_power_mw`` should be
+        *fleet-scale* (the aggregate draw at which the base trace
+        applies).
+    lane_loads:
+        Per-lane constant portal loads, shape ``(S, C)``.
+    policy_mix:
+        Policy kinds cycled over lanes (subset of :data:`POLICY_KINDS`).
+        ``("mpc",)`` gives an all-MPC fleet; a mixed tuple interleaves
+        cohorts, e.g. ``("mpc", "lp", "static")``.
+    config:
+        Shared MPC tuning for the MPC cohort (its ``r_weight`` is the
+        smoothing-mitigation knob).
+    clearing:
+        ``"fixed_point"`` (simultaneous, default) or ``"lagged"``.
+    damping, tol, max_iter:
+        :func:`repro.pricing.clear_fixed_point` controls.
+    stagger:
+        Price-refresh stride; lane ``s`` re-reads the market when
+        ``period % stagger == s % stagger``.  1 = everyone every
+        period (maximal herding).
+    start_time:
+        Offset into the price traces, seconds.
+    dt:
+        Control period, seconds.
+    perf:
+        Optional fleet-sized :class:`~repro.sim.profiling.
+        BatchPerfStats` (one is created when omitted); simultaneous
+        clearing accumulates ``clearing_iterations`` /
+        ``clearing_nonconverged`` / ``clearing_periods`` in its shared
+        counters.
+    grid_monitor:
+        Optional :class:`repro.verify.GridMonitor`; observed once per
+        period with the cleared prices and aggregate demand.
+    """
+
+    def __init__(self, cluster, market: SharedMarket,
+                 lane_loads, *,
+                 policy_mix=("mpc",),
+                 config=None,
+                 clearing: str = "fixed_point",
+                 damping: float = 0.5,
+                 tol: float = 1e-7,
+                 max_iter: int = 40,
+                 stagger: int = 1,
+                 start_time: float = 6 * 3600.0,
+                 dt: float = 300.0,
+                 perf: BatchPerfStats | None = None,
+                 grid_monitor=None) -> None:
+        from ..core import BatchCostMPCPolicy, MPCPolicyConfig
+
+        self.cluster = cluster
+        self.market = market
+        if list(market.region_names) != list(cluster.regions):
+            raise ConfigurationError(
+                f"market regions {market.region_names} must match the "
+                f"cluster's region order {list(cluster.regions)}")
+        if clearing not in ("fixed_point", "lagged"):
+            raise ConfigurationError(
+                f"clearing must be 'fixed_point' or 'lagged', "
+                f"got {clearing!r}")
+        if stagger < 1:
+            raise ConfigurationError("stagger must be >= 1")
+        for kind in policy_mix:
+            if kind not in POLICY_KINDS:
+                raise ConfigurationError(
+                    f"unknown policy kind {kind!r}; pick from "
+                    f"{POLICY_KINDS}")
+
+        self.loads = np.asarray(lane_loads, dtype=float)
+        if self.loads.ndim != 2 or self.loads.shape[1] != cluster.n_portals:
+            raise ConfigurationError(
+                f"lane_loads must be (S, {cluster.n_portals}), got shape "
+                f"{self.loads.shape}")
+        S = self.loads.shape[0]
+        self.n_lanes = S
+        self.kinds = [policy_mix[s % len(policy_mix)] for s in range(S)]
+        self.clearing = clearing
+        self.damping = float(damping)
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.stagger = int(stagger)
+        self.start_time = float(start_time)
+        self.dt = float(dt)
+        self.perf = perf if perf is not None else BatchPerfStats(S)
+        self.grid_monitor = grid_monitor
+
+        n = cluster.n_idcs
+        self._n = n
+        self._b1 = np.array([i.config.power_model.b1 for i in cluster.idcs])
+        self._b0 = np.array([i.config.power_model.b0 for i in cluster.idcs])
+        self._mu = np.array([i.config.service_rate for i in cluster.idcs])
+        self._inv_d = np.array([1.0 / i.config.latency_bound
+                                for i in cluster.idcs])
+        self._fleet = np.array([i.available_servers for i in cluster.idcs],
+                               dtype=float)
+
+        self._idx = {kind: np.array([s for s, k in enumerate(self.kinds)
+                                     if k == kind], dtype=int)
+                     for kind in POLICY_KINDS}
+        self._mpc = None
+        if self._idx["mpc"].size:
+            cfg = config if config is not None else MPCPolicyConfig()
+            self._mpc = BatchCostMPCPolicy(
+                cluster, replace(cfg, dt=self.dt),
+                n_scenarios=int(self._idx["mpc"].size),
+                warm_start="waterfill")
+        # price-insensitive control group: capacity-proportional split,
+        # fixed for the whole run
+        cap = self._mu * self._fleet - self._inv_d
+        share = cap / cap.sum()
+        self._static_lam = self.loads.sum(axis=1)[:, None] * share   # (S, N)
+        self._static_mw = self._powers_mw(
+            self._static_lam, self._servers_for(self._static_lam))
+
+        self.market.reset()
+        self._k = 0
+        self._seen = np.broadcast_to(
+            self.market.prices_at(self.start_time),
+            (S, n)).copy()                     # what each lane last read
+        self._p0 = self._seen[0].copy()        # fixed-point warm start
+        self._rec_prices: list[np.ndarray] = []
+        self._rec_base: list[np.ndarray] = []
+        self._rec_agg: list[np.ndarray] = []
+        self._rec_iters: list[int] = []
+        self._rec_conv: list[bool] = []
+        self._cost = np.zeros((S, n))
+        self._energy = np.zeros((S, n))
+
+    # ------------------------------------------------------------------
+    def _servers_for(self, lam: np.ndarray) -> np.ndarray:
+        """Eq. 35 per (lane, IDC), capped at the fleet."""
+        m = np.ceil(lam / self._mu + self._inv_d / self._mu - 1e-9)
+        return np.where(m > self._fleet, self._fleet, np.maximum(m, 1.0))
+
+    def _powers_mw(self, lam: np.ndarray, servers: np.ndarray) -> np.ndarray:
+        return (self._b1 * lam + self._b0 * np.round(servers)) * 1e-6
+
+    def _bid_mw(self, prices: np.ndarray, loads: np.ndarray) -> np.ndarray:
+        """Waterfill bid-curve demand (MW) for a stack of lanes."""
+        if self._mpc is not None:
+            return self._mpc.demand_response(prices, loads)
+        from ..core import solve_optimal_allocation_batch
+        prices = np.asarray(prices, dtype=float)
+        if prices.ndim == 1:
+            prices = np.broadcast_to(prices, (loads.shape[0], self._n))
+        alloc = solve_optimal_allocation_batch(self.cluster, prices, loads)
+        return alloc.powers_watts_relaxed * 1e-6
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole fleet one control period."""
+        from ..core import solve_optimal_allocation_batch
+
+        k = self._k
+        t = self.start_time + k * self.dt
+        base = self.market.base_prices(t)
+        active = np.array([k % self.stagger == s % self.stagger
+                           for s in range(self.n_lanes)])
+
+        if self.clearing == "lagged":
+            prices = self.market.prices_at(t)
+            iters, converged = 0, True
+        else:
+            # iteration-constant demand: static lanes + chasing lanes
+            # that do not refresh this period (they bid at stale prices)
+            const_mw = np.zeros(self._n)
+            if self._idx["static"].size:
+                const_mw += self._static_mw[self._idx["static"]].sum(axis=0)
+            chasing = np.array([kd in ("mpc", "lp") for kd in self.kinds])
+            held = chasing & ~active
+            live = np.flatnonzero(chasing & active)
+            if np.any(held):
+                held_idx = np.flatnonzero(held)
+                const_mw += self._bid_mw(
+                    self._seen[held_idx], self.loads[held_idx]).sum(axis=0)
+
+            if live.size:
+                live_loads = self.loads[live]
+
+                def demand(p):
+                    return const_mw + self._bid_mw(p, live_loads).sum(axis=0)
+            else:
+                def demand(p):
+                    return const_mw
+
+            with self.perf.shared.stage("fleet_clearing"):
+                prices, iters, converged = clear_fixed_point(
+                    lambda D: self.market.clear(base, D), demand, self._p0,
+                    damping=self.damping, tol=self.tol,
+                    max_iter=self.max_iter)
+            self.perf.shared.count("clearing_iterations", iters)
+            self.perf.shared.count("clearing_periods")
+            if not converged:
+                self.perf.shared.count("clearing_nonconverged")
+
+        self._seen[active] = prices
+        self._p0 = np.asarray(prices, dtype=float).copy()
+
+        powers = np.empty((self.n_lanes, self._n))
+        if self._idx["static"].size:
+            powers[self._idx["static"]] = self._static_mw[self._idx["static"]]
+        if self._idx["lp"].size:
+            lp = self._idx["lp"]
+            alloc = solve_optimal_allocation_batch(
+                self.cluster, self._seen[lp], self.loads[lp])
+            lam = alloc.idc_workloads
+            powers[lp] = self._powers_mw(lam, self._servers_for(lam))
+        if self._mpc is not None:
+            mpc = self._idx["mpc"]
+            with self.perf.shared.stage("fleet_mpc"):
+                dec = self._mpc.decide_batch(
+                    k, self._seen[mpc], self.loads[mpc])
+            powers[mpc] = dec.powers_mw
+
+        agg = powers.sum(axis=0)
+        self.market.record_demand(agg)
+        if self.grid_monitor is not None:
+            self.grid_monitor.observe(
+                period=k, time_seconds=t, prices=prices, base_prices=base,
+                agg_demand_mw=agg)
+
+        # bill every lane at the *cleared* price (everyone pays spot,
+        # whatever stale price its controller decided against)
+        step_mwh = powers * (self.dt / 3600.0)
+        self._energy += step_mwh
+        self._cost += np.asarray(prices) * step_mwh
+
+        self._rec_prices.append(np.asarray(prices, dtype=float).copy())
+        self._rec_base.append(base)
+        self._rec_agg.append(agg)
+        self._rec_iters.append(int(iters))
+        self._rec_conv.append(bool(converged))
+        self._k += 1
+
+    def run(self, n_periods: int) -> "FleetResult":
+        """Advance ``n_periods`` and return the cumulative result.
+
+        Resumable: two calls of ``T/2`` periods leave the fleet in the
+        same state — and record the same trajectory — as one call of
+        ``T``.
+        """
+        for _ in range(int(n_periods)):
+            self.step()
+        return self.result()
+
+    def result(self) -> FleetResult:
+        """Snapshot of everything recorded so far."""
+        T = self._k
+        times = self.start_time + np.arange(T) * self.dt
+        return FleetResult(
+            dt=self.dt, times=times,
+            prices=np.array(self._rec_prices).reshape(T, self._n),
+            base_prices=np.array(self._rec_base).reshape(T, self._n),
+            agg_demand_mw=np.array(self._rec_agg).reshape(T, self._n),
+            clearing_iterations=np.array(self._rec_iters, dtype=int),
+            clearing_converged=np.array(self._rec_conv, dtype=bool),
+            policy_kinds=list(self.kinds),
+            cost_usd=self._cost.copy(),
+            energy_mwh=self._energy.copy(),
+            perf=self.perf.rollup().as_dict())
+
+
+def run_shared_market_fleet(cluster, market: SharedMarket, lane_loads,
+                            n_periods: int, **kwargs) -> FleetResult:
+    """Build a :class:`SharedMarketFleet` and run it to completion."""
+    fleet = SharedMarketFleet(cluster, market, lane_loads, **kwargs)
+    return fleet.run(n_periods)

@@ -198,7 +198,9 @@ def monte_carlo_scenarios(n: int, *, seed: int = 0, dt: float = 30.0,
                           lead_seconds: float = 240.0,
                           price_noise: float = 0.1,
                           load_noise: float = 0.15,
-                          max_utilization: float = 0.85) -> list[Scenario]:
+                          max_utilization: float = 0.85,
+                          demand_sensitivity: float = 0.0,
+                          nominal_power_mw: float = 5.0) -> list[Scenario]:
     """``n`` noisy replicas of the price-step experiment (fleet MC).
 
     Each scenario perturbs the Sec. V setup with *scenario-constant*
@@ -209,7 +211,11 @@ def monte_carlo_scenarios(n: int, *, seed: int = 0, dt: float = 30.0,
     ``max_utilization`` of the latency-bounded fleet capacity — the
     reference LP must stay feasible in every lane.  All replicas share
     the plant *structure* (Table II), so the whole set rides the batched
-    engine (:func:`repro.sim.run_batch`) as one group.
+    engine (:func:`repro.sim.run_batch`) as one group — including with
+    ``demand_sensitivity > 0``: each lane then owns an *independent*
+    demand-coupled market (γ and P̄ = ``nominal_power_mw`` shared, price
+    feedback against that lane's own draw), cleared vectorized through
+    :class:`repro.pricing.LaneMarketBatch`.
 
     The window is the Figs. 4–7 price-step window: the run starts
     ``lead_seconds`` before 7:00 so the 6H→7H adjustment (scaled per
@@ -244,8 +250,8 @@ def monte_carlo_scenarios(n: int, *, seed: int = 0, dt: float = 30.0,
                 trace=PriceTrace(
                     region=name,
                     hourly=base_traces[name].hourly * price_scales[s, j]),
-                demand_sensitivity=0.0,
-                nominal_power_mw=5.0,
+                demand_sensitivity=demand_sensitivity,
+                nominal_power_mw=nominal_power_mw,
             )
             for j, name in enumerate(region_names)
         })

@@ -21,7 +21,7 @@ from .fuzz import (
     run_spec,
     shrink,
 )
-from .monitor import InvariantMonitor, InvariantViolation
+from .monitor import GridMonitor, InvariantMonitor, InvariantViolation
 from .oracles import (
     BackendRun,
     OracleReport,
@@ -44,6 +44,7 @@ __all__ = [
     "cross_check_qp",
     "cross_check_lp",
     "InvariantMonitor",
+    "GridMonitor",
     "InvariantViolation",
     "Outcome",
     "generate_spec",

@@ -335,7 +335,8 @@ _BATCH_SEED_SALT = 0xBA7C4
 
 
 def generate_batch_specs(seed: int, n_lanes: int, *,
-                         telemetry_faults: bool = False) -> list[dict]:
+                         telemetry_faults: bool = False,
+                         demand_coupled: bool = False) -> list[dict]:
     """A fleet of structurally identical, batch-compatible scenario specs.
 
     Draws ONE base geometry (dt, period count, horizons, weights, traces)
@@ -354,6 +355,12 @@ def generate_batch_specs(seed: int, n_lanes: int, *,
     batch-compatible (they only change what that lane's controller
     sees), so the differential fuzz check covers the per-lane
     :class:`~repro.resilience.TelemetryGuard` path too.
+
+    With ``demand_coupled=True`` every second lane carries a
+    demand-sensitive market (γ drawn per lane) — γ > 0 lanes batch
+    through :class:`repro.pricing.LaneMarketBatch` and may share a
+    group with γ = 0 lanes, so the differential check covers the
+    vectorized clearing path against the scalar engine too.
 
     Each spec runs through :func:`build_scenario` as usual; the
     ``"batch"`` marker makes the resulting config batch-compatible
@@ -390,6 +397,9 @@ def generate_batch_specs(seed: int, n_lanes: int, *,
             loads *= _CAPACITY_HEADROOM * capacity / worst
         spec["portal_traces"] = [[float(np.round(v, 1)) for v in row]
                                  for row in loads]
+        if demand_coupled and lane % 2 == 0:
+            spec["demand_sensitivity"] = \
+                float(np.round(rng.uniform(0.1, 0.8), 3))
         if telemetry_faults and lane % 3 == 0 and n_periods > 4:
             a = int(rng.integers(1, n_periods - 2))
             b = int(rng.integers(a + 1, n_periods))
@@ -428,6 +438,7 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
         name: RegionMarketConfig(
             trace=PriceTrace(region=name, hourly=np.asarray(
                 spec["prices_hourly"][name], dtype=float)),
+            demand_sensitivity=float(spec.get("demand_sensitivity", 0.0)),
             nominal_power_mw=5.0)
         for name, _fleet, _mu in PAPER_IDC_SPECS
     })

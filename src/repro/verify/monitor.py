@@ -35,7 +35,7 @@ import numpy as np
 
 from ..exceptions import InvariantViolationError
 
-__all__ = ["InvariantViolation", "InvariantMonitor"]
+__all__ = ["InvariantViolation", "InvariantMonitor", "GridMonitor"]
 
 
 @dataclass
@@ -449,3 +449,101 @@ class InvariantMonitor:
                         "clamp failed",
                         magnitude=float((ref_watts[j] - self._budgets[j])
                                         / max(self._budgets[j], 1.0)))
+
+
+class GridMonitor:
+    """Grid-level invariant monitoring for shared-market fleet runs.
+
+    :class:`InvariantMonitor` watches one lane's physics; this monitor
+    watches what the *fleet* does to the grid — the herding failure
+    modes of many price-chasing controllers on one market:
+
+    * **aggregate ramp rate** — |Δ total fleet draw| between periods;
+      a herd moving as one produces grid-scale ramps no single lane's
+      smoothing weight would allow;
+    * **regional peak concentration** — the worst region's peak draw
+      relative to the mean regional peak (everyone piling onto the
+      cheap region);
+    * **price oscillation amplitude** — |Δ(price − base)| per period:
+      the demand-driven price component swinging is the paper's
+      "vicious cycle" made measurable.
+
+    Limits are optional — without them the monitor is a pure metrics
+    recorder (:meth:`metrics`); with them each exceedance is counted in
+    :meth:`counters` under ``grid_*`` names, in the same shape the
+    per-lane monitor uses, so fleet perf dicts aggregate uniformly.
+    """
+
+    KINDS = ("aggregate_ramp", "peak_concentration", "price_oscillation")
+
+    def __init__(self, *, ramp_limit_mw: float | None = None,
+                 concentration_limit: float | None = None,
+                 oscillation_limit: float | None = None) -> None:
+        self.ramp_limit_mw = ramp_limit_mw
+        self.concentration_limit = concentration_limit
+        self.oscillation_limit = oscillation_limit
+        self.reset()
+
+    def reset(self) -> None:
+        self._counts = {kind: 0 for kind in self.KINDS}
+        self._periods = 0
+        self._prev_total: float | None = None
+        self._prev_dev: np.ndarray | None = None
+        self._peaks: np.ndarray | None = None
+        self._peak_sum = 0.0
+        self._ramp_sum = 0.0
+        self._ramp_max = 0.0
+        self._osc_sum = 0.0
+        self._osc_max = 0.0
+
+    def observe(self, *, period: int, time_seconds: float,
+                prices: np.ndarray, base_prices: np.ndarray,
+                agg_demand_mw: np.ndarray) -> None:
+        """Record one period of the fleet's grid footprint."""
+        del period, time_seconds  # uniform signature with the lane monitor
+        agg = np.asarray(agg_demand_mw, dtype=float)
+        dev = np.asarray(prices, dtype=float) \
+            - np.asarray(base_prices, dtype=float)
+        total = float(agg.sum())
+        self._periods += 1
+        self._peaks = agg.copy() if self._peaks is None \
+            else np.maximum(self._peaks, agg)
+        if self._prev_total is not None:
+            ramp = abs(total - self._prev_total)
+            self._ramp_sum += ramp
+            self._ramp_max = max(self._ramp_max, ramp)
+            if self.ramp_limit_mw is not None and ramp > self.ramp_limit_mw:
+                self._counts["aggregate_ramp"] += 1
+            osc = float(np.max(np.abs(dev - self._prev_dev)))
+            self._osc_sum += osc
+            self._osc_max = max(self._osc_max, osc)
+            if self.oscillation_limit is not None \
+                    and osc > self.oscillation_limit:
+                self._counts["price_oscillation"] += 1
+        if self.concentration_limit is not None and self._periods > 1:
+            conc = float(self._peaks.max() / self._peaks.mean())
+            if conc > self.concentration_limit:
+                self._counts["peak_concentration"] += 1
+        self._prev_total = total
+        self._prev_dev = dev
+
+    def metrics(self) -> dict:
+        """Running grid metrics (same keys the fleet result reports)."""
+        steps = max(self._periods - 1, 1)
+        conc = 1.0 if self._peaks is None \
+            else float(self._peaks.max() / self._peaks.mean())
+        return {
+            "aggregate_ramp_mw_mean": self._ramp_sum / steps,
+            "aggregate_ramp_mw_max": self._ramp_max,
+            "price_oscillation_mean": self._osc_sum / steps,
+            "price_oscillation_max": self._osc_max,
+            "regional_peak_concentration": conc,
+        }
+
+    def counters(self) -> dict[str, int]:
+        """Plain-int exceedance counts for fleet perf dicts."""
+        out = {"grid_periods": self._periods,
+               "grid_violations": sum(self._counts.values())}
+        for kind, n in self._counts.items():
+            out[f"grid_{kind}"] = n
+        return out

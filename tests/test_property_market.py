@@ -1,0 +1,168 @@
+"""Property-based tests for market clearing.
+
+Two families of properties, over randomized market parameters:
+
+* **monotonicity** — the cleared price is nondecreasing in reported
+  demand, for every coupling (scalar :class:`RealTimeMarket`, the
+  vectorized :class:`LaneMarketBatch`, and :class:`SharedMarket`);
+* **fixed-point convergence** — the damped simultaneous clearing
+  converges whenever the contraction modulus
+  γ·(base/P̄)·|dD/dp| is inside the damped stability bound
+  (2−ω)/ω, and returns the true equilibrium of the linear model.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pricing import (
+    LaneMarketBatch,
+    PriceTrace,
+    RealTimeMarket,
+    RegionMarketConfig,
+    SharedMarket,
+    clear_fixed_point,
+    clearing_contraction,
+)
+
+_SETTINGS = settings(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _region_cfgs(rng, n_regions, gamma_hi=2.0):
+    out = {}
+    for j in range(n_regions):
+        out[f"r{j}"] = RegionMarketConfig(
+            trace=PriceTrace(f"r{j}", rng.uniform(5.0, 90.0, size=24)),
+            demand_sensitivity=float(rng.uniform(0.0, gamma_hi)),
+            nominal_power_mw=float(rng.uniform(1.0, 50.0)),
+            price_floor=float(rng.uniform(-50.0, 2.0)))
+    return out
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_scalar_price_monotone_in_demand(seed):
+    rng = np.random.default_rng(seed)
+    market = RealTimeMarket(_region_cfgs(rng, int(rng.integers(1, 5))))
+    t = float(rng.uniform(0.0, 24.0)) * 3600.0
+    names = market.region_names
+    d1 = rng.uniform(0.0, 80.0, size=len(names))
+    d2 = d1 + rng.uniform(0.0, 40.0, size=len(names))
+    market.record_demand(d1)
+    p1 = market.prices_at(t)
+    market.record_demand(d2)
+    p2 = market.prices_at(t)
+    assert np.all(p2 >= p1 - 1e-12)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_batch_price_monotone_in_demand(seed):
+    rng = np.random.default_rng(seed)
+    n_regions = int(rng.integers(1, 4))
+    n_lanes = int(rng.integers(1, 6))
+    markets = [RealTimeMarket(_region_cfgs(rng, n_regions))
+               for _ in range(n_lanes)]
+    regions = markets[0].region_names
+    batch = LaneMarketBatch((m, m.region_names) for m in markets)
+    base = rng.uniform(5.0, 90.0, size=(n_lanes, len(regions)))
+    d1 = rng.uniform(0.0, 80.0, size=base.shape)
+    d2 = d1 + rng.uniform(0.0, 40.0, size=base.shape)
+    batch.record_demand(d1)
+    p1 = batch.effective_prices(base)
+    batch.record_demand(d2)
+    p2 = batch.effective_prices(base)
+    assert np.all(p2 >= p1 - 1e-12)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_shared_clear_monotone_in_aggregate_demand(seed):
+    rng = np.random.default_rng(seed)
+    market = SharedMarket(_region_cfgs(rng, int(rng.integers(1, 5))))
+    base = rng.uniform(5.0, 90.0, size=market.n_regions)
+    d1 = rng.uniform(0.0, 200.0, size=market.n_regions)
+    d2 = d1 + rng.uniform(0.0, 100.0, size=market.n_regions)
+    assert np.all(market.clear(base, d2) >= market.clear(base, d1) - 1e-12)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000),
+       damping=st.floats(0.3, 1.0))
+def test_fixed_point_converges_inside_stability_bound(seed, damping):
+    """Linear demand response: convergence whenever the contraction
+    modulus is inside the damped bound (2−ω)/ω, to the exact
+    closed-form equilibrium of the linear model."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 4))
+    base = rng.uniform(10.0, 80.0, size=n)
+    nominal = rng.uniform(5.0, 50.0, size=n)
+    gamma = rng.uniform(0.05, 1.5, size=n)
+    # pick the demand slope so the modulus sits safely inside the
+    # damped stability bound
+    limit = (2.0 - damping) / damping
+    target = float(rng.uniform(0.1, 0.85)) * limit
+    slope = target * nominal / (gamma * base)     # per-region |dD/dp|
+    d0 = rng.uniform(0.5, 2.0, size=n) * nominal
+    p_ref = base.copy()
+
+    market = SharedMarket({
+        f"r{j}": RegionMarketConfig(
+            trace=PriceTrace(f"r{j}", np.full(24, base[j])),
+            demand_sensitivity=float(gamma[j]),
+            nominal_power_mw=float(nominal[j]),
+            price_floor=-1e9)                    # keep the map affine
+        for j in range(n)})
+
+    def demand(p):
+        return d0 - slope * (p - p_ref)
+
+    modulus = clearing_contraction(gamma, base, nominal,
+                                   np.max(slope * gamma * base / nominal)
+                                   / np.max(gamma * base / nominal))
+    assert market.stability_bound(base, float(np.max(slope))) < limit \
+        or modulus < limit
+
+    prices, iters, converged = clear_fixed_point(
+        lambda d: market.clear(base, d), demand, base,
+        damping=damping, tol=1e-10, max_iter=500)
+    assert converged, f"modulus target {target:.3f} < bound {limit:.3f}"
+
+    # closed form: p* solves p = base(1 + γ(d0 − slope(p−base) − P̄)/P̄)
+    k = gamma * base / nominal
+    p_star = (base + k * (d0 + slope * p_ref - nominal)) \
+        / (1.0 + k * slope)
+    np.testing.assert_allclose(prices, p_star, rtol=1e-6)
+    # and the iterate really is a fixed point of the damped map
+    np.testing.assert_allclose(
+        market.clear(base, demand(prices)), prices, rtol=1e-6)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_fixed_point_guard_reports_nonconvergence(seed):
+    """Far outside the bound, the undamped sweep oscillates; the guard
+    must report converged=False instead of hanging or raising."""
+    rng = np.random.default_rng(seed)
+    base = np.array([40.0])
+    nominal = np.array([10.0])
+    gamma = np.array([1.0])
+    slope = float(rng.uniform(3.0, 10.0)) * nominal[0] / (
+        gamma[0] * base[0])   # modulus 3–10
+    market = SharedMarket({
+        "r0": RegionMarketConfig(
+            trace=PriceTrace("r0", np.full(24, base[0])),
+            demand_sensitivity=float(gamma[0]),
+            nominal_power_mw=float(nominal[0]),
+            price_floor=-1e9)})
+    assert market.stability_bound(base, slope) > 2.0
+
+    def demand(p):
+        return 2.0 * nominal - slope * (p - base)
+
+    prices, iters, converged = clear_fixed_point(
+        lambda d: market.clear(base, d), demand, base,
+        damping=1.0, tol=1e-10, max_iter=30)
+    assert not converged and iters == 30
+    assert np.all(np.isfinite(prices))
