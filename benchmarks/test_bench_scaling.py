@@ -62,6 +62,7 @@ from repro.optim import (
 from repro.optim.qp_admm import AUTO_REDUCED_MIN_VARS
 from repro.pricing import RegionMarketConfig, SharedMarket, paper_price_traces
 from repro.sim import (
+    SharedMarketFleet,
     monte_carlo_scenarios,
     paper_cluster,
     paper_scenario,
@@ -485,3 +486,90 @@ def test_bench_market_coupling():
         < mitigation["herding"]["aggregate_ramp_mw_mean"]
     assert mitigation["mpc_raised_R"]["aggregate_ramp_mw_mean"] \
         < mitigation["mpc_default_R"]["aggregate_ramp_mw_mean"]
+
+
+# ---------------------------------------------------------------------------
+# Fleet durability: sharded-WAL + checkpoint overhead on the batched engines
+# ---------------------------------------------------------------------------
+DURABILITY_BATCH_LANES = 32      # Monte-Carlo run_batch width
+DURABILITY_FLEET_LANES = 64      # shared-market fleet width
+DURABILITY_FLEET_PERIODS = 48    # dt = 300 s -> a 4-hour market window
+DURABILITY_MAX_OVERHEAD = 2.0    # acceptance: durable <= 2x plain
+
+
+def test_bench_fleet_durability(tmp_path):
+    cfg = MPCPolicyConfig(dt=30.0)
+
+    # --- Monte-Carlo batch: plain vs sharded WAL + periodic checkpoint ---
+    S = DURABILITY_BATCH_LANES
+
+    def _mc():
+        return monte_carlo_scenarios(S, seed=3, duration=3600.0)
+
+    t0 = time.perf_counter()
+    plain = run_batch(_mc(), cfg)
+    t_plain = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    durable = run_batch(
+        _mc(), cfg, checkpoint_every=12,
+        wal_path=str(tmp_path / "batch.wal"), wal_shards=2)
+    t_durable = time.perf_counter() - t0
+
+    # durability must be a pure-observer layer: bit-identical decisions
+    for p, d in zip(plain, durable):
+        np.testing.assert_array_equal(p.allocations, d.allocations)
+    batch_overhead = t_durable / t_plain
+
+    # --- shared-market fleet day: plain vs durable run() ---
+    loads = _fleet_loads(DURABILITY_FLEET_LANES, seed=11)
+
+    def _fleet() -> SharedMarketFleet:
+        return SharedMarketFleet(
+            paper_cluster(),
+            _shared_market(FLEET_GAMMA, DURABILITY_FLEET_LANES), loads,
+            policy_mix=("mpc", "lp", "static"), dt=300.0, start_time=0.0)
+
+    t0 = time.perf_counter()
+    res_plain = _fleet().run(DURABILITY_FLEET_PERIODS)
+    t_fleet_plain = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    res_durable = _fleet().run(
+        DURABILITY_FLEET_PERIODS, checkpoint_every=12,
+        wal_path=str(tmp_path / "fleet.wal"), wal_shards=4)
+    t_fleet_durable = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(res_plain.prices, res_durable.prices)
+    np.testing.assert_array_equal(res_plain.agg_demand_mw,
+                                  res_durable.agg_demand_mw)
+    assert res_plain.total_cost_usd == res_durable.total_cost_usd
+    fleet_overhead = t_fleet_durable / t_fleet_plain
+
+    _write_sections({"fleet_durability": {
+        "max_overhead_target": DURABILITY_MAX_OVERHEAD,
+        "batch": {
+            "n_lanes": S,
+            "n_periods": len(plain[0].allocations),
+            "checkpoint_every": 12,
+            "wal_shards": 2,
+            "plain_seconds": t_plain,
+            "durable_seconds": t_durable,
+            "overhead": batch_overhead,
+        },
+        "shared_fleet": {
+            "n_lanes": DURABILITY_FLEET_LANES,
+            "n_periods": DURABILITY_FLEET_PERIODS,
+            "dt_seconds": 300.0,
+            "policy_mix": ["mpc", "lp", "static"],
+            "checkpoint_every": 12,
+            "wal_shards": 4,
+            "plain_seconds": t_fleet_plain,
+            "durable_seconds": t_fleet_durable,
+            "overhead": fleet_overhead,
+        },
+    }})
+
+    # acceptance: the durable control plane costs at most 2x wall clock
+    assert batch_overhead <= DURABILITY_MAX_OVERHEAD, batch_overhead
+    assert fleet_overhead <= DURABILITY_MAX_OVERHEAD, fleet_overhead

@@ -58,4 +58,14 @@ runs = mc["mitigation"]["runs"]
 print("  mitigation (aggregate ramp, MW/period): " + ", ".join(
     "{k}={v:.2f}".format(k=k, v=v["aggregate_ramp_mw_mean"])
     for k, v in runs.items()))
+
+fd = data["fleet_durability"]
+print("BENCH_scaling.json (fleet durability, WAL + checkpoints):")
+for key in ("batch", "shared_fleet"):
+    row = fd[key]
+    print("  {k}: S={n} durable x{o:.2f} plain "
+          "({d:.2f} s vs {p:.2f} s, target <= {t:.1f}x)".format(
+              k=key, n=row["n_lanes"], o=row["overhead"],
+              d=row["durable_seconds"], p=row["plain_seconds"],
+              t=fd["max_overhead_target"]))
 EOF

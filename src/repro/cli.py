@@ -14,8 +14,13 @@ Commands
                         dropouts, actuation faults and total outages,
                         kills the run mid-flight and resumes it from its
                         checkpoint + WAL, and requires the supervised
-                        loop to recover to NOMINAL; ``--report PATH``
-                        (alias of ``--json``) writes the CI artifact
+                        loop to recover to NOMINAL; ``--chaos --batch``
+                        runs the fleet drills through the batched engine
+                        instead — per-lane fault injection, quarantine,
+                        sharded-WAL crash-resume, and healthy-lane
+                        bit-exactness against the fault-free baseline;
+                        ``--report PATH`` (alias of ``--json``) writes
+                        the CI artifact
 
 The CLI is a thin layer over :mod:`repro.experiments` and
 :mod:`repro.sim`; everything it prints is produced by the same functions
@@ -139,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos mode: inject solver faults, telemetry "
                           "dropouts and total outages; fail on any "
                           "unrecovered degradation, NaN or crash")
+    ver.add_argument("--batch", action="store_true",
+                     help="with --chaos: fleet chaos drills through the "
+                          "batched engine — per-lane fault injection, "
+                          "quarantine, sharded-WAL crash-resume, and "
+                          "healthy-lane bit-exactness vs the fault-free "
+                          "baseline")
     ver.add_argument("--json", "--report", dest="json", metavar="PATH",
                      help="write the full report (incl. minimal repros and,"
                           " in chaos mode, crash-resume and fallback-rung "
@@ -217,23 +228,47 @@ def main(argv: list[str] | None = None) -> int:
         import json
 
         from .verify import generate_spec, run_spec, shrink
+        if args.batch and not args.chaos:
+            print("error: --batch is chaos-only; pass --chaos --batch",
+                  file=sys.stderr)
+            return 2
         n_failed = 0
         outcomes = []
         repros = []
         for k in range(args.seeds):
             seed = args.base_seed + k
-            outcome = run_spec(generate_spec(seed, chaos=args.chaos),
-                               oracle_samples=args.oracle_samples)
+            if args.batch:
+                from .verify import run_batch_chaos_seed
+                outcome = run_batch_chaos_seed(seed)
+            else:
+                outcome = run_spec(generate_spec(seed, chaos=args.chaos),
+                                   oracle_samples=args.oracle_samples)
             outcomes.append(outcome)
             print(outcome.describe())
             if not outcome.ok:
                 n_failed += 1
-                if not args.no_shrink:
+                if not args.no_shrink and not args.batch:
                     minimal = shrink(outcome.spec)
                     repros.append(minimal)
                     print("  minimal repro: "
                           f"{json.dumps(minimal, sort_keys=True)}")
-        if args.chaos:
+        if args.batch:
+            quarantined = sum(len(o.quarantined_lanes) for o in outcomes)
+            perturbed = sum(1 for o in outcomes
+                            if not o.healthy_lanes_bitexact)
+            drills = sum(1 for o in outcomes if o.crash_resume)
+            states: dict[str, int] = {}
+            for o in outcomes:
+                for st in o.lane_states:
+                    states[st] = states.get(st, 0) + 1
+            state_text = ", ".join(f"{k}={v}"
+                                   for k, v in sorted(states.items()))
+            print(f"\n{args.seeds - n_failed}/{args.seeds} fleet chaos "
+                  f"seeds clean, {quarantined} lanes quarantined, "
+                  f"{perturbed} seeds with perturbed healthy lanes, "
+                  f"{drills} crash-resume drills; lane states: "
+                  f"{state_text or 'none'}")
+        elif args.chaos:
             unrecovered = sum(1 for o in outcomes if not o.recovered)
             rungs: dict[str, int] = {}
             for o in outcomes:
@@ -276,6 +311,12 @@ def main(argv: list[str] | None = None) -> int:
                         resume_totals[key] = resume_totals.get(key, 0) + val
                 report["rung_counters"] = rung_totals
                 report["crash_resume"] = resume_totals
+            if args.batch:
+                report["batch"] = True
+                report["lanes_quarantined"] = sum(
+                    len(o.quarantined_lanes) for o in outcomes)
+                report["healthy_lanes_perturbed"] = sum(
+                    1 for o in outcomes if not o.healthy_lanes_bitexact)
             Path(args.json).write_text(json.dumps(report, indent=2))
             print(f"report written to {args.json}")
         return 1 if n_failed else 0

@@ -43,8 +43,17 @@ from ..control import ModelPredictiveController, build_horizon, \
     integrate_rates_batch, move_selector
 from ..control.mpc import InputConstraintSet
 from ..datacenter.cluster import IDCCluster
-from ..exceptions import ConfigurationError
+from ..exceptions import (
+    CapacityError,
+    ConfigurationError,
+    ConvergenceError,
+    DegradedOperationError,
+    SolverError,
+)
 from ..optim import prepare_batch_admm, solve_qp_admm_batch
+from ..resilience.deadline import DeadlineBudget
+from ..resilience.fleet import FleetHealth
+from ..resilience.ladder import FallbackLadder, Rung, project_allocation
 from ..sim.policy import AllocationDecision
 from ..sim.profiling import BatchPerfStats
 from .constraints import capacity_matrix, capacity_rhs, conservation_matrix
@@ -152,6 +161,40 @@ class BatchCostMPCPolicy:
         solution (same per-IDC totals, canonical per-portal split) —
         equally optimal and ~1000× cheaper at Monte-Carlo widths, for
         sweeps that never compare against looped runs step-by-step.
+    deadline_seconds:
+        Optional per-period *fleet* deadline budget.  Measured from the
+        top of :meth:`decide_batch`; once spent, ejected lanes skip the
+        solver rungs of their fallback ladder and fall straight to the
+        projection rung.  ``None`` (default) = unbounded.
+    quarantine_after:
+        Consecutive ladder periods after which a lane is *permanently*
+        demoted to the exact scalar solve path (see below).
+    recovery_periods:
+        Consecutive clean periods a degraded lane needs to be NOMINAL
+        again (scalar :class:`~repro.resilience.PolicySupervisor`
+        semantics).
+
+    Lane fault isolation
+    --------------------
+    Setting :attr:`solver_fault_hook` (a callable
+    ``hook(stage, lane, period)`` that raises a
+    :class:`~repro.exceptions.SolverError` subclass to inject a fault)
+    or ``deadline_seconds`` arms the per-lane resilience path.  Faulted
+    lanes are **not** removed from the shared tensors — every GEMM row
+    depends only on that lane's own rows plus shared matrices, so
+    keeping the shapes fixed is what keeps healthy lanes bit-identical
+    to a fault-free run.  Instead, a faulted lane's *result* is
+    discarded and re-derived through a per-lane
+    :class:`~repro.resilience.FallbackLadder`
+    (``cold`` exact scalar active-set → ``admm`` batched iterate →
+    ``reference`` waterfill LP → ``hold`` feasibility projection),
+    its :class:`~repro.resilience.fleet.FleetHealth` machine is
+    advanced, and after ``quarantine_after`` consecutive ladder periods
+    the lane is quarantined: permanently served by the exact scalar
+    solve, never again eligible to poison the shared step.  All
+    ``ladder_*``/``supervisor_*`` counters fold into the lane slots of
+    :class:`~repro.sim.BatchPerfStats`.  When the hook is unset and no
+    deadline is given this machinery is completely inert.
     """
 
     #: bound on the batched reference memo (distinct price/load keys).
@@ -161,9 +204,19 @@ class BatchCostMPCPolicy:
                  config: MPCPolicyConfig | None = None,
                  n_scenarios: int = 1,
                  perf: BatchPerfStats | None = None,
-                 warm_start: str = "exact") -> None:
+                 warm_start: str = "exact",
+                 deadline_seconds: float | None = None,
+                 quarantine_after: int = 3,
+                 recovery_periods: int = 3) -> None:
         self.cluster = cluster
         self.config = config or MPCPolicyConfig()
+        self.deadline_seconds = deadline_seconds
+        self.quarantine_after = int(quarantine_after)
+        self.recovery_periods = int(recovery_periods)
+        #: optional fault-injection hook ``hook(stage, lane, period)``;
+        #: raising a SolverError subclass poisons that lane for the
+        #: period.  Anything else (e.g. SimulatedCrashError) propagates.
+        self.solver_fault_hook = None
         reason = batch_incompatibility(self.config)
         if reason is not None:
             raise ConfigurationError(
@@ -208,6 +261,94 @@ class BatchCostMPCPolicy:
         self._ref_cache: OrderedDict = OrderedDict()
         self._warm: tuple[np.ndarray, np.ndarray] | None = None
         self._fallback: ModelPredictiveController | None = None
+        self._restored_rho: float | None = None
+        self._restored_rho_lanes: np.ndarray | None = None
+        self._health = FleetHealth(S,
+                                   recovery_periods=self.recovery_periods,
+                                   quarantine_after=self.quarantine_after)
+
+    # ------------------------------------------------------------------
+    # durable control plane: the mutable-state envelope
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable copy of every piece of mutable per-lane state.
+
+        Captures the closed-loop state ``X``, the committed allocation
+        ``U_prev``, server commands, the pending cost integration, the
+        ADMM warm-start iterate (which affects future iterates bit-wise
+        and therefore *must* survive a resume), the reference memo (its
+        keys are *rounded* prices/loads, so an entry created from one
+        exact input can serve later lookups whose exact inputs differ —
+        an empty cache after restore would recompute different values),
+        and the lane health machines.  The shared operator stack is
+        rebuilt deterministically from cluster + config *except* for the
+        adapted ADMM penalty: :class:`BatchADMMSetup` is stateful on
+        purpose (the tuned ``rho`` carries across control periods), so
+        the scalar ``admm_rho`` is captured and re-applied on restore —
+        without it a resumed run re-adapts from the default and the
+        iterates diverge.  The scalar fallback controller is stateless
+        across calls and stays excluded.
+        """
+        return {
+            "admm_rho": None if self._ops is None
+            else float(self._ops["setup"].rho),
+            "admm_rho_lanes": None if (
+                self._ops is None
+                or self._ops["setup"].rho_lanes is None)
+            else self._ops["setup"].rho_lanes.copy(),
+            "X": self._X.copy(),
+            "U_prev": None if self._U_prev is None else self._U_prev.copy(),
+            "servers": np.asarray(self._servers).copy(),
+            "pending": None if self._pending is None else
+                (self._pending[0].copy(), self._pending[1].copy()),
+            "warm": None if self._warm is None else
+                (self._warm[0].copy(), self._warm[1].copy()),
+            "ref_cache": OrderedDict(
+                (k, v.copy()) for k, v in self._ref_cache.items()),
+            "health": self._health.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; the policy continues bit-exact."""
+        self._X = np.asarray(state["X"], dtype=float).copy()
+        up = state["U_prev"]
+        self._U_prev = None if up is None else np.asarray(up).copy()
+        self._servers = np.asarray(state["servers"]).copy()
+        pend = state["pending"]
+        self._pending = None if pend is None else \
+            (np.asarray(pend[0]).copy(), np.asarray(pend[1]).copy())
+        warm = state["warm"]
+        self._warm = None if warm is None else \
+            (np.asarray(warm[0]).copy(), np.asarray(warm[1]).copy())
+        self._ref_cache = OrderedDict(
+            (k, v.copy()) for k, v in state["ref_cache"].items())
+        rho = state.get("admm_rho")
+        if rho is not None:
+            if self._ops is not None:
+                self._ops["setup"].set_rho(float(rho))
+                self._restored_rho = None
+            else:
+                # the operator stack is built lazily on the first solve;
+                # stash the adapted penalty until then.
+                self._restored_rho = float(rho)
+        lanes = state.get("admm_rho_lanes")
+        if lanes is not None:
+            lanes = np.asarray(lanes, dtype=float).copy()
+            if self._ops is not None:
+                self._ops["setup"].rho_lanes = lanes
+                self._restored_rho_lanes = None
+            else:
+                self._restored_rho_lanes = lanes
+        self._health.restore(state["health"])
+
+    @property
+    def health(self) -> FleetHealth:
+        """The per-lane health machines (read-mostly)."""
+        return self._health
+
+    def lane_health(self) -> list[str]:
+        """Current per-lane health labels (``"quarantined"`` wins)."""
+        return [self._health.label(s) for s in range(self.n_scenarios)]
 
     # ------------------------------------------------------------------
     # vectorized counterparts of the scalar policy's state updates
@@ -276,6 +417,13 @@ class BatchCostMPCPolicy:
         with self.perf.shared.stage("batch_factorize"):
             setup = prepare_batch_admm(P, A_box,
                                        n_eq=A_eq_stack.shape[0])
+        if self._restored_rho is not None:
+            # re-apply a checkpointed adapted penalty (see snapshot()).
+            setup.set_rho(self._restored_rho)
+            self._restored_rho = None
+        if self._restored_rho_lanes is not None:
+            setup.rho_lanes = self._restored_rho_lanes
+            self._restored_rho_lanes = None
         self._ops = {
             "horizon": H, "ny": ny, "nu": nu, "ndu": ndu,
             "q_diag": q_diag, "ThetaT_2Q": ThetaT_2Q, "P": P,
@@ -415,7 +563,8 @@ class BatchCostMPCPolicy:
         eps = 1e-8 if self.warm_start == "exact" else 1e-6
         res = solve_qp_admm_batch(ops["P"], Qlin, ops["A_box"], L, U_box,
                                   eps_abs=eps, eps_rel=eps,
-                                  X0=X0, Y0=Y0, setup=ops["setup"])
+                                  X0=X0, Y0=Y0, setup=ops["setup"],
+                                  lane_isolated=self._lane_isolated)
         if cfg.warm_start_solver:
             self._warm = (res.X.copy(), res.Y.copy())
         self.perf.shared.count("qp_solves")
@@ -459,6 +608,159 @@ class BatchCostMPCPolicy:
                 self._warm[0][lane] = 0.0
                 self._warm[1][lane] = 0.0
         return U_new, diags
+
+    # ------------------------------------------------------------------
+    # lane fault isolation: fault scan, per-lane ladder, quarantine
+    # ------------------------------------------------------------------
+    @property
+    def _armed(self) -> bool:
+        """Whether the per-lane resilience path is active at all."""
+        return (self.solver_fault_hook is not None
+                or self.deadline_seconds is not None
+                or bool(self._health.touched))
+
+    @property
+    def _lane_isolated(self) -> bool:
+        """Whether the shared solve runs in lane-decoupled mode.
+
+        Keyed off the arming *configuration* (hook / deadline budget),
+        not the health state: bit-exact lane isolation only holds if
+        every period — including the fault-free ones before the first
+        injection — ran the decoupled iteration.  The guarantee is
+        therefore relative to an equally armed, fault-free baseline
+        (e.g. the same hook that never fires); the unarmed hot path
+        keeps the cheaper compacted shared-rho loop untouched.
+        """
+        return (self.solver_fault_hook is not None
+                or self.deadline_seconds is not None)
+
+    def _scan_faults(self, period: int) -> dict[int, str]:
+        """Fire the fault hook once per live lane; collect poisonings.
+
+        Runs *before* any state mutation so an injected
+        :class:`~repro.resilience.SimulatedCrashError` (which is not a
+        SolverError and therefore propagates) models a crash that never
+        decided this period.
+        """
+        poisoned: dict[int, str] = {}
+        hook = self.solver_fault_hook
+        if hook is None:
+            return poisoned
+        for s in range(self.n_scenarios):
+            if self._health.quarantined[s]:
+                continue        # already off the shared solve path
+            try:
+                hook("batch_qp", s, period)
+            except SolverError as exc:
+                poisoned[s] = f"{type(exc).__name__}: {exc}"
+        return poisoned
+
+    def _eject_lane(self, ops: dict, lane: int, period: int,
+                    prices: np.ndarray, loads_seq: np.ndarray,
+                    refs: np.ndarray, batched_row: np.ndarray | None,
+                    budget: DeadlineBudget | None, lane_perf):
+        """Re-derive one faulted lane's decision through its ladder.
+
+        Returns ``(u, diag, outcome)`` with ``outcome`` the health-
+        machine event: ``"degraded"`` when a solver-backed rung served
+        the lane, ``"safe"`` when it fell all the way to the hold
+        projection.  The fault hook is re-fired per solver rung (stages
+        ``lane_cold``/``lane_admm``/``lane_reference``) so persistent
+        faults walk the whole ladder.
+        """
+        hook = self.solver_fault_hook
+        target = loads_seq[lane, 0]
+
+        def rung_cold(_deadline):
+            if hook is not None:
+                hook("lane_cold", lane, period)
+            sol = self._fallback_solve(ops, lane, prices[lane],
+                                       loads_seq[lane], refs[lane])
+            return np.maximum(sol.u, 0.0), {
+                "qp_status": str(sol.status),
+                "qp_iterations": int(sol.solver_iterations),
+                "softened": bool(sol.softened),
+                "mpc_cost": float(sol.cost)}
+
+        def rung_admm(_deadline):
+            if batched_row is None or not np.all(np.isfinite(batched_row)):
+                raise ConvergenceError("no usable batched iterate")
+            if hook is not None:
+                hook("lane_admm", lane, period)
+            return batched_row, {"qp_status": "admm_iterate",
+                                 "qp_iterations": 0, "softened": False,
+                                 "mpc_cost": float("nan")}
+
+        def rung_reference(_deadline):
+            if hook is not None:
+                hook("lane_reference", lane, period)
+            alloc = solve_optimal_allocation(self.cluster, prices[lane],
+                                             target)
+            return np.maximum(alloc.u, 0.0), {
+                "qp_status": "reference_lp", "qp_iterations": 0,
+                "softened": False, "mpc_cost": float("nan")}
+
+        def rung_hold(_deadline):
+            u, shed = project_allocation(self.cluster,
+                                         self._U_prev[lane], target)
+            if shed > 0.0:
+                lane_perf.count("supervisor_shed_events")
+            return u, {"qp_status": "hold_projection",
+                       "qp_iterations": 0, "softened": False,
+                       "mpc_cost": float("nan"), "shed_rate": float(shed)}
+
+        ladder = FallbackLadder(
+            [Rung("cold", rung_cold),
+             Rung("admm", rung_admm),
+             Rung("reference", rung_reference),
+             Rung("hold", rung_hold, needs_solver=False)],
+            count=lane_perf.count)
+        try:
+            out = ladder.run(budget)
+        except DegradedOperationError as exc:
+            # unreachable unless even the projection raised; keep the
+            # lane's last committed allocation and let the invariant
+            # monitor surface the conservation gap.
+            diag = {"qp_status": "ladder_exhausted", "qp_iterations": 0,
+                    "softened": False, "mpc_cost": float("nan"),
+                    "rung": "none", "ladder_error": str(exc)}
+            return np.maximum(self._U_prev[lane], 0.0), diag, "safe"
+        u, diag = out.value
+        diag["rung"] = out.rung
+        if out.failures:
+            diag["ladder_failures"] = [name for name, _ in out.failures]
+        return u, diag, "safe" if out.rung == "hold" else "degraded"
+
+    def _quarantine_solve(self, ops: dict, lane: int, prices: np.ndarray,
+                          loads_seq: np.ndarray, refs: np.ndarray,
+                          lane_perf):
+        """A quarantined lane's period: exact scalar solve, no ladder.
+
+        Quarantine is the permanent demotion — the lane stays inside
+        the shared tensors for shape stability, but its decision always
+        comes from the scalar active-set path (hold projection if even
+        that fails).  The fault hook is deliberately not consulted:
+        the lane is already off the shared solve path.
+        """
+        lane_perf.count("quarantine_periods")
+        try:
+            sol = self._fallback_solve(ops, lane, prices[lane],
+                                       loads_seq[lane], refs[lane])
+            return np.maximum(sol.u, 0.0), {
+                "qp_status": str(sol.status),
+                "qp_iterations": int(sol.solver_iterations),
+                "softened": bool(sol.softened),
+                "mpc_cost": float(sol.cost),
+                "rung": "cold", "quarantined": True}
+        except (SolverError, CapacityError):
+            u, shed = project_allocation(self.cluster, self._U_prev[lane],
+                                         loads_seq[lane, 0])
+            if shed > 0.0:
+                lane_perf.count("supervisor_shed_events")
+            return u, {"qp_status": "hold_projection", "qp_iterations": 0,
+                       "softened": False, "mpc_cost": float("nan"),
+                       "rung": "hold", "quarantined": True,
+                       "shed_rate": float(shed)}
 
     # ------------------------------------------------------------------
     def demand_response(self, prices: np.ndarray,
@@ -513,6 +815,13 @@ class BatchCostMPCPolicy:
         prices = np.asarray(prices, dtype=float).reshape(S, self._n)
         loads = np.asarray(loads, dtype=float).reshape(S, self._c)
 
+        # Fault scan first — before any state mutation — so an injected
+        # crash models a process that never decided this period.
+        armed = self._armed
+        poisoned = self._scan_faults(period) if armed else {}
+        budget = DeadlineBudget(self.deadline_seconds) \
+            if armed and self.deadline_seconds is not None else None
+
         self._integrate_pending(prices)
 
         if self._U_prev is None:
@@ -551,8 +860,59 @@ class BatchCostMPCPolicy:
             power_refs = self._reference_powers_mw(
                 prices, loads_seq, uniform=predicted_loads is None)
             refs = integrate_rates_batch(self._X[:, 1:], power_refs, cfg.dt)
+        batched_ok = True
         with self.perf.shared.stage("mpc_solve"):
-            U_new, diags = self._solve(ops, prices, loads_seq, refs)
+            if armed:
+                try:
+                    U_new, diags = self._solve(ops, prices, loads_seq,
+                                               refs)
+                except SolverError as exc:
+                    # the *shared* step failed — every lane ejects
+                    batched_ok = False
+                    self.perf.shared.count("batch_solve_failures")
+                    shared_err = f"{type(exc).__name__}: {exc}"
+                    U_new = self._U_prev.copy()
+                    diags = [{"qp_status": "batch_failed",
+                              "qp_iterations": 0, "softened": False,
+                              "mpc_cost": float("nan")}
+                             for _ in range(S)]
+            else:
+                U_new, diags = self._solve(ops, prices, loads_seq, refs)
+
+        if armed:
+            eject: dict[int, str] = dict(poisoned)
+            if not batched_ok:
+                for s in range(S):
+                    eject.setdefault(s, shared_err)
+            for s in np.flatnonzero(self._health.quarantined):
+                eject.setdefault(int(s), "quarantined")
+            outcomes: dict[int, str] = {}
+            for lane in sorted(eject):
+                lane = int(lane)
+                lane_perf = self.perf.lane(lane)
+                if self._health.quarantined[lane]:
+                    u, diag = self._quarantine_solve(
+                        ops, lane, prices, loads_seq, refs, lane_perf)
+                else:
+                    batched_row = U_new[lane].copy() if batched_ok \
+                        else None
+                    u, diag, outcome = self._eject_lane(
+                        ops, lane, period, prices, loads_seq, refs,
+                        batched_row, budget, lane_perf)
+                    outcomes[lane] = outcome
+                    diag["fault"] = eject[lane]
+                U_new[lane] = u
+                diags[lane] = diag
+                if self._warm is not None and diag.get("rung") != "admm":
+                    # the committed decision diverged from the batched
+                    # iterate — don't carry that iterate forward
+                    self._warm[0][lane] = 0.0
+                    self._warm[1][lane] = 0.0
+            for s in range(S):
+                self._health.observe(s, outcomes.get(s, "clean"))
+            for s in self._health.touched:
+                self.perf.lane(s).update_counters(self._health.counters[s])
+                self.perf.note_lane_health(s, self._health.label(s))
 
         lam_new = self._idc_workloads(U_new)
         servers = self._servers_for_loads(lam_new)

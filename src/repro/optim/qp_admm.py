@@ -413,6 +413,13 @@ class BatchADMMSetup:
         self.E = E
         self.c = c
         self.refactorizations = 0
+        pattern = np.ones(m)
+        pattern[:self.n_eq] = self.rho_eq_scale
+        self.rho_pattern = pattern
+        # per-lane penalties for the lane-isolated solve mode; carried
+        # across solves exactly like the shared scalar ``rho``.
+        self.rho_lanes: np.ndarray | None = None
+        self._lane_kinv_cache: dict[float, np.ndarray] = {}
         self._set_rho(float(rho))
 
     def _set_rho(self, rho: float) -> None:
@@ -432,6 +439,16 @@ class BatchADMMSetup:
         self.Kinv = np.ascontiguousarray(0.5 * (kinv + kinv.T))
         self.refactorizations += 1
 
+    def set_rho(self, rho: float) -> None:
+        """Force the penalty to ``rho`` (re-factoring if it changed).
+
+        The durable control plane uses this to re-apply a checkpointed
+        adapted rho to a freshly rebuilt setup — the adaptation history
+        is part of the solver's bit-exact trajectory.
+        """
+        if float(rho) != self.rho:
+            self._set_rho(float(rho))
+
     def maybe_adapt_rho(self, ratio: float) -> bool:
         """OSQP rho rule: adopt ``rho × ratio`` when off by more than 5×."""
         new_rho = float(np.clip(self.rho * ratio, 1e-6, 1e6))
@@ -439,6 +456,30 @@ class BatchADMMSetup:
             self._set_rho(new_rho)
             return True
         return False
+
+    def lane_kinv(self, rho: float) -> np.ndarray:
+        """Reduced-KKT inverse for a single lane's penalty ``rho``.
+
+        The lane-isolated solve mode adapts ``rho`` per lane, so each
+        lane needs its own ``K(ρ)⁻¹``.  Results are memoised by exact
+        penalty value — warm-started periods re-enter with the same
+        adapted penalties, so steady state pays zero factorizations.
+        """
+        import scipy.linalg as sla
+        rho = float(rho)
+        hit = self._lane_kinv_cache.get(rho)
+        if hit is not None:
+            return hit
+        rho_vec = rho * self.rho_pattern
+        K = self.P_s + self.sigma * np.eye(self.n) \
+            + self.A_s.T @ (rho_vec[:, None] * self.A_s)
+        kinv = sla.cho_solve(sla.cho_factor(K), np.eye(self.n))
+        kinv = np.ascontiguousarray(0.5 * (kinv + kinv.T))
+        self.refactorizations += 1
+        if len(self._lane_kinv_cache) >= 64:
+            self._lane_kinv_cache.clear()
+        self._lane_kinv_cache[rho] = kinv
+        return kinv
 
 
 def prepare_batch_admm(P, A, n_eq: int = 0, rho: float = 0.1,
@@ -459,7 +500,8 @@ def solve_qp_admm_batch(P, Q, A, L, U, rho: float = 0.1,
                         max_iter: int = 20_000, X0=None, Y0=None,
                         setup: BatchADMMSetup | None = None,
                         n_eq: int = 0,
-                        adaptive_rho: bool = True) -> BatchQPResult:
+                        adaptive_rho: bool = True,
+                        lane_isolated: bool = False) -> BatchQPResult:
     """Solve ``S`` QPs sharing ``(P, A)`` with stacked ADMM iterates.
 
     Each scenario ``s`` solves ``min 0.5 x'Px + Q[s]'x`` subject to
@@ -508,6 +550,19 @@ def solve_qp_admm_batch(P, Q, A, L, U, rho: float = 0.1,
     adaptive_rho:
         Adapt the shared penalty from the residual balance (on by
         default; disable for bitwise-reproducible iterate studies).
+    lane_isolated:
+        Run the *lane-decoupled* variant of the iteration: every tensor
+        keeps its full ``(S, ·)`` shape for the whole solve (converged
+        lanes are masked-frozen, not compacted away) and the penalty
+        adapts **per lane** from that lane's own residual balance (one
+        ``K(ρ_lane)⁻¹`` GEMV per lane per iteration, memoised on the
+        setup).  Every operation is then a deterministic function of
+        the lane's own row — one lane's data, faults, or convergence
+        timing cannot perturb another lane's iterates *bitwise*.  The
+        fleet resilience path arms this mode so healthy lanes stay
+        bit-identical to a fault-free (equally armed) baseline while
+        faulted lanes are ejected; the default shared mode keeps the
+        cheaper compacted hot loop and shared adaptive rho.
     """
     import scipy.linalg as sla
     P = np.atleast_2d(np.asarray(P, dtype=float))
@@ -541,6 +596,11 @@ def solve_qp_admm_batch(P, Q, A, L, U, rho: float = 0.1,
         Y = np.array(Y0, dtype=float).reshape(S, m) * (c * Einv)
     else:
         Y = np.zeros((S, m))
+
+    if lane_isolated:
+        return _solve_batch_isolated(P, setup, Q, Qs, Ls, Us, X, Z, Y,
+                                     alpha, eps_abs, eps_rel, max_iter,
+                                     adaptive_rho)
 
     iters = np.full(S, max_iter, dtype=int)
     converged = np.zeros(S, dtype=bool)
@@ -633,4 +693,137 @@ def solve_qp_admm_batch(P, Q, A, L, U, rho: float = 0.1,
     fun = 0.5 * np.einsum("sn,sn->s", X, PX) \
         + np.einsum("sn,sn->s", Q, X)
     return BatchQPResult(X=X, Y=Y, fun=fun, iterations=iters,
+                         converged=converged)
+
+
+def _solve_batch_isolated(P, setup: BatchADMMSetup, Q, Qs, Ls, Us,
+                          X, Z, Y, alpha: float, eps_abs: float,
+                          eps_rel: float, max_iter: int,
+                          adaptive_rho: bool) -> BatchQPResult:
+    """Lane-decoupled batched ADMM (``lane_isolated=True``).
+
+    Bit-exact lane isolation needs two departures from the compacted
+    hot loop, both rooted in how BLAS rounds:
+
+    * **No compaction.**  Removing a converged lane changes the GEMM
+      shapes mid-solve, and a GEMM's blocking (hence its per-row
+      rounding) depends on those shapes — so one lane's convergence
+      *timing* perturbs every other live lane bitwise.  Here the
+      tensors keep their full ``(S, ·)`` shape; converged lanes are
+      frozen by *recording* their iterate and letting their rows keep
+      iterating harmlessly (every elementwise op and fixed-shape GEMM
+      is row-local).
+    * **Per-lane rho.**  The shared adaptive penalty aggregates the
+      residual balance across lanes (a geometric mean), so one faulted
+      lane's residuals steer every lane's rho schedule.  Here each lane
+      adapts its own penalty from its own residuals; the x-update runs
+      one ``(n,) @ K(ρ_lane)⁻¹`` GEMV per lane — shape-constant per
+      lane, therefore bitwise independent of every other lane.
+
+    Per-lane penalties persist on ``setup.rho_lanes`` across solves
+    (the same statefulness contract as the shared scalar rho), and the
+    per-rho KKT inverses are memoised on the setup, so warm-started
+    periods pay no refactorizations.
+    """
+    A_s, P_s = setup.A_s, setup.P_s
+    D, E, c = setup.D, setup.E, setup.c
+    Einv = 1.0 / E
+    cD = c * D
+    sigma = setup.sigma
+    S, n = Qs.shape
+    m = A_s.shape[0]
+    pattern = setup.rho_pattern
+
+    if setup.rho_lanes is not None and setup.rho_lanes.shape[0] == S:
+        rho_l = setup.rho_lanes.copy()
+    else:
+        rho_l = np.full(S, setup.rho)
+    rho_vec_l = rho_l[:, None] * pattern[None, :]
+    rho_inv_l = 1.0 / rho_vec_l
+    kinv_l = [setup.lane_kinv(r) for r in rho_l]
+
+    iters = np.full(S, max_iter, dtype=int)
+    converged = np.zeros(S, dtype=bool)
+    frozen = np.zeros(S, dtype=bool)
+    q_norm = np.max(np.abs(Q), axis=1) if n else np.zeros(S)
+    Xf, Zf, Yf = X.copy(), Z.copy(), Y.copy()    # recorded lane outputs
+
+    x, z, y = X, Z, Y
+    bm = np.empty((S, m))
+    bn = np.empty((S, n))
+    bn2 = np.empty((S, n))
+    it = 0
+    while not frozen.all() and it < max_iter:
+        it += 1
+        np.multiply(z, rho_vec_l, out=bm)
+        bm -= y
+        np.matmul(bm, A_s, out=bn)               # rhs = Aᵀ(ρz − y)
+        np.multiply(x, sigma, out=bn2)
+        bn += bn2
+        bn -= Qs
+        for i in range(S):                       # per-lane x̃ = K⁻¹ rhs
+            np.matmul(bn[i], kinv_l[i], out=bn2[i])
+        np.matmul(bn2, setup.A_sT, out=bm)       # z̃ = A x̃
+        x *= 1.0 - alpha
+        bn2 *= alpha
+        x += bn2
+        z *= 1.0 - alpha                         # z becomes z_relax below
+        bm *= alpha
+        z += bm
+        np.multiply(y, rho_inv_l, out=bm)
+        bm += z
+        np.clip(bm, Ls, Us, out=bm)              # bm is z_next
+        z -= bm                                  # z_relax − z_next
+        z *= rho_vec_l
+        y += z
+        np.copyto(z, bm)
+
+        if it % 5 == 0 or it == 1:
+            Ax = (x @ A_s.T) * Einv
+            z_u = z * Einv
+            Px = (x @ P_s) / cD
+            Aty = (y @ A_s) / cD
+            r_prim = np.max(np.abs(Ax - z_u), axis=1) if m else \
+                np.zeros(S)
+            r_dual = np.max(np.abs(Px + Q + Aty), axis=1)
+            prim_scale = np.maximum(
+                np.max(np.abs(Ax), axis=1) if m else 0.0,
+                np.max(np.abs(z_u), axis=1) if m else 0.0)
+            dual_scale = np.maximum(
+                np.maximum(np.max(np.abs(Px), axis=1),
+                           np.max(np.abs(Aty), axis=1) if m else 0.0),
+                q_norm)
+            done = (r_prim <= eps_abs + eps_rel * prim_scale) & \
+                (r_dual <= eps_abs + eps_rel * dual_scale)
+            newly = done & ~frozen
+            if np.any(newly):
+                iters[newly] = it
+                converged[newly] = True
+                Xf[newly], Zf[newly], Yf[newly] = \
+                    x[newly], z[newly], y[newly]
+                frozen |= newly
+            if adaptive_rho and not frozen.all():
+                for i in np.nonzero(~frozen)[0]:
+                    num = r_prim[i] / max(prim_scale[i], 1e-12)
+                    den = r_dual[i] / max(dual_scale[i], 1e-12)
+                    ratio = float(np.sqrt(max(num, 1e-12)
+                                          / max(den, 1e-12)))
+                    new_rho = float(np.clip(rho_l[i] * ratio, 1e-6, 1e6))
+                    if new_rho > 5.0 * rho_l[i] or \
+                            new_rho < rho_l[i] / 5.0:
+                        rho_l[i] = new_rho
+                        rho_vec_l[i] = new_rho * pattern
+                        rho_inv_l[i] = 1.0 / rho_vec_l[i]
+                        kinv_l[i] = setup.lane_kinv(new_rho)
+    strag = ~frozen
+    if np.any(strag):       # stragglers keep their final iterate
+        Xf[strag], Zf[strag], Yf[strag] = x[strag], z[strag], y[strag]
+    setup.rho_lanes = rho_l
+
+    Xo = Xf * D
+    Yo = Yf * (E / c)
+    PX = Xo @ P
+    fun = 0.5 * np.einsum("sn,sn->s", Xo, PX) \
+        + np.einsum("sn,sn->s", Q, Xo)
+    return BatchQPResult(X=Xo, Y=Yo, fun=fun, iterations=iters,
                          converged=converged)

@@ -221,6 +221,42 @@ class LaneMarketBatch:
         self.last_demand = np.asarray(demands_mw, dtype=float).copy()
         self._demand_log.append(self.last_demand)
 
+    def stability_bound(self, base_price, demand_slope) -> float:
+        """Worst-(lane, region) contraction modulus, like
+        :meth:`SharedMarket.stability_bound` (γ = 0 lanes contribute 0)."""
+        return clearing_contraction(self.gamma, base_price, self.nominal,
+                                    demand_slope)
+
+    def require_stable(self, base_price, demand_slope,
+                       damping: float = 1.0) -> None:
+        """Raise :class:`ConvergenceError` outside the damped bound.
+
+        Same contract as :meth:`SharedMarket.require_stable` — the
+        per-lane lagged feedback is the ω = 1 sweep of the same map, so
+        the fleet and lane markets share one stability semantics.
+        """
+        modulus = self.stability_bound(base_price, demand_slope)
+        limit = (2.0 - damping) / damping
+        if modulus >= limit:
+            raise ConvergenceError(
+                f"lane clearing contraction modulus {modulus:.3f} exceeds "
+                f"the damped stability bound {limit:.3f}; lower gamma, "
+                "raise nominal_power_mw, or increase damping")
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the mutable clearing state (for the fleet
+        checkpoint): the lagged demands plus the un-flushed log."""
+        return {"last_demand": self.last_demand.copy(),
+                "demand_log": [row.copy() for row in self._demand_log]}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; a later :meth:`flush` writes the
+        exact same history a crash-free run would have."""
+        self.last_demand = np.asarray(state["last_demand"],
+                                      dtype=float).copy()
+        self._demand_log = [np.asarray(row, dtype=float).copy()
+                            for row in state["demand_log"]]
+
     def flush(self) -> None:
         """Write demand state/history back into the per-lane markets."""
         for s, (market, regions) in enumerate(
@@ -390,6 +426,19 @@ class SharedMarket:
                 f"clearing contraction modulus {modulus:.3f} exceeds the "
                 f"damped stability bound {limit:.3f}; lower gamma, raise "
                 "nominal_power_mw, or increase damping")
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the mutable clearing state (lagged
+        aggregate + history) for the fleet checkpoint."""
+        return {"last_demand": self._last_demand.copy(),
+                "history": [row.copy() for row in self._history]}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; clearing continues bit-exact."""
+        self._last_demand = np.asarray(state["last_demand"],
+                                       dtype=float).copy()
+        self._history = [np.asarray(row, dtype=float).copy()
+                         for row in state["history"]]
 
     def reset(self) -> None:
         """Forget the aggregate history; prices revert to the traces."""

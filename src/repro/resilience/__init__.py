@@ -9,12 +9,22 @@ price-feed dropouts and workload-sensor gaps
 NOMINAL → DEGRADED → SAFE_MODE → RECOVERING health state machine
 (:mod:`~repro.resilience.supervisor`).  The durable control plane
 (:mod:`~repro.resilience.durability`) adds checksummed controller
-checkpoints, a write-ahead decision log and verified crash-resume.  See
-the "Degradation ladder" and "Durable control plane" sections of
+checkpoints, a write-ahead decision log and verified crash-resume.  The
+fleet layer (:mod:`~repro.resilience.fleet`) scales both to the batched
+engine: per-lane health machines with permanent quarantine and a
+sharded write-ahead log for multi-lane runs.  See the "Degradation
+ladder", "Durable control plane" and "Fleet resilience" sections of
 ``docs/architecture.md``.
 """
 
 from .deadline import DeadlineBudget
+from .fleet import (
+    FleetHealth,
+    ShardedWriteAheadLog,
+    load_fleet_resume_state,
+    read_sharded_wal,
+    wal_shard_paths,
+)
 from .durability import (
     ControllerCheckpoint,
     CrashInjector,
@@ -36,6 +46,11 @@ __all__ = [
     "CrashInjector",
     "DeadlineBudget",
     "FallbackLadder",
+    "FleetHealth",
+    "ShardedWriteAheadLog",
+    "load_fleet_resume_state",
+    "read_sharded_wal",
+    "wal_shard_paths",
     "HealthState",
     "PolicySupervisor",
     "RUNG_ORDER",

@@ -40,7 +40,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..datacenter.queueing import simplified_latency_batch
-from ..exceptions import ConfigurationError
+from ..exceptions import CheckpointError, ConfigurationError
 from .engine import run_simulation
 from .faults import split_faults, telemetry_visibility
 from .profiling import BatchPerfStats
@@ -50,6 +50,11 @@ from .scenario import Scenario
 __all__ = ["run_batch", "batch_signature", "scenario_incompatibility"]
 
 _JOULES_PER_MWH = 3.6e9
+
+#: Per-lane decision digests are logged only up to this batch width —
+#: beyond it each WAL record would carry S×64 hex chars per period and
+#: the whole-batch digest already proves bit-exactness.
+_LANE_DIGEST_MAX = 64
 
 
 def scenario_incompatibility(scenario: Scenario) -> str | None:
@@ -97,7 +102,16 @@ def run_batch(scenarios, config=None, *,
               monitors=None,
               warm_start: str = "exact",
               min_batch: int = 2,
-              perf: BatchPerfStats | None = None) -> list[SimulationResult]:
+              perf: BatchPerfStats | None = None,
+              deadline_seconds: float | None = None,
+              quarantine_after: int = 3,
+              solver_fault_hook=None,
+              checkpoint_every: int | None = None,
+              wal_path: str | None = None,
+              wal_fsync_every: int = 1,
+              wal_shards: int = 1,
+              resume_from: str | None = None,
+              resume_strict: bool = True) -> list[SimulationResult]:
     """Run many scenarios under the cost MPC, batched where possible.
 
     Parameters
@@ -138,6 +152,30 @@ def run_batch(scenarios, config=None, *,
         reports how many lanes fell off the batched path and why —
         without digging through ``len(scenarios)`` result dicts.
 
+    deadline_seconds, quarantine_after, solver_fault_hook:
+        Lane fault isolation, forwarded to
+        :class:`repro.core.BatchCostMPCPolicy`: an optional per-period
+        fleet deadline budget, the consecutive-failure threshold for
+        the permanent scalar-quarantine demotion, and an optional
+        fault-injection hook ``hook(stage, lane, period)``.  Scalar-
+        fallback lanes are unaffected (their scenarios never see the
+        hook).
+    checkpoint_every, wal_path, wal_fsync_every, wal_shards,
+    resume_from, resume_strict:
+        The durable fleet control plane, mirroring
+        :func:`repro.sim.engine.run_simulation`'s scalar contract: one
+        decision record per period in a (optionally sharded —
+        :class:`repro.resilience.fleet.ShardedWriteAheadLog`)
+        write-ahead log, a fleet checkpoint every ``checkpoint_every``
+        periods beside it, and digest-verified resume via
+        ``resume_from`` (periods after the checkpoint are re-executed
+        and must reproduce the logged digests bit-exact;
+        ``resume_strict=False`` downgrades a mismatch to the
+        ``wal_tail_mismatches`` counter).  Durable runs require the
+        batchable lanes to form exactly **one** group — scalar-fallback
+        lanes are allowed and simply re-run deterministically on
+        resume, outside the WAL's scope.
+
     Returns
     -------
     list of SimulationResult
@@ -175,6 +213,24 @@ def run_batch(scenarios, config=None, *,
                 scalar_lanes.append(
                     (i, f"batch group smaller than {min_batch}"))
 
+    durable = wal_path is not None or resume_from is not None
+    if checkpoint_every is not None and not durable:
+        raise ConfigurationError(
+            "checkpoint_every needs wal_path (the fleet checkpoint lives "
+            "next to the write-ahead log)")
+    if durable and len(groups) != 1:
+        raise ConfigurationError(
+            f"durable fleet runs need exactly one batched group, got "
+            f"{len(groups)} (scalar-fallback lanes are fine — they re-run "
+            "deterministically on resume)")
+    durability = None
+    if durable:
+        durability = {
+            "checkpoint_every": checkpoint_every, "wal_path": wal_path,
+            "fsync_every": wal_fsync_every, "n_shards": wal_shards,
+            "resume_from": resume_from, "resume_strict": resume_strict,
+        }
+
     for i, reason in scalar_lanes:
         sc = scenarios[i]
         policy = CostMPCPolicy(sc.cluster, replace(base_cfg, dt=float(sc.dt)))
@@ -196,7 +252,11 @@ def run_batch(scenarios, config=None, *,
             prediction_horizon=prediction_horizon,
             monitors=(None if monitors is None
                       else [monitors[i] for i in lanes]),
-            warm_start=warm_start)
+            warm_start=warm_start,
+            deadline_seconds=deadline_seconds,
+            quarantine_after=quarantine_after,
+            solver_fault_hook=solver_fault_hook,
+            durability=durability)
         for i, res in zip(lanes, group):
             results[i] = res
     if perf is not None:
@@ -213,7 +273,12 @@ def run_batch(scenarios, config=None, *,
 def _run_batch_group(scens: list[Scenario], base_cfg, *,
                      predict_loads: bool, predictor_order: int,
                      prediction_horizon: int, monitors,
-                     warm_start: str) -> list[SimulationResult]:
+                     warm_start: str,
+                     deadline_seconds: float | None = None,
+                     quarantine_after: int = 3,
+                     solver_fault_hook=None,
+                     durability: dict | None = None
+                     ) -> list[SimulationResult]:
     """Advance one signature-sharing group in lockstep."""
     from ..core import BatchCostMPCPolicy
 
@@ -232,8 +297,11 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
 
     perf = BatchPerfStats(S)
     policy = BatchCostMPCPolicy(cluster, cfg, n_scenarios=S, perf=perf,
-                                warm_start=warm_start)
+                                warm_start=warm_start,
+                                deadline_seconds=deadline_seconds,
+                                quarantine_after=quarantine_after)
     policy.reset()
+    policy.solver_fault_hook = solver_fault_hook
 
     b1 = np.array([idc.config.power_model.b1 for idc in cluster.idcs])
     b0 = np.array([idc.config.power_model.b0 for idc in cluster.idcs])
@@ -296,70 +364,239 @@ def _run_batch_group(scens: list[Scenario], base_cfg, *,
     cost_usd = np.zeros((S, n))
     paper_cost = np.zeros((S, n))
 
-    for k in range(T):
-        t = start_times + k * dt
-        # γ > 0 lanes clear against their own lagged demand, exactly as
-        # S scalar RealTimeMarkets would; γ = 0 lanes pass the base row
-        # through bit-identically (np.where inside effective_prices).
-        prices = lane_markets.effective_prices(prices_traj[k]) \
-            if coupled else prices_traj[k]
-        loads = loads_traj[k]
+    # -- durable fleet control plane: resume, then (re)open the WAL ----
+    fingerprint = {
+        "kind": "batch", "policy": policy.name, "n_lanes": S,
+        "dt": dt, "n_periods": int(T), "n_idcs": n, "n_portals": c,
+        "scenarios": [sc.name for sc in scens],
+        # arming flips the shared QP into its lane-isolated mode, which
+        # is a *different bit-exact trajectory* — a resume must arm the
+        # same way or every replayed digest diverges.  Record it so the
+        # mismatch fails fast with a fingerprint error instead.
+        "isolated": bool(solver_fault_hook is not None
+                         or deadline_seconds is not None),
+    }
+    start_k = 0
+    wal = None
+    ckpt_path = None
+    wal_tail: dict[int, dict] = {}
+    checkpoint_every = None
+    resume_strict = True
+    if durability is not None:
+        from ..resilience.durability import (
+            WAL_VERSION,
+            ControllerCheckpoint,
+            array_digest,
+            checkpoint_path_for,
+        )
+        from ..resilience.fleet import (
+            ShardedWriteAheadLog,
+            load_fleet_resume_state,
+        )
+        checkpoint_every = durability.get("checkpoint_every")
+        resume_strict = bool(durability.get("resume_strict", True))
+        n_shards = int(durability.get("n_shards") or 1)
+        wal_path = durability.get("wal_path")
+        resume_from = durability.get("resume_from")
+        if wal_path is None and resume_from is not None:
+            wal_path = resume_from      # keep appending to the same log
+        if resume_from is not None:
+            on_disk = load_fleet_resume_state(resume_from,
+                                              n_shards=n_shards)
+            if on_disk.header is None:
+                raise CheckpointError(
+                    f"{resume_from}: fleet WAL has no begin record")
+            if on_disk.header.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"{resume_from}: WAL belongs to a different fleet "
+                    f"run (logged {on_disk.header.get('fingerprint')!r},"
+                    f" resuming {fingerprint!r})")
+            if on_disk.checkpoint is not None:
+                state = on_disk.checkpoint.state
+                if state.get("fingerprint") != fingerprint:
+                    raise CheckpointError(
+                        "fleet checkpoint belongs to a different run")
+                start_k = int(on_disk.checkpoint.period)
+                policy.restore(state["policy"])
+                lane_markets.restore(state["lane_markets"])
+                for s, guard in guards.items():
+                    guard.restore(state["guards"][s])
+                if predictor is not None \
+                        and state.get("predictor") is not None:
+                    predictor.restore(state["predictor"])
+                if monitors is not None and state.get("monitors"):
+                    for s, mon in enumerate(monitors):
+                        snap = state["monitors"][s]
+                        if mon is not None and snap is not None \
+                                and hasattr(mon, "restore"):
+                            mon.restore(snap)
+                rec = state["records"]
+                powers_rec[:, :start_k] = rec["powers"]
+                servers_rec[:, :start_k] = rec["servers"]
+                lam_rec[:, :start_k] = rec["workloads"]
+                lat_rec[:, :start_k] = rec["latencies"]
+                prices_rec[:, :start_k] = rec["prices"]
+                loads_rec[:, :start_k] = rec["loads"]
+                alloc_rec[:, :start_k] = rec["allocations"]
+                energy_j[:] = rec["energy_j"]
+                cost_usd[:] = rec["cost_usd"]
+                paper_cost[:] = rec["paper_cost"]
+                diags = [list(d) for d in state["diags"]]
+            wal_tail = on_disk.tail_after(start_k)
+            perf.shared.set_counter("resumed_from_period", start_k)
+        ckpt_path = checkpoint_path_for(wal_path)
+        wal = ShardedWriteAheadLog(
+            wal_path, n_shards=n_shards,
+            fsync_every=int(durability.get("fsync_every") or 1),
+            append=resume_from is not None)
+        if resume_from is None:
+            wal.begin({"type": "begin", "wal_version": WAL_VERSION,
+                       "fingerprint": fingerprint})
+        else:
+            wal.append({"type": "resume", "period": start_k,
+                        "tail_records": len(wal_tail)})
 
-        # What each lane's controller *sees* — identical to the truth
-        # unless that lane carries telemetry faults this period.
-        obs_prices, obs_loads = prices, loads
-        if guards:
-            obs_prices = prices.copy()
-            obs_loads = loads.copy()
-            for s, guard in guards.items():
-                prices_ok, loads_ok = telemetry_visibility(
-                    scens[s].cluster, scens[s].faults, float(t[s]))
-                obs_prices[s] = guard.filter_prices(prices[s], prices_ok)
-                obs_loads[s] = guard.filter_loads(loads[s], loads_ok)
+    def write_checkpoint(next_period: int) -> None:
+        state = {
+            "fingerprint": fingerprint,
+            "policy": policy.snapshot(),
+            "lane_markets": lane_markets.snapshot(),
+            "guards": {s: g.snapshot() for s, g in guards.items()},
+            "predictor": (None if predictor is None
+                          else predictor.snapshot()),
+            "monitors": (None if monitors is None else
+                         [m.snapshot()
+                          if m is not None and hasattr(m, "snapshot")
+                          else None for m in monitors]),
+            "records": {
+                "powers": powers_rec[:, :next_period].copy(),
+                "servers": servers_rec[:, :next_period].copy(),
+                "workloads": lam_rec[:, :next_period].copy(),
+                "latencies": lat_rec[:, :next_period].copy(),
+                "prices": prices_rec[:, :next_period].copy(),
+                "loads": loads_rec[:, :next_period].copy(),
+                "allocations": alloc_rec[:, :next_period].copy(),
+                "energy_j": energy_j.copy(),
+                "cost_usd": cost_usd.copy(),
+                "paper_cost": paper_cost.copy(),
+            },
+            "diags": [list(d) for d in diags],
+        }
+        ControllerCheckpoint(period=next_period, state=state) \
+            .save(ckpt_path)
+        perf.shared.count("checkpoints_written")
 
-        predicted = None
-        if predictor is not None:
-            predictor.observe(obs_loads.reshape(-1))
-            predicted = predictor.predict(prediction_horizon) \
-                .reshape(S, c, prediction_horizon).transpose(0, 2, 1)
+    try:
+        for k in range(start_k, T):
+            t = start_times + k * dt
+            # γ > 0 lanes clear against their own lagged demand, exactly
+            # as S scalar RealTimeMarkets would; γ = 0 lanes pass the
+            # base row through bit-identically (np.where inside
+            # effective_prices).
+            prices = lane_markets.effective_prices(prices_traj[k]) \
+                if coupled else prices_traj[k]
+            loads = loads_traj[k]
 
-        decision = policy.decide_batch(k, obs_prices, obs_loads, predicted)
-        servers = decision.servers.astype(float)                 # (S, N)
-        lam = decision.u.reshape(S, n, c).sum(axis=2)            # (S, N)
-        powers = b1 * lam + b0 * servers                         # watts
-        lats = simplified_latency_batch(lam, servers, mu)
+            # What each lane's controller *sees* — identical to the
+            # truth unless that lane carries telemetry faults this
+            # period.
+            obs_prices, obs_loads = prices, loads
+            if guards:
+                obs_prices = prices.copy()
+                obs_loads = loads.copy()
+                for s, guard in guards.items():
+                    prices_ok, loads_ok = telemetry_visibility(
+                        scens[s].cluster, scens[s].faults, float(t[s]))
+                    obs_prices[s] = guard.filter_prices(prices[s],
+                                                        prices_ok)
+                    obs_loads[s] = guard.filter_loads(loads[s], loads_ok)
 
-        if monitors is not None:
-            for s, mon in enumerate(monitors):
-                if mon is None:
-                    continue
-                mon.observe(
-                    period=k, time_seconds=float(t[s]), loads=obs_loads[s],
-                    prices=prices[s], decision=decision.lane(s),
-                    workloads=lam[s], powers_watts=powers[s],
-                    servers=decision.servers[s], latencies=lats[s],
-                    applied_servers=None)
+            predicted = None
+            if predictor is not None:
+                predictor.observe(obs_loads.reshape(-1))
+                predicted = predictor.predict(prediction_horizon) \
+                    .reshape(S, c, prediction_horizon).transpose(0, 2, 1)
 
-        powers_rec[:, k] = powers
-        servers_rec[:, k] = servers
-        lam_rec[:, k] = lam
-        lat_rec[:, k] = lats
-        prices_rec[:, k] = prices
-        loads_rec[:, k] = loads
-        alloc_rec[:, k] = decision.u
-        for s in range(S):
-            diags[s].append(decision.diagnostics[s])
+            decision = policy.decide_batch(k, obs_prices, obs_loads,
+                                           predicted)
+            servers = decision.servers.astype(float)             # (S, N)
+            lam = decision.u.reshape(S, n, c).sum(axis=2)        # (S, N)
+            powers = b1 * lam + b0 * servers                     # watts
+            lats = simplified_latency_batch(lam, servers, mu)
 
-        # vectorized EnergyMeter.record, same order of operations:
-        # the paper cost bills the energy accumulated *before* this period
-        paper_cost += prices * (energy_j / _JOULES_PER_MWH) * dt
-        step = powers * dt
-        energy_j += step
-        cost_usd += prices * (step / _JOULES_PER_MWH)
-        # same demand report as the scalar engine (division, not *1e-6,
-        # for bit parity); γ = 0 markets never read it back, but their
-        # demand_history must still match a looped run's.
-        lane_markets.record_demand(powers / 1e6)
+            # Write-ahead: the fleet's decision reaches stable storage
+            # before it is folded into the records, so a crash leaves
+            # the log as an exact upper bound on what was committed.
+            if wal is not None:
+                record = {
+                    "type": "decision", "period": k,
+                    "time_seconds": float(t[0]),
+                    "obs_sha256": array_digest(obs_prices, obs_loads),
+                    "decision_sha256": array_digest(decision.u,
+                                                    decision.servers),
+                }
+                if solver_fault_hook is not None \
+                        or deadline_seconds is not None:
+                    record["health"] = policy.lane_health()
+                if S <= _LANE_DIGEST_MAX:
+                    record["lane_sha256"] = [
+                        array_digest(decision.u[s], decision.servers[s])
+                        for s in range(S)]
+                tail = wal_tail.pop(k, None)
+                if tail is not None:
+                    perf.shared.count("wal_tail_replayed")
+                    if (tail.get("obs_sha256") != record["obs_sha256"]
+                            or tail.get("decision_sha256")
+                            != record["decision_sha256"]):
+                        perf.shared.count("wal_tail_mismatches")
+                        if resume_strict:
+                            raise CheckpointError(
+                                f"fleet resume diverged from the WAL at "
+                                f"period {k}: recomputed decisions do "
+                                "not reproduce the logged digests")
+                wal.append(record)
+
+            if monitors is not None:
+                for s, mon in enumerate(monitors):
+                    if mon is None:
+                        continue
+                    mon.observe(
+                        period=k, time_seconds=float(t[s]),
+                        loads=obs_loads[s],
+                        prices=prices[s], decision=decision.lane(s),
+                        workloads=lam[s], powers_watts=powers[s],
+                        servers=decision.servers[s], latencies=lats[s],
+                        applied_servers=None)
+
+            powers_rec[:, k] = powers
+            servers_rec[:, k] = servers
+            lam_rec[:, k] = lam
+            lat_rec[:, k] = lats
+            prices_rec[:, k] = prices
+            loads_rec[:, k] = loads
+            alloc_rec[:, k] = decision.u
+            for s in range(S):
+                diags[s].append(decision.diagnostics[s])
+
+            # vectorized EnergyMeter.record, same order of operations:
+            # the paper cost bills the energy accumulated *before* this
+            # period
+            paper_cost += prices * (energy_j / _JOULES_PER_MWH) * dt
+            step = powers * dt
+            energy_j += step
+            cost_usd += prices * (step / _JOULES_PER_MWH)
+            # same demand report as the scalar engine (division, not
+            # *1e-6, for bit parity); γ = 0 markets never read it back,
+            # but their demand_history must still match a looped run's.
+            lane_markets.record_demand(powers / 1e6)
+
+            if ckpt_path is not None and checkpoint_every is not None \
+                    and (k + 1) % checkpoint_every == 0 and k + 1 < T:
+                write_checkpoint(k + 1)
+    finally:
+        if wal is not None:
+            wal.close()
+            perf.shared.update_counters(wal.counters)
 
     lane_markets.flush()
     times = start_times[:, None] + period_times[None, :]

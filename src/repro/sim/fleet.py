@@ -37,6 +37,12 @@ Per control period the fleet advances through a cross-lane barrier:
 :meth:`SharedMarketFleet.run` may be called repeatedly — the fleet is
 resumable mid-day, and a split run reproduces the single-run price
 trajectory bit for bit (the determinism the regression tests pin).
+With ``wal_path`` / ``checkpoint_every`` the run is additionally
+*durable*: every period appends a digest record to a (optionally
+sharded) write-ahead log and the fleet state — market demand history
+and clearing warm start included — is checkpointed so a killed day can
+be resumed bit-exact with ``resume_from`` (see
+:mod:`repro.resilience.fleet`).
 :meth:`FleetResult.herding_metrics` reports the grid-level quantities
 the mitigation study compares: aggregate ramp rate, price oscillation
 amplitude, regional peak concentration.
@@ -297,6 +303,57 @@ class SharedMarketFleet:
         self._energy = np.zeros((S, n))
 
     # ------------------------------------------------------------------
+    # durable control plane: the mutable-state envelope
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable copy of all mutable fleet state.
+
+        Covers the period index, each lane's last-seen prices, the
+        fixed-point warm start, the recorded trajectory, the per-lane
+        cost/energy accumulators, the market's demand history
+        (:meth:`SharedMarket.snapshot` — the lagged price and the
+        clearing responses both depend on it), the MPC cohort's policy
+        state and the grid monitor.  Restoring the snapshot into a
+        structurally identical fleet continues the day bit-exact.
+        """
+        return {
+            "k": int(self._k),
+            "seen": self._seen.copy(),
+            "p0": self._p0.copy(),
+            "rec_prices": [p.copy() for p in self._rec_prices],
+            "rec_base": [np.asarray(b).copy() for b in self._rec_base],
+            "rec_agg": [np.asarray(a).copy() for a in self._rec_agg],
+            "rec_iters": list(self._rec_iters),
+            "rec_conv": list(self._rec_conv),
+            "cost": self._cost.copy(),
+            "energy": self._energy.copy(),
+            "market": self.market.snapshot(),
+            "mpc": None if self._mpc is None else self._mpc.snapshot(),
+            "grid_monitor": None if self.grid_monitor is None
+            else self.grid_monitor.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` (the snapshot stays reusable)."""
+        self._k = int(state["k"])
+        self._seen = np.asarray(state["seen"], dtype=float).copy()
+        self._p0 = np.asarray(state["p0"], dtype=float).copy()
+        self._rec_prices = [np.asarray(p).copy()
+                            for p in state["rec_prices"]]
+        self._rec_base = [np.asarray(b).copy() for b in state["rec_base"]]
+        self._rec_agg = [np.asarray(a).copy() for a in state["rec_agg"]]
+        self._rec_iters = list(state["rec_iters"])
+        self._rec_conv = list(state["rec_conv"])
+        self._cost = np.asarray(state["cost"], dtype=float).copy()
+        self._energy = np.asarray(state["energy"], dtype=float).copy()
+        self.market.restore(state["market"])
+        if self._mpc is not None and state["mpc"] is not None:
+            self._mpc.restore(state["mpc"])
+        if self.grid_monitor is not None \
+                and state["grid_monitor"] is not None:
+            self.grid_monitor.restore(state["grid_monitor"])
+
+    # ------------------------------------------------------------------
     def _servers_for(self, lam: np.ndarray) -> np.ndarray:
         """Eq. 35 per (lane, IDC), capped at the fleet."""
         m = np.ceil(lam / self._mu + self._inv_d / self._mu - 1e-9)
@@ -317,8 +374,13 @@ class SharedMarketFleet:
         return alloc.powers_watts_relaxed * 1e-6
 
     # ------------------------------------------------------------------
-    def step(self) -> None:
-        """Advance the whole fleet one control period."""
+    def step(self) -> dict:
+        """Advance the whole fleet one control period.
+
+        Returns the period's arrays (``base``, ``prices``, ``agg``,
+        ``powers``) so the durable :meth:`run` can digest them into its
+        write-ahead log without re-deriving anything.
+        """
         from ..core import solve_optimal_allocation_batch
 
         k = self._k
@@ -387,7 +449,7 @@ class SharedMarketFleet:
         if self.grid_monitor is not None:
             self.grid_monitor.observe(
                 period=k, time_seconds=t, prices=prices, base_prices=base,
-                agg_demand_mw=agg)
+                agg_demand_mw=agg, clearing_converged=converged)
 
         # bill every lane at the *cleared* price (everyone pays spot,
         # whatever stale price its controller decided against)
@@ -401,16 +463,148 @@ class SharedMarketFleet:
         self._rec_iters.append(int(iters))
         self._rec_conv.append(bool(converged))
         self._k += 1
+        return {"period": k, "time_seconds": t, "base": np.asarray(base),
+                "prices": np.asarray(prices), "agg": agg, "powers": powers}
 
-    def run(self, n_periods: int) -> "FleetResult":
-        """Advance ``n_periods`` and return the cumulative result.
+    def run(self, n_periods: int, *,
+            checkpoint_every: int | None = None,
+            wal_path: str | None = None,
+            wal_fsync_every: int = 1,
+            wal_shards: int = 1,
+            resume_from: str | None = None,
+            resume_strict: bool = True) -> "FleetResult":
+        """Advance to ``n_periods`` and return the cumulative result.
 
         Resumable: two calls of ``T/2`` periods leave the fleet in the
         same state — and record the same trajectory — as one call of
         ``T``.
+
+        Durability (all optional, mirroring :func:`repro.sim.run_batch`):
+
+        * ``wal_path`` — append one digest record per period to a fleet
+          write-ahead log (``wal_shards`` > 1 interleaves the records
+          round-robin across shard files, ``wal_fsync_every`` sets the
+          per-shard fsync cadence).
+        * ``checkpoint_every`` — every that many periods, save a full
+          :meth:`snapshot` next to the WAL (requires ``wal_path``).
+        * ``resume_from`` — path of the WAL of a killed durable run.
+          ``n_periods`` is then the *total* day length: the fleet
+          restores the checkpoint (or replays from period 0 when the
+          crash preceded the first checkpoint) and advances the rest,
+          verifying each replayed period against the WAL tail
+          (mismatch → :class:`~repro.exceptions.CheckpointError` when
+          ``resume_strict``, else a counter).
         """
-        for _ in range(int(n_periods)):
-            self.step()
+        T = int(n_periods)
+        durable = wal_path is not None or resume_from is not None
+        if not durable:
+            if checkpoint_every is not None:
+                raise ConfigurationError(
+                    "checkpoint_every requires wal_path (a checkpoint is "
+                    "only trustworthy next to its write-ahead log)")
+            for _ in range(T):
+                self.step()
+            return self.result()
+
+        from ..exceptions import CheckpointError
+        from ..resilience.durability import (
+            WAL_VERSION,
+            ControllerCheckpoint,
+            array_digest,
+            checkpoint_path_for,
+        )
+        from ..resilience.fleet import (
+            ShardedWriteAheadLog,
+            load_fleet_resume_state,
+        )
+
+        if self._k != 0 and resume_from is None:
+            raise ConfigurationError(
+                f"durable fleet runs must start from a fresh fleet "
+                f"(already at period {self._k}); pass resume_from to "
+                f"continue a killed durable run")
+        if wal_path is None:
+            wal_path = resume_from
+        fingerprint = {
+            "kind": "fleet", "n_lanes": int(self.n_lanes),
+            "dt": float(self.dt), "n_periods": T,
+            "n_idcs": int(self._n), "clearing": self.clearing,
+            "stagger": int(self.stagger),
+            "policy_kinds": list(self.kinds),
+        }
+        wal_tail: dict[int, dict] = {}
+        if resume_from is not None:
+            on_disk = load_fleet_resume_state(resume_from,
+                                              n_shards=wal_shards)
+            if on_disk.header is not None \
+                    and on_disk.header.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"{resume_from}: WAL belongs to a different fleet "
+                    f"run (fingerprint mismatch)")
+            if on_disk.checkpoint is not None:
+                ck = on_disk.checkpoint.state
+                if ck.get("fingerprint") != fingerprint:
+                    raise CheckpointError(
+                        f"{resume_from}: checkpoint belongs to a "
+                        f"different fleet run (fingerprint mismatch)")
+                self.restore(ck["fleet"])
+                if self._k != int(on_disk.checkpoint.period):
+                    raise CheckpointError(
+                        f"{resume_from}: checkpoint period "
+                        f"{on_disk.checkpoint.period} disagrees with the "
+                        f"restored fleet state (period {self._k})")
+            wal_tail = dict(on_disk.tail_after(self._k))
+            self.perf.shared.set_counter("resumed_from_period", self._k)
+
+        wal = ShardedWriteAheadLog(wal_path, n_shards=wal_shards,
+                                   fsync_every=wal_fsync_every,
+                                   append=resume_from is not None)
+        try:
+            if resume_from is None:
+                wal.begin({"type": "begin", "wal_version": WAL_VERSION,
+                           "fingerprint": fingerprint})
+            else:
+                wal.append({"type": "resume", "period": int(self._k),
+                            "tail_records": len(wal_tail)})
+            while self._k < T:
+                k = self._k
+                rec = self.step()
+                record = {
+                    "type": "decision", "period": k,
+                    "time_seconds": float(rec["time_seconds"]),
+                    "obs_sha256": array_digest(rec["base"]),
+                    "decision_sha256": array_digest(rec["prices"],
+                                                    rec["agg"]),
+                    "powers_sha256": array_digest(rec["powers"]),
+                }
+                prior = wal_tail.pop(k, None)
+                if prior is not None:
+                    same = all(prior.get(key) == record[key]
+                               for key in ("obs_sha256", "decision_sha256",
+                                           "powers_sha256"))
+                    if same:
+                        self.perf.shared.count("wal_tail_replayed")
+                    else:
+                        self.perf.shared.count("wal_tail_mismatches")
+                        if resume_strict:
+                            raise CheckpointError(
+                                f"fleet replay diverged from the WAL at "
+                                f"period {k}; the run is not "
+                                f"deterministic or the log is foreign")
+                wal.append(record)
+                if checkpoint_every is not None \
+                        and self._k % int(checkpoint_every) == 0 \
+                        and self._k < T:
+                    wal.sync()
+                    ckpt = ControllerCheckpoint(
+                        period=int(self._k),
+                        state={"fingerprint": fingerprint,
+                               "fleet": self.snapshot()})
+                    ckpt.save(checkpoint_path_for(wal_path))
+                    self.perf.shared.count("checkpoints_written")
+        finally:
+            wal.close()
+            self.perf.shared.update_counters(wal.counters)
         return self.result()
 
     def result(self) -> FleetResult:

@@ -144,12 +144,19 @@ class BatchPerfStats:
         self.shared = PerfStats()
         #: scalar-fallback routing reasons, ``reason -> lane count``.
         self.fallback_reasons: dict[str, int] = {}
+        #: last reported health label per *touched* lane (lanes that
+        #: never left the clean path carry no entry and count NOMINAL).
+        self.lane_health: dict[int, str] = {}
         self._lanes = [PerfStats() for _ in range(self.n_lanes)]
 
     def note_fallback(self, reason: str) -> None:
         """Record one lane falling off the batched path, by reason."""
         self.fallback_reasons[reason] = \
             self.fallback_reasons.get(reason, 0) + 1
+
+    def note_lane_health(self, index: int, label: str) -> None:
+        """Record lane ``index``'s current health label (overwrites)."""
+        self.lane_health[int(index)] = str(label)
 
     def lane(self, index: int) -> PerfStats:
         """The isolated per-scenario stats object for lane ``index``."""
@@ -170,6 +177,8 @@ class BatchPerfStats:
         out["batch_stage_seconds"] = dict(self.shared.stage_seconds)
         out["batch_stage_calls"] = dict(self.shared.stage_calls)
         out["batch_n_scenarios"] = self.n_lanes
+        if index in self.lane_health:
+            out["health_state"] = self.lane_health[index]
         for name, value in self.shared.counters.items():
             out["counters"][f"batch_{name}"] = int(value)
         return out
@@ -194,4 +203,17 @@ class BatchPerfStats:
                 sum(self.fallback_reasons.values())
             for reason, count in sorted(self.fallback_reasons.items()):
                 total.counters[f"fallback_reason[{reason}]"] = count
+        if self.lane_health:
+            # per-lane health breakdown: touched lanes by their last
+            # reported label, every untouched lane implicitly nominal.
+            states: dict[str, int] = {}
+            for label in self.lane_health.values():
+                states[label] = states.get(label, 0) + 1
+            states["nominal"] = states.get("nominal", 0) \
+                + self.n_lanes - len(self.lane_health)
+            for label, count in sorted(states.items()):
+                total.counters[f"lane_health[{label}]"] = count
+            total.counters["lanes_quarantined"] = sum(
+                1 for label in self.lane_health.values()
+                if label == "quarantined")
         return total

@@ -17,7 +17,10 @@ from .fuzz import (
     Outcome,
     build_scenario,
     fuzz_many,
+    generate_batch_chaos_spec,
+    generate_batch_specs,
     generate_spec,
+    run_batch_chaos_seed,
     run_spec,
     shrink,
 )
@@ -48,8 +51,11 @@ __all__ = [
     "InvariantViolation",
     "Outcome",
     "generate_spec",
+    "generate_batch_specs",
+    "generate_batch_chaos_spec",
     "build_scenario",
     "run_spec",
+    "run_batch_chaos_seed",
     "shrink",
     "fuzz_many",
 ]

@@ -74,8 +74,9 @@ from ..workload.portal import PortalWorkload
 from .monitor import InvariantMonitor
 from .oracles import cross_check_qp
 
-__all__ = ["generate_spec", "generate_batch_specs", "build_scenario",
-           "run_spec", "shrink", "fuzz_many", "Outcome"]
+__all__ = ["generate_spec", "generate_batch_specs",
+           "generate_batch_chaos_spec", "build_scenario", "run_spec",
+           "run_batch_chaos_seed", "shrink", "fuzz_many", "Outcome"]
 
 #: Offered load is kept below this fraction of worst-case capacity.
 _CAPACITY_HEADROOM = 0.85
@@ -109,6 +110,10 @@ class Outcome:
     nan_detected: bool = False
     rung_counters: dict = field(default_factory=dict)
     crash_resume: dict = field(default_factory=dict)
+    batch: bool = False
+    lane_states: list = field(default_factory=list)
+    quarantined_lanes: list = field(default_factory=list)
+    healthy_lanes_bitexact: bool = True
 
     def to_dict(self) -> dict:
         out = {
@@ -128,10 +133,22 @@ class Outcome:
                 "rung_counters": self.rung_counters,
                 "crash_resume": self.crash_resume,
             })
+        if self.batch:
+            out.update({
+                "batch": True,
+                "lane_states": self.lane_states,
+                "quarantined_lanes": self.quarantined_lanes,
+                "healthy_lanes_bitexact": self.healthy_lanes_bitexact,
+            })
         return out
 
     def describe(self) -> str:
         if self.ok:
+            if self.batch:
+                return (f"seed {self.spec.get('seed')}: OK (batch chaos: "
+                        f"{len(self.lane_states)} lanes, "
+                        f"{len(self.quarantined_lanes)} quarantined, "
+                        f"healthy lanes bit-exact)")
             if self.chaos:
                 rungs = sum(v for k, v in self.rung_counters.items()
                             if k.startswith("ladder_rung_"))
@@ -149,6 +166,10 @@ class Outcome:
         if self.chaos and not self.recovered:
             parts.append(f"did not recover (final state "
                          f"{self.final_state!r})")
+        if self.batch and not self.healthy_lanes_bitexact:
+            parts.append("healthy lanes perturbed by faulted lanes")
+        if self.batch and not self.recovered:
+            parts.append(f"lane states: {self.lane_states}")
         if self.violations:
             parts.append(f"{len(self.violations)} invariant violation(s), "
                          f"first: {self.violations[0]['message']}")
@@ -336,7 +357,8 @@ _BATCH_SEED_SALT = 0xBA7C4
 
 def generate_batch_specs(seed: int, n_lanes: int, *,
                          telemetry_faults: bool = False,
-                         demand_coupled: bool = False) -> list[dict]:
+                         demand_coupled: bool = False,
+                         actuation_faults: bool = False) -> list[dict]:
     """A fleet of structurally identical, batch-compatible scenario specs.
 
     Draws ONE base geometry (dt, period count, horizons, weights, traces)
@@ -361,6 +383,15 @@ def generate_batch_specs(seed: int, n_lanes: int, *,
     through :class:`repro.pricing.LaneMarketBatch` and may share a
     group with γ = 0 lanes, so the differential check covers the
     vectorized clearing path against the scalar engine too.
+
+    With ``actuation_faults=True`` every fifth lane carries a
+    standalone actuation-fault window (command drop / lag / partial
+    apply).  Actuation faults mutate the per-lane plant channel, so
+    these lanes are *deliberately* batch-incompatible:
+    :func:`repro.sim.scenario_incompatibility` must route them to the
+    scalar engine with ``batch_fallback_reason`` = ``"actuation faults
+    (per-lane plant channel)"`` — the batch chaos runner asserts that
+    routing explicitly.
 
     Each spec runs through :func:`build_scenario` as usual; the
     ``"batch"`` marker makes the resulting config batch-compatible
@@ -411,6 +442,18 @@ def generate_batch_specs(seed: int, n_lanes: int, *,
                 spec["telemetry"] = {"sensor_gaps": [
                     {"portal": int(rng.integers(0, loads.shape[0])),
                      "start_period": a, "end_period": b}]}
+        if actuation_faults and lane % 5 == 4 and n_periods > 4:
+            a = int(rng.integers(1, n_periods - 2))
+            b = int(rng.integers(a + 1, n_periods))
+            kind = str(rng.choice(["drop", "lag", "partial"]))
+            entry = {"kind": kind, "idc": str(rng.choice(names)),
+                     "start_period": a, "end_period": b}
+            if kind == "lag":
+                entry["delay_periods"] = int(rng.integers(1, 3))
+            elif kind == "partial":
+                entry["fraction"] = float(np.round(rng.uniform(0.3, 0.8),
+                                                   3))
+            spec["actuation"] = [entry]
         specs.append(spec)
     return specs
 
@@ -418,6 +461,22 @@ def generate_batch_specs(seed: int, n_lanes: int, *,
 # ---------------------------------------------------------------------------
 # Scenario construction
 # ---------------------------------------------------------------------------
+def _actuation_fault(f: dict, start_time: float, dt: float):
+    """One actuation fault (drop / lag / partial) from its spec entry."""
+    kind = f.get("kind", "drop")
+    a = start_time + f["start_period"] * dt
+    b = start_time + f["end_period"] * dt
+    if kind == "drop":
+        return CommandDrop(f["idc"], a, b)
+    if kind == "lag":
+        return ActuationLag(f["idc"], a, b,
+                            delay_periods=int(f.get("delay_periods", 1)))
+    if kind == "partial":
+        return PartialApply(f["idc"], a, b,
+                            fraction=float(f.get("fraction", 0.5)))
+    raise ConfigurationError(f"unknown actuation fault kind {kind!r}")
+
+
 def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
     """Materialize a spec into a runnable scenario + MPC configuration."""
     configs = []
@@ -480,6 +539,11 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
                 portal_index=int(f["portal"]),
                 start_seconds=start_time + f["start_period"] * dt,
                 end_seconds=start_time + f["end_period"] * dt))
+    for f in spec.get("actuation") or []:
+        # Standalone actuation faults (fleet specs): the lane stays a
+        # plain scalar run — scenario_incompatibility routes it off the
+        # batched path, which the batch chaos runner asserts.
+        faults.append(_actuation_fault(f, start_time, dt))
     chaos = spec.get("chaos")
     if chaos:
         for f in chaos.get("price_dropouts", []):
@@ -493,22 +557,7 @@ def build_scenario(spec: dict) -> tuple[Scenario, MPCPolicyConfig]:
                 start_seconds=start_time + f["start_period"] * dt,
                 end_seconds=start_time + f["end_period"] * dt))
         for f in chaos.get("actuation_faults", []):
-            kind = f.get("kind", "drop")
-            a = start_time + f["start_period"] * dt
-            b = start_time + f["end_period"] * dt
-            if kind == "drop":
-                faults.append(CommandDrop(f["idc"], a, b))
-            elif kind == "lag":
-                faults.append(ActuationLag(
-                    f["idc"], a, b,
-                    delay_periods=int(f.get("delay_periods", 1))))
-            elif kind == "partial":
-                faults.append(PartialApply(
-                    f["idc"], a, b,
-                    fraction=float(f.get("fraction", 0.5))))
-            else:
-                raise ConfigurationError(
-                    f"unknown actuation fault kind {kind!r}")
+            faults.append(_actuation_fault(f, start_time, dt))
 
     scenario = Scenario(
         cluster=cluster, market=market, dt=dt,
@@ -778,6 +827,263 @@ def run_spec(spec: dict, *, oracle_samples: int = 2,
 
 
 # ---------------------------------------------------------------------------
+# Batch (fleet) chaos
+# ---------------------------------------------------------------------------
+#: Seed salt for the batch chaos block draws, independent of both the
+#: scenario stream and the scalar chaos injector stream.
+_BATCH_CHAOS_SALT = 0xF1EE7
+
+#: The fixed routing reason asserted for actuation-fault lanes.
+_ACTUATION_REASON = "actuation faults (per-lane plant channel)"
+
+
+class _BatchChaosInjector:
+    """Per-lane solver-fault hook for :func:`repro.sim.run_batch`.
+
+    Installed as the batched policy's ``solver_fault_hook`` (signature
+    ``hook(stage, lane, period)``).  Three behaviours, checked in order:
+
+    1. **Crash** — at ``crash_at_period`` the first hook call raises
+       :class:`~repro.resilience.SimulatedCrashError`.  The crash check
+       runs *before* any fault draw, so it fires regardless of which
+       lane's scan reaches it first and before any state mutates.
+    2. **Hot lane** — one designated lane fails *deterministically* at
+       every stage inside its window, so its ladder falls through to
+       the hold projection period after period and the permanent
+       scalar-quarantine demotion is exercised, not left to chance.
+    3. **Background faults** — counter-mode draws keyed on
+       ``(seed, period, lane, call)`` raise
+       :class:`~repro.exceptions.ConvergenceError` or
+       :class:`~repro.exceptions.DeadlineExceededError` at the spec's
+       rates.  Statelessness across periods means a resumed run replays
+       exactly the faults the killed run saw from the checkpoint on —
+       the WAL digest verification depends on that.
+
+    Injection stops at ``quiet_after_period`` so every non-quarantined
+    lane is *required* to finish NOMINAL.  ``injected_lanes`` records
+    which lanes were ever poisoned — their complement is the healthy
+    set whose bit-exactness against a fault-free baseline the runner
+    asserts.
+    """
+
+    def __init__(self, seed: int, chaos: dict, *, crash: bool) -> None:
+        self.seed = int(seed) ^ _CHAOS_SEED_SALT
+        self.fault_rate = float(chaos.get("solver_fault_rate", 0.0))
+        self.deadline_rate = float(chaos.get("deadline_exhaust_rate", 0.0))
+        self.quiet_after_period = int(chaos.get("quiet_after_period", 0))
+        crash_at = chaos.get("crash_at_period")
+        self.crash_at_period = (int(crash_at)
+                                if crash and crash_at is not None else None)
+        self.hot_lane = chaos.get("hot_lane")
+        self.hot_start = int(chaos.get("hot_start_period", 1))
+        self.injected = 0
+        self.injected_lanes: set[int] = set()
+        self._calls: dict[tuple[int, int], int] = {}
+
+    def __call__(self, stage: str, lane: int, period: int) -> None:
+        lane, period = int(lane), int(period)
+        if self.crash_at_period is not None \
+                and period >= self.crash_at_period:
+            raise SimulatedCrashError(
+                f"batch chaos: crash at period {period}")
+        if period >= self.quiet_after_period:
+            return
+        if self.hot_lane is not None and lane == int(self.hot_lane) \
+                and period >= self.hot_start:
+            self.injected += 1
+            self.injected_lanes.add(lane)
+            raise ConvergenceError(
+                f"batch chaos: hot lane {lane} forced failure at "
+                f"stage {stage!r}")
+        key = (period, lane)
+        call = self._calls.get(key, 0)
+        self._calls[key] = call + 1
+        r = np.random.default_rng(
+            [self.seed, period, lane, call]).random()
+        if r < self.fault_rate:
+            self.injected += 1
+            self.injected_lanes.add(lane)
+            raise ConvergenceError(
+                f"batch chaos: forced non-convergence at stage {stage!r}")
+        if r < self.fault_rate + self.deadline_rate:
+            self.injected += 1
+            self.injected_lanes.add(lane)
+            raise DeadlineExceededError(
+                f"batch chaos: simulated deadline exhaustion at "
+                f"stage {stage!r}")
+
+
+def generate_batch_chaos_spec(seed: int, n_lanes: int = 6) -> dict:
+    """Deterministic batch chaos drill spec from one integer seed.
+
+    Wraps :func:`generate_batch_specs` (with actuation-fault lanes
+    included, so the scalar routing path is always represented) in a
+    fleet-level ``"chaos"`` block: background solver-fault and
+    deadline-exhaustion rates, an optional deterministic *hot lane*
+    driven toward quarantine, a mandatory mid-run crash, and the
+    checkpoint cadence of the durability drill.  Fault injection goes
+    quiet ``_CHAOS_RECOVERY_MARGIN`` periods before the end so recovery
+    to NOMINAL is asserted, not hoped for.
+    """
+    specs = generate_batch_specs(int(seed), int(n_lanes),
+                                 actuation_faults=True)
+    n_periods = int(specs[0]["n_periods"])
+    n_batch = sum(1 for sp in specs if not sp.get("actuation"))
+    rng = np.random.default_rng([int(seed), _BATCH_CHAOS_SALT])
+    quiet = max(2, n_periods - _CHAOS_RECOVERY_MARGIN)
+    hot_lane = (int(rng.integers(0, n_batch))
+                if rng.random() < 0.6 else None)
+    chaos = {
+        "solver_fault_rate": float(np.round(rng.uniform(0.05, 0.25), 3)),
+        "deadline_exhaust_rate":
+            float(np.round(rng.uniform(0.0, 0.1), 3)),
+        "quiet_after_period": int(quiet),
+        "crash_at_period": int(rng.integers(1, n_periods)),
+        "checkpoint_every": int(rng.integers(1, 4)),
+        "hot_lane": hot_lane,
+        "hot_start_period": 1,
+        "quarantine_after": 3,
+    }
+    return {"seed": int(seed), "n_lanes": int(n_lanes),
+            "specs": specs, "chaos": chaos}
+
+
+def run_batch_chaos_seed(seed: int, *, n_lanes: int = 6) -> Outcome:
+    """One fleet chaos drill: inject, crash, resume, verify isolation.
+
+    Runs the fleet twice through :func:`repro.sim.run_batch`: once
+    fault-free but equally armed — a hook that never fires, so the
+    baseline runs the same lane-isolated solve mode — and once under a
+    :class:`_BatchChaosInjector` with the durable control plane armed
+    (sharded WAL + periodic fleet checkpoints).  The chaos run is
+    killed by its scheduled crash and resumed from disk by a second
+    ``run_batch`` call, whose replayed periods are digest-verified
+    against the WAL.  The seed passes only if
+
+    * every batched lane ends NOMINAL or cleanly quarantined,
+    * every lane the injector never touched — including the scalar
+      actuation-fault lanes — is *bit-identical* to the baseline
+      (allocations and cost),
+    * actuation-fault lanes were routed off the batched path with
+      exactly the expected ``batch_fallback_reason``,
+    * the resume replay produced zero WAL digest mismatches, and
+    * no result array contains NaN.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from ..sim.batch import run_batch, scenario_incompatibility
+
+    full = generate_batch_chaos_spec(int(seed), n_lanes=int(n_lanes))
+    chaos = full["chaos"]
+    specs = full["specs"]
+    outcome = Outcome(spec={"seed": int(seed), "n_lanes": int(n_lanes),
+                            "chaos": chaos},
+                      chaos=True, batch=True)
+    built = [build_scenario(sp) for sp in specs]
+    scens = [b[0] for b in built]
+    config = built[0][1]
+    reasons = [scenario_incompatibility(sc) for sc in scens]
+    batch_lanes = [i for i, r in enumerate(reasons) if r is None]
+    group_index = {i: j for j, i in enumerate(batch_lanes)}
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-batch-chaos-")
+    wal = os.path.join(tmpdir, "fleet.wal")
+    every = int(chaos.get("checkpoint_every", 2))
+    try:
+        # The isolation guarantee is relative to an *equally armed*
+        # fault-free baseline: arming switches the shared QP into its
+        # lane-decoupled mode (see solve_qp_admm_batch), so the quiet
+        # baseline must arm the same machinery with a hook that never
+        # fires.
+        baseline = run_batch(scens, config,
+                             solver_fault_hook=lambda *a: None)
+        injector = _BatchChaosInjector(seed, chaos, crash=True)
+        crashed = True
+        try:
+            results = run_batch(
+                scens, config, solver_fault_hook=injector,
+                quarantine_after=int(chaos.get("quarantine_after", 3)),
+                checkpoint_every=every, wal_path=wal, wal_shards=2)
+            crashed = False
+        except SimulatedCrashError:
+            pass
+        faulted = set(injector.injected_lanes)
+        if crashed:
+            resumer = _BatchChaosInjector(seed, chaos, crash=False)
+            results = run_batch(
+                scens, config, solver_fault_hook=resumer,
+                quarantine_after=int(chaos.get("quarantine_after", 3)),
+                checkpoint_every=every, wal_path=wal, wal_shards=2,
+                resume_from=wal)
+            faulted |= set(resumer.injected_lanes)
+        outcome.crash_resume["crashed"] = int(crashed)
+    except ReproError as exc:
+        outcome.ok = False
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if chaos.get("hot_lane") is not None:
+        faulted.add(int(chaos["hot_lane"]))
+
+    outcome.lane_states = [
+        results[i].perf.get("health_state", "nominal")
+        for i in batch_lanes]
+    outcome.quarantined_lanes = [
+        i for i, state in zip(batch_lanes, outcome.lane_states)
+        if state == "quarantined"]
+    outcome.recovered = all(state in ("nominal", "quarantined")
+                            for state in outcome.lane_states)
+    bad = sorted({s for s in outcome.lane_states
+                  if s not in ("nominal", "quarantined")})
+    outcome.final_state = ",".join(bad) if bad else "nominal"
+
+    routing_ok = all(
+        results[i].perf.get("batch_fallback_reason") == _ACTUATION_REASON
+        for i, sp in enumerate(specs) if sp.get("actuation"))
+    if not routing_ok:
+        outcome.error = ("actuation-fault lane not routed scalar with "
+                         f"reason {_ACTUATION_REASON!r}")
+
+    healthy = [i for i in range(len(scens))
+               if i not in group_index or group_index[i] not in faulted]
+    outcome.healthy_lanes_bitexact = all(
+        np.array_equal(results[i].allocations, baseline[i].allocations)
+        and np.array_equal(np.asarray(results[i].cost_usd),
+                           np.asarray(baseline[i].cost_usd))
+        for i in healthy)
+
+    outcome.nan_detected = any(
+        np.any(np.isnan(np.asarray(arr, dtype=float)))
+        for r in results
+        for arr in (r.allocations, r.powers_watts, r.cost_usd))
+
+    counters: dict[str, int] = {}
+    for i in batch_lanes:
+        for k, v in results[i].perf.get("counters", {}).items():
+            if k.startswith(("ladder_", "supervisor_", "quarantine_")):
+                counters[k] = counters.get(k, 0) + int(v)
+    outcome.rung_counters = counters
+    group_counters = results[batch_lanes[0]].perf.get("counters", {})
+    for k in ("batch_resumed_from_period", "batch_checkpoints_written",
+              "batch_wal_tail_replayed", "batch_wal_tail_mismatches"):
+        if k in group_counters:
+            outcome.crash_resume[k.removeprefix("batch_")] = \
+                int(group_counters[k])
+
+    outcome.ok = (outcome.recovered
+                  and outcome.healthy_lanes_bitexact
+                  and routing_ok
+                  and not outcome.nan_detected
+                  and not outcome.crash_resume.get(
+                      "wal_tail_mismatches", 0))
+    return outcome
+
+
+# ---------------------------------------------------------------------------
 # Shrinking
 # ---------------------------------------------------------------------------
 def _shrink_candidates(spec: dict) -> list[tuple[str, dict]]:
@@ -889,7 +1195,8 @@ def shrink(spec: dict, *, is_failing=None, max_rounds: int = 20) -> dict:
 def fuzz_many(n_seeds: int, base_seed: int = 0, *,
               oracle_samples: int = 2,
               shrink_failures: bool = True,
-              chaos: bool = False) -> dict:
+              chaos: bool = False,
+              batch: bool = False) -> dict:
     """Run ``n_seeds`` consecutive seeds; shrink whatever fails.
 
     Returns a JSON-able report: per-seed outcomes, the failure count,
@@ -897,16 +1204,27 @@ def fuzz_many(n_seeds: int, base_seed: int = 0, *,
     With ``chaos=True`` every seed runs in chaos mode (injected solver
     faults, telemetry dropouts, total outages — see
     :func:`generate_spec`) and the report aggregates the fallback-rung
-    counters across seeds.
+    counters across seeds.  With ``batch=True`` (chaos-only) every seed
+    is a fleet drill via :func:`run_batch_chaos_seed` — lane isolation,
+    quarantine, crash/resume — and the report additionally aggregates
+    lane health states; batch failures are not shrunk (the failing unit
+    is the fleet interaction, not one lane's spec).
     """
+    if batch and not chaos:
+        raise ConfigurationError(
+            "batch fuzzing is chaos-only: pass chaos=True "
+            "(CLI: --chaos --batch)")
     outcomes: list[Outcome] = []
     shrunk: list[dict] = []
     for k in range(int(n_seeds)):
         seed = int(base_seed) + k
-        outcome = run_spec(generate_spec(seed, chaos=chaos),
-                           oracle_samples=oracle_samples)
+        if batch:
+            outcome = run_batch_chaos_seed(seed)
+        else:
+            outcome = run_spec(generate_spec(seed, chaos=chaos),
+                               oracle_samples=oracle_samples)
         outcomes.append(outcome)
-        if not outcome.ok and shrink_failures:
+        if not outcome.ok and shrink_failures and not batch:
             shrunk.append(shrink(outcome.spec))
     n_failed = sum(1 for o in outcomes if not o.ok)
     report = {
@@ -927,4 +1245,15 @@ def fuzz_many(n_seeds: int, base_seed: int = 0, *,
         report["chaos"] = True
         report["rung_counters"] = totals
         report["unrecovered"] = sum(1 for o in outcomes if not o.recovered)
+    if batch:
+        states: dict[str, int] = {}
+        for o in outcomes:
+            for s in o.lane_states:
+                states[s] = states.get(s, 0) + 1
+        report["batch"] = True
+        report["lane_states"] = states
+        report["lanes_quarantined"] = sum(len(o.quarantined_lanes)
+                                          for o in outcomes)
+        report["healthy_lanes_perturbed"] = sum(
+            1 for o in outcomes if not o.healthy_lanes_bitexact)
     return report

@@ -468,13 +468,23 @@ class GridMonitor:
       the demand-driven price component swinging is the paper's
       "vicious cycle" made measurable.
 
+    * **clearing non-convergence** — a period whose simultaneous
+      fixed-point clearing (:func:`repro.pricing.clear_fixed_point`)
+      hit ``max_iter`` without settling.  The engine keeps the last
+      damped iterate and continues, so this is easy to miss in the
+      trajectory — persistent oscillation of the price map *is* the
+      herding instability and must surface as a violation.
+
     Limits are optional — without them the monitor is a pure metrics
     recorder (:meth:`metrics`); with them each exceedance is counted in
     :meth:`counters` under ``grid_*`` names, in the same shape the
     per-lane monitor uses, so fleet perf dicts aggregate uniformly.
+    Clearing non-convergence needs no limit: any non-converged period
+    counts.
     """
 
-    KINDS = ("aggregate_ramp", "peak_concentration", "price_oscillation")
+    KINDS = ("aggregate_ramp", "peak_concentration", "price_oscillation",
+             "clearing_nonconverged")
 
     def __init__(self, *, ramp_limit_mw: float | None = None,
                  concentration_limit: float | None = None,
@@ -498,9 +508,18 @@ class GridMonitor:
 
     def observe(self, *, period: int, time_seconds: float,
                 prices: np.ndarray, base_prices: np.ndarray,
-                agg_demand_mw: np.ndarray) -> None:
-        """Record one period of the fleet's grid footprint."""
+                agg_demand_mw: np.ndarray,
+                clearing_converged: bool | None = None) -> None:
+        """Record one period of the fleet's grid footprint.
+
+        ``clearing_converged`` is ``None`` for lagged clearing (nothing
+        to converge), ``False`` for a fixed-point period that hit the
+        iteration cap — counted as a ``clearing_nonconverged``
+        violation.
+        """
         del period, time_seconds  # uniform signature with the lane monitor
+        if clearing_converged is not None and not clearing_converged:
+            self._counts["clearing_nonconverged"] += 1
         agg = np.asarray(agg_demand_mw, dtype=float)
         dev = np.asarray(prices, dtype=float) \
             - np.asarray(base_prices, dtype=float)
@@ -547,3 +566,37 @@ class GridMonitor:
         for kind, n in self._counts.items():
             out[f"grid_{kind}"] = n
         return out
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the running state (for fleet checkpoints)."""
+        return {
+            "counts": dict(self._counts),
+            "periods": self._periods,
+            "prev_total": self._prev_total,
+            "prev_dev": None if self._prev_dev is None
+            else self._prev_dev.copy(),
+            "peaks": None if self._peaks is None else self._peaks.copy(),
+            "peak_sum": self._peak_sum,
+            "ramp_sum": self._ramp_sum,
+            "ramp_max": self._ramp_max,
+            "osc_sum": self._osc_sum,
+            "osc_max": self._osc_max,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; observation continues bit-exact."""
+        self._counts = {kind: int(state["counts"].get(kind, 0))
+                        for kind in self.KINDS}
+        self._periods = int(state["periods"])
+        self._prev_total = state["prev_total"]
+        prev_dev = state["prev_dev"]
+        self._prev_dev = None if prev_dev is None \
+            else np.asarray(prev_dev, dtype=float).copy()
+        peaks = state["peaks"]
+        self._peaks = None if peaks is None \
+            else np.asarray(peaks, dtype=float).copy()
+        self._peak_sum = float(state["peak_sum"])
+        self._ramp_sum = float(state["ramp_sum"])
+        self._ramp_max = float(state["ramp_max"])
+        self._osc_sum = float(state["osc_sum"])
+        self._osc_max = float(state["osc_max"])

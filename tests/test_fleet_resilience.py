@@ -1,0 +1,492 @@
+"""Fleet-grade resilience: lane isolation, quarantine, durable resume.
+
+Three contracts stacked on the batched engine:
+
+1. **Lane fault isolation** — arming the resilience machinery switches
+   the shared QP into its lane-decoupled mode, so a poisoned lane can
+   never change a healthy lane's decisions *bitwise* (relative to an
+   equally armed fault-free baseline).
+2. **Durable fleet control plane** — ``run_batch`` and
+   ``SharedMarketFleet.run`` survive a kill at *every* period and
+   resume bit-exact from the sharded WAL + fleet checkpoint.
+3. **Fleet chaos** — seeded multi-lane fault storms end with every
+   lane NOMINAL or cleanly quarantined and healthy lanes untouched.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import MPCPolicyConfig
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ConvergenceError,
+)
+from repro.optim.qp_admm import prepare_batch_admm, solve_qp_admm_batch
+from repro.pricing import (
+    LaneMarketBatch,
+    RealTimeMarket,
+    RegionMarketConfig,
+    SharedMarket,
+    paper_price_traces,
+)
+from repro.resilience import (
+    FleetHealth,
+    ShardedWriteAheadLog,
+    SimulatedCrashError,
+    load_fleet_resume_state,
+    read_sharded_wal,
+    wal_shard_paths,
+)
+from repro.sim import (
+    SharedMarketFleet,
+    monte_carlo_scenarios,
+    paper_cluster,
+    run_batch,
+)
+from repro.sim.profiling import BatchPerfStats
+from repro.sim.scenario import PAPER_IDC_SPECS, PAPER_PORTAL_LOADS
+from repro.verify import GridMonitor, run_batch_chaos_seed
+from repro.verify.fuzz import build_scenario, generate_batch_specs
+
+
+def _noop_hook(stage, lane, period):
+    return None
+
+
+# ---------------------------------------------------------------------------
+# lane-isolated batched ADMM: bitwise decoupling at the solver level
+# ---------------------------------------------------------------------------
+class TestLaneIsolatedSolver:
+    def _problem(self, S=6, n=12, m=20, seed=0):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        P = M @ M.T + 0.1 * np.eye(n)
+        A = rng.standard_normal((m, n))
+        Q = rng.standard_normal((S, n)) * 100.0
+        L = -np.abs(rng.standard_normal((S, m))) * 10.0
+        U = np.abs(rng.standard_normal((S, m))) * 10.0
+        return P, A, Q, L, U
+
+    def test_perturbed_lane_never_touches_others_bitwise(self):
+        P, A, Q, L, U = self._problem()
+        Q2 = Q.copy()
+        Q2[2] *= 3.0
+        res = solve_qp_admm_batch(P, Q, A, L, U,
+                                  setup=prepare_batch_admm(P, A),
+                                  lane_isolated=True)
+        pert = solve_qp_admm_batch(P, Q2, A, L, U,
+                                   setup=prepare_batch_admm(P, A),
+                                   lane_isolated=True)
+        for i in range(Q.shape[0]):
+            if i == 2:
+                continue
+            np.testing.assert_array_equal(res.X[i], pert.X[i])
+            np.testing.assert_array_equal(res.Y[i], pert.Y[i])
+            assert res.iterations[i] == pert.iterations[i]
+
+    def test_shared_mode_is_not_isolated(self):
+        # The compacted shared-rho hot loop leaks convergence timing
+        # across lanes — that is exactly why the armed path must switch
+        # modes.  Pin the contrast so a future "optimization" of the
+        # isolated path back onto the shared one fails loudly.
+        P, A, Q, L, U = self._problem()
+        Q2 = Q.copy()
+        Q2[2] *= 3.0
+        res = solve_qp_admm_batch(P, Q, A, L, U,
+                                  setup=prepare_batch_admm(P, A))
+        pert = solve_qp_admm_batch(P, Q2, A, L, U,
+                                   setup=prepare_batch_admm(P, A))
+        same = [np.array_equal(res.X[i], pert.X[i])
+                for i in range(Q.shape[0]) if i != 2]
+        assert not all(same)
+
+    def test_isolated_matches_shared_solution_to_tolerance(self):
+        P, A, Q, L, U = self._problem()
+        shared = solve_qp_admm_batch(P, Q, A, L, U,
+                                     setup=prepare_batch_admm(P, A))
+        isolated = solve_qp_admm_batch(P, Q, A, L, U,
+                                       setup=prepare_batch_admm(P, A),
+                                       lane_isolated=True)
+        assert shared.converged.all() and isolated.converged.all()
+        np.testing.assert_allclose(isolated.fun, shared.fun,
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_per_lane_rho_persists_and_stays_decoupled(self):
+        # Warm re-solves reuse setup.rho_lanes; the persisted penalties
+        # must themselves be lane-local state.
+        P, A, Q, L, U = self._problem()
+        Q2 = Q.copy()
+        Q2[2] *= 3.0
+        s1 = prepare_batch_admm(P, A)
+        solve_qp_admm_batch(P, Q, A, L, U, setup=s1, lane_isolated=True)
+        assert s1.rho_lanes is not None
+        warm1 = solve_qp_admm_batch(P, Q * 1.1, A, L, U, setup=s1,
+                                    lane_isolated=True)
+        s2 = prepare_batch_admm(P, A)
+        solve_qp_admm_batch(P, Q2, A, L, U, setup=s2, lane_isolated=True)
+        warm2 = solve_qp_admm_batch(P, Q * 1.1, A, L, U, setup=s2,
+                                    lane_isolated=True)
+        for i in range(Q.shape[0]):
+            if i != 2:
+                np.testing.assert_array_equal(warm1.X[i], warm2.X[i])
+
+    def test_lane_kinv_is_memoised(self):
+        P, A, _Q, _L, _U = self._problem()
+        setup = prepare_batch_admm(P, A)
+        first = setup.lane_kinv(0.5)
+        refac = setup.refactorizations
+        assert setup.lane_kinv(0.5) is first
+        assert setup.refactorizations == refac
+        setup.lane_kinv(0.7)
+        assert setup.refactorizations == refac + 1
+
+
+# ---------------------------------------------------------------------------
+# FleetHealth: per-lane supervisor machines + permanent quarantine
+# ---------------------------------------------------------------------------
+class TestFleetHealth:
+    def test_degraded_recovers_after_clean_streak(self):
+        h = FleetHealth(3, recovery_periods=2, quarantine_after=5)
+        h.observe(1, "degraded")
+        assert h.label(1) == "degraded"
+        h.observe(1, "clean")
+        assert h.label(1) == "recovering"
+        h.observe(1, "clean")
+        assert h.label(1) == "nominal"
+        assert h.label(0) == "nominal"        # untouched lanes stay clean
+        assert h.touched == [1]
+
+    def test_repeated_failures_quarantine_permanently(self):
+        h = FleetHealth(2, recovery_periods=2, quarantine_after=3)
+        for _ in range(3):
+            h.observe(0, "degraded")
+        assert h.quarantined[0]
+        assert h.label(0) == "quarantined"
+        # quarantine is permanent: clean periods do not lift it
+        for _ in range(10):
+            h.observe(0, "clean")
+        assert h.quarantined[0]
+        assert not h.quarantined[1]
+
+    def test_clean_breaks_the_failure_streak(self):
+        h = FleetHealth(1, recovery_periods=1, quarantine_after=3)
+        h.observe(0, "degraded")
+        h.observe(0, "degraded")
+        h.observe(0, "clean")
+        h.observe(0, "degraded")
+        h.observe(0, "degraded")
+        assert not h.quarantined[0]
+
+    def test_snapshot_restore_round_trip(self):
+        h = FleetHealth(3, recovery_periods=2, quarantine_after=2)
+        h.observe(0, "degraded")
+        h.observe(2, "safe")
+        h.observe(2, "safe")
+        snap = h.snapshot()
+        h2 = FleetHealth(3, recovery_periods=2, quarantine_after=2)
+        h2.restore(snap)
+        assert [h2.label(s) for s in range(3)] == \
+            [h.label(s) for s in range(3)]
+        assert np.array_equal(h2.quarantined, h.quarantined)
+        assert h2.counters == h.counters
+
+
+# ---------------------------------------------------------------------------
+# Sharded WAL: routing, merge, torn tails
+# ---------------------------------------------------------------------------
+class TestShardedWal:
+    def test_records_route_by_period_and_merge_sorted(self, tmp_path):
+        path = str(tmp_path / "fleet.wal")
+        wal = ShardedWriteAheadLog(path, n_shards=3)
+        wal.begin({"type": "begin", "fingerprint": {"k": 1}})
+        for k in range(7):
+            wal.append({"type": "decision", "period": k})
+        wal.close()
+        shards = wal_shard_paths(path, 3)
+        assert shards[0] == path
+        assert all(os.path.exists(p) for p in shards)
+        merged = read_sharded_wal(path, n_shards=3)
+        periods = [r["period"] for r in merged if r["type"] == "decision"]
+        assert periods == list(range(7))
+
+    def test_torn_shard_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "fleet.wal")
+        wal = ShardedWriteAheadLog(path, n_shards=2)
+        wal.begin({"type": "begin", "fingerprint": {"k": 1}})
+        for k in range(6):
+            wal.append({"type": "decision", "period": k})
+        wal.close()
+        # tear the tail of shard 1 mid-record (simulated torn write)
+        shard1 = wal_shard_paths(path, 2)[1]
+        data = open(shard1, "rb").read()
+        with open(shard1, "wb") as f:
+            f.write(data[:-7])
+        merged = read_sharded_wal(path, n_shards=2)
+        periods = [r["period"] for r in merged if r["type"] == "decision"]
+        # shard 1 held the odd periods; its last record was torn off
+        assert periods == [0, 1, 2, 3, 4]
+
+    def test_resume_state_uses_newest_complete_period(self, tmp_path):
+        path = str(tmp_path / "fleet.wal")
+        wal = ShardedWriteAheadLog(path, n_shards=2)
+        wal.begin({"type": "begin", "fingerprint": {"k": 1}})
+        for k in range(4):
+            wal.append({"type": "decision", "period": k})
+        wal.close()
+        state = load_fleet_resume_state(path, n_shards=2)
+        assert state.header["fingerprint"] == {"k": 1}
+        tail = dict(state.tail_after(2))
+        assert sorted(tail) == [2, 3]
+
+
+# ---------------------------------------------------------------------------
+# GridMonitor: clearing non-convergence is a first-class violation
+# ---------------------------------------------------------------------------
+class TestGridMonitorClearing:
+    def _observe(self, mon, converged):
+        mon.observe(period=0, time_seconds=0.0,
+                    prices=np.array([30.0, 31.0]),
+                    base_prices=np.array([30.0, 30.0]),
+                    agg_demand_mw=np.array([5.0, 5.0]),
+                    clearing_converged=converged)
+
+    def test_nonconverged_clearing_counts_as_violation(self):
+        mon = GridMonitor()
+        assert "clearing_nonconverged" in GridMonitor.KINDS
+        self._observe(mon, converged=True)
+        self._observe(mon, converged=False)
+        self._observe(mon, converged=None)    # lagged clearing: exempt
+        counters = mon.counters()
+        assert counters["grid_clearing_nonconverged"] == 1
+        assert counters["grid_violations"] == 1
+
+    def test_counter_survives_snapshot_restore(self):
+        mon = GridMonitor()
+        self._observe(mon, converged=False)
+        mon2 = GridMonitor()
+        mon2.restore(mon.snapshot())
+        assert mon2.counters()["grid_clearing_nonconverged"] == 1
+
+
+# ---------------------------------------------------------------------------
+# SharedMarket / LaneMarketBatch: one stability semantics
+# ---------------------------------------------------------------------------
+class TestMarketStabilityParity:
+    def _markets(self, gamma):
+        traces = paper_price_traces()
+        regions = [name for name, _f, _mu in PAPER_IDC_SPECS]
+        cfgs = {
+            name: RegionMarketConfig(trace=traces[name],
+                                     demand_sensitivity=gamma,
+                                     nominal_power_mw=5.0)
+            for name in regions}
+        lanes = [RealTimeMarket(dict(cfgs)) for _ in range(3)]
+        batch = LaneMarketBatch((m, regions) for m in lanes)
+        shared = SharedMarket(dict(cfgs))
+        return batch, shared
+
+    def test_stability_bounds_agree(self):
+        batch, shared = self._markets(gamma=0.4)
+        assert batch.stability_bound(30.0, 0.1) == \
+            pytest.approx(shared.stability_bound(30.0, 0.1))
+
+    def test_require_stable_raises_consistently(self):
+        batch, shared = self._markets(gamma=50.0)
+        with pytest.raises(ConvergenceError):
+            shared.require_stable(30.0, 5.0)
+        with pytest.raises(ConvergenceError):
+            batch.require_stable(30.0, 5.0)
+        calm_batch, calm_shared = self._markets(gamma=0.01)
+        calm_shared.require_stable(30.0, 0.01)
+        calm_batch.require_stable(30.0, 0.01)
+
+
+# ---------------------------------------------------------------------------
+# actuation-fault lanes route scalar with an explicit reason
+# ---------------------------------------------------------------------------
+class TestActuationRouting:
+    def test_actuation_lane_routes_scalar_with_reason(self):
+        specs = generate_batch_specs(7, 6, actuation_faults=True)
+        assert any(sp.get("actuation") for sp in specs)
+        built = [build_scenario(sp) for sp in specs]
+        results = run_batch([b[0] for b in built], built[0][1])
+        for sp, res in zip(specs, results):
+            reason = res.perf.get("batch_fallback_reason")
+            if sp.get("actuation"):
+                assert reason == \
+                    "actuation faults (per-lane plant channel)"
+            else:
+                assert reason is None
+                # batched lanes carry the shared-solve counters
+                assert res.perf["counters"].get("batch_qp_solves", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# durable fleet control plane: kill at every period, resume bit-exact
+# ---------------------------------------------------------------------------
+class TestDurableBatchResume:
+    def test_kill_at_every_period_resumes_bit_exact_s16(self, tmp_path):
+        S, T = 16, 10
+        cfg = MPCPolicyConfig(dt=30.0)
+        base = run_batch(monte_carlo_scenarios(S, seed=3, duration=300.0),
+                         cfg, solver_fault_hook=_noop_hook)
+        base_u = [r.allocations.copy() for r in base]
+        base_cost = [np.asarray(r.cost_usd).copy() for r in base]
+
+        for crash_at in range(1, T):
+            wal = str(tmp_path / f"fleet_{crash_at}.wal")
+
+            def hook(stage, lane, period, _c=crash_at):
+                if stage == "batch_qp" and period == _c and lane == 0:
+                    raise SimulatedCrashError(f"crash@{_c}")
+
+            with pytest.raises(SimulatedCrashError):
+                run_batch(monte_carlo_scenarios(S, seed=3, duration=300.0),
+                          cfg, checkpoint_every=3, wal_path=wal,
+                          wal_shards=2, solver_fault_hook=hook)
+            res = run_batch(monte_carlo_scenarios(S, seed=3,
+                                                  duration=300.0),
+                            cfg, checkpoint_every=3, wal_path=wal,
+                            wal_shards=2, resume_from=wal,
+                            solver_fault_hook=_noop_hook)
+            for i in range(S):
+                np.testing.assert_array_equal(res[i].allocations,
+                                              base_u[i])
+                np.testing.assert_array_equal(
+                    np.asarray(res[i].cost_usd), base_cost[i])
+            counters = res[0].perf["counters"]
+            assert counters.get("batch_wal_tail_mismatches", 0) == 0
+
+    def test_resume_requires_matching_arming(self, tmp_path):
+        # The WAL fingerprint records whether the run was armed (the
+        # lane-isolated trajectory differs bitwise); resuming with
+        # different arming must fail fast, not diverge digest by digest.
+        cfg = MPCPolicyConfig(dt=30.0)
+        wal = str(tmp_path / "fleet.wal")
+
+        def hook(stage, lane, period):
+            if stage == "batch_qp" and period == 2 and lane == 0:
+                raise SimulatedCrashError("crash@2")
+
+        with pytest.raises(SimulatedCrashError):
+            run_batch(monte_carlo_scenarios(4, seed=3, duration=300.0),
+                      cfg, checkpoint_every=2, wal_path=wal,
+                      wal_shards=2, solver_fault_hook=hook)
+        with pytest.raises(CheckpointError):
+            run_batch(monte_carlo_scenarios(4, seed=3, duration=300.0),
+                      cfg, checkpoint_every=2, wal_path=wal,
+                      wal_shards=2, resume_from=wal)
+
+    def test_checkpoint_without_wal_is_a_config_error(self):
+        cfg = MPCPolicyConfig(dt=30.0)
+        with pytest.raises(ConfigurationError):
+            run_batch(monte_carlo_scenarios(2, seed=3, duration=300.0),
+                      cfg, checkpoint_every=2)
+
+
+class TestDurableFleetMarketResume:
+    @staticmethod
+    def _make(S):
+        traces = paper_price_traces()
+        regions = [name for name, _f, _mu in PAPER_IDC_SPECS]
+        market = SharedMarket({
+            name: RegionMarketConfig(trace=traces[name],
+                                     demand_sensitivity=0.3,
+                                     nominal_power_mw=5.0 * S)
+            for name in regions})
+        rng = np.random.default_rng(0)
+        base = np.asarray(PAPER_PORTAL_LOADS)
+        loads = base * np.clip(
+            1.0 + 0.1 * rng.standard_normal((S, base.size)), 0.5, 1.3)
+        return SharedMarketFleet(
+            paper_cluster(), market, loads,
+            policy_mix=("mpc", "lp", "static"),
+            config=MPCPolicyConfig(horizon_pred=6, horizon_ctrl=3),
+            dt=300.0, grid_monitor=GridMonitor(ramp_limit_mw=1e9))
+
+    def test_kill_at_every_period_resumes_bit_exact(self, tmp_path):
+        S, T = 4, 8
+        base = self._make(S).run(T)
+        for kill_at in range(1, T):
+            wal = str(tmp_path / f"fleet_{kill_at}.wal")
+            fleet = self._make(S)
+            orig_step = fleet.step
+            calls = {"n": 0}
+
+            def step(_orig=orig_step, _k=kill_at):
+                if calls["n"] >= _k:
+                    raise SimulatedCrashError(f"kill@{_k}")
+                calls["n"] += 1
+                return _orig()
+
+            fleet.step = step
+            with pytest.raises(SimulatedCrashError):
+                fleet.run(T, checkpoint_every=3, wal_path=wal,
+                          wal_shards=2)
+            resumed = self._make(S)
+            res = resumed.run(T, checkpoint_every=3, wal_path=wal,
+                              wal_shards=2, resume_from=wal)
+            np.testing.assert_array_equal(res.prices, base.prices)
+            np.testing.assert_array_equal(res.agg_demand_mw,
+                                          base.agg_demand_mw)
+            np.testing.assert_array_equal(res.cost_usd, base.cost_usd)
+            counters = res.perf["counters"]
+            assert counters.get("wal_tail_mismatches", 0) == 0
+
+    def test_uninterrupted_durable_run_matches_plain(self, tmp_path):
+        S, T = 4, 8
+        base = self._make(S).run(T)
+        wal = str(tmp_path / "fleet.wal")
+        res = self._make(S).run(T, checkpoint_every=3, wal_path=wal,
+                                wal_shards=2)
+        np.testing.assert_array_equal(res.prices, base.prices)
+        np.testing.assert_array_equal(res.cost_usd, base.cost_usd)
+        assert res.perf["counters"]["checkpoints_written"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# fleet chaos drills
+# ---------------------------------------------------------------------------
+class TestBatchChaos:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_chaos_seed_recovers_with_healthy_lanes_bitexact(self, seed):
+        outcome = run_batch_chaos_seed(seed)
+        assert outcome.ok, outcome.describe()
+        assert outcome.batch
+        assert outcome.recovered
+        assert outcome.healthy_lanes_bitexact
+        assert all(state in ("nominal", "quarantined")
+                   for state in outcome.lane_states)
+
+    def test_outcome_report_shape(self):
+        outcome = run_batch_chaos_seed(0)
+        d = outcome.to_dict()
+        assert d["batch"] is True
+        assert "lane_states" in d and "quarantined_lanes" in d
+        assert "healthy_lanes_bitexact" in d
+
+
+# ---------------------------------------------------------------------------
+# perf rollup surfaces lane health
+# ---------------------------------------------------------------------------
+class TestPerfRollup:
+    def test_rollup_counts_health_states(self):
+        perf = BatchPerfStats(4)
+        perf.note_lane_health(0, "nominal")
+        perf.note_lane_health(1, "quarantined")
+        perf.note_lane_health(2, "degraded")
+        perf.note_lane_health(3, "quarantined")
+        roll = perf.rollup()
+        assert roll.counters["lane_health[quarantined]"] == 2
+        assert roll.counters["lane_health[degraded]"] == 1
+        assert roll.counters["lane_health[nominal]"] == 1
+        assert roll.counters["lanes_quarantined"] == 2
+
+    def test_lane_snapshot_carries_health_state(self):
+        perf = BatchPerfStats(2)
+        perf.note_lane_health(1, "safe_mode")
+        snap = perf.lane_snapshot(1)
+        assert snap["health_state"] == "safe_mode"
