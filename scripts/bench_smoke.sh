@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/bench.yml: run the benchmark smoke
 # suite and leave the benchmark JSON at the repo root
-# (BENCH_solvers.json / BENCH_full_day.json / BENCH_scaling.json).
-# Run from anywhere.
+# (BENCH_solvers.json / BENCH_full_day.json / BENCH_scaling.json /
+# BENCH_service.json).  Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +12,7 @@ python -m pytest benchmarks/test_bench_solvers_micro.py -q \
 python -m pytest benchmarks/test_bench_full_day.py -q \
     --benchmark-json=BENCH_full_day.json
 python -m pytest benchmarks/test_bench_scaling.py -q
+python -m pytest benchmarks/test_bench_service.py -q
 
 python - <<'EOF'
 import json
@@ -68,4 +69,21 @@ for key in ("batch", "shared_fleet"):
               k=key, n=row["n_lanes"], o=row["overhead"],
               d=row["durable_seconds"], p=row["plain_seconds"],
               t=fd["max_overhead_target"]))
+
+with open("BENCH_service.json") as fh:
+    svc = json.load(fh)
+load = svc["sustained_load"]
+print("BENCH_service.json (daemon under load, full day running):")
+print("  {n} req in {t:.1f} s = {r:.0f} req/s "
+      "(p50 {p50:.2f} ms, p99 {p99:.2f} ms), "
+      "{dropped} dropped decisions".format(
+          n=load["n_requests"], t=load["elapsed_seconds"],
+          r=load["throughput_rps"], p50=load["p50_ms"],
+          p99=load["p99_ms"], dropped=load["decisions_dropped"]))
+over = svc["overload"]
+print("  overload: {shed}/{n} shed 503, "
+      "{ra} with Retry-After, healthz {hz}".format(
+          shed=over["n_shed_503"], n=over["n_requests"],
+          ra=over["retry_after_present"],
+          hz=over["healthz_status_at_saturation"]))
 EOF

@@ -5,8 +5,15 @@ Commands
 ``tables``              print Tables I–III
 ``fig2`` … ``fig7``     regenerate one figure's series and claims
 ``ablations``           run all ablation studies
-``simulate``            run one policy on the paper scenario
+``simulate``            run one policy on the paper scenario; with
+                        ``--wal PATH`` the durable control plane is
+                        armed (checkpoint + write-ahead log) and a
+                        killed run resumes bit-exact via ``--resume``
 ``compare``             run several policies and print the comparison
+``serve``               run the supervised control-plane daemon: REST
+                        submit/stream/stop of durable runs, bounded
+                        admission with load shedding, graceful
+                        SIGTERM/SIGINT drain (final checkpoint, exit 0)
 ``verify``              fuzz closed-loop scenarios under the invariant
                         monitor with KKT certificates and differential
                         oracles (exit 1 on any failure); ``--chaos``
@@ -19,6 +26,12 @@ Commands
                         instead — per-lane fault injection, quarantine,
                         sharded-WAL crash-resume, and healthy-lane
                         bit-exactness against the fault-free baseline;
+                        ``--chaos --service`` runs the *service-level*
+                        drill instead: spawn the daemon as a subprocess,
+                        ``kill -9`` it at every Nth control period,
+                        restart and resume through the HTTP API, and
+                        require the finished day to be digest-identical
+                        to an uninterrupted golden reference;
                         ``--report PATH`` (alias of ``--json``) writes
                         the CI artifact
 
@@ -122,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the result as JSON")
     sim.add_argument("--csv", metavar="PATH",
                      help="write the plotted series as CSV")
+    sim.add_argument("--wal", metavar="PATH",
+                     help="arm the durable control plane: write-ahead "
+                          "log at PATH, checkpoint alongside")
+    sim.add_argument("--checkpoint-every", type=int, default=1,
+                     metavar="N", help="checkpoint cadence in periods "
+                     "when --wal is set (default 1)")
+    sim.add_argument("--resume", metavar="PATH",
+                     help="resume a killed durable run from its WAL "
+                          "(digest-verified, bit-exact)")
+    sim.add_argument("--resume-force", action="store_true",
+                     help="discard an orphaned checkpoint whose WAL is "
+                          "missing and start the run over")
     _add_scenario_args(sim)
 
     cmp_p = sub.add_parser("compare", help="run several policies")
@@ -150,10 +175,48 @@ def build_parser() -> argparse.ArgumentParser:
                           "quarantine, sharded-WAL crash-resume, and "
                           "healthy-lane bit-exactness vs the fault-free "
                           "baseline")
+    ver.add_argument("--service", action="store_true",
+                     help="with --chaos: service-level drill — spawn "
+                          "the daemon, kill -9 it at every Nth control "
+                          "period, restart, resume over HTTP, and "
+                          "require a digest-identical finished day")
+    ver.add_argument("--kill-every", type=int, default=48, metavar="N",
+                     help="with --service: kill the daemon every N "
+                          "control periods (default 48)")
+    ver.add_argument("--service-dt", type=float, default=300.0,
+                     help="with --service: control period seconds "
+                          "(default 300)")
+    ver.add_argument("--service-duration", type=float, default=86400.0,
+                     help="with --service: simulated span seconds "
+                          "(default 86400 — the paper day)")
     ver.add_argument("--json", "--report", dest="json", metavar="PATH",
                      help="write the full report (incl. minimal repros and,"
                           " in chaos mode, crash-resume and fallback-rung "
                           "counters) as JSON")
+
+    srv = sub.add_parser(
+        "serve", help="run the control-plane daemon (REST over HTTP)")
+    srv.add_argument("--data-dir", required=True, metavar="DIR",
+                     help="run directories, WALs, checkpoints, lockfile "
+                          "and the service.json discovery file")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=0,
+                     help="bind port; 0 picks an ephemeral port and "
+                          "publishes it in service.json (default 0)")
+    srv.add_argument("--max-inflight", type=int, default=32,
+                     help="admission gate: concurrent requests before "
+                          "load shedding kicks in (default 32)")
+    srv.add_argument("--request-deadline", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="per-request deadline budget; streams end "
+                          "cleanly at exhaustion (default 30)")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="max wait for active runs to reach their "
+                          "final checkpoint on shutdown (default 30)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request to stderr")
     return parser
 
 
@@ -198,7 +261,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "simulate":
         scenario = _make_scenario(args)
         policy = _make_policy(args.policy, scenario.cluster, args)
-        result = run_simulation(scenario, policy)
+        durable = {}
+        if args.wal or args.resume:
+            durable = dict(
+                wal_path=args.wal or args.resume,
+                checkpoint_every=args.checkpoint_every,
+                resume_from=args.resume,
+                resume_force=args.resume_force)
+        result = run_simulation(scenario, policy, **durable)
+        if durable:
+            counters = result.perf.get("counters", {})
+            resumed = counters.get("resumed_from_period")
+            prefix = (f"resumed from period {resumed}, "
+                      if resumed is not None else "")
+            print(f"durable run: {prefix}"
+                  f"{counters.get('checkpoints_written', 0)} checkpoints, "
+                  f"{counters.get('wal_records', 0)} WAL records")
         print(f"policy {result.policy_name}: "
               f"{result.n_periods} periods of {result.dt:.0f}s, "
               f"cost {result.total_cost_usd:.2f} USD")
@@ -224,14 +302,39 @@ def main(argv: list[str] | None = None) -> int:
         print(comparison_table(results, budgets_watts=budgets))
         return 0
 
+    if args.command == "serve":
+        from .service import ServiceConfig, ServiceDaemon
+        daemon = ServiceDaemon(ServiceConfig(
+            data_dir=args.data_dir, host=args.host, port=args.port,
+            max_inflight=args.max_inflight,
+            request_deadline_seconds=args.request_deadline,
+            drain_timeout_seconds=args.drain_timeout,
+            verbose=args.verbose))
+        return daemon.serve_forever(on_ready=lambda d: print(
+            f"repro service listening on "
+            f"http://{d.address[0]}:{d.address[1]} "
+            f"(data dir {d.data_dir})", flush=True))
+
     if args.command == "verify":
         import json
 
         from .verify import generate_spec, run_spec, shrink
-        if args.batch and not args.chaos:
-            print("error: --batch is chaos-only; pass --chaos --batch",
-                  file=sys.stderr)
+        if (args.batch or args.service) and not args.chaos:
+            print("error: --batch/--service are chaos-only; "
+                  "pass --chaos as well", file=sys.stderr)
             return 2
+        if args.service:
+            from .verify.service_chaos import run_service_chaos
+            outcome = run_service_chaos(
+                dt=args.service_dt, duration=args.service_duration,
+                kill_every=args.kill_every)
+            print(outcome.describe())
+            if args.json:
+                from pathlib import Path
+                Path(args.json).write_text(
+                    json.dumps(outcome.to_dict(), indent=2))
+                print(f"report written to {args.json}")
+            return 0 if outcome.ok else 1
         n_failed = 0
         outcomes = []
         repros = []

@@ -1,0 +1,79 @@
+"""Live control-plane service: a supervised daemon over the durable loop.
+
+The paper's controller is an *online* system — two time scales, decisions
+actuated against live portals and markets — and this package is its
+operational layer.  It wraps the durable control plane (checkpoints +
+write-ahead log, PRs 5/8) in a long-running HTTP daemon that survives
+overload, crashes and slow clients:
+
+* :mod:`~repro.service.protocol` — the wire format: run specs submitted
+  over HTTP are validated and compiled into scenarios, policies and
+  fleets by the same factories the CLI and tests use.
+* :mod:`~repro.service.runtime` — :class:`ServiceRuntime` owns the runs:
+  each run is a control thread stepping :func:`repro.sim.run_simulation`
+  or :class:`repro.sim.fleet.SharedMarketFleet` through the engine's
+  ``step_hook`` seam, with checkpoints and the WAL *always* armed, live
+  telemetry fanned out through a ring-buffer hub, and graceful drain
+  (stop → final checkpoint → resumable).
+* :mod:`~repro.service.server` — the REST surface on a stdlib
+  :class:`~http.server.ThreadingHTTPServer`: submit/inspect runs, stream
+  decisions and telemetry as chunked JSONL, ``/healthz`` + ``/readyz``
+  backed by the supervisor/fleet-health state, per-request deadlines via
+  :class:`repro.resilience.DeadlineBudget`, and a bounded admission gate
+  that sheds overload with ``503`` + ``Retry-After`` instead of
+  collapsing a queue.
+* :mod:`~repro.service.daemon` — process supervision: single-instance
+  pid lockfile, SIGTERM/SIGINT graceful shutdown (drain in-flight
+  requests, write a final checkpoint, exit 0), and the ``repro serve``
+  entry point.
+* :mod:`~repro.service.client` — a retrying HTTP client (timeouts,
+  exponential backoff with jitter, ``Retry-After`` honoured) used by the
+  CLI, the chaos harness and the benchmarks.
+
+The service-level chaos drill — ``kill -9`` the daemon at every Nth
+control period, restart, resume through the API, digest-verified against
+the golden trace — lives in :mod:`repro.verify.service_chaos`.
+"""
+
+from .client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+    discover_service,
+)
+from .daemon import LockError, PidLockfile, ServiceConfig, ServiceDaemon
+from .protocol import ProtocolError, RunSpec, spec_from_dict
+from .runtime import (
+    RunBusyError,
+    RunConflictError,
+    RunState,
+    ServiceRuntime,
+    TelemetryHub,
+    UnknownRunError,
+)
+from .server import AdmissionGate, ServiceHTTPServer, build_server
+
+__all__ = [
+    "AdmissionGate",
+    "LockError",
+    "PidLockfile",
+    "ProtocolError",
+    "RetryPolicy",
+    "RunBusyError",
+    "RunConflictError",
+    "RunSpec",
+    "RunState",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceRuntime",
+    "ServiceUnavailableError",
+    "TelemetryHub",
+    "UnknownRunError",
+    "build_server",
+    "discover_service",
+    "spec_from_dict",
+]

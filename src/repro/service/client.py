@@ -1,0 +1,291 @@
+"""Retrying HTTP client for the control-plane daemon.
+
+The only way the CLI, the chaos harness and the benchmarks talk to the
+daemon.  Transient trouble is the *normal* case this client is built
+for: connection refused while the daemon restarts after a ``kill -9``,
+``503`` + ``Retry-After`` while the admission gate sheds load, socket
+timeouts under saturation.  :class:`RetryPolicy` turns all of those
+into bounded exponential backoff with jitter; everything else (400,
+404, 409) is a real answer and raises immediately.
+
+The sleep and jitter sources are injectable so tests can run a full
+retry ladder in microseconds and assert the exact delay sequence.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import random
+import socket
+import time
+
+__all__ = [
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "discover_service",
+]
+
+
+class ServiceError(RuntimeError):
+    """A definitive (non-retryable) error answer from the daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailableError(ServiceError):
+    """Retries exhausted: the daemon stayed unreachable or saturated."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        ServiceError.__init__(self, 503, message)
+        self.attempts = attempts
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, ``Retry-After`` aware.
+
+    Delay before attempt ``k`` (0-based, after the first failure) is
+    ``uniform(0, min(max_delay, base_delay * 2**k))`` — full jitter
+    decorrelates a fleet of clients hammering a restarting daemon.  A
+    server-provided ``Retry-After`` overrides the computed delay (still
+    capped at ``max_delay``): the daemon knows its own drain better
+    than our guess.
+    """
+
+    def __init__(self, max_attempts: int = 8, base_delay: float = 0.05,
+                 max_delay: float = 2.0, *, sleep=time.sleep,
+                 rng: random.Random | None = None) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random.Random()
+        self.delays: list[float] = []   # record of every backoff taken
+
+    def backoff(self, attempt: int,
+                retry_after: float | None = None) -> None:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        if retry_after is not None:
+            delay = min(max(0.0, retry_after), self.max_delay)
+        else:
+            cap = min(self.max_delay,
+                      self.base_delay * (2.0 ** attempt))
+            delay = self.rng.uniform(0.0, cap)
+        self.delays.append(delay)
+        self.sleep(delay)
+
+
+class ServiceClient:
+    """Thin, retrying wrapper over the daemon's REST routes."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 10.0,
+                 retry: RetryPolicy | None = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, body: dict | None = None
+                ) -> dict:
+        """One retried request; returns the parsed JSON body.
+
+        Retries connection failures, timeouts and ``503`` (honouring
+        ``Retry-After``); any other error status raises
+        :class:`ServiceError` at once.
+        """
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {} if payload is None \
+            else {"Content-Type": "application/json"}
+        last_reason = "no attempt made"
+        for attempt in range(self.retry.max_attempts):
+            retry_after = None
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+            except (ConnectionError, socket.timeout, OSError,
+                    http.client.HTTPException) as exc:
+                self.close()
+                last_reason = f"{type(exc).__name__}: {exc}"
+            else:
+                doc = _parse_json(raw)
+                if resp.status == 503:
+                    last_reason = doc.get("error", "service unavailable")
+                    retry_after = _parse_retry_after(
+                        resp.getheader("Retry-After"))
+                elif resp.status >= 400:
+                    raise ServiceError(
+                        resp.status, doc.get("error", raw.decode(
+                            "utf-8", "replace")))
+                else:
+                    return doc
+            if attempt + 1 < self.retry.max_attempts:
+                self.retry.backoff(attempt, retry_after)
+        raise ServiceUnavailableError(
+            f"{method} {path} failed after "
+            f"{self.retry.max_attempts} attempts: {last_reason}",
+            self.retry.max_attempts)
+
+    # -- routes --------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        """``GET /readyz`` as a boolean (503 while draining)."""
+        try:
+            return bool(self.request("GET", "/readyz").get("ready"))
+        except ServiceUnavailableError:
+            return False
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /runs`` — submit a run spec, returns its status."""
+        return self.request("POST", "/runs", body=spec)
+
+    def runs(self) -> list[dict]:
+        """``GET /runs``."""
+        return self.request("GET", "/runs")["runs"]
+
+    def status(self, run_id: str) -> dict:
+        """``GET /runs/<id>``."""
+        return self.request("GET", f"/runs/{run_id}")
+
+    def decisions(self, run_id: str, start: int = 0) -> list[dict]:
+        """``GET /runs/<id>/decisions`` — the durable WAL record."""
+        return self.request(
+            "GET", f"/runs/{run_id}/decisions?start={int(start)}"
+        )["decisions"]
+
+    def perf(self, run_id: str) -> dict:
+        """``GET /runs/<id>/perf``."""
+        return self.request("GET", f"/runs/{run_id}/perf")
+
+    def stop(self, run_id: str, wait: float = 0.0) -> dict:
+        """``POST /runs/<id>/stop`` — graceful drain."""
+        return self.request(
+            "POST", f"/runs/{run_id}/stop?wait={float(wait):g}")
+
+    def checkpoint(self, run_id: str) -> dict:
+        """``POST /runs/<id>/checkpoint``."""
+        return self.request("POST", f"/runs/{run_id}/checkpoint")
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown`` — drain the daemon."""
+        return self.request("POST", "/shutdown")
+
+    def result(self, run_id: str, poll_seconds: float = 0.1,
+               timeout: float = 120.0) -> dict:
+        """Poll ``/runs/<id>`` until the run leaves its active states.
+
+        Polling (rather than holding a stream) is deliberately crash
+        tolerant: it keeps working across daemon restarts in the chaos
+        drill.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status["state"] not in ("pending", "running", "draining"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, f"run {run_id!r} still {status['state']} "
+                    f"after {timeout:g}s")
+            time.sleep(poll_seconds)
+
+    def stream(self, run_id: str, since: int = 0):
+        """``GET /runs/<id>/stream`` — yield telemetry records.
+
+        Uses its own connection (the stream is long-lived and must not
+        hold the request/response connection hostage).  Ends when the
+        server closes the stream; connection errors mid-stream raise
+        :class:`ServiceUnavailableError` (the caller decides whether to
+        re-follow with ``since=<last seq + 1>``).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/runs/{run_id}/stream?since={int(since)}")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                doc = _parse_json(resp.read())
+                raise ServiceError(resp.status,
+                                   doc.get("error", "stream refused"))
+            buffer = b""
+            while True:
+                chunk = resp.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        except (ConnectionError, socket.timeout, OSError,
+                http.client.HTTPException) as exc:
+            raise ServiceUnavailableError(
+                f"stream of run {run_id!r} broke: "
+                f"{type(exc).__name__}: {exc}", 1)
+        finally:
+            conn.close()
+
+
+def discover_service(data_dir: str) -> dict:
+    """Read the daemon's ``service.json`` discovery file.
+
+    The daemon binds an ephemeral port by default, then atomically
+    writes ``{host, port, pid}`` into its data directory; clients (and
+    the chaos harness, across restarts) find it here.  Raises
+    :class:`FileNotFoundError` when no daemon has published itself.
+    """
+    path = os.path.join(data_dir, "service.json")
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _parse_json(raw: bytes) -> dict:
+    try:
+        doc = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+    return doc if isinstance(doc, dict) else {}
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None

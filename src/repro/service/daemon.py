@@ -1,0 +1,279 @@
+"""Process supervision for the control-plane daemon.
+
+Everything around the HTTP server that makes it an operable *service*:
+
+* :class:`PidLockfile` — single-instance guard.  A second daemon on the
+  same data directory is refused (:class:`LockError`), but a lockfile
+  left by a ``kill -9``'d process is detected as stale (the pid is
+  probed with ``kill 0``) and taken over — the chaos drill restarts
+  through this path on every cycle.
+* ``service.json`` discovery — the daemon binds an ephemeral port by
+  default and atomically publishes ``{host, port, pid}`` into the data
+  directory, so clients and the chaos harness find the *current*
+  incarnation without coordinating port numbers.
+* Graceful shutdown — SIGTERM/SIGINT set off a drain: stop admitting
+  runs (``/readyz`` flips to 503), ask every active control thread to
+  stop at its next period (which writes a final checkpoint, leaving the
+  run resumable), stop the HTTP loop, remove the discovery file and the
+  lock, exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass
+
+from .runtime import ServiceRuntime
+from .server import ServiceHTTPServer, build_server
+
+__all__ = ["LockError", "PidLockfile", "ServiceConfig", "ServiceDaemon"]
+
+
+class LockError(RuntimeError):
+    """Another live daemon already owns the data directory."""
+
+
+class PidLockfile:
+    """Exclusive pidfile with stale-lock takeover.
+
+    ``acquire`` creates the file with ``O_CREAT | O_EXCL``.  If it
+    already exists, the recorded pid is probed: a live process means a
+    genuine conflict (:class:`LockError`); a dead one means the previous
+    owner crashed without cleanup, so the stale file is removed and the
+    lock re-tried.  ``release`` only unlinks a file that still records
+    *our* pid — a successor that has already taken over is left alone.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._held = False
+
+    def acquire(self) -> "PidLockfile":
+        """Take the lock or raise :class:`LockError`."""
+        for _ in range(2):
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pid = self._read_pid()
+                if pid is not None and _pid_alive(pid):
+                    raise LockError(
+                        f"{self.path}: daemon already running "
+                        f"(pid {pid}); stop it first")
+                try:  # stale: owner is gone, take over
+                    os.unlink(self.path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(f"{os.getpid()}\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._held = True
+            return self
+        raise LockError(f"{self.path}: could not acquire lock")
+
+    def release(self) -> None:
+        """Drop the lock if this process still owns it."""
+        if not self._held:
+            return
+        self._held = False
+        if self._read_pid() == os.getpid():
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+
+    def _read_pid(self) -> int | None:
+        try:
+            with open(self.path) as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def __enter__(self) -> "PidLockfile":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, just not ours
+    return True
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the daemon needs to come up.
+
+    ``port=0`` binds an ephemeral port (published via ``service.json``).
+    ``max_inflight``/``max_wait_seconds`` shape the admission gate;
+    ``drain_timeout_seconds`` bounds how long shutdown waits for active
+    control threads to reach their final checkpoint.
+    """
+
+    data_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 32
+    max_wait_seconds: float = 0.05
+    retry_after_seconds: float = 1.0
+    request_deadline_seconds: float = 30.0
+    drain_timeout_seconds: float = 30.0
+    verbose: bool = False
+
+
+class ServiceDaemon:
+    """One supervised daemon instance over a data directory."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.data_dir = os.path.abspath(config.data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.lock = PidLockfile(os.path.join(self.data_dir,
+                                             "service.lock"))
+        self.runtime: ServiceRuntime | None = None
+        self.server: ServiceHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def discovery_path(self) -> str:
+        """Where ``service.json`` is published."""
+        return os.path.join(self.data_dir, "service.json")
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self.server is None:
+            raise RuntimeError("daemon is not started")
+        return self.server.server_address[:2]
+
+    def start(self) -> "ServiceDaemon":
+        """Bind, publish and serve in a background thread.
+
+        This is the in-process form used by tests and benchmarks; the
+        CLI's blocking form is :meth:`serve_forever`.
+        """
+        self.lock.acquire()
+        try:
+            self.runtime = ServiceRuntime(self.data_dir)
+            self.server = build_server(
+                self.runtime, self.config.host, self.config.port,
+                max_inflight=self.config.max_inflight,
+                max_wait_seconds=self.config.max_wait_seconds,
+                retry_after_seconds=self.config.retry_after_seconds,
+                request_deadline_seconds=(
+                    self.config.request_deadline_seconds),
+                verbose=self.config.verbose)
+            self._publish()
+        except BaseException:
+            self.lock.release()
+            raise
+        self._serve_thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-service-http", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self, install_signal_handlers: bool = True,
+                      on_ready=None) -> int:
+        """Blocking form: serve until a signal (or /shutdown); exit 0.
+
+        SIGTERM and SIGINT trigger the graceful drain — in a separate
+        thread, because :meth:`~socketserver.BaseServer.shutdown` would
+        deadlock if called from the thread running the serve loop (which
+        is where Python delivers signals).  ``on_ready(daemon)`` fires
+        once bound and published, before the loop starts.
+        """
+        self.lock.acquire()
+        try:
+            self.runtime = ServiceRuntime(self.data_dir)
+            self.server = build_server(
+                self.runtime, self.config.host, self.config.port,
+                max_inflight=self.config.max_inflight,
+                max_wait_seconds=self.config.max_wait_seconds,
+                retry_after_seconds=self.config.retry_after_seconds,
+                request_deadline_seconds=(
+                    self.config.request_deadline_seconds),
+                verbose=self.config.verbose)
+            self._publish()
+        except BaseException:
+            self.lock.release()
+            raise
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, self._on_signal)
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            self.server.serve_forever()
+        finally:
+            self._teardown()
+        return 0
+
+    def _on_signal(self, signum, frame) -> None:
+        threading.Thread(target=self.stop, name="repro-service-drain",
+                         daemon=True).start()
+
+    def stop(self) -> None:
+        """Graceful drain: stop runs (final checkpoints), stop serving."""
+        if self._stopped.is_set():
+            return
+        if self.runtime is not None:
+            self.runtime.drain_all(
+                timeout=self.config.drain_timeout_seconds)
+        if self.server is not None:
+            self.server.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(5.0)
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self.server is not None:
+            try:
+                self.server.server_close()
+            except OSError:
+                pass
+        try:
+            os.unlink(self.discovery_path)
+        except FileNotFoundError:
+            pass
+        self.lock.release()
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- discovery -----------------------------------------------------
+    def _publish(self) -> None:
+        """Atomically write ``service.json`` for clients to find us."""
+        assert self.server is not None
+        host, port = self.server.server_address[:2]
+        doc = {"host": host, "port": int(port), "pid": os.getpid(),
+               "data_dir": self.data_dir}
+        fd, tmp = tempfile.mkstemp(dir=self.data_dir,
+                                   suffix=".json.tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.discovery_path)

@@ -25,6 +25,8 @@ write-ahead log.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..datacenter.queueing import simplified_latency_batch
@@ -78,7 +80,9 @@ def run_simulation(scenario: Scenario, policy: Policy,
                    wal_path=None,
                    wal_fsync_every: int = 1,
                    resume_from=None,
-                   resume_strict: bool = True) -> SimulationResult:
+                   resume_strict: bool = True,
+                   resume_force: bool = False,
+                   step_hook=None) -> SimulationResult:
     """Run one policy through a scenario.
 
     Parameters
@@ -133,6 +137,24 @@ def run_simulation(scenario: Scenario, policy: Policy,
     resume_strict:
         Whether a WAL-tail digest mismatch aborts the resume (default)
         or is merely counted in ``perf["counters"]["wal_tail_mismatches"]``.
+    resume_force:
+        A checkpoint whose write-ahead log is missing cannot be resumed
+        *or verified*, so the engine refuses to silently start fresh on
+        top of it (see Raises).  ``resume_force=True`` discards the
+        orphaned checkpoint and starts over deliberately.
+    step_hook:
+        Optional callable fired once per completed control period with a
+        dict of that period's telemetry (``period``, ``time_seconds``,
+        ``prices``, ``loads``, ``powers_watts``, ``servers``,
+        ``allocation``, ``latencies``, ``cost_usd_total``,
+        ``diagnostics``).  Its return value steers the engine: falsy →
+        continue; the string ``"checkpoint"`` → write a checkpoint now
+        (requires ``checkpoint_every``/``wal_path``) and continue; any
+        other truthy value → write a final checkpoint and *stop*,
+        returning the partial result with
+        ``perf["counters"]["stopped_at_period"]`` set.  This is the seam
+        external drivers (the control-plane service) use to stream
+        decisions, trigger on-demand checkpoints and drain gracefully.
 
     Raises
     ------
@@ -200,6 +222,25 @@ def run_simulation(scenario: Scenario, policy: Policy,
                   "wal_tail_mismatches": 0}
     wal = None
     ckpt_path = None
+    if wal_path is not None:
+        # A checkpoint without its write-ahead log is unresumable *and*
+        # unverifiable (the WAL digests are what prove a resume
+        # bit-exact).  Refuse to silently start fresh on top of one.
+        from ..resilience.durability import checkpoint_path_for
+        orphan = checkpoint_path_for(wal_path)
+        if os.path.exists(orphan) and not os.path.exists(wal_path):
+            if resume_force:
+                os.unlink(orphan)
+                resume_from = None
+            else:
+                raise CheckpointError(
+                    f"{orphan}: checkpoint present but its write-ahead "
+                    f"log {wal_path} is missing or was deleted — the run "
+                    "cannot be resumed (nothing to verify the replay "
+                    "against) and starting fresh would silently discard "
+                    "the checkpointed state.  Restore the WAL to resume, "
+                    "or pass resume_force=True (CLI: --resume-force) to "
+                    "discard the orphaned checkpoint and start over.")
     if resume_from is not None:
         from ..resilience.durability import load_resume_state
         on_disk = load_resume_state(resume_from)
@@ -424,7 +465,34 @@ def run_simulation(scenario: Scenario, policy: Policy,
             u_prev = np.asarray(decision.u, dtype=float)
             servers_prev = applied
 
-            if ckpt_path is not None and checkpoint_every is not None \
+            checkpointed = False
+            if step_hook is not None:
+                action = step_hook({
+                    "period": k, "time_seconds": t,
+                    "prices": np.asarray(prices, dtype=float),
+                    "loads": np.asarray(loads, dtype=float),
+                    "powers_watts": powers,
+                    "servers": applied,
+                    "allocation": np.asarray(decision.u, dtype=float),
+                    "latencies": latencies,
+                    "cost_usd_total": float(recorder.meter.cost_usd.sum()),
+                    "diagnostics": (decision.diagnostics
+                                    if isinstance(decision.diagnostics,
+                                                  dict) else {}),
+                })
+                if action:
+                    if ckpt_path is not None \
+                            and checkpoint_every is not None:
+                        write_checkpoint(k + 1)
+                        checkpointed = True
+                    if action != "checkpoint":
+                        # Graceful drain: the final checkpoint above
+                        # makes the stop resumable via resume_from.
+                        durability["stopped_at_period"] = k + 1
+                        break
+
+            if not checkpointed and ckpt_path is not None \
+                    and checkpoint_every is not None \
                     and (k + 1) % checkpoint_every == 0 \
                     and k + 1 < scenario.n_periods:
                 write_checkpoint(k + 1)
@@ -441,7 +509,8 @@ def run_simulation(scenario: Scenario, policy: Policy,
         perf = fold_counters(perf, monitor.counters())
     if actuation is not None:
         perf = fold_counters(perf, actuation.counters)
-    if wal is not None or resume_from is not None:
+    if wal is not None or resume_from is not None \
+            or "stopped_at_period" in durability:
         if wal is not None:
             perf = fold_counters(perf, wal.counters)
         perf = fold_counters(perf, durability)

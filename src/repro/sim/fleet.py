@@ -472,7 +472,8 @@ class SharedMarketFleet:
             wal_fsync_every: int = 1,
             wal_shards: int = 1,
             resume_from: str | None = None,
-            resume_strict: bool = True) -> "FleetResult":
+            resume_strict: bool = True,
+            step_hook=None) -> "FleetResult":
         """Advance to ``n_periods`` and return the cumulative result.
 
         Resumable: two calls of ``T/2`` periods leave the fleet in the
@@ -494,6 +495,14 @@ class SharedMarketFleet:
           verifying each replayed period against the WAL tail
           (mismatch → :class:`~repro.exceptions.CheckpointError` when
           ``resume_strict``, else a counter).
+
+        ``step_hook`` mirrors :func:`repro.sim.run_simulation`'s seam
+        for external drivers: it is called once per completed period
+        with :meth:`step`'s record dict; a falsy return continues,
+        ``"checkpoint"`` writes an on-demand checkpoint (durable runs
+        only) and continues, and any other truthy value writes a final
+        checkpoint and stops the run early (resumable later with
+        ``resume_from``).
         """
         T = int(n_periods)
         durable = wal_path is not None or resume_from is not None
@@ -503,7 +512,11 @@ class SharedMarketFleet:
                     "checkpoint_every requires wal_path (a checkpoint is "
                     "only trustworthy next to its write-ahead log)")
             for _ in range(T):
-                self.step()
+                rec = self.step()
+                if step_hook is not None:
+                    action = step_hook(rec)
+                    if action and action != "checkpoint":
+                        break
             return self.result()
 
         from ..exceptions import CheckpointError
@@ -592,16 +605,30 @@ class SharedMarketFleet:
                                 f"period {k}; the run is not "
                                 f"deterministic or the log is foreign")
                 wal.append(record)
-                if checkpoint_every is not None \
-                        and self._k % int(checkpoint_every) == 0 \
-                        and self._k < T:
+
+                def save_checkpoint() -> None:
                     wal.sync()
-                    ckpt = ControllerCheckpoint(
+                    ControllerCheckpoint(
                         period=int(self._k),
                         state={"fingerprint": fingerprint,
-                               "fleet": self.snapshot()})
-                    ckpt.save(checkpoint_path_for(wal_path))
+                               "fleet": self.snapshot()},
+                    ).save(checkpoint_path_for(wal_path))
                     self.perf.shared.count("checkpoints_written")
+
+                checkpointed = False
+                if step_hook is not None:
+                    action = step_hook(rec)
+                    if action:
+                        save_checkpoint()
+                        checkpointed = True
+                        if action != "checkpoint":
+                            self.perf.shared.set_counter(
+                                "stopped_at_period", self._k)
+                            break
+                if not checkpointed and checkpoint_every is not None \
+                        and self._k % int(checkpoint_every) == 0 \
+                        and self._k < T:
+                    save_checkpoint()
         finally:
             wal.close()
             self.perf.shared.update_counters(wal.counters)

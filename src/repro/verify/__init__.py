@@ -25,6 +25,7 @@ from .fuzz import (
     shrink,
 )
 from .monitor import GridMonitor, InvariantMonitor, InvariantViolation
+from .service_chaos import ServiceChaosOutcome, run_service_chaos
 from .oracles import (
     BackendRun,
     OracleReport,
@@ -58,4 +59,6 @@ __all__ = [
     "run_batch_chaos_seed",
     "shrink",
     "fuzz_many",
+    "ServiceChaosOutcome",
+    "run_service_chaos",
 ]

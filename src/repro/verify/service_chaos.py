@@ -1,0 +1,296 @@
+"""Service-level chaos drill: ``kill -9`` the daemon, resume over HTTP.
+
+The process-level analogue of the in-process crash-resume drills in
+:mod:`~repro.verify.fuzz`.  The daemon is spawned as a real subprocess
+(``python -m repro serve``), a full simulated day is submitted through
+the REST API, and the daemon is ``SIGKILL``'d — no cleanup, no final
+checkpoint, a stale lockfile left behind — at every Nth control period.
+After each kill the harness restarts the daemon over the same data
+directory and re-submits the run with ``resume="auto"``; the durability
+layer replays and digest-verifies the WAL tail on every cycle.
+
+The drill passes only if the finished day is *bit-identical* to an
+uninterrupted golden reference computed in-process: every period's
+``decision_sha256`` (a SHA-256 over the exact solver output and actuated
+server vectors) must match, every period must be present exactly once,
+and the total cost must be equal to the last bit.
+
+Run it via ``repro verify --chaos --service`` (CI uses a shortened day).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceChaosOutcome", "run_service_chaos"]
+
+_RUN_ID = "chaosday"
+
+
+@dataclass
+class ServiceChaosOutcome:
+    """Result of one service chaos drill."""
+
+    ok: bool = False
+    dt: float = 0.0
+    duration: float = 0.0
+    n_periods: int = 0
+    kill_every: int = 0
+    n_kills: int = 0
+    n_restarts: int = 0
+    digests_compared: int = 0
+    digest_mismatches: int = 0
+    periods_missing: int = 0
+    total_cost_service: float | None = None
+    total_cost_reference: float | None = None
+    wal_tail_replayed: int = 0
+    wal_tail_mismatches: int = 0
+    failure: str | None = None
+    elapsed_seconds: float = 0.0
+    restarts: list[dict] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line verdict in the style of the other verify drills."""
+        verdict = "ok  " if self.ok else "FAIL"
+        detail = (f"{self.n_kills} kill -9, {self.n_restarts} restarts, "
+                  f"{self.digests_compared}/{self.n_periods} digests "
+                  f"bit-exact, {self.wal_tail_replayed} WAL records "
+                  f"replay-verified")
+        if self.failure:
+            detail += f" — {self.failure}"
+        return (f"service-chaos {verdict} dt={self.dt:g}s "
+                f"periods={self.n_periods} kill_every={self.kill_every}: "
+                f"{detail}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (the CI artifact)."""
+        return {
+            "ok": self.ok, "dt": self.dt, "duration": self.duration,
+            "n_periods": self.n_periods, "kill_every": self.kill_every,
+            "n_kills": self.n_kills, "n_restarts": self.n_restarts,
+            "digests_compared": self.digests_compared,
+            "digest_mismatches": self.digest_mismatches,
+            "periods_missing": self.periods_missing,
+            "total_cost_service": self.total_cost_service,
+            "total_cost_reference": self.total_cost_reference,
+            "wal_tail_replayed": self.wal_tail_replayed,
+            "wal_tail_mismatches": self.wal_tail_mismatches,
+            "failure": self.failure,
+            "elapsed_seconds": self.elapsed_seconds,
+            "restarts": self.restarts,
+        }
+
+
+def _spec(dt: float, duration: float, resume: str) -> dict:
+    return {"kind": "scalar", "run_id": _RUN_ID,
+            "scenario": {"name": "paper", "dt": dt, "duration": duration},
+            "policy": {"name": "mpc"},
+            "resume": resume}
+
+
+def _golden_reference(dt: float, duration: float, workdir: str):
+    """Uninterrupted in-process run of the same compiled spec.
+
+    Returns ``(digest_by_period, total_cost)``.  The WAL is armed so the
+    reference logs the same ``decision_sha256`` records the service
+    produces — the comparison is digest-to-digest, not float-to-float.
+    """
+    from ..resilience.durability import read_wal
+    from ..service.protocol import build_scalar_run, spec_from_dict
+    from ..sim import run_simulation
+
+    spec = spec_from_dict(_spec(dt, duration, "never"))
+    scenario, policy, _sup = build_scalar_run(spec)
+    wal_path = os.path.join(workdir, "golden.wal.jsonl")
+    result = run_simulation(scenario, policy, checkpoint_every=1,
+                            wal_path=wal_path)
+    digests = {int(r["period"]): r["decision_sha256"]
+               for r in read_wal(wal_path) if r.get("type") == "decision"}
+    return digests, float(result.total_cost_usd)
+
+
+class _Daemon:
+    """One daemon subprocess incarnation plus its discovered client."""
+
+    def __init__(self, data_dir: str, log_path: str) -> None:
+        self.data_dir = data_dir
+        self.log = open(log_path, "ab")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--data-dir", data_dir],
+            stdout=self.log, stderr=self.log,
+            env={**os.environ, "PYTHONPATH": _pythonpath()})
+
+    def wait_ready(self, timeout: float = 30.0):
+        """Block until *this* incarnation publishes service.json."""
+        from ..service.client import ServiceClient, discover_service
+        deadline = time.monotonic() + timeout
+        path = os.path.join(self.data_dir, "service.json")
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited with {self.proc.returncode} before "
+                    f"publishing {path}")
+            try:
+                doc = discover_service(self.data_dir)
+            except (FileNotFoundError, json.JSONDecodeError):
+                doc = None
+            if doc is not None and doc.get("pid") == self.proc.pid:
+                return ServiceClient(doc["host"], doc["port"])
+            time.sleep(0.02)
+        raise RuntimeError(f"daemon did not publish {path} "
+                           f"within {timeout:g}s")
+
+    def kill9(self) -> None:
+        """SIGKILL — no drain, no cleanup; the whole point."""
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait()
+        self._close_log()
+        # remove the dead incarnation's discovery file so wait_ready
+        # cannot race against a stale (host, port, pid)
+        try:
+            os.unlink(os.path.join(self.data_dir, "service.json"))
+        except FileNotFoundError:
+            pass
+
+    def terminate(self) -> None:
+        """Best-effort cleanup at drill end."""
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(10.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        self._close_log()
+
+    def _close_log(self) -> None:
+        if not self.log.closed:
+            self.log.close()
+
+
+def _pythonpath() -> str:
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+def run_service_chaos(dt: float = 300.0, duration: float = 86400.0,
+                      kill_every: int = 48, data_dir: str | None = None,
+                      run_timeout: float = 1800.0,
+                      poll_seconds: float = 0.05) -> ServiceChaosOutcome:
+    """Run the full drill; see the module docstring for the contract.
+
+    ``kill_every`` counts *control periods*: every time the run's
+    progress crosses another multiple of it, the daemon is SIGKILL'd
+    and restarted.  The drill never waits for a "safe" moment — the
+    kill lands wherever the poll catches the run, including mid-period
+    between WAL append and actuation, which is exactly the window the
+    log-before-actuate protocol exists for.
+    """
+    from ..service.client import ServiceError, ServiceUnavailableError
+
+    started = time.monotonic()
+    outcome = ServiceChaosOutcome(
+        dt=float(dt), duration=float(duration),
+        n_periods=int(round(duration / dt)), kill_every=int(kill_every))
+    workdir = data_dir or tempfile.mkdtemp(prefix="repro-service-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    log_path = os.path.join(workdir, "daemon.log")
+
+    golden, golden_cost = _golden_reference(dt, duration, workdir)
+    outcome.total_cost_reference = golden_cost
+
+    daemon = _Daemon(workdir, log_path)
+    try:
+        client = daemon.wait_ready()
+        client.submit(_spec(dt, duration, "never"))
+        next_kill = int(kill_every)
+        deadline = time.monotonic() + run_timeout
+        while True:
+            if time.monotonic() > deadline:
+                outcome.failure = (f"run did not finish within "
+                                   f"{run_timeout:g}s")
+                return outcome
+            try:
+                status = client.status(_RUN_ID)
+            except ServiceUnavailableError:
+                outcome.failure = "daemon unreachable outside a drill"
+                return outcome
+            state = status["state"]
+            if state in ("completed", "failed", "stopped"):
+                if state != "completed":
+                    outcome.failure = (
+                        f"run ended {state!r}: {status.get('error')}")
+                    return outcome
+                break
+            done = int(status["periods_done"])
+            if state == "running" and done >= next_kill \
+                    and done < outcome.n_periods:
+                daemon.kill9()
+                outcome.n_kills += 1
+                daemon = _Daemon(workdir, log_path)
+                client = daemon.wait_ready()
+                outcome.n_restarts += 1
+                resumed = client.submit(_spec(dt, duration, "auto"))
+                outcome.restarts.append({
+                    "killed_at_period": done,
+                    "resumed_state": resumed["state"]})
+                while done >= next_kill:
+                    next_kill += int(kill_every)
+                continue
+            time.sleep(poll_seconds)
+
+        # -- verification ---------------------------------------------
+        final = client.status(_RUN_ID)
+        outcome.total_cost_service = float(final["cost_usd_total"])
+        counters = (final.get("summary") or {}).get("counters", {})
+        outcome.wal_tail_replayed = int(
+            counters.get("wal_tail_replayed", 0))
+        outcome.wal_tail_mismatches = int(
+            counters.get("wal_tail_mismatches", 0))
+        decisions = client.decisions(_RUN_ID)
+        seen = {int(r["period"]): r.get("decision_sha256")
+                for r in decisions}
+        outcome.periods_missing = sum(
+            1 for k in range(outcome.n_periods) if k not in seen)
+        outcome.digest_mismatches = sum(
+            1 for k, digest in golden.items() if seen.get(k) != digest)
+        outcome.digests_compared = len(golden) - outcome.digest_mismatches
+        cost_exact = outcome.total_cost_service == golden_cost
+        outcome.ok = (outcome.digest_mismatches == 0
+                      and outcome.periods_missing == 0
+                      and outcome.wal_tail_mismatches == 0
+                      and len(golden) == outcome.n_periods
+                      and cost_exact)
+        if not outcome.ok and outcome.failure is None:
+            problems = []
+            if outcome.digest_mismatches:
+                problems.append(
+                    f"{outcome.digest_mismatches} digest mismatches")
+            if outcome.periods_missing:
+                problems.append(
+                    f"{outcome.periods_missing} periods missing")
+            if outcome.wal_tail_mismatches:
+                problems.append(
+                    f"{outcome.wal_tail_mismatches} WAL tail mismatches")
+            if not cost_exact:
+                problems.append(
+                    f"cost {outcome.total_cost_service!r} != golden "
+                    f"{golden_cost!r}")
+            outcome.failure = "; ".join(problems)
+        return outcome
+    except (ServiceError, RuntimeError, OSError) as exc:
+        outcome.failure = f"{type(exc).__name__}: {exc}"
+        return outcome
+    finally:
+        outcome.elapsed_seconds = time.monotonic() - started
+        daemon.terminate()

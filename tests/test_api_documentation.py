@@ -24,9 +24,16 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.verify",
     "repro.resilience",
+    "repro.service",
 ]
 
 MODULES_WITH_DOCSTRINGS = SUBPACKAGES + [
+    "repro.service.client",
+    "repro.service.daemon",
+    "repro.service.protocol",
+    "repro.service.runtime",
+    "repro.service.server",
+    "repro.verify.service_chaos",
     "repro.resilience.deadline",
     "repro.resilience.ladder",
     "repro.resilience.supervisor",

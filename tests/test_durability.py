@@ -498,6 +498,93 @@ class TestCrashResume:
 
 
 # ---------------------------------------------------------------------------
+# Orphaned checkpoints (checkpoint present, WAL missing) fail fast
+# ---------------------------------------------------------------------------
+class TestOrphanedCheckpoint:
+    def _durable_run(self, tmp_path):
+        wal = str(tmp_path / "orphan.wal")
+        sc = _short_scenario()
+        run_simulation(sc, _mpc(sc), wal_path=wal, checkpoint_every=2)
+        return wal
+
+    def test_missing_wal_fails_fast(self, tmp_path):
+        """A fresh run over an orphaned checkpoint must not silently
+        discard the checkpointed state."""
+        import os
+        wal = self._durable_run(tmp_path)
+        os.unlink(wal)  # the orphan: .ckpt survives, WAL does not
+        sc = _short_scenario()
+        with pytest.raises(CheckpointError, match="missing or was"):
+            run_simulation(sc, _mpc(sc), wal_path=wal,
+                           checkpoint_every=2)
+        assert os.path.exists(checkpoint_path_for(wal))  # untouched
+
+    def test_resume_force_discards_orphan(self, tmp_path):
+        import os
+        wal = self._durable_run(tmp_path)
+        baseline = run_simulation(_short_scenario(),
+                                  _mpc(_short_scenario()))
+        os.unlink(wal)
+        sc = _short_scenario()
+        result = run_simulation(sc, _mpc(sc), wal_path=wal,
+                                checkpoint_every=2, resume_force=True)
+        np.testing.assert_array_equal(result.cost_usd, baseline.cost_usd)
+        assert os.path.exists(wal)  # a fresh, complete log
+
+    def test_intact_pair_unaffected(self, tmp_path):
+        """Both files present is the normal overwrite path — no error."""
+        wal = self._durable_run(tmp_path)
+        sc = _short_scenario()
+        run_simulation(sc, _mpc(sc), wal_path=wal, checkpoint_every=2)
+
+
+# ---------------------------------------------------------------------------
+# The step_hook seam: streaming, on-demand checkpoints, graceful drain
+# ---------------------------------------------------------------------------
+class TestStepHook:
+    def test_hook_sees_every_period(self, tmp_path):
+        seen = []
+        sc = _short_scenario()
+        run_simulation(sc, _mpc(sc),
+                       step_hook=lambda info: seen.append(info["period"]))
+        assert seen == list(range(sc.n_periods))
+
+    def test_stop_then_resume_bit_exact(self, tmp_path):
+        """A drain (hook returns truthy) checkpoints and stays
+        resumable — the service's graceful-shutdown contract."""
+        baseline = run_simulation(_short_scenario(),
+                                  _mpc(_short_scenario()))
+        wal = str(tmp_path / "drain.wal")
+        sc = _short_scenario()
+        partial = run_simulation(
+            sc, _mpc(sc), wal_path=wal, checkpoint_every=100,
+            step_hook=lambda info: info["period"] == 3)
+        assert partial.perf["counters"]["stopped_at_period"] == 4
+        assert partial.n_periods == 4
+        sc2 = _short_scenario()
+        resumed = run_simulation(sc2, _mpc(sc2), resume_from=wal)
+        counters = resumed.perf["counters"]
+        assert counters["resumed_from_period"] == 4
+        assert counters["wal_tail_mismatches"] == 0
+        np.testing.assert_array_equal(resumed.allocations,
+                                      baseline.allocations)
+        np.testing.assert_array_equal(resumed.cost_usd,
+                                      baseline.cost_usd)
+
+    def test_on_demand_checkpoint(self, tmp_path):
+        import os
+        wal = str(tmp_path / "ondemand.wal")
+        sc = _short_scenario()
+        run_simulation(
+            sc, _mpc(sc), wal_path=wal, checkpoint_every=10_000,
+            step_hook=lambda info: "checkpoint"
+            if info["period"] == 2 else None)
+        ckpt = ControllerCheckpoint.load(checkpoint_path_for(wal))
+        assert ckpt.period == 3  # written at the requested period
+        assert os.path.exists(wal)
+
+
+# ---------------------------------------------------------------------------
 # Reset audit (supervisor-driven resets must not lose carried state)
 # ---------------------------------------------------------------------------
 class TestResetAudit:

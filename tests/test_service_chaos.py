@@ -1,0 +1,27 @@
+"""Service-level chaos drill smoke: kill -9, restart, bit-exact resume.
+
+A shortened day through the *real* pipeline — daemon subprocess, HTTP
+submits, SIGKILL with no cleanup, stale-lock takeover on restart,
+``resume="auto"`` re-submission, digest-by-digest comparison against an
+uninterrupted golden reference.  The full paper day runs in CI's
+nightly chaos job (``repro verify --chaos --service``).
+"""
+
+from repro.verify import run_service_chaos
+
+
+class TestServiceChaos:
+    def test_short_day_survives_kill_dash_nine(self, tmp_path):
+        outcome = run_service_chaos(
+            dt=300.0, duration=9000.0, kill_every=3,
+            data_dir=str(tmp_path), run_timeout=300.0,
+            poll_seconds=0.01)
+        assert outcome.ok, outcome.describe()
+        assert outcome.n_kills >= 1          # the drill actually drilled
+        assert outcome.n_restarts == outcome.n_kills
+        assert outcome.digest_mismatches == 0
+        assert outcome.periods_missing == 0
+        assert outcome.wal_tail_mismatches == 0
+        assert outcome.total_cost_service == outcome.total_cost_reference
+        report = outcome.to_dict()
+        assert report["ok"] and report["n_periods"] == 30

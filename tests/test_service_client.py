@@ -1,0 +1,156 @@
+"""Client resilience: backoff, jitter, Retry-After, retry exhaustion.
+
+The daemon side is replaced by a scripted stub server that answers a
+predetermined sequence of statuses, and the retry policy's sleep is
+captured instead of slept — a full retry ladder runs in microseconds
+and every delay is asserted exactly.
+"""
+
+import http.server
+import json
+import random
+import threading
+
+import pytest
+
+from repro.service import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
+
+
+class _ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Answers from ``server.script`` (list of (status, headers, body))."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):
+        pass
+
+    def _serve(self):
+        self.server.requests.append(self.path)
+        script = self.server.script
+        step = script.pop(0) if script else (200, {}, {"ok": True})
+        status, headers, body = step
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = _serve
+
+
+@pytest.fixture()
+def stub():
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                             _ScriptedHandler)
+    server.script = []
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _client(server, max_attempts=4):
+    sleeps = []
+    retry = RetryPolicy(max_attempts=max_attempts, base_delay=0.05,
+                        max_delay=2.0, sleep=sleeps.append,
+                        rng=random.Random(42))
+    host, port = server.server_address[:2]
+    return ServiceClient(host, port, timeout=5.0, retry=retry), sleeps
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy in isolation
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_full_jitter_under_exponential_cap(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=8, base_delay=0.1,
+                             max_delay=1.0, sleep=slept.append,
+                             rng=random.Random(7))
+        for attempt in range(6):
+            policy.backoff(attempt)
+        caps = [min(1.0, 0.1 * 2.0 ** k) for k in range(6)]
+        assert all(0.0 <= d <= c for d, c in zip(slept, caps))
+        assert slept == policy.delays
+
+    def test_retry_after_overrides_but_is_capped(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, max_delay=2.0,
+                             sleep=slept.append)
+        policy.backoff(0, retry_after=0.5)
+        policy.backoff(1, retry_after=60.0)
+        assert slept == [0.5, 2.0]
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# Client against the scripted stub
+# ---------------------------------------------------------------------------
+class TestClientRetries:
+    def test_recovers_from_503s(self, stub):
+        stub.script = [(503, {}, {"error": "saturated"}),
+                       (503, {}, {"error": "saturated"}),
+                       (200, {}, {"status": "ok"})]
+        client, sleeps = _client(stub)
+        assert client.request("GET", "/healthz") == {"status": "ok"}
+        assert len(stub.requests) == 3
+        assert len(sleeps) == 2        # one backoff per failed attempt
+
+    def test_retry_after_header_is_honoured(self, stub):
+        stub.script = [(503, {"Retry-After": "0.25"}, {"error": "busy"}),
+                       (200, {}, {"status": "ok"})]
+        client, sleeps = _client(stub)
+        client.request("GET", "/healthz")
+        assert sleeps == [0.25]        # server's hint, not our jitter
+
+    def test_exhaustion_raises_unavailable(self, stub):
+        stub.script = [(503, {}, {"error": "down"})] * 10
+        client, sleeps = _client(stub, max_attempts=3)
+        with pytest.raises(ServiceUnavailableError) as exc:
+            client.request("GET", "/healthz")
+        assert exc.value.attempts == 3
+        assert len(stub.requests) == 3  # stopped at the ladder's end
+        assert len(sleeps) == 2         # no sleep after the final try
+
+    def test_definitive_errors_do_not_retry(self, stub):
+        stub.script = [(400, {}, {"error": "bad spec"})]
+        client, sleeps = _client(stub)
+        with pytest.raises(ServiceError) as exc:
+            client.request("POST", "/runs", body={"kind": "nope"})
+        assert exc.value.status == 400
+        assert len(stub.requests) == 1 and sleeps == []
+
+    def test_connection_refused_retries_then_raises(self):
+        # bind-then-close guarantees a dead port
+        import socket
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        sleeps = []
+        client = ServiceClient("127.0.0.1", port, retry=RetryPolicy(
+            max_attempts=3, sleep=sleeps.append,
+            rng=random.Random(0)))
+        with pytest.raises(ServiceUnavailableError) as exc:
+            client.health()
+        assert "ConnectionRefusedError" in str(exc.value) \
+            or "ECONNREFUSED" in str(exc.value)
+        assert len(sleeps) == 2
+
+    def test_ready_false_on_unreachable_daemon(self):
+        client = ServiceClient("127.0.0.1", 1, retry=RetryPolicy(
+            max_attempts=2, sleep=lambda _s: None))
+        assert client.ready() is False
